@@ -1,0 +1,17 @@
+"""A1 — vertex-pruning ablation (design choice called out in DESIGN.md)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_pruning(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("A1",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    assert result.values["runtime"]["no-pruning"] > 1.0

@@ -1,0 +1,19 @@
+"""A3 — shared-memory hashtable ablation (the paper's rejected variant)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_shared_memory(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("A3",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    # Paper: "little to no performance gain" — within a few percent.
+    rel = result.values["runtime"]["shared"]
+    assert 0.85 < rel <= 1.001

@@ -1,0 +1,21 @@
+"""A2 — tolerance sweep ablation (the paper's τ = 0.05 trade-off)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_tolerance(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("A2",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    vals = result.values
+    # Tighter tolerance never runs fewer iterations than the loosest one.
+    assert vals[1e-5]["iterations"] >= vals[0.1]["iterations"]
+    # The paper's point: tau=0.05 keeps nearly all the quality of 1e-5.
+    assert vals[0.05]["modularity"] > vals[1e-5]["modularity"] - 0.05

@@ -1,0 +1,16 @@
+"""E3 — hashtable memory footprint (per-thread vs per-vertex)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ext_memory(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment, args=("E3",), rounds=1, iterations=1,
+    )
+    print()
+    print(result)
+
+    # The paper's OOM pattern: only sk-2005 fails for nu-LPA.
+    fits = {name: v["gpu_fits"] for name, v in result.values.items()}
+    assert fits["sk-2005"] is False
+    assert all(ok for name, ok in fits.items() if name != "sk-2005")

@@ -1,0 +1,19 @@
+"""E2 — size-constrained LPA partitioning (the paper's future work)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ext_partitioning(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E2",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    for name, v in result.values.items():
+        assert v["cut"] < v["random_cut"], name
+        assert v["imbalance"] <= 0.08, name

@@ -1,0 +1,21 @@
+"""E4 — modelled device throughput vs graph size (saturation curve)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.scaling import SCALES
+
+
+def test_ext_scaling(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E4",),
+        kwargs=dict(scale=min(bench_scale * 2, 1.0), seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    # Throughput must rise with graph size (device saturation).
+    for name, sweep in result.values.items():
+        series = [sweep[s]["edges_per_s"] for s in SCALES]
+        assert series[-1] > series[0], name

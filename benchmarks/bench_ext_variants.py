@@ -1,0 +1,23 @@
+"""E1 — LPA vs COPRA / SLPA / LabelRank (extension study).
+
+Backs the paper's Section-1 selection claim: plain LPA is the most
+efficient label-propagation method while delivering comparable quality.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ext_variants(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E1",),
+        kwargs=dict(scale=min(bench_scale, 0.25), seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    assert result.values["most_efficient"] == "lpa"
+    q = result.values["modularity"]
+    assert q["lpa"] > 0.6 * max(q.values())  # comparable quality

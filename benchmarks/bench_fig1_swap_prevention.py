@@ -1,0 +1,23 @@
+"""F1 — regenerate Figure 1 (swap-prevention study, CC/PL/Hybrid)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_swap_prevention(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("F1",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    quality = result.values["modularity"]
+    runtime = result.values["runtime"]
+    # Paper facts: PL1 is the quality disaster PL4 exists to avoid, and PL4
+    # sits in the top quality cluster while not being dramatically slow.
+    assert quality["PL1"] < quality["PL4"] * 0.95
+    assert quality["PL4"] >= quality["PL2"] - 0.02
+    assert runtime["PL4"] == 1.0  # reference

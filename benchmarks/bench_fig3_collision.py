@@ -1,0 +1,29 @@
+"""F3 — regenerate Figure 3 (collision-resolution strategies)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_collision_resolution(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("F3",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    runtime = result.values["runtime"]
+    # Paper shape: quadratic probing is the clear loser (3.7x QD); the
+    # periodicity of its doubling steps on Mersenne capacities shows as the
+    # worst runtime here too.
+    assert runtime["quadratic"] == max(runtime.values())
+    # quadratic-double stays within the leading group at stand-in scale.
+    assert runtime["quadratic-double"] <= runtime["quadratic"] * 0.95
+
+    # The hub-load supplement reproduces the paper's large factors.
+    stress = result.values["hub_stress"]
+    qd = stress["quadratic-double"]["probes"]
+    assert stress["linear"]["probes"] > 1.5 * qd
+    assert stress["quadratic"]["probes"] > 10 * qd

@@ -1,0 +1,19 @@
+"""F5 — regenerate Figure 5 (fp32 vs fp64 hashtable values)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_datatype(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("F5",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    # Paper: fp32 is moderately faster with no quality loss.
+    assert result.values["runtime"]["double"] > 1.0
+    assert result.values["max_modularity_gap"] < 0.01

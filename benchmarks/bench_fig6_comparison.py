@@ -1,0 +1,35 @@
+"""F6 — regenerate Figures 6a-6c (system comparison).
+
+Paper anchors: ν-LPA 364× / 62× / 2.6× / 37× faster than FLPA / NetworKit /
+Gunrock / cuGraph-Louvain; modularity +4.7 % vs FLPA, −6.1 % vs NetworKit,
+−9.6 % vs Louvain; Gunrock's modularity "very low".
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_comparison(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("F6",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    speedup = result.values["speedup"]
+    # Orders of magnitude and ordering must match the paper.
+    assert 100 < speedup["flpa"] < 1200
+    assert 15 < speedup["networkit-lpa"] < 200
+    assert 0.7 < speedup["gunrock-lpa"] < 8
+    assert 10 < speedup["cugraph-louvain"] < 120
+    assert speedup["flpa"] > speedup["networkit-lpa"] > speedup["gunrock-lpa"]
+
+    q = result.values["mean_modularity"]
+    # Quality ordering (paper Figure 6c).
+    assert q["nu-lpa"] > q["flpa"]
+    assert q["networkit-lpa"] > q["nu-lpa"]
+    assert q["cugraph-louvain"] > q["nu-lpa"]
+    assert q["gunrock-lpa"] == min(q.values())

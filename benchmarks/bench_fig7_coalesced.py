@@ -1,0 +1,20 @@
+"""F7 — regenerate Figure 7 (coalesced-chaining hashtable, appendix)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_coalesced(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("F7",),
+        kwargs=dict(scale=min(bench_scale, 0.25), seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    # Paper: coalesced chaining "did not improve performance" — it must not
+    # be decisively better than the default open addressing.
+    rel = result.values["runtime"]["coalesced"]
+    assert rel > 0.7

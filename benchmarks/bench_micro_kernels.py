@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the figure benches (one-shot regenerations), these time the core
+vectorised operations repeatedly, so pytest-benchmark statistics are
+meaningful — useful when optimising the simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LPAConfig, nu_lpa
+from repro.core.engine_vectorized import best_labels_groupby
+from repro.graph.generators import web_graph
+from repro.hashing.parallel_hashtable import (
+    parallel_accumulate,
+    segmented_clear,
+)
+from repro.hashing.probing import ProbeStrategy
+from repro.metrics import modularity
+from repro.types import EMPTY_KEY
+
+
+@pytest.fixture(scope="module")
+def workload_graph():
+    return web_graph(5000, avg_degree=10, seed=11)
+
+
+def test_bench_parallel_accumulate(benchmark):
+    rng = np.random.default_rng(0)
+    n_tables, per_table = 512, 24
+    caps = np.full(n_tables, 31, dtype=np.int64)
+    base = np.arange(n_tables, dtype=np.int64) * 64
+    p2 = np.full(n_tables, 63, dtype=np.int64)
+    keys_buf = np.full(64 * n_tables, EMPTY_KEY, dtype=np.int64)
+    values_buf = np.zeros(64 * n_tables, dtype=np.float32)
+    entry_table = np.repeat(np.arange(n_tables, dtype=np.int64), per_table)
+    entry_key = rng.integers(0, 30, size=entry_table.shape[0]) * 101
+    entry_value = np.ones(entry_table.shape[0], dtype=np.float32)
+
+    def run():
+        segmented_clear(keys_buf, values_buf, base, caps)
+        parallel_accumulate(
+            keys_buf, values_buf, base, caps, p2,
+            entry_table, entry_key, entry_value,
+            ProbeStrategy.QUADRATIC_DOUBLE,
+        )
+
+    benchmark(run)
+
+
+def test_bench_groupby(benchmark, workload_graph):
+    g = workload_graph
+    labels = np.arange(g.num_vertices, dtype=np.int64)
+    src = g.source_ids()
+    keys = labels[g.targets]
+
+    benchmark(
+        best_labels_groupby, src, keys, g.weights, g.num_vertices, labels
+    )
+
+
+def test_bench_modularity(benchmark, workload_graph):
+    g = workload_graph
+    labels = nu_lpa(g).labels
+    benchmark(modularity, g, labels)
+
+
+def test_bench_nu_lpa_vectorized(benchmark, workload_graph):
+    benchmark.pedantic(
+        nu_lpa, args=(workload_graph,),
+        kwargs=dict(engine="vectorized"), rounds=3, iterations=1,
+    )
+
+
+def test_bench_nu_lpa_hashtable(benchmark, workload_graph):
+    benchmark.pedantic(
+        nu_lpa, args=(workload_graph,),
+        kwargs=dict(engine="hashtable"), rounds=3, iterations=1,
+    )
+
+
+def test_bench_one_iteration(benchmark, workload_graph):
+    config = LPAConfig(max_iterations=1)
+    benchmark.pedantic(
+        nu_lpa, args=(workload_graph, config),
+        kwargs=dict(engine="hashtable"), rounds=3, iterations=1,
+    )

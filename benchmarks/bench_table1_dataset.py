@@ -1,0 +1,23 @@
+"""T1 — regenerate Table 1 (datasets + ν-LPA community counts)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("T1",),
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    # Shape checks against the paper's Table 1.
+    vals = result.values
+    assert len(vals) == 13
+    # Road/k-mer families find communities for a large fraction of vertices;
+    # web graphs far fewer (paper: 0.13-0.17 vs 0.02-0.07 per vertex).
+    assert vals["kmer_V1r"]["communities_per_vertex"] > 0.05
+    assert vals["indochina-2004"]["communities_per_vertex"] < 0.06

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artefact (table/figure) through
+:mod:`repro.experiments` and reports the regenerated rows in the captured
+output.  ``REPRO_BENCH_SCALE`` (default 0.25) sizes the dataset stand-ins:
+0.25 keeps the full suite in minutes on one core; 1.0 gives the
+higher-fidelity numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Stand-in scale for benchmark runs (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed shared by all benchmark graph generation."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 42))

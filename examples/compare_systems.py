@@ -1,0 +1,33 @@
+"""Scenario: reproduce one row of the paper's Figure-6 comparison.
+
+Runs all five systems — ν-LPA, FLPA, NetworKit PLP, Gunrock LPA, and the
+cuGraph-Louvain stand-in — on the com-LiveJournal stand-in, printing
+measured modularity and the modelled paper-scale runtime per system.
+
+Run:
+    python examples/compare_systems.py [dataset-name]
+"""
+
+import sys
+
+from repro.graph.datasets import dataset_names, generate_standin
+from repro.perf.harness import ALGORITHMS, run_measurement
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "com-LiveJournal"
+    if dataset not in dataset_names():
+        raise SystemExit(f"unknown dataset {dataset!r}; pick one of {dataset_names()}")
+
+    graph = generate_standin(dataset, scale=0.3, seed=42)
+    print(f"{dataset} stand-in: {graph}\n")
+    print(f"{'system':18s} {'Q':>8s} {'communities':>12s} {'iters':>6s} "
+          f"{'modelled paper-scale s':>24s}")
+    for system in ALGORITHMS:
+        m = run_measurement(system, graph, dataset=dataset, seed=42)
+        print(f"{system:18s} {m.modularity:8.4f} {m.num_communities:12d} "
+              f"{m.iterations:6d} {m.modeled_seconds:24.3f}")
+
+
+if __name__ == "__main__":
+    main()

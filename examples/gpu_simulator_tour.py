@@ -1,0 +1,58 @@
+"""Scenario: inspect what the simulated GPU actually did.
+
+The instrumented hashtable engine counts every event a real A100 would
+generate — memory sectors, hashtable probes, warp-critical-path work,
+atomic CAS/add traffic, residency waves — and the cost model converts the
+counts into modelled seconds.  This tour runs one configuration per probing
+strategy and prints the breakdown, ending with the modelled runtime at
+paper scale (it-2004's 2.19 B edges).
+
+Run:
+    python examples/gpu_simulator_tour.py
+"""
+
+from repro import LPAConfig, ProbeStrategy, nu_lpa
+from repro.graph.datasets import generate_standin, get_dataset
+from repro.perf.model import (
+    estimate_gpu_seconds,
+    extrapolation_ratios,
+    scale_counters,
+)
+from repro.perf.platforms import A100_PLATFORM
+
+
+def main() -> None:
+    dataset = "it-2004"
+    graph = generate_standin(dataset, scale=0.3, seed=42)
+    spec = get_dataset(dataset)
+    ratios = extrapolation_ratios(
+        graph, spec.paper_num_vertices, spec.paper_num_edges
+    )
+    print(f"{dataset} stand-in: {graph} "
+          f"(paper scale: |V|={spec.paper_num_vertices:,}, "
+          f"|E|={spec.paper_num_edges:,})\n")
+
+    header = (f"{'strategy':18s} {'iters':>5s} {'edges':>12s} {'probes':>12s} "
+              f"{'probes/edge':>11s} {'warp-serial':>12s} {'atomics':>10s} "
+              f"{'modelled s':>10s}")
+    print(header)
+    for strategy in ProbeStrategy:
+        result = nu_lpa(graph, LPAConfig(probing=strategy), engine="hashtable")
+        c = result.total_counters
+        paper_scale = scale_counters(c, ratios)
+        secs = estimate_gpu_seconds(paper_scale, A100_PLATFORM)
+        print(f"{strategy.value:18s} {result.num_iterations:5d} "
+              f"{c.edges_scanned:12,d} {c.probes:12,d} "
+              f"{c.probes / max(c.edges_scanned, 1):11.3f} "
+              f"{c.warp_serial_probes:12,d} {c.atomic_add:10,d} {secs:10.3f}")
+
+    # Wave structure of the default run.
+    result = nu_lpa(graph, engine="hashtable")
+    c = result.total_counters
+    print(f"\ndefault run: {c.launches} kernel launches in {c.waves} waves; "
+          f"{c.bytes_moved / 1e9:.2f} GB moved at stand-in scale; "
+          f"{c.slots_cleared:,} hashtable slots cleared")
+
+
+if __name__ == "__main__":
+    main()

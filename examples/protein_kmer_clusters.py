@@ -1,0 +1,45 @@
+"""Scenario: cluster a protein k-mer graph and validate against ground truth.
+
+GenBank k-mer graphs (the paper's kmer_A2a / kmer_V1r) decompose into tens
+of millions of tiny communities — unbranched sequence runs.  This example
+clusters a k-mer stand-in, then uses a planted-partition benchmark to show
+the NMI-vs-modularity point the paper cites: LPA's modularity is moderate,
+but its agreement with ground truth is high.
+
+Run:
+    python examples/protein_kmer_clusters.py
+"""
+
+from repro import nu_lpa
+from repro.baselines import louvain
+from repro.graph.generators import kmer_graph, planted_partition
+from repro.metrics import (
+    modularity,
+    normalized_mutual_information,
+    summarize_communities,
+)
+
+
+def main() -> None:
+    # Part 1: the k-mer workload.
+    graph = kmer_graph(30_000, seed=5)
+    result = nu_lpa(graph)
+    s = summarize_communities(result.labels)
+    print(f"k-mer graph: {graph}")
+    print(f"nu-LPA found {s.num_communities} clusters "
+          f"(median size {s.median_size:.0f}, largest {s.largest}) "
+          f"Q={modularity(graph, result.labels):.4f}\n")
+
+    # Part 2: ground-truth agreement on a planted benchmark.
+    bench, truth = planted_partition(2000, 20, p_in=0.15, p_out=0.005, seed=5)
+    lpa_labels = nu_lpa(bench).labels
+    louvain_labels = louvain(bench).labels
+    print(f"planted benchmark: {bench} with 20 planted communities")
+    print(f"{'method':10s} {'Q':>8s} {'NMI vs truth':>13s}")
+    for name, labels in (("nu-LPA", lpa_labels), ("Louvain", louvain_labels)):
+        print(f"{name:10s} {modularity(bench, labels):8.4f} "
+              f"{normalized_mutual_information(truth, labels):13.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Scenario: partition a road network into regions.
+
+Road networks (the paper's asia_osm / europe_osm family) are LPA's hard
+case: average degree ~2.1 and near-perfect local symmetry, which is where
+community swaps bite and Pick-Less earns its keep.  This example contrasts
+ν-LPA with and without swap mitigation and against the Louvain quality
+ceiling.
+
+Run:
+    python examples/road_network_regions.py
+"""
+
+from repro import LPAConfig, nu_lpa
+from repro.baselines import louvain
+from repro.graph.generators import road_network
+from repro.metrics import modularity, summarize_communities
+
+
+def main() -> None:
+    graph = road_network(40, 40, chain_length=6, seed=3)
+    print(f"road network: {graph}")
+
+    runs = {
+        "nu-LPA (PL4, paper default)": nu_lpa(graph),
+        "nu-LPA (no swap mitigation)": nu_lpa(graph, LPAConfig(pl_period=None)),
+        "nu-LPA (Cross-Check every iter)": nu_lpa(
+            graph, LPAConfig(pl_period=None, cc_period=1)
+        ),
+    }
+    for name, result in runs.items():
+        q = modularity(graph, result.labels)
+        s = summarize_communities(result.labels)
+        conv = "converged" if result.converged else "NOT converged"
+        print(f"{name:36s} Q={q:.4f}  regions={s.num_communities:5d}  "
+              f"iters={result.num_iterations:2d}  {conv}")
+
+    lv = louvain(graph)
+    print(f"{'Louvain (quality ceiling)':36s} Q={modularity(graph, lv.labels):.4f}  "
+          f"regions={lv.num_communities():5d}  passes={lv.extra['passes']}")
+
+
+if __name__ == "__main__":
+    main()

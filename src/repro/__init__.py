@@ -1,0 +1,40 @@
+"""repro — reproduction of ν-LPA (Sahu, 2025) in pure Python.
+
+Fast GPU-based Label Propagation for community detection, rebuilt on a
+deterministic SIMT execution-model simulator: per-vertex open-addressing
+hashtables with hybrid quadratic-double probing, Pick-Less symmetry
+breaking every 4 iterations, a two-kernel degree partition, and fp32
+hashtable values — plus the four systems the paper compares against and a
+benchmark harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import nu_lpa, LPAConfig
+    from repro.graph.generators import web_graph
+    from repro.metrics import modularity
+
+    g = web_graph(20_000, seed=7)
+    result = nu_lpa(g)
+    print(result.num_communities(), modularity(g, result.labels))
+"""
+
+from repro.core import LPAConfig, LPAResult, SwapPrevention, nu_lpa
+from repro.graph import CSRGraph, from_edges, load_graph
+from repro.hashing import ProbeStrategy
+from repro.metrics import modularity, normalized_mutual_information
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nu_lpa",
+    "LPAConfig",
+    "LPAResult",
+    "SwapPrevention",
+    "ProbeStrategy",
+    "CSRGraph",
+    "from_edges",
+    "load_graph",
+    "modularity",
+    "normalized_mutual_information",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Reimplementations of the systems the paper compares against.
+
+Each baseline is built from its published algorithm description so the
+quality numbers in the Figure-6 comparison are *measured*, not asserted:
+
+* :func:`flpa` — Fast Label Propagation (Traag & Šubelj 2023): sequential,
+  queue-based, processes only vertices with recently-updated neighbourhoods;
+* :func:`networkit_plp` — NetworKit's parallel LPA: unique labels, active
+  flags, tolerance 1e-5, guided-schedule multicore processing;
+* :func:`gunrock_lpa` — Gunrock-style fully synchronous data-parallel LPA
+  with no swap mitigation (the reason its modularity is "very low");
+* :func:`louvain` — the Louvain method (move + aggregate phases), standing
+  in for cuGraph Louvain;
+* :func:`gve_lpa` — GVE-LPA, the paper's own multicore ancestor of ν-LPA.
+"""
+
+from repro.baselines.flpa import flpa
+from repro.baselines.networkit_plp import networkit_plp
+from repro.baselines.gunrock_lpa import gunrock_lpa
+from repro.baselines.louvain import louvain, LouvainResult
+from repro.baselines.gve_lpa import gve_lpa
+from repro.baselines.rak import rak
+from repro.baselines.common import BaselineResult
+
+__all__ = [
+    "flpa",
+    "networkit_plp",
+    "gunrock_lpa",
+    "louvain",
+    "LouvainResult",
+    "gve_lpa",
+    "rak",
+    "BaselineResult",
+]

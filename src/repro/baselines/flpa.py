@@ -1,0 +1,120 @@
+"""FLPA — Fast Label Propagation Algorithm (Traag & Šubelj 2023).
+
+The sequential queue-based LPA variant shipped in igraph
+(``IGRAPH_LPA_FAST``): every vertex starts in the queue with a unique
+label; popping a vertex recomputes its dominant neighbour label; on a
+change, neighbours *not already sharing the new label* re-enter the queue
+(if absent).  No random node-order shuffling; among tied dominant labels a
+random one is picked (the paper notes both properties).  Convergence is
+exact: the algorithm stops only when the queue drains — the reason the
+paper observes FLPA "can take a large number of iterations ... with minimal
+gain in community quality".
+
+The inner loop is inherently sequential (each pop observes all previous
+updates), so this is an honest O(M)-per-pass Python/NumPy hybrid: the
+dominant-label computation per pop is a small vectorised ``bincount`` over
+the neighbour slice.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["flpa"]
+
+
+def _dominant_label(
+    labels: np.ndarray,
+    nbrs: np.ndarray,
+    wts: np.ndarray,
+    vertex: int,
+    rng: np.random.Generator,
+) -> int:
+    """Most-weighted neighbour label; ties broken uniformly at random."""
+    non_loop = nbrs != vertex
+    if not non_loop.any():
+        return int(labels[vertex])
+    nbr_labels = labels[nbrs[non_loop]]
+    w = wts[non_loop].astype(np.float64)
+    uniq, inv = np.unique(nbr_labels, return_inverse=True)
+    sums = np.zeros(uniq.shape[0], dtype=np.float64)
+    np.add.at(sums, inv, w)
+    best = sums.max()
+    candidates = uniq[sums >= best - 1e-12]
+    if candidates.shape[0] == 1:
+        return int(candidates[0])
+    return int(candidates[rng.integers(0, candidates.shape[0])])
+
+
+def flpa(
+    graph: CSRGraph,
+    *,
+    seed: int = 0,
+    max_pops: int | None = None,
+) -> BaselineResult:
+    """Run FLPA to exact convergence (empty queue).
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted CSR graph.
+    seed:
+        Seed for the random tie-break.
+    max_pops:
+        Safety cap on queue pops (default ``50 * N``); exceeded only on
+        adversarial inputs, reported as ``converged=False``.
+    """
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n, dtype=VERTEX_DTYPE)
+    if max_pops is None:
+        max_pops = 50 * max(n, 1)
+
+    queue: deque[int] = deque(range(n))
+    in_queue = np.ones(n, dtype=bool)
+
+    t0 = time.perf_counter()
+    pops = 0
+    changes = 0
+    edges_scanned = 0
+    converged = True
+    while queue:
+        if pops >= max_pops:
+            converged = False
+            break
+        v = queue.popleft()
+        in_queue[v] = False
+        pops += 1
+
+        nbrs = graph.neighbors(v)
+        wts = graph.neighbor_weights(v)
+        edges_scanned += int(nbrs.shape[0])
+        new_label = _dominant_label(labels, nbrs, wts, v, rng)
+        if new_label != labels[v]:
+            labels[v] = new_label
+            changes += 1
+            # Re-queue neighbours not already in the new community.
+            for j in nbrs[labels[nbrs] != new_label]:
+                j = int(j)
+                if not in_queue[j]:
+                    in_queue[j] = True
+                    queue.append(j)
+
+    return BaselineResult(
+        labels=labels,
+        algorithm="flpa",
+        iterations=max(1, pops // max(n, 1)),
+        converged=converged,
+        edges_scanned=edges_scanned,
+        vertices_processed=pops,
+        changed_history=[changes],
+        wall_seconds=time.perf_counter() - t0,
+        extra={"pops": pops},
+    )

@@ -1,0 +1,258 @@
+"""Louvain community detection — the cuGraph-Louvain stand-in.
+
+Full two-phase Louvain (Blondel et al. 2008) with the chunk-asynchronous,
+vectorised local-moving used across this library (cuGraph's own Louvain is
+likewise a batch-parallel mover):
+
+1. **Local moving** — every vertex repeatedly considers joining the
+   neighbouring community with the highest modularity gain
+   (Equation 2 of the paper),
+
+   .. math:: \\Delta Q_{i: d \\to c} \\propto K_{i \\to c}
+             - \\gamma \\, K_i \\Sigma^*_c / (2m),
+
+   where :math:`\\Sigma^*_c` excludes :math:`K_i` when :math:`c` is the
+   current community; rounds continue until the moved fraction drops below
+   ``move_tolerance``.
+2. **Aggregation** — communities become super-vertices; arc weights are
+   group-summed (intra-community weight turns into self-loops), which
+   preserves total weight exactly, and the process repeats on the smaller
+   graph until a pass yields no further modularity gain.
+
+Louvain is the quality ceiling of the paper's comparison (9.6 % above
+ν-LPA on average) and its cost — several full passes plus aggregations —
+is what makes it 37× slower there.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, decorrelated_order
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.metrics.modularity import modularity
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["louvain", "LouvainResult", "local_moving", "aggregate_graph"]
+
+
+@dataclass
+class LouvainResult(BaselineResult):
+    """Baseline result plus the Louvain pass structure."""
+
+    #: Modularity after each pass.
+    pass_modularity: list[float] = field(default_factory=list)
+    #: Vertex count of the working graph at the start of each pass.
+    pass_sizes: list[int] = field(default_factory=list)
+
+
+def _best_moves_chunk(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    batch: np.ndarray,
+    k: np.ndarray,
+    sigma: np.ndarray,
+    m: float,
+    resolution: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best target community and its gain-over-staying per batch vertex."""
+    from repro.core._gather import gather_edges
+
+    gather = gather_edges(graph, batch)
+    targets = graph.targets[gather.edge_index]
+    non_loop = targets != batch[gather.table_id]
+    table_id = gather.table_id[non_loop]
+    comm = labels[targets[non_loop]]
+    w = graph.weights[gather.edge_index][non_loop].astype(np.float64)
+
+    current = labels[batch]
+    k_batch = k[batch]
+
+    if comm.shape[0] == 0:
+        return current.copy(), np.zeros(batch.shape[0])
+
+    # Group by (vertex, community): K_{i->c}.
+    order = np.lexsort((comm, table_id))
+    t_s, c_s, w_s = table_id[order], comm[order], w[order]
+    first = np.ones(t_s.shape[0], dtype=bool)
+    first[1:] = (t_s[1:] != t_s[:-1]) | (c_s[1:] != c_s[:-1])
+    starts = np.flatnonzero(first)
+    k_i_to_c = np.add.reduceat(w_s, starts)
+    g_table = t_s[starts]
+    g_comm = c_s[starts]
+
+    # Score(c) = K_{i->c} - gamma * K_i * Sigma*_c / (2m).
+    sigma_star = sigma[g_comm] - np.where(
+        g_comm == current[g_table], k_batch[g_table], 0.0
+    )
+    score = k_i_to_c - resolution * k_batch[g_table] * sigma_star / (2.0 * m)
+
+    # Stay score: K_{i->d} (0 when no neighbour shares d) with the same
+    # Sigma correction.
+    stay = -resolution * k_batch * (sigma[current] - k_batch) / (2.0 * m)
+    own = g_comm == current[g_table]
+    stay_addition = np.zeros(batch.shape[0])
+    stay_addition[g_table[own]] = k_i_to_c[own]
+    stay = stay + stay_addition
+
+    # Per-table argmax of score, ties to smallest community id (groups are
+    # community-sorted within each table, so first max wins).
+    table_first = np.ones(starts.shape[0], dtype=bool)
+    table_first[1:] = g_table[1:] != g_table[:-1]
+    t_starts = np.flatnonzero(table_first)
+    t_of_g = np.cumsum(table_first) - 1
+    best_score = np.maximum.reduceat(score, t_starts)
+    is_max = score == best_score[t_of_g]
+    pos = np.arange(starts.shape[0], dtype=np.int64)
+    big = np.int64(np.iinfo(np.int64).max)
+    first_max = np.minimum.reduceat(np.where(is_max, pos, big), t_starts)
+
+    best_comm = current.copy()
+    gain = np.zeros(batch.shape[0])
+    present = g_table[t_starts]
+    best_comm[present] = g_comm[first_max]
+    gain[present] = best_score - stay[present]
+    return best_comm, gain
+
+
+def local_moving(
+    graph: CSRGraph,
+    *,
+    resolution: float = 1.0,
+    move_tolerance: float = 0.01,
+    max_rounds: int = 20,
+    chunk: int = 2048,
+) -> tuple[np.ndarray, int, int]:
+    """Louvain phase 1 on ``graph``.
+
+    Returns ``(labels, rounds, edges_scanned)``.
+    """
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=VERTEX_DTYPE)
+    k = graph.weighted_degrees()
+    sigma = k.copy()  # community totals; initially singleton communities
+    sizes = np.ones(n, dtype=np.int64)  # community member counts
+    m = graph.total_weight()
+    edges_scanned = 0
+    if m == 0 or n == 0:
+        return labels, 0, 0
+
+    # Decorrelated chunking: id-adjacent vertices of synthetic graphs are
+    # geometrically adjacent, and moving them in the same chunk recreates
+    # the swap pathology (both endpoints adopt each other's community with
+    # stale totals).  See baselines.common.decorrelated_order.
+    order = decorrelated_order(np.arange(n, dtype=np.int64))
+
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        moves = 0
+        for lo in range(0, n, chunk):
+            batch = order[lo : min(lo + chunk, n)]
+            best, gain = _best_moves_chunk(
+                graph, labels, batch, k, sigma, m, resolution
+            )
+            edges_scanned += int(graph.degrees[batch].sum())
+            current = labels[batch]
+            move = (best != current) & (gain > 1e-12)
+            # Singleton-swap guard (Grappolo / cuGraph): when two singleton
+            # communities want to adopt each other in the same step, allow
+            # only the move towards the smaller community id — otherwise
+            # the pair oscillates forever on stale totals.
+            swap_risk = (
+                (sizes[current] == 1) & (sizes[best] == 1) & (best > current)
+            )
+            move &= ~swap_risk
+            movers = batch[move]
+            if movers.shape[0]:
+                old = labels[movers]
+                new = best[move]
+                np.subtract.at(sigma, old, k[movers])
+                np.add.at(sigma, new, k[movers])
+                np.subtract.at(sizes, old, 1)
+                np.add.at(sizes, new, 1)
+                labels[movers] = new
+                moves += int(movers.shape[0])
+        if moves / n < move_tolerance:
+            break
+    return labels, rounds, edges_scanned
+
+
+def aggregate_graph(graph: CSRGraph, labels: np.ndarray) -> CSRGraph:
+    """Louvain phase 2: collapse communities into super-vertices.
+
+    Arc weights are group-summed, so total (arc) weight — and therefore
+    ``m`` — is preserved exactly; intra-community weight becomes self-loops.
+    """
+    _, compact = np.unique(labels, return_inverse=True)
+    src = compact[graph.source_ids()]
+    dst = compact[graph.targets]
+    return from_edges(
+        src.astype(VERTEX_DTYPE),
+        dst.astype(VERTEX_DTYPE),
+        graph.weights,
+        num_vertices=int(compact.max()) + 1 if compact.shape[0] else 0,
+        symmetrize=False,
+        dedupe=True,
+        combine="sum",
+    )
+
+
+def louvain(
+    graph: CSRGraph,
+    *,
+    resolution: float = 1.0,
+    pass_tolerance: float = 1e-3,
+    max_passes: int = 10,
+    move_tolerance: float = 0.01,
+    seed: int = 0,
+) -> LouvainResult:
+    """Run full Louvain; returns labels over the *original* vertices."""
+    t0 = time.perf_counter()
+    n = graph.num_vertices
+    assign = np.arange(n, dtype=VERTEX_DTYPE)
+    work = graph
+
+    pass_mod: list[float] = []
+    pass_sizes: list[int] = []
+    edges_total = 0
+    vertices_total = 0
+    rounds_total = 0
+    prev_q = modularity(graph, assign)
+
+    for _ in range(max_passes):
+        pass_sizes.append(work.num_vertices)
+        labels, rounds, edges = local_moving(
+            work, resolution=resolution, move_tolerance=move_tolerance
+        )
+        edges_total += edges
+        vertices_total += work.num_vertices * rounds
+        rounds_total += rounds
+
+        _, compact = np.unique(labels, return_inverse=True)
+        assign = compact[assign].astype(VERTEX_DTYPE)
+        q = modularity(graph, assign)
+        pass_mod.append(q)
+
+        if int(compact.max()) + 1 == work.num_vertices or q - prev_q < pass_tolerance:
+            prev_q = q
+            break
+        prev_q = q
+        work = aggregate_graph(work, labels)
+
+    return LouvainResult(
+        labels=assign,
+        algorithm="louvain",
+        iterations=rounds_total,
+        converged=True,
+        edges_scanned=edges_total,
+        vertices_processed=vertices_total,
+        changed_history=[],
+        wall_seconds=time.perf_counter() - t0,
+        extra={"passes": len(pass_mod)},
+        pass_modularity=pass_mod,
+        pass_sizes=pass_sizes,
+    )

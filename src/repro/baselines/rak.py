@@ -1,0 +1,74 @@
+"""Original LPA / RAK (Raghavan, Albert & Kumara 2007).
+
+The algorithm everything in this repository descends from: asynchronous
+label propagation over a *freshly shuffled* vertex order each iteration,
+with uniform-random tie-breaks, stopping when every vertex already holds a
+(possibly tied) maximal label.  The random shuffle is RAK's symmetry
+breaker — the role the paper's Pick-Less plays on lockstep hardware, where
+shuffling is not an option (SM assignment follows vertex ids).
+
+Randomised tie-breaks make exact vectorisation awkward; we keep the hash
+tie-break within chunks but re-randomise the *processing order* per
+iteration with the run's RNG, which preserves RAK's statistical behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, chunked_async_sweep
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["rak"]
+
+
+def rak(
+    graph: CSRGraph,
+    *,
+    max_iterations: int = 100,
+    chunk: int | None = None,
+    seed: int = 0,
+) -> BaselineResult:
+    """Run original-flavour LPA with per-iteration random vertex order.
+
+    Converges when an iteration changes no labels (RAK's "every vertex has
+    a maximal label" criterion, evaluated post-hoc).  ``chunk`` is the
+    vectorisation batch; RAK is logically one-vertex-at-a-time, so the
+    default keeps chunks small relative to the graph (a chunk the size of
+    the graph would be synchronous LPA, shuffle or not).
+    """
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n, dtype=VERTEX_DTYPE)
+    if chunk is None:
+        chunk = max(1, min(64, n // 8))
+
+    t0 = time.perf_counter()
+    history: list[int] = []
+    edges_total = 0
+    vertices_total = 0
+    converged = n == 0
+
+    for _ in range(max_iterations):
+        order = rng.permutation(n).astype(np.int64)
+        changed, edges = chunked_async_sweep(graph, labels, order, chunk)
+        edges_total += edges
+        vertices_total += n
+        history.append(int(changed.shape[0]))
+        if changed.shape[0] == 0:
+            converged = True
+            break
+
+    return BaselineResult(
+        labels=labels,
+        algorithm="rak",
+        iterations=len(history),
+        converged=converged,
+        edges_scanned=edges_total,
+        vertices_processed=vertices_total,
+        changed_history=history,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``detect``
+    Run community detection on a graph file or a Table-1 stand-in and
+    write/print the labels plus quality metrics.
+``info``
+    Print structural statistics of a graph.
+``generate``
+    Generate a synthetic graph (one of the dataset-family generators) and
+    write it to a file.
+``compare``
+    Run the five comparison systems on one graph and print a Figure-6-style
+    row set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import LPAConfig, nu_lpa
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import dataset_names, generate_standin
+from repro.graph.generators import (
+    kmer_graph,
+    lfr_like,
+    rmat_graph,
+    road_network,
+    web_graph,
+)
+from repro.graph.io import load_graph, write_edgelist, write_matrix_market
+from repro.graph.properties import degree_statistics, largest_component_fraction
+from repro.hashing.probing import ProbeStrategy
+from repro.metrics import modularity, summarize_communities
+
+__all__ = ["main"]
+
+
+def _load(args) -> CSRGraph:
+    if args.dataset:
+        return generate_standin(args.dataset, scale=args.scale, seed=args.seed)
+    if args.input:
+        return load_graph(args.input)
+    raise SystemExit("provide --input FILE or --dataset NAME")
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", type=Path, help="graph file (.mtx/.txt/.graph)")
+    parser.add_argument(
+        "--dataset", choices=dataset_names(), help="Table-1 stand-in name"
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="stand-in scale (default 0.25)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _cmd_detect(args) -> int:
+    graph = _load(args)
+    config = LPAConfig(
+        max_iterations=args.max_iterations,
+        tolerance=args.tolerance,
+        pl_period=args.pl_period if args.pl_period > 0 else None,
+        probing=ProbeStrategy(args.probing),
+        switch_degree=args.switch_degree,
+    )
+    result = nu_lpa(graph, config, engine=args.engine)
+    q = modularity(graph, result.labels)
+    s = summarize_communities(result.labels)
+    print(f"graph:       {graph}")
+    print(f"iterations:  {result.num_iterations} "
+          f"({'converged' if result.converged else 'not converged'})")
+    print(f"communities: {s.num_communities} (largest {s.largest}, "
+          f"{s.singletons} singletons)")
+    print(f"modularity:  {q:.4f}")
+    if args.output:
+        np.savetxt(args.output, result.labels, fmt="%d")
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = _load(args)
+    st = degree_statistics(graph)
+    print(f"vertices:        {graph.num_vertices:,}")
+    print(f"arcs:            {graph.num_edges:,}")
+    print(f"undirected:      {graph.num_undirected_edges:,}")
+    print(f"degree:          min={st.min} mean={st.mean:.2f} "
+          f"median={st.median:.0f} max={st.max}")
+    print(f"degree gini:     {st.gini:.3f}")
+    print(f"below degree 32: {st.frac_low_degree:.1%}")
+    print(f"giant component: {largest_component_fraction(graph):.1%}")
+    return 0
+
+
+_GENERATORS = {
+    "web": lambda n, seed: web_graph(n, seed=seed),
+    "social": lambda n, seed: lfr_like(n, avg_degree=18, seed=seed)[0],
+    "road": lambda n, seed: road_network(
+        max(3, int(np.sqrt(n / 11))), max(3, int(np.sqrt(n / 11))), seed=seed
+    ),
+    "kmer": lambda n, seed: kmer_graph(n, seed=seed),
+    "rmat": lambda n, seed: rmat_graph(
+        max(4, int(np.ceil(np.log2(max(n, 2))))), 8, seed=seed
+    ),
+}
+
+
+def _cmd_generate(args) -> int:
+    graph = _GENERATORS[args.family](args.vertices, args.seed)
+    if args.output.suffix == ".mtx":
+        write_matrix_market(graph, args.output)
+    else:
+        write_edgelist(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.perf.harness import ALGORITHMS, run_measurement
+
+    graph = _load(args)
+    print(f"graph: {graph}\n")
+    print(f"{'system':18s} {'Q':>8s} {'comms':>7s} {'iters':>6s} "
+          f"{'modelled s':>11s}")
+    for system in ALGORITHMS:
+        m = run_measurement(system, graph, dataset=args.dataset, seed=args.seed)
+        print(f"{system:18s} {m.modularity:8.4f} {m.num_communities:7d} "
+              f"{m.iterations:6d} {m.modeled_seconds:11.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="nu-LPA reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="run nu-LPA community detection")
+    _add_graph_source(p)
+    p.add_argument("--engine", choices=["vectorized", "hashtable"],
+                   default="vectorized")
+    p.add_argument("--max-iterations", type=int, default=20)
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument("--pl-period", type=int, default=4,
+                   help="Pick-Less period; 0 disables")
+    p.add_argument("--probing", default="quadratic-double",
+                   choices=[s.value for s in ProbeStrategy])
+    p.add_argument("--switch-degree", type=int, default=32)
+    p.add_argument("--output", type=Path, help="write labels to this file")
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("info", help="print graph statistics")
+    _add_graph_source(p)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("family", choices=sorted(_GENERATORS))
+    p.add_argument("--vertices", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--output", type=Path, required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("compare", help="run the five comparison systems")
+    _add_graph_source(p)
+    p.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Core ν-LPA: the paper's GPU Label Propagation Algorithm (Algorithm 1).
+
+Public entry point::
+
+    from repro import nu_lpa, LPAConfig
+    result = nu_lpa(graph)                 # paper defaults (PL4, QD probing)
+    result = nu_lpa(graph, LPAConfig(pl_period=None))   # no swap mitigation
+
+Two engines execute the same driver loop:
+
+* ``engine="hashtable"`` — Algorithm 2's per-vertex open-addressing tables
+  on the SIMT simulator, with full event counters (the experiments use
+  this);
+* ``engine="vectorized"`` — sort-based group-by label selection, the fast
+  path for applications.
+"""
+
+from repro.core.config import LPAConfig, SwapPrevention
+from repro.core.result import LPAResult, IterationStats
+from repro.core.lpa import nu_lpa
+from repro.core.incremental import nu_lpa_incremental, affected_vertices
+from repro.core.kernels import partition_by_degree
+
+__all__ = [
+    "LPAConfig",
+    "SwapPrevention",
+    "LPAResult",
+    "IterationStats",
+    "nu_lpa",
+    "nu_lpa_incremental",
+    "affected_vertices",
+    "partition_by_degree",
+]

@@ -1,0 +1,51 @@
+"""Vectorised gathering of the concatenated adjacency slices of a vertex set.
+
+Every engine wave needs "all edges of these vertices" as flat arrays.  The
+construction is the standard CSR expansion: repeat each vertex's offset,
+add a within-segment ramp, and index.  O(total edges), no Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EdgeGather", "gather_edges"]
+
+
+@dataclass(frozen=True)
+class EdgeGather:
+    """Flat view of the edges of a wave's vertices."""
+
+    #: CSR edge indices, concatenated per vertex in order.
+    edge_index: np.ndarray
+    #: Wave-local id (0..len(vertices)-1) of the owning vertex, per edge.
+    table_id: np.ndarray
+    #: Rank of the edge within its vertex's adjacency list.
+    edge_rank: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        """Total edges gathered."""
+        return int(self.edge_index.shape[0])
+
+
+def gather_edges(graph: CSRGraph, vertices: np.ndarray) -> EdgeGather:
+    """Build the :class:`EdgeGather` for ``vertices`` (wave-local order)."""
+    if vertices.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return EdgeGather(edge_index=empty, table_id=empty, edge_rank=empty)
+    degrees = graph.degrees[vertices].astype(np.int64)
+    total = int(degrees.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return EdgeGather(edge_index=empty, table_id=empty, edge_rank=empty)
+    seg_start = np.zeros(vertices.shape[0], dtype=np.int64)
+    np.cumsum(degrees[:-1], out=seg_start[1:])
+    table_id = np.repeat(np.arange(vertices.shape[0], dtype=np.int64), degrees)
+    edge_rank = np.arange(total, dtype=np.int64) - seg_start[table_id]
+    edge_index = graph.offsets[vertices][table_id] + edge_rank
+    return EdgeGather(edge_index=edge_index, table_id=table_id, edge_rank=edge_rank)

@@ -1,0 +1,140 @@
+"""Configuration for ν-LPA runs.
+
+Defaults mirror the paper exactly: asynchronous updates, at most 20
+iterations, per-iteration tolerance τ = 0.05, Pick-Less every ρ = 4
+iterations, quadratic-double probing, switch degree 32, fp32 hashtable
+values, vertex pruning on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import A100, DeviceSpec
+from repro.hashing.probing import ProbeStrategy
+from repro.types import VALUE_DTYPE_F32, VALUE_DTYPE_F64
+
+__all__ = ["LPAConfig", "SwapPrevention"]
+
+
+class SwapPrevention(enum.Enum):
+    """Symmetry-breaking method families from the swap-prevention study."""
+
+    NONE = "none"
+    PICK_LESS = "pick-less"
+    CROSS_CHECK = "cross-check"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class LPAConfig:
+    """All tunables of ν-LPA; immutable so runs can share one instance.
+
+    Attributes
+    ----------
+    max_iterations:
+        Hard iteration cap (paper: 20).
+    tolerance:
+        Per-iteration convergence threshold τ on the changed-vertex
+        fraction (paper: 0.05).
+    pl_period:
+        Apply Pick-Less every this many iterations (paper default ρ = 4,
+        i.e. iterations 0, 4, 8, ...); ``None`` disables PL.
+    cc_period:
+        Apply Cross-Check after iterations divisible by this period;
+        ``None`` (default) disables CC.  Setting both periods gives the
+        paper's Hybrid (H) method.
+    switch_degree:
+        Degree threshold between the thread-per-vertex and block-per-vertex
+        kernels (paper: 32).
+    probing:
+        Hashtable collision-resolution strategy (paper: quadratic-double).
+    value_dtype:
+        Hashtable value dtype, fp32 (paper default) or fp64 (Figure 5).
+    pruning:
+        Vertex pruning: skip vertices none of whose neighbours changed.
+    shared_memory_tables:
+        Place the hashtables of sufficiently-low-degree thread-kernel
+        vertices in per-SM shared memory instead of the global buffers.
+        The paper tried this and "saw little to no performance gain"
+        (ablation A3); off by default, like the paper's final design.
+    device:
+        Simulated device (default A100).
+    seed:
+        Reserved for future randomised variants; the implemented algorithm
+        is deterministic and ignores it.
+    """
+
+    max_iterations: int = 20
+    tolerance: float = 0.05
+    pl_period: int | None = 4
+    cc_period: int | None = None
+    switch_degree: int = 32
+    probing: ProbeStrategy = ProbeStrategy.QUADRATIC_DOUBLE
+    value_dtype: type = VALUE_DTYPE_F32
+    pruning: bool = True
+    shared_memory_tables: bool = False
+    device: DeviceSpec = field(default=A100)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1; got {self.max_iterations}"
+            )
+        if not 0.0 <= self.tolerance <= 1.0:
+            raise ConfigurationError(
+                f"tolerance must be in [0, 1]; got {self.tolerance}"
+            )
+        for name, period in (("pl_period", self.pl_period), ("cc_period", self.cc_period)):
+            if period is not None and period < 1:
+                raise ConfigurationError(f"{name} must be >= 1 or None; got {period}")
+        if self.switch_degree < 0:
+            raise ConfigurationError(
+                f"switch_degree must be non-negative; got {self.switch_degree}"
+            )
+        if np.dtype(self.value_dtype) not in (
+            np.dtype(VALUE_DTYPE_F32),
+            np.dtype(VALUE_DTYPE_F64),
+        ):
+            raise ConfigurationError(
+                f"value_dtype must be float32 or float64; got {self.value_dtype}"
+            )
+
+    @property
+    def swap_prevention(self) -> SwapPrevention:
+        """Which method family this configuration uses."""
+        if self.pl_period is not None and self.cc_period is not None:
+            return SwapPrevention.HYBRID
+        if self.pl_period is not None:
+            return SwapPrevention.PICK_LESS
+        if self.cc_period is not None:
+            return SwapPrevention.CROSS_CHECK
+        return SwapPrevention.NONE
+
+    def pick_less_active(self, iteration: int) -> bool:
+        """Algorithm 1 line 5: PL mode is on in iterations ≡ 0 (mod ρ)."""
+        return self.pl_period is not None and iteration % self.pl_period == 0
+
+    def cross_check_active(self, iteration: int) -> bool:
+        """CC validation runs after iterations ≡ 0 (mod cc_period)."""
+        return self.cc_period is not None and iteration % self.cc_period == 0
+
+    def with_(self, **changes) -> "LPAConfig":
+        """Functional update (``dataclasses.replace`` convenience)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short label used in experiment tables, e.g. ``PL4`` or ``H(2,4)``."""
+        kind = self.swap_prevention
+        if kind is SwapPrevention.PICK_LESS:
+            return f"PL{self.pl_period}"
+        if kind is SwapPrevention.CROSS_CHECK:
+            return f"CC{self.cc_period}"
+        if kind is SwapPrevention.HYBRID:
+            return f"H(CC{self.cc_period},PL{self.pl_period})"
+        return "none"

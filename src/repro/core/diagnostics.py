@@ -1,0 +1,121 @@
+"""Convergence diagnostics: oscillation detection and run post-mortems.
+
+The paper's Section-4 observation — "the GPU implementation of LPA fails to
+converge for a number of input graphs ... several vertices are caught in
+cycles of community or label swaps" — is a *diagnosable* condition.  These
+helpers detect it: :func:`find_swap_cycles` runs two mitigation-free
+synchronous steps and reports the vertices whose labels 2-cycle, and
+:func:`diagnose_run` summarises an :class:`~repro.core.result.LPAResult`'s
+convergence behaviour (tail of stuck vertices, change-decay rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import make_engine
+from repro.core.pruning import Frontier
+from repro.core.result import LPAResult
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["SwapReport", "find_swap_cycles", "ConvergenceReport", "diagnose_run"]
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Vertices caught in period-2 label cycles under synchronous LPA."""
+
+    #: Vertex ids whose label after two steps returned to its pre-step
+    #: value while changing in between.
+    swapping_vertices: np.ndarray
+    #: Fraction of the graph caught in swap cycles.
+    swap_fraction: float
+
+    @property
+    def any_swaps(self) -> bool:
+        """Whether the graph exhibits the pathology at all."""
+        return self.swapping_vertices.shape[0] > 0
+
+
+def find_swap_cycles(
+    graph: CSRGraph,
+    labels: np.ndarray | None = None,
+    *,
+    config: LPAConfig | None = None,
+) -> SwapReport:
+    """Detect period-2 label cycles from a given state.
+
+    Runs two mitigation-free iterations of the wave engine from ``labels``
+    (default: the unique-label start) and flags vertices whose label
+    changed in step one and reverted in step two — the community-swap
+    signature that motivates Pick-Less.
+    """
+    config = (config or LPAConfig()).with_(pl_period=None, cc_period=None)
+    engine = make_engine(graph, config, "vectorized")
+    n = graph.num_vertices
+    state = (
+        np.arange(n, dtype=VERTEX_DTYPE)
+        if labels is None
+        else np.asarray(labels, dtype=VERTEX_DTYPE).copy()
+    )
+
+    before = state.copy()
+    frontier = Frontier(graph, enabled=False)
+    engine.move(state, frontier, pick_less=False, iteration=0)
+    mid = state.copy()
+    engine.move(state, frontier, pick_less=False, iteration=1)
+
+    swapped = (before == state) & (before != mid)
+    vertices = np.flatnonzero(swapped).astype(VERTEX_DTYPE)
+    return SwapReport(
+        swapping_vertices=vertices,
+        swap_fraction=float(vertices.shape[0] / max(n, 1)),
+    )
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Post-mortem of an LPA run's convergence behaviour."""
+
+    converged: bool
+    iterations: int
+    #: Changed-vertex fraction in the final iteration.
+    final_change_fraction: float
+    #: Geometric decay rate of changes between consecutive iterations
+    #: (< 1 means shrinking; ~1 means stuck oscillation).
+    change_decay: float
+    #: Iteration at which changes dropped below 10% of the first
+    #: iteration's (or -1 if never).
+    knee_iteration: int
+
+
+def diagnose_run(result: LPAResult, num_vertices: int) -> ConvergenceReport:
+    """Summarise a finished run's convergence behaviour."""
+    history = result.changed_history.astype(np.float64)
+    if history.shape[0] == 0:
+        return ConvergenceReport(result.converged, 0, 0.0, 0.0, -1)
+
+    final_fraction = float(history[-1] / max(num_vertices, 1))
+    if history.shape[0] >= 2 and np.all(history[:-1] > 0):
+        ratios = history[1:] / history[:-1]
+        decay = float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-12)))))
+    else:
+        decay = 0.0
+
+    knee = -1
+    threshold = history[0] * 0.1
+    below = np.flatnonzero(history <= threshold)
+    if below.shape[0]:
+        knee = int(below[0])
+
+    return ConvergenceReport(
+        converged=result.converged,
+        iterations=int(history.shape[0]),
+        final_change_fraction=final_fraction,
+        change_decay=decay,
+        knee_iteration=knee,
+    )

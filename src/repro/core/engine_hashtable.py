@@ -1,0 +1,362 @@
+"""The instrumented ν-LPA engine: Algorithm 1 + 2 on the SIMT simulator.
+
+One :meth:`HashtableEngine.move` call is one ``lpaMove`` launch pair: the
+active vertices are split between the thread-per-vertex and block-per-vertex
+kernels (Section 4.3), each kernel executes in residency waves
+(:mod:`repro.gpu.scheduler`), and within a wave every vertex clears its
+per-vertex hashtable, accumulates its neighbours' labels through the
+simulated ``atomicCAS`` machinery, takes the most-weighted label, and —
+subject to Pick-Less — adopts it.  Label writes commit at wave boundaries,
+which is the deterministic stand-in for lockstep execution (DESIGN.md).
+
+Every memory access class is accounted in sectors so the cost model can
+price the run: adjacency sweeps (coalesced only for the block kernel),
+per-edge label gathers (scattered), hashtable probe traffic (with linear
+probing's cache reuse), atomic read-modify-writes, clears, label commits,
+and frontier updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core._gather import gather_edges
+from repro.core.config import LPAConfig
+from repro.core.kernels import partition_by_degree
+from repro.core.pruning import Frontier
+from repro.core.swap_prevention import pick_less_filter
+from repro.gpu.kernel import KernelKind
+from repro.gpu.memory import AccessPattern, MemoryModel
+from repro.gpu.metrics import KernelCounters
+from repro.gpu.scheduler import plan_waves
+from repro.graph.csr import CSRGraph
+from repro.hashing.hashtable import PerVertexHashtables
+from repro.hashing.parallel_hashtable import (
+    parallel_accumulate,
+    segmented_clear,
+    segmented_max_key,
+)
+from repro.hashing.probing import ProbeStrategy
+
+__all__ = ["MoveOutcome", "HashtableEngine"]
+
+#: Sector cost of one probe beyond the first when the strategy walks
+#: adjacent slots: 8 four-byte keys share a 32-byte sector, so linear
+#: probing's extra probes mostly hit an already-fetched sector.
+_LINEAR_EXTRA_PROBE_SECTORS = 1.0 / 8.0
+
+#: Fraction of a tiny table's traffic that shared-memory placement
+#: actually saves — the rest was L2-resident regardless (ablation A3).
+_SMEM_SAVING_FACTOR = 0.4
+
+
+@dataclass
+class MoveOutcome:
+    """Result of one ``lpaMove`` iteration."""
+
+    changed: int
+    processed: int
+    counters: KernelCounters
+    #: Vertices that adopted a new label this iteration (for Cross-Check).
+    changed_vertices: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+class HashtableEngine:
+    """Algorithm 1's ``lpaMove`` with per-vertex hashtables and counters."""
+
+    name = "hashtable"
+
+    def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.tables = PerVertexHashtables(
+            graph, value_dtype=config.value_dtype, strategy=config.probing
+        )
+        self.memory = MemoryModel(config.device)
+        # Shared-memory table eligibility (paper's rejected optimisation):
+        # a thread-kernel vertex's table fits when its 2*D slots fit in the
+        # per-thread slice of the SM's shared memory.
+        device = config.device
+        slot_bytes = 4 + np.dtype(config.value_dtype).itemsize
+        per_thread_budget = (
+            device.shared_memory_per_sm_bytes // device.max_threads_per_sm
+        )
+        self._smem_degree_limit = max(1, per_thread_budget // (2 * slot_bytes))
+
+    # ------------------------------------------------------------------ #
+
+    def move(
+        self,
+        labels: np.ndarray,
+        frontier: Frontier,
+        *,
+        pick_less: bool,
+        iteration: int,
+    ) -> MoveOutcome:
+        """One LPA iteration over the frontier's active vertices."""
+        active = frontier.active_vertices()
+        counters = KernelCounters()
+        changed_parts: list[np.ndarray] = []
+
+        # Degree-0 vertices can never change label (no neighbours) and own
+        # no hashtable slots (their reserved region is 2*0); retire them.
+        zero = active[self.graph.degrees[active] == 0]
+        if zero.shape[0]:
+            frontier.mark_processed(zero)
+            active = active[self.graph.degrees[active] > 0]
+
+        partition = partition_by_degree(
+            active, self.graph.degrees, self.config.switch_degree
+        )
+        for kind in (KernelKind.THREAD_PER_VERTEX, KernelKind.BLOCK_PER_VERTEX):
+            vertices = partition.for_kind(kind)
+            if vertices.shape[0] == 0:
+                continue
+            counters.launches += 1
+            plan = plan_waves(self.config.device, kind, vertices.shape[0])
+            counters.waves += plan.num_waves
+            for lo, hi in plan:
+                wave = vertices[lo:hi]
+                changed_parts.append(
+                    self._process_wave(wave, kind, labels, frontier, pick_less, counters)
+                )
+
+        changed_vertices = (
+            np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)
+        )
+        counters.vertices_processed += partition.total
+        return MoveOutcome(
+            changed=int(changed_vertices.shape[0]),
+            processed=partition.total,
+            counters=counters,
+            changed_vertices=changed_vertices,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _process_wave(
+        self,
+        wave: np.ndarray,
+        kind: KernelKind,
+        labels: np.ndarray,
+        frontier: Frontier,
+        pick_less: bool,
+        counters: KernelCounters,
+    ) -> np.ndarray:
+        """Execute one residency wave; returns the adopting vertices."""
+        device = self.config.device
+        frontier.mark_processed(wave)
+
+        gather = gather_edges(self.graph, wave)
+        targets = self.graph.targets[gather.edge_index]
+        weights = self.graph.weights[gather.edge_index]
+
+        # Algorithm 1 line 23: skip self-loops during accumulation.
+        non_loop = targets != wave[gather.table_id]
+        entry_table = gather.table_id[non_loop]
+        entry_key = labels[targets[non_loop]]
+        entry_value = weights[non_loop].astype(self.tables.values.dtype, copy=False)
+        edge_rank = gather.edge_rank[non_loop]
+
+        base = self.tables.bases[wave]
+        p1 = self.tables.capacities[wave]
+        p2 = self.tables.secondary_primes[wave]
+
+        cleared = segmented_clear(self.tables.keys, self.tables.values, base, p1)
+        acc = parallel_accumulate(
+            self.tables.keys,
+            self.tables.values,
+            base,
+            p1,
+            p2,
+            entry_table,
+            entry_key,
+            entry_value,
+            self.config.probing,
+            shared=kind.uses_atomics,
+        )
+        warp_serial = self._warp_critical_path(
+            kind, wave, entry_table, edge_rank, acc.entry_probes
+        )
+
+        fallback = labels[wave]
+        best = segmented_max_key(self.tables.keys, self.tables.values, base, p1, fallback)
+
+        adopt = pick_less_filter(fallback, best, pick_less)
+        adopters = wave[adopt]
+        labels[adopters] = best[adopt]  # wave-boundary commit
+        marked_arcs = frontier.mark_neighbors_unprocessed(adopters)
+
+        # Shared-memory tables (ablation A3): qualifying thread-kernel
+        # vertices keep their table traffic on-chip.
+        smem_entries = smem_probes = 0
+        smem_mask = None
+        if (
+            self.config.shared_memory_tables
+            and kind is KernelKind.THREAD_PER_VERTEX
+        ):
+            smem_mask = self.graph.degrees[wave] <= self._smem_degree_limit
+            if smem_mask.any():
+                entry_is_smem = smem_mask[entry_table]
+                # Tiny tables are already mostly L2-resident, so moving them
+                # to shared memory only saves the fraction of their traffic
+                # that would have reached the cache hierarchy at cost —
+                # the reason the paper saw "little to no gain".
+                saving = _SMEM_SAVING_FACTOR
+                smem_entries = int(np.count_nonzero(entry_is_smem) * saving)
+                smem_probes = int(acc.entry_probes[entry_is_smem].sum() * saving)
+
+        self._account(
+            counters,
+            kind=kind,
+            wave=wave,
+            num_entries=int(entry_key.shape[0]),
+            cleared=cleared,
+            acc_probes=acc.total_probes,
+            warp_serial=warp_serial,
+            cas=acc.cas_attempts,
+            adds=acc.atomic_adds,
+            conflicts=acc.atomic_conflicts,
+            adopters=int(adopters.shape[0]),
+            marked_arcs=marked_arcs,
+            p1=p1,
+            smem_entries=smem_entries,
+            smem_probes=smem_probes,
+        )
+        return adopters
+
+    # ------------------------------------------------------------------ #
+
+    def _warp_critical_path(
+        self,
+        kind: KernelKind,
+        wave: np.ndarray,
+        entry_table: np.ndarray,
+        edge_rank: np.ndarray,
+        entry_probes: np.ndarray,
+    ) -> int:
+        """Lockstep divergence cost: Σ over warps of the slowest lane's work.
+
+        A lane's work is its serialised edge scans plus hashtable probes
+        (1 + probes per entry); its warp finishes only when the slowest
+        lane does.  This is what makes the thread-per-vertex kernel pay for
+        high-degree vertices (one lane drags 31 idle neighbours through a
+        whole adjacency list) and what amplifies clustering-heavy probe
+        sequences (one colliding lane stalls its warp every round).
+        """
+        device = self.config.device
+        if entry_table.shape[0] == 0:
+            return 0
+        entry_work = 1 + entry_probes
+
+        if kind is KernelKind.THREAD_PER_VERTEX:
+            # Lane == wave-local vertex index.
+            lane_work = np.zeros(wave.shape[0], dtype=np.int64)
+            np.add.at(lane_work, entry_table, entry_work)
+            num_warps = -(-wave.shape[0] // device.warp_size)
+            warp_max = np.zeros(num_warps, dtype=np.int64)
+            np.maximum.at(
+                warp_max, np.arange(wave.shape[0]) // device.warp_size, lane_work
+            )
+            return int(warp_max.sum())
+
+        # Block kernel: the vertex's edges are strided over the block's
+        # lanes, so lane work is near-uniform and divergence is small —
+        # exactly the point of the block-per-vertex design.
+        block_size = device.default_block_size
+        lane_global = entry_table * block_size + (edge_rank % block_size)
+        lane_work = np.zeros(wave.shape[0] * block_size, dtype=np.int64)
+        np.add.at(lane_work, lane_global, entry_work)
+        warp_of_lane = np.arange(lane_work.shape[0]) // device.warp_size
+        warp_max = np.zeros(wave.shape[0] * device.warps_per_block, dtype=np.int64)
+        np.maximum.at(warp_max, warp_of_lane, lane_work)
+        return int(warp_max.sum())
+
+    # ------------------------------------------------------------------ #
+
+    def _account(
+        self,
+        counters: KernelCounters,
+        *,
+        kind: KernelKind,
+        wave: np.ndarray,
+        num_entries: int,
+        cleared: int,
+        acc_probes: int,
+        warp_serial: int,
+        cas: int,
+        adds: int,
+        conflicts: int,
+        adopters: int,
+        marked_arcs: int,
+        p1: np.ndarray,
+        smem_entries: int = 0,
+        smem_probes: int = 0,
+    ) -> None:
+        """Convert the wave's events into counter increments.
+
+        ``smem_entries``/``smem_probes`` are the portion of the workload
+        whose tables live in shared memory (ablation A3): their probe and
+        value traffic stays on-chip, and ``p1`` already excludes their
+        clear/max-reduce slots.
+        """
+        mem = self.memory
+        degrees = self.graph.degrees[wave]
+
+        counters.edges_scanned += num_entries
+        counters.probes += acc_probes
+        counters.warp_serial_probes += warp_serial
+        counters.atomic_cas += cas
+        counters.atomic_add += adds
+        counters.atomic_conflicts += conflicts
+        counters.slots_cleared += cleared
+
+        # Adjacency sweep (targets + weights, 4 bytes each): the block
+        # kernel's lanes read each list contiguously; the thread kernel's
+        # lanes each walk unrelated lists.
+        pattern = (
+            AccessPattern.COALESCED
+            if kind is KernelKind.BLOCK_PER_VERTEX
+            else AccessPattern.SCATTERED
+        )
+        counters.sectors_read += 2 * mem.sectors_for_segments(degrees, 4, pattern)
+
+        # Per-edge label gather C[j]: scattered in both kernels.
+        counters.sectors_read += mem.sectors_for_scattered(num_entries)
+
+        # Hashtable probe traffic: first probe of each entry is a scattered
+        # key read; extra probes are scattered except under linear probing,
+        # where successive slots share sectors.  Shared-memory tables keep
+        # their probes on-chip.
+        global_probes = acc_probes - smem_probes
+        global_entries = num_entries - smem_entries
+        extra_probes = max(0, global_probes - global_entries)
+        if self.config.probing is ProbeStrategy.LINEAR:
+            counters.sectors_read += global_entries + int(
+                np.ceil(extra_probes * _LINEAR_EXTRA_PROBE_SECTORS)
+            )
+        else:
+            counters.sectors_read += global_probes
+
+        # Value accumulation is a read-modify-write per successful insert.
+        value_bytes = self.tables.values.itemsize
+        rmw_sectors = global_entries * max(1, value_bytes // 4)
+        counters.sectors_read += rmw_sectors
+        counters.sectors_written += rmw_sectors
+
+        # Clear writes (keys + values), streamed contiguously per table.
+        counters.sectors_written += mem.sectors_for_segments(
+            p1, 4, AccessPattern.COALESCED
+        ) + mem.sectors_for_segments(p1, value_bytes, AccessPattern.COALESCED)
+
+        # Max-reduce over the table slots re-reads them contiguously.
+        counters.sectors_read += mem.sectors_for_segments(
+            p1, 4 + value_bytes, AccessPattern.COALESCED
+        )
+
+        # Label commits and frontier marking: scattered single writes.
+        counters.sectors_written += adopters + marked_arcs

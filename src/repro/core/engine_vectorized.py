@@ -1,0 +1,180 @@
+"""The fast ν-LPA engine: sort-based group-by label selection.
+
+Identical driver semantics to :class:`~repro.core.engine_hashtable.
+HashtableEngine` — same wave structure, same Pick-Less filter, same pruning
+— but the per-vertex "most weighted label" is computed with a lexsort +
+segmented reduce instead of simulated hashtables, making it the engine of
+choice for applications (an order of magnitude faster in pure NumPy).
+
+Tie-break difference, by construction: where several labels share the
+maximum weight, this engine picks the *smallest label id* (deterministic);
+the hashtable engine picks the first in slot order (pseudo-random, the
+paper's "strict LPA").  Cross-engine tests therefore compare modularity and
+invariants rather than exact labels.
+
+Counters are coarse (edges scanned, waves, adjacency/label traffic): this
+engine exists for speed, not for the cost model — experiments use the
+hashtable engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._gather import gather_edges
+from repro.core.config import LPAConfig
+from repro.core.engine_hashtable import MoveOutcome
+from repro.core.kernels import partition_by_degree
+from repro.core.pruning import Frontier
+from repro.core.swap_prevention import pick_less_filter
+from repro.gpu.kernel import KernelKind
+from repro.gpu.metrics import KernelCounters
+from repro.gpu.scheduler import plan_waves
+from repro.graph.csr import CSRGraph
+
+__all__ = ["VectorizedEngine", "best_labels_groupby"]
+
+
+#: Knuth's multiplicative constant, used for the "hash" tie-break.
+_HASH_MULT = np.int64(2654435761)
+_HASH_MASK = np.int64(2**31 - 1)
+
+
+def best_labels_groupby(
+    table_id: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    num_tables: int,
+    fallback: np.ndarray,
+    *,
+    tie_break: str = "smallest",
+) -> np.ndarray:
+    """Most-weighted key per table; empty tables -> fallback.
+
+    ``table_id`` must be non-decreasing (gather order guarantees it).
+
+    ``tie_break`` resolves equal-weight maxima:
+
+    * ``"smallest"`` — lowest label id.  Deterministic, but under strongly
+      *asynchronous* execution the monotone bias lets small labels cascade
+      across the whole graph in one pass (monster communities);
+    * ``"hash"`` — lowest multiplicative hash of the label, modelling the
+      direction-free pseudo-random order of a real hashtable scan; the
+      asynchronous CPU baselines use this.
+    """
+    if keys.shape[0] == 0:
+        return fallback.copy()
+    if tie_break == "hash":
+        rank = (keys * _HASH_MULT) & _HASH_MASK
+    elif tie_break == "smallest":
+        rank = keys
+    else:
+        raise ValueError(f"unknown tie_break {tie_break!r}")
+    # Sort by (table, rank, key) so same-key entries are contiguous and
+    # groups appear in tie-break order within each table.
+    order = np.lexsort((keys, rank, table_id))
+    t = table_id[order]
+    k = keys[order]
+    v = values[order].astype(np.float64)
+
+    group_first = np.ones(k.shape[0], dtype=bool)
+    group_first[1:] = (t[1:] != t[:-1]) | (k[1:] != k[:-1])
+    starts = np.flatnonzero(group_first)
+    sums = np.add.reduceat(v, starts)
+    group_table = t[starts]
+    group_key = k[starts]
+
+    # Per-table argmax with ties in rank order: groups are rank-sorted
+    # within each table, so the *first* group attaining the table max wins.
+    table_first = np.ones(starts.shape[0], dtype=bool)
+    table_first[1:] = group_table[1:] != group_table[:-1]
+    table_starts = np.flatnonzero(table_first)
+    table_of_groups = np.cumsum(table_first) - 1
+
+    max_per_table = np.maximum.reduceat(sums, table_starts)
+    is_max = sums == max_per_table[table_of_groups]
+    group_pos = np.arange(starts.shape[0], dtype=np.int64)
+    big = np.int64(np.iinfo(np.int64).max)
+    first_max = np.minimum.reduceat(np.where(is_max, group_pos, big), table_starts)
+
+    out = fallback.copy()
+    present_tables = group_table[table_starts]
+    out[present_tables] = group_key[first_max]
+    return out
+
+
+class VectorizedEngine:
+    """``lpaMove`` via segmented group-by; application fast path."""
+
+    name = "vectorized"
+
+    def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
+        self.graph = graph
+        self.config = config
+
+    def move(
+        self,
+        labels: np.ndarray,
+        frontier: Frontier,
+        *,
+        pick_less: bool,
+        iteration: int,
+    ) -> MoveOutcome:
+        """One LPA iteration over the frontier's active vertices."""
+        active = frontier.active_vertices()
+        counters = KernelCounters()
+        changed_parts: list[np.ndarray] = []
+
+        # Degree-0 vertices can never change label; retire them up front
+        # (mirrors the hashtable engine, which has no slots for them).
+        zero = active[self.graph.degrees[active] == 0]
+        if zero.shape[0]:
+            frontier.mark_processed(zero)
+            active = active[self.graph.degrees[active] > 0]
+
+        partition = partition_by_degree(
+            active, self.graph.degrees, self.config.switch_degree
+        )
+        for kind in (KernelKind.THREAD_PER_VERTEX, KernelKind.BLOCK_PER_VERTEX):
+            vertices = partition.for_kind(kind)
+            if vertices.shape[0] == 0:
+                continue
+            counters.launches += 1
+            plan = plan_waves(self.config.device, kind, vertices.shape[0])
+            counters.waves += plan.num_waves
+            for lo, hi in plan:
+                wave = vertices[lo:hi]
+                frontier.mark_processed(wave)
+
+                gather = gather_edges(self.graph, wave)
+                targets = self.graph.targets[gather.edge_index]
+                non_loop = targets != wave[gather.table_id]
+                table_id = gather.table_id[non_loop]
+                keys = labels[targets[non_loop]]
+                values = self.graph.weights[gather.edge_index][non_loop]
+
+                fallback = labels[wave]
+                best = best_labels_groupby(
+                    table_id, keys, values, wave.shape[0], fallback
+                )
+
+                adopt = pick_less_filter(fallback, best, pick_less)
+                adopters = wave[adopt]
+                labels[adopters] = best[adopt]
+                marked = frontier.mark_neighbors_unprocessed(adopters)
+
+                counters.edges_scanned += int(keys.shape[0])
+                counters.sectors_read += 2 * int(keys.shape[0])
+                counters.sectors_written += int(adopters.shape[0]) + marked
+                changed_parts.append(adopters)
+
+        changed_vertices = (
+            np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)
+        )
+        counters.vertices_processed += partition.total
+        return MoveOutcome(
+            changed=int(changed_vertices.shape[0]),
+            processed=partition.total,
+            counters=counters,
+            changed_vertices=changed_vertices,
+        )

@@ -1,0 +1,51 @@
+"""Work partitioning between the two LPA kernels (paper Section 4.3).
+
+Vertices of degree below ``switch_degree`` go to the thread-per-vertex
+kernel (one lane owns the vertex and its private hashtable — no atomics);
+the rest go to the block-per-vertex kernel (the block's lanes scan the
+adjacency list cooperatively and share the table through atomics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelKind
+
+__all__ = ["DegreePartition", "partition_by_degree"]
+
+
+@dataclass(frozen=True)
+class DegreePartition:
+    """Active vertices split by kernel."""
+
+    low: np.ndarray  # thread-per-vertex vertices (degree < switch_degree)
+    high: np.ndarray  # block-per-vertex vertices
+
+    def for_kind(self, kind: KernelKind) -> np.ndarray:
+        """The vertex set handled by ``kind``."""
+        return self.low if kind is KernelKind.THREAD_PER_VERTEX else self.high
+
+    @property
+    def total(self) -> int:
+        """Total vertices across both kernels."""
+        return int(self.low.shape[0] + self.high.shape[0])
+
+
+def partition_by_degree(
+    vertices: np.ndarray, degrees: np.ndarray, switch_degree: int
+) -> DegreePartition:
+    """Split ``vertices`` by ``degrees[v] < switch_degree``.
+
+    Order within each side is preserved (ascending vertex id when the
+    caller passes ids in order), which fixes the wave composition and makes
+    runs reproducible.  ``switch_degree == 0`` sends everything to the
+    block kernel; a very large value sends everything to the thread kernel.
+    """
+    if vertices.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return DegreePartition(low=empty, high=empty)
+    low_mask = degrees[vertices] < switch_degree
+    return DegreePartition(low=vertices[low_mask], high=vertices[~low_mask])

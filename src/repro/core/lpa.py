@@ -1,0 +1,154 @@
+"""ν-LPA driver: Algorithm 1's ``lpa()`` main loop.
+
+The driver owns everything iteration-shaped: label initialisation, the
+Pick-Less schedule (every ρ iterations), the optional Cross-Check pass,
+the tolerance test (which is suppressed while PL is active, per Algorithm 1
+line 9), and the iteration cap.  The per-iteration ``lpaMove`` is delegated
+to one of the two engines.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from repro.core.config import LPAConfig
+from repro.core.engine_hashtable import HashtableEngine
+from repro.core.engine_vectorized import VectorizedEngine
+from repro.core.pruning import Frontier
+from repro.core.result import IterationStats, LPAResult
+from repro.core.swap_prevention import cross_check_revert
+from repro.errors import ConfigurationError, ConvergenceWarning
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["nu_lpa", "make_engine"]
+
+_ENGINES = {
+    "hashtable": HashtableEngine,
+    "vectorized": VectorizedEngine,
+}
+
+
+def make_engine(graph: CSRGraph, config: LPAConfig, engine: str):
+    """Instantiate an engine by name (``"hashtable"`` or ``"vectorized"``)."""
+    try:
+        cls = _ENGINES[engine]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+    return cls(graph, config)
+
+
+def nu_lpa(
+    graph: CSRGraph,
+    config: LPAConfig | None = None,
+    *,
+    engine: str = "vectorized",
+    initial_labels: np.ndarray | None = None,
+    initial_active: np.ndarray | None = None,
+    warn_on_no_convergence: bool = False,
+) -> LPAResult:
+    """Run ν-LPA community detection on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted CSR graph.
+    config:
+        Run configuration; defaults to the paper's settings (PL4,
+        quadratic-double probing, τ = 0.05, ≤ 20 iterations).
+    engine:
+        ``"vectorized"`` (fast application path, default) or
+        ``"hashtable"`` (instrumented Algorithm 2 simulation used by the
+        experiments).
+    initial_labels:
+        Optional starting labels; defaults to each vertex in its own
+        community (Algorithm 1 line 2).
+    initial_active:
+        Optional vertex set to seed the pruning frontier with (default:
+        all vertices).  Warm restarts — incremental re-detection after a
+        graph update — pass the affected region here; label changes still
+        propagate outward because every change re-activates its
+        neighbourhood.  Ignored when ``config.pruning`` is off.
+    warn_on_no_convergence:
+        Emit :class:`~repro.errors.ConvergenceWarning` when the iteration
+        cap is hit (off by default: on several paper graphs hitting the
+        cap is expected behaviour without swap mitigation).
+
+    Returns
+    -------
+    LPAResult
+        Final labels, per-iteration statistics, kernel counters.
+    """
+    config = config or LPAConfig()
+    eng = make_engine(graph, config, engine)
+
+    n = graph.num_vertices
+    if initial_labels is None:
+        labels = np.arange(n, dtype=VERTEX_DTYPE)
+    else:
+        labels = np.asarray(initial_labels, dtype=VERTEX_DTYPE).copy()
+        if labels.shape[0] != n:
+            raise ConfigurationError(
+                f"initial_labels length {labels.shape[0]} != num_vertices {n}"
+            )
+
+    frontier = Frontier(graph, enabled=config.pruning)
+    if initial_active is not None:
+        active = np.asarray(initial_active, dtype=np.int64)
+        if active.shape[0] and (active.min() < 0 or active.max() >= n):
+            raise ConfigurationError("initial_active vertex id out of range")
+        frontier.flags[:] = 0
+        frontier.flags[active] = 1
+    iterations: list[IterationStats] = []
+    converged = n == 0
+    t0 = time.perf_counter()
+
+    for li in range(config.max_iterations):
+        pick_less = config.pick_less_active(li)
+        cross_check = config.cross_check_active(li)
+
+        previous = labels.copy() if cross_check else None
+        outcome = eng.move(labels, frontier, pick_less=pick_less, iteration=li)
+
+        reverted = 0
+        if cross_check and previous is not None:
+            reverted = cross_check_revert(labels, previous, outcome.changed_vertices)
+
+        iterations.append(
+            IterationStats(
+                iteration=li,
+                changed=outcome.changed,
+                processed=outcome.processed,
+                pick_less=pick_less,
+                cross_check=cross_check,
+                reverted=reverted,
+                counters=outcome.counters,
+            )
+        )
+
+        # Algorithm 1 line 9: converge only when PL was off this iteration.
+        if not pick_less and n > 0 and outcome.changed / n < config.tolerance:
+            converged = True
+            break
+
+    wall = time.perf_counter() - t0
+    if not converged and warn_on_no_convergence:
+        warnings.warn(
+            f"LPA hit max_iterations={config.max_iterations} without meeting "
+            f"tolerance {config.tolerance}",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return LPAResult(
+        labels=labels,
+        iterations=iterations,
+        converged=converged,
+        config=config,
+        wall_seconds=wall,
+        algorithm=f"nu-lpa[{eng.name}]",
+    )

@@ -1,0 +1,69 @@
+"""Vertex pruning: the "unprocessed" frontier of Algorithm 1.
+
+Every vertex starts unprocessed.  Processing marks it done; when a vertex
+changes label it re-marks all its neighbours unprocessed ("a vertex assigns
+its neighbors for processing upon label change").  The paper uses an 8-bit
+flag vector rather than booleans in its C++ code; we keep ``uint8`` so the
+memory model accounts a byte per flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.types import FLAG_DTYPE
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """Unprocessed-vertex tracking with CSR-vectorised neighbour marking."""
+
+    def __init__(self, graph: CSRGraph, *, enabled: bool = True) -> None:
+        self.graph = graph
+        self.enabled = enabled
+        self._flags = np.ones(graph.num_vertices, dtype=FLAG_DTYPE)
+
+    @property
+    def flags(self) -> np.ndarray:
+        """The raw uint8 flag vector (1 = unprocessed)."""
+        return self._flags
+
+    def active_vertices(self) -> np.ndarray:
+        """Ascending ids of unprocessed vertices.
+
+        With pruning disabled every vertex is active every iteration
+        (the flags still track state for statistics).
+        """
+        if not self.enabled:
+            return np.arange(self.graph.num_vertices, dtype=np.int64)
+        return np.flatnonzero(self._flags).astype(np.int64)
+
+    def mark_processed(self, vertices: np.ndarray) -> None:
+        """Clear the flags of ``vertices``."""
+        self._flags[vertices] = 0
+
+    def mark_neighbors_unprocessed(self, vertices: np.ndarray) -> int:
+        """Set the flags of all neighbours of ``vertices``; returns arcs walked."""
+        if vertices.shape[0] == 0:
+            return 0
+        offsets = self.graph.offsets
+        degrees = self.graph.degrees[vertices]
+        total = int(degrees.sum())
+        if total == 0:
+            return 0
+        # Gather the concatenated adjacency slices of `vertices`.
+        starts = offsets[vertices]
+        seg_start_pos = np.zeros(vertices.shape[0], dtype=np.int64)
+        np.cumsum(degrees[:-1], out=seg_start_pos[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(seg_start_pos, degrees)
+        edge_idx = np.repeat(starts, degrees) + within
+        self._flags[self.graph.targets[edge_idx]] = 1
+        return total
+
+    def num_active(self) -> int:
+        """Current unprocessed count."""
+        if not self.enabled:
+            return self.graph.num_vertices
+        return int(self._flags.sum())

@@ -1,0 +1,75 @@
+"""Result containers for LPA runs.
+
+An :class:`LPAResult` carries the labels plus everything an experiment
+needs afterwards: per-iteration change counts, the summed
+:class:`~repro.gpu.metrics.KernelCounters` (for the cost model), wall time
+of the simulation itself, and convergence status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LPAConfig
+from repro.gpu.metrics import KernelCounters
+
+__all__ = ["IterationStats", "LPAResult"]
+
+
+@dataclass
+class IterationStats:
+    """What happened in one LPA iteration."""
+
+    iteration: int
+    #: ΔN — vertices that adopted a new label.
+    changed: int
+    #: Vertices actually processed (pruning skips the rest).
+    processed: int
+    #: Whether Pick-Less mode was active.
+    pick_less: bool
+    #: Whether Cross-Check ran after the iteration.
+    cross_check: bool
+    #: Label changes reverted by Cross-Check (0 when CC inactive).
+    reverted: int = 0
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+
+@dataclass
+class LPAResult:
+    """Outcome of a ν-LPA (or baseline) run."""
+
+    #: Final community label per vertex.
+    labels: np.ndarray
+    #: Per-iteration statistics, in order.
+    iterations: list[IterationStats]
+    #: Whether the tolerance criterion was met within max_iterations.
+    converged: bool
+    config: LPAConfig | None = None
+    #: Wall-clock seconds of the (simulated) run on the host machine.
+    wall_seconds: float = 0.0
+    #: Name of the algorithm/implementation that produced this result.
+    algorithm: str = "nu-lpa"
+
+    @property
+    def num_iterations(self) -> int:
+        """Iterations performed."""
+        return len(self.iterations)
+
+    @property
+    def total_counters(self) -> KernelCounters:
+        """Sum of all iterations' kernel counters."""
+        total = KernelCounters()
+        for it in self.iterations:
+            total += it.counters
+        return total
+
+    @property
+    def changed_history(self) -> np.ndarray:
+        """ΔN per iteration, for convergence plots."""
+        return np.asarray([it.changed for it in self.iterations], dtype=np.int64)
+
+    def num_communities(self) -> int:
+        """Distinct labels in the final assignment."""
+        return int(np.unique(self.labels).shape[0])

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from misuse of NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphConstructionError",
+    "HashtableFullError",
+    "KernelLaunchError",
+    "ConfigurationError",
+    "DatasetError",
+    "ConvergenceWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file could not be parsed (bad header, ragged row, ...)."""
+
+
+class GraphConstructionError(ReproError):
+    """Edge data passed to a builder is structurally invalid.
+
+    Examples: negative vertex ids, mismatched ``src``/``dst`` lengths, or a
+    requested vertex count smaller than the largest endpoint.
+    """
+
+
+class HashtableFullError(ReproError):
+    """An open-addressing insert exhausted ``MAX_RETRIES`` probes.
+
+    The paper sizes every per-vertex table so this "is avoided by ensuring
+    the hashtable has sufficient capacity for all entries"; hitting this
+    error therefore indicates a sizing bug rather than expected behaviour.
+    """
+
+
+class KernelLaunchError(ReproError):
+    """A simulated kernel was launched with an invalid configuration."""
+
+
+class ConfigurationError(ReproError):
+    """An :class:`repro.core.config.LPAConfig` field is out of range."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown or its generator parameters are invalid."""
+
+
+class ConvergenceWarning(UserWarning):
+    """LPA hit ``max_iterations`` without meeting the tolerance."""

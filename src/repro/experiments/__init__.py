@@ -1,0 +1,13 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module owns one artefact; :mod:`repro.experiments.registry` maps
+experiment ids (``T1``, ``F1``, ``F3``-``F7``, ablations ``A1``-``A2``) to
+runners.  The ``benchmarks/`` directory wraps these runners in
+pytest-benchmark entries; they can also be run directly::
+
+    python -m repro.experiments F6 --scale 0.5
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.experiments F6 --scale 0.5 --seed 42``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate a paper table/figure from the reproduction.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        help=f"experiment id(s): {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="stand-in size multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="restrict to these Table-1 graph names")
+    parser.add_argument("--plot", action="store_true",
+                        help="render figure values as ASCII bar charts")
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if args.experiment == ["all"] else args.experiment
+    for exp_id in ids:
+        result = run_experiment(
+            exp_id, scale=args.scale, seed=args.seed, datasets=args.datasets
+        )
+        print(result)
+        if args.plot:
+            _plot(result)
+        print()
+    return 0
+
+
+def _plot(result) -> None:
+    """Bar-chart any flat numeric dicts in the experiment's values."""
+    from repro.perf.plotting import bar_chart
+
+    for key, values in result.values.items():
+        if isinstance(values, dict) and values and all(
+            isinstance(v, (int, float)) for v in values.values()
+        ):
+            print()
+            print(bar_chart(
+                {str(k): float(v) for k, v in values.items()},
+                title=f"{result.experiment_id} {key}:",
+            ))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

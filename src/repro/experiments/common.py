@@ -1,0 +1,99 @@
+"""Shared plumbing for the experiment runners.
+
+The paper's optimisation figures (1, 3-5, 7) run on "large graphs from
+Table 1"; at stand-in scale we default to one representative per family
+(web / social / road / k-mer) to keep a full experiment pass in tens of
+seconds, overridable per run.  All runners return an
+:class:`ExperimentResult` whose ``table`` is the printable regeneration of
+the paper artefact and whose ``series``/``values`` carry the raw numbers
+for tests and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import generate_standin
+
+__all__ = [
+    "DEFAULT_FIGURE_DATASETS",
+    "ExperimentResult",
+    "load_graphs",
+]
+
+#: One stand-in per dataset family, used by the optimisation figures.
+DEFAULT_FIGURE_DATASETS = [
+    "indochina-2004",  # web
+    "com-Orkut",       # social
+    "europe_osm",      # road
+    "kmer_V1r",        # k-mer
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of every experiment runner."""
+
+    experiment_id: str
+    title: str
+    #: Printable table regenerating the paper artefact.
+    table: str
+    #: Structured values for assertions and EXPERIMENTS.md (shape depends
+    #: on the experiment; documented per runner).
+    values: dict = field(default_factory=dict)
+    #: Free-text notes (e.g. winner, deviation from the paper).
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"[{self.experiment_id}] {self.title}", self.table]
+        if self.notes:
+            parts.append("notes: " + "; ".join(self.notes))
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Serialise to JSON for archiving (CI artifacts, regression diffs).
+
+        NumPy scalars and non-string keys are converted to plain Python so
+        the payload round-trips with the standard library.
+        """
+        import json
+
+        def convert(obj):
+            if isinstance(obj, dict):
+                return {str(k): convert(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [convert(v) for v in obj]
+            if hasattr(obj, "item"):  # numpy scalar
+                return obj.item()
+            if hasattr(obj, "tolist"):  # numpy array
+                return obj.tolist()
+            return obj
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "values": convert(self.values),
+                "notes": list(self.notes),
+                "table": self.table,
+            },
+            indent=2,
+        )
+
+    def save(self, path) -> None:
+        """Write :meth:`to_json` output to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json())
+
+
+def load_graphs(
+    datasets: list[str] | None = None,
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+) -> dict[str, CSRGraph]:
+    """Generate the stand-in graphs for ``datasets`` (figure defaults)."""
+    names = datasets if datasets is not None else DEFAULT_FIGURE_DATASETS
+    return {name: generate_standin(name, scale=scale, seed=seed) for name in names}

@@ -1,0 +1,128 @@
+"""F6 — system comparison (paper Figures 6a-6c).
+
+Runs ν-LPA, FLPA, NetworKit PLP, Gunrock LPA, and cuGraph-Louvain on every
+Table-1 stand-in and reports (a) modelled paper-scale runtime, (b) ν-LPA's
+speedup over each system, and (c) modularity of the obtained communities.
+
+Paper anchors: mean speedups 364× (FLPA), 62× (NetworKit), 2.6× (Gunrock),
+37× (cuGraph Louvain); modularity +4.7 % vs FLPA, −6.1 % vs NetworKit,
+−9.6 % vs Louvain, with Gunrock "very low".  The paper omits Gunrock and
+cuGraph on the five largest web graphs (GPU OOM) and ν-LPA on sk-2005; we
+run everything (the stand-ins fit) but keep the paper's missing cells
+marked in the output.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.graph.datasets import dataset_names, generate_standin
+from repro.perf.harness import run_measurement
+from repro.perf.report import format_table, geometric_mean
+
+__all__ = ["SYSTEMS", "PAPER_OOM", "run"]
+
+#: Figure-6 system order; ν-LPA last as in the paper's bar groups.
+SYSTEMS = ["flpa", "networkit-lpa", "gunrock-lpa", "cugraph-louvain", "nu-lpa"]
+
+#: Cells the paper reports as failing (GPU out-of-memory on the A100).
+PAPER_OOM = {
+    "gunrock-lpa": {"arabic-2005", "uk-2005", "webbase-2001", "it-2004", "sk-2005"},
+    "cugraph-louvain": {"arabic-2005", "uk-2005", "webbase-2001", "it-2004", "sk-2005"},
+    "nu-lpa": {"sk-2005"},
+}
+
+
+def run(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+    systems: list[str] | None = None,
+) -> ExperimentResult:
+    """Run the full comparison.
+
+    ``values``: ``{"runtime": {system: {dataset: seconds}}, "speedup":
+    {system: mean ratio vs nu-lpa}, "modularity": {system: {dataset: Q}},
+    "mean_modularity": {system: geomean}}``.
+    """
+    names = datasets if datasets is not None else dataset_names()
+    chosen = systems if systems is not None else SYSTEMS
+
+    runtime: dict[str, dict[str, float]] = {s: {} for s in chosen}
+    quality: dict[str, dict[str, float]] = {s: {} for s in chosen}
+    for name in names:
+        graph = generate_standin(name, scale=scale, seed=seed)
+        for system in chosen:
+            m = run_measurement(system, graph, dataset=name, seed=seed)
+            runtime[system][name] = m.modeled_seconds
+            quality[system][name] = m.modularity
+
+    # Figure 6b: speedups of nu-LPA over each system, geometric mean over
+    # the datasets where the paper has both numbers.
+    speedup: dict[str, float] = {}
+    if "nu-lpa" in chosen:
+        for system in chosen:
+            if system == "nu-lpa":
+                continue
+            ratios = []
+            for name in names:
+                if name in PAPER_OOM.get(system, set()):
+                    continue
+                if name in PAPER_OOM.get("nu-lpa", set()):
+                    continue
+                ratios.append(runtime[system][name] / runtime["nu-lpa"][name])
+            speedup[system] = geometric_mean(ratios)
+
+    mean_quality = {
+        system: geometric_mean([q for q in quality[system].values() if q > 0])
+        for system in chosen
+    }
+
+    def _cell(system: str, name: str, value: float, fmt: str) -> str:
+        mark = "*" if name in PAPER_OOM.get(system, set()) else ""
+        return f"{value:{fmt}}{mark}"
+
+    rows_rt = [
+        [name] + [_cell(s, name, runtime[s][name], ".3g") for s in chosen]
+        for name in names
+    ]
+    rows_q = [
+        [name] + [_cell(s, name, quality[s][name], ".4f") for s in chosen]
+        for name in names
+    ]
+    table = (
+        format_table(
+            ["graph"] + chosen, rows_rt,
+            title="F6a: modelled runtime at paper scale, seconds "
+                  "(* = paper reports OOM for this cell)",
+        )
+        + "\n\n"
+        + format_table(
+            ["system", "mean speedup of nu-lpa"],
+            [[s, f"{v:.1f}x"] for s, v in speedup.items()],
+            title="F6b: speedup of nu-LPA (paper: flpa 364x, networkit 62x, "
+                  "gunrock 2.6x, louvain 37x)",
+        )
+        + "\n\n"
+        + format_table(
+            ["graph"] + chosen, rows_q,
+            title="F6c: modularity of obtained communities",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="F6",
+        title="System comparison (runtime / speedup / modularity)",
+        table=table,
+        values={
+            "runtime": runtime,
+            "speedup": speedup,
+            "modularity": quality,
+            "mean_modularity": mean_quality,
+        },
+        notes=[
+            "speedups: " + ", ".join(f"{s}={v:.1f}x" for s, v in speedup.items()),
+            "mean modularity: "
+            + ", ".join(f"{s}={v:.3f}" for s, v in mean_quality.items()),
+        ],
+    )

@@ -1,0 +1,77 @@
+"""E2 — LPA-based graph partitioning (the paper's stated future work).
+
+The conclusion earmarks "partitioning of large graphs" as ν-LPA's next
+application.  This extension partitions every figure stand-in into k = 8
+parts with size-constrained label propagation and reports edge-cut
+fraction and imbalance against a random-assignment baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, load_graphs
+from repro.partition import edge_cut_fraction, size_constrained_lpa
+from repro.perf.report import format_table
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+    k: int = 8,
+    epsilon: float = 0.05,
+) -> ExperimentResult:
+    """Run the partitioning study.
+
+    ``values``: ``{dataset: {"cut", "random_cut", "imbalance", "sweeps"}}``.
+    """
+    graphs = load_graphs(datasets, scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    rows = []
+    values: dict[str, dict[str, float]] = {}
+    for name, graph in graphs.items():
+        result = size_constrained_lpa(graph, k, epsilon=epsilon, seed=seed)
+        random_parts = rng.integers(0, k, size=graph.num_vertices)
+        random_cut = edge_cut_fraction(graph, random_parts)
+        values[name] = {
+            "cut": result.edge_cut_fraction,
+            "random_cut": random_cut,
+            "imbalance": result.imbalance,
+            "sweeps": result.iterations,
+        }
+        rows.append(
+            [
+                name,
+                f"{result.edge_cut_fraction:.4f}",
+                f"{random_cut:.4f}",
+                f"{result.edge_cut_fraction / max(random_cut, 1e-12):.2f}",
+                f"{result.imbalance:.3f}",
+                str(result.iterations),
+            ]
+        )
+
+    table = format_table(
+        ["graph", "cut fraction", "random cut", "vs random", "imbalance",
+         "sweeps"],
+        rows,
+        title=f"E2: size-constrained LPA partitioning (k={k}, "
+              f"epsilon={epsilon})",
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="LPA-based graph partitioning (future work)",
+        table=table,
+        values=values,
+        notes=[
+            "cut improves on random by "
+            + ", ".join(
+                f"{name}: {v['random_cut'] / max(v['cut'], 1e-12):.1f}x"
+                for name, v in values.items()
+            )
+        ],
+    )

@@ -1,0 +1,54 @@
+"""Registry mapping experiment ids to runners (see DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    coalesced,
+    collision_resolution,
+    comparison,
+    dataset_table,
+    datatype,
+    memory_study,
+    partitioning,
+    scaling,
+    swap_prevention,
+    switch_degree,
+    variants_study,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: Experiment id → (title, runner). Runners share the keyword interface
+#: ``run(scale=..., seed=..., datasets=...) -> ExperimentResult``.
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "T1": ("Dataset table + nu-LPA community counts", dataset_table.run),
+    "F1": ("Community-swap prevention (CC/PL/H)", swap_prevention.run),
+    "F3": ("Hashtable collision resolution", collision_resolution.run),
+    "F4": ("Kernel switch degree", switch_degree.run),
+    "F5": ("Hashtable value datatype", datatype.run),
+    "F6": ("System comparison", comparison.run),
+    "F7": ("Coalesced chaining (appendix)", coalesced.run),
+    "A1": ("Vertex pruning ablation", ablations.run_pruning),
+    "A2": ("Tolerance sweep ablation", ablations.run_tolerance),
+    "A3": ("Shared-memory hashtable ablation", ablations.run_shared_memory),
+    "E1": ("Label-propagation variant study", variants_study.run),
+    "E2": ("LPA-based graph partitioning", partitioning.run),
+    "E3": ("Hashtable memory footprint", memory_study.run),
+    "E4": ("Throughput scaling", scaling.run),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (``T1``, ``F1``, ``F3``-``F7``, ``A1``-``A2``)."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

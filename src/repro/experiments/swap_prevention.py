@@ -1,0 +1,110 @@
+"""F1 — community-swap prevention study (paper Figure 1).
+
+Compares Cross-Check every 1-4 iterations (CC1-CC4), Pick-Less every 1-4
+iterations (PL1-PL4), and all 16 Hybrid combinations H(CCi, PLj), reporting
+mean relative runtime and mean relative modularity across the large-graph
+stand-ins.  Per the paper's note, this experiment runs the *double-hashing*
+hashtable (the probing study comes later).
+
+Paper result: **PL4** yields the highest-modularity communities while being
+only ~8 % slower than the fastest variant (CC2).
+"""
+
+from __future__ import annotations
+
+from repro.core import LPAConfig, nu_lpa
+from repro.experiments.common import ExperimentResult, load_graphs
+from repro.hashing.probing import ProbeStrategy
+from repro.metrics import modularity
+from repro.perf.model import (
+    estimate_lpa_result_seconds,
+    extrapolation_ratios,
+)
+from repro.graph.datasets import get_dataset
+from repro.perf.report import RelativeSeries, format_series
+
+__all__ = ["variant_configs", "run"]
+
+
+def variant_configs() -> dict[str, LPAConfig]:
+    """All 24 variants of the paper's study, keyed by figure label."""
+    base = LPAConfig(probing=ProbeStrategy.DOUBLE, pl_period=None, cc_period=None)
+    variants: dict[str, LPAConfig] = {}
+    for i in range(1, 5):
+        variants[f"CC{i}"] = base.with_(cc_period=i)
+    for j in range(1, 5):
+        variants[f"PL{j}"] = base.with_(pl_period=j)
+    for i in range(1, 5):
+        for j in range(1, 5):
+            variants[f"H(CC{i},PL{j})"] = base.with_(cc_period=i, pl_period=j)
+    return variants
+
+
+def run(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+    include_hybrid: bool = True,
+) -> ExperimentResult:
+    """Run the swap-prevention study.
+
+    ``values`` layout: ``{"runtime": {label: mean_rel}, "modularity":
+    {label: mean_rel}, "winner_modularity": label}``.
+    """
+    graphs = load_graphs(datasets, scale=scale, seed=seed)
+    variants = variant_configs()
+    if not include_hybrid:
+        variants = {k: v for k, v in variants.items() if not k.startswith("H")}
+
+    runtime_series: list[RelativeSeries] = []
+    quality_series: list[RelativeSeries] = []
+    for label, config in variants.items():
+        times: dict[str, float] = {}
+        quals: dict[str, float] = {}
+        for name, graph in graphs.items():
+            spec = get_dataset(name)
+            ratios = extrapolation_ratios(
+                graph, spec.paper_num_vertices, spec.paper_num_edges
+            )
+            result = nu_lpa(graph, config, engine="hashtable")
+            times[name] = estimate_lpa_result_seconds(result, ratios)
+            quals[name] = modularity(graph, result.labels)
+        runtime_series.append(RelativeSeries(label, times))
+        quality_series.append(RelativeSeries(label, quals))
+
+    reference = "PL4"
+    runtime_rel = {
+        s.label: s.mean_relative(next(r for r in runtime_series if r.label == reference))
+        for s in runtime_series
+    }
+    ref_q = next(s for s in quality_series if s.label == reference)
+    quality_rel = {s.label: s.mean_relative(ref_q) for s in quality_series}
+
+    winner = max(quality_rel, key=quality_rel.get)
+    fastest = min(runtime_rel, key=runtime_rel.get)
+
+    table = format_series(
+        runtime_series, reference, value_name="runtime",
+        title="F1a: relative runtime (reference = PL4)",
+    ) + "\n\n" + format_series(
+        quality_series, reference, value_name="modularity",
+        title="F1b: relative modularity (reference = PL4)",
+    )
+
+    notes = [
+        f"highest mean modularity: {winner} (paper: PL4)",
+        f"fastest variant: {fastest} (paper: CC2, with PL4 ~8% slower)",
+    ]
+    return ExperimentResult(
+        experiment_id="F1",
+        title="Community-swap prevention (CC / PL / Hybrid)",
+        table=table,
+        values={
+            "runtime": runtime_rel,
+            "modularity": quality_rel,
+            "winner_modularity": winner,
+            "fastest": fastest,
+        },
+        notes=notes,
+    )

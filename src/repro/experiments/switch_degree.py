@@ -1,0 +1,67 @@
+"""F4 — switch-degree study (paper Figure 4).
+
+Sweeps the thread-/block-per-vertex partition threshold over powers of two
+from 2 to 256 and reports mean relative runtime.  The trade-off the
+simulator reproduces: a low switch degree sends small vertices to the
+block kernel, wasting a 256-thread block (and its wave slots) per tiny
+vertex; a high switch degree makes single lanes crawl through long
+adjacency lists, serialising their whole warp (warp-max probes and
+scattered adjacency traffic grow).
+
+Paper result: 32 — the warp size — is the sweet spot.
+"""
+
+from __future__ import annotations
+
+from repro.core import LPAConfig, nu_lpa
+from repro.experiments.common import ExperimentResult, load_graphs
+from repro.graph.datasets import get_dataset
+from repro.perf.model import estimate_lpa_result_seconds, extrapolation_ratios
+from repro.perf.report import RelativeSeries, format_series
+
+__all__ = ["SWITCH_DEGREES", "run"]
+
+SWITCH_DEGREES = [2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def run(
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+) -> ExperimentResult:
+    """Run the switch-degree sweep.
+
+    ``values``: ``{"runtime": {degree: mean_rel}, "best": degree}``.
+    """
+    graphs = load_graphs(datasets, scale=scale, seed=seed)
+
+    series: list[RelativeSeries] = []
+    for degree in SWITCH_DEGREES:
+        config = LPAConfig(switch_degree=degree)
+        times: dict[str, float] = {}
+        for name, graph in graphs.items():
+            spec = get_dataset(name)
+            ratios = extrapolation_ratios(
+                graph, spec.paper_num_vertices, spec.paper_num_edges
+            )
+            result = nu_lpa(graph, config, engine="hashtable")
+            times[name] = estimate_lpa_result_seconds(result, ratios)
+        series.append(RelativeSeries(str(degree), times))
+
+    reference = "32"
+    ref = next(s for s in series if s.label == reference)
+    runtime_rel = {s.label: s.mean_relative(ref) for s in series}
+    best = min(runtime_rel, key=runtime_rel.get)
+
+    table = format_series(
+        series, reference, value_name="runtime",
+        title="F4: relative runtime by switch degree (reference = 32)",
+    )
+    return ExperimentResult(
+        experiment_id="F4",
+        title="Thread- vs block-per-vertex switch degree",
+        table=table,
+        values={"runtime": runtime_rel, "best": int(best)},
+        notes=[f"best switch degree: {best} (paper: 32)"],
+    )

@@ -1,0 +1,44 @@
+"""SIMT execution-model simulator: the library's "GPU".
+
+The paper's phenomena — lockstep community swaps, probe-sequence divergence,
+coalesced vs. scattered memory traffic, atomic contention — are scheduling
+and memory effects, not arithmetic ones.  This package models exactly those
+effects deterministically:
+
+* :mod:`repro.gpu.device` — device descriptions (A100 default) and derived
+  residency limits;
+* :mod:`repro.gpu.metrics` — event counters every kernel accumulates;
+* :mod:`repro.gpu.memory` — transaction counting with a sector-based
+  coalescing model;
+* :mod:`repro.gpu.atomics` — deterministic winner resolution and contention
+  accounting for simulated ``atomicCAS``/``atomicAdd``;
+* :mod:`repro.gpu.scheduler` — wave partitioning of a grid onto SMs and
+  warp assignment of work items;
+* :mod:`repro.gpu.kernel` — kernel-launch records tying the above together.
+"""
+
+from repro.gpu.device import DeviceSpec, A100, XEON_GOLD_6226R_DUAL
+from repro.gpu.metrics import KernelCounters
+from repro.gpu.memory import MemoryModel, AccessPattern
+from repro.gpu.atomics import first_winner_per_address, contention_cost
+from repro.gpu.scheduler import WavePlan, plan_waves, warp_assignment
+from repro.gpu.kernel import KernelLaunch, KernelKind
+from repro.gpu.occupancy import Occupancy, occupancy_for
+
+__all__ = [
+    "Occupancy",
+    "occupancy_for",
+    "DeviceSpec",
+    "A100",
+    "XEON_GOLD_6226R_DUAL",
+    "KernelCounters",
+    "MemoryModel",
+    "AccessPattern",
+    "first_winner_per_address",
+    "contention_cost",
+    "WavePlan",
+    "plan_waves",
+    "warp_assignment",
+    "KernelLaunch",
+    "KernelKind",
+]

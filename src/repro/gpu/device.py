@@ -1,0 +1,122 @@
+"""Device descriptions for the SIMT simulator and the cost model.
+
+:data:`A100` mirrors the paper's evaluation GPU (Section 5.1.1: 108 SMs,
+64 CUDA cores each, 80 GB global memory at 1935 GB/s, 164 KB shared memory
+per SM); :data:`XEON_GOLD_6226R_DUAL` mirrors the CPU host used for the
+sequential/multicore baselines.  The simulator only consumes the *residency*
+numbers (how many threads/blocks run concurrently — that defines a wave);
+the bandwidth/latency numbers feed :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelLaunchError
+
+__all__ = ["DeviceSpec", "A100", "XEON_GOLD_6226R_DUAL", "CpuSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A SIMT device, in the quantities the simulator and cost model use."""
+
+    name: str
+    num_sms: int
+    cuda_cores_per_sm: int
+    warp_size: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_memory_per_sm_bytes: int
+    global_memory_bytes: int
+    #: Peak global-memory bandwidth, bytes/second.
+    global_bandwidth: float
+    #: Transaction sector size for the coalescing model, bytes.
+    sector_bytes: int = 32
+    #: Default thread-block size used by the block-per-vertex kernel.
+    default_block_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise KernelLaunchError(f"degenerate device spec: {self}")
+        if self.default_block_size % self.warp_size:
+            raise KernelLaunchError(
+                f"block size {self.default_block_size} must be a multiple of "
+                f"the warp size {self.warp_size}"
+            )
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads executing concurrently device-wide — the thread-kernel
+        wave size."""
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """Blocks resident concurrently device-wide (bounded by both the
+        block-residency limit and the thread budget) — the block-kernel
+        wave size."""
+        by_blocks = self.num_sms * self.max_blocks_per_sm
+        by_threads = self.max_resident_threads // self.default_block_size
+        return max(1, min(by_blocks, by_threads))
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps in a default-sized thread block."""
+        return self.default_block_size // self.warp_size
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+        """A device with ``factor``× the SM count — for what-if ablations."""
+        return DeviceSpec(
+            name=name or f"{self.name}-x{factor:g}",
+            num_sms=max(1, int(self.num_sms * factor)),
+            cuda_cores_per_sm=self.cuda_cores_per_sm,
+            warp_size=self.warp_size,
+            max_threads_per_sm=self.max_threads_per_sm,
+            max_blocks_per_sm=self.max_blocks_per_sm,
+            shared_memory_per_sm_bytes=self.shared_memory_per_sm_bytes,
+            global_memory_bytes=self.global_memory_bytes,
+            global_bandwidth=self.global_bandwidth * factor,
+            sector_bytes=self.sector_bytes,
+            default_block_size=self.default_block_size,
+        )
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU host, for the baseline cost models."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    #: Sustained memory bandwidth per socket, bytes/second.
+    bandwidth_per_socket: float
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+
+#: The paper's evaluation GPU (NVIDIA A100 80GB SXM).
+A100 = DeviceSpec(
+    name="NVIDIA A100",
+    num_sms=108,
+    cuda_cores_per_sm=64,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_memory_per_sm_bytes=164 * 1024,
+    global_memory_bytes=80 * 1024**3,
+    global_bandwidth=1935e9,
+)
+
+#: The paper's CPU host for FLPA / NetworKit (dual Xeon Gold 6226R).
+XEON_GOLD_6226R_DUAL = CpuSpec(
+    name="2x Intel Xeon Gold 6226R",
+    sockets=2,
+    cores_per_socket=16,
+    clock_ghz=2.9,
+    bandwidth_per_socket=70e9,
+)

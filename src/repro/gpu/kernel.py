@@ -1,0 +1,62 @@
+"""Kernel-launch records for the SIMT simulator.
+
+A :class:`KernelLaunch` bundles what a real launch specifies — which kernel
+(thread- or block-per-vertex), the grid, the device — and carries the
+:class:`~repro.gpu.metrics.KernelCounters` the simulated execution
+accumulates.  The driver keeps the launch list per run so experiments can
+inspect e.g. how much of the work each kernel kind handled at a given
+switch degree (Figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.metrics import KernelCounters
+
+__all__ = ["KernelKind", "KernelLaunch"]
+
+
+class KernelKind(enum.Enum):
+    """The paper's two LPA kernels (Section 4.3)."""
+
+    #: One thread per vertex — degree below SWITCH_DEGREE; no atomics
+    #: needed on the private hashtable.
+    THREAD_PER_VERTEX = "thread-per-vertex"
+    #: One thread block per vertex — high degree; shared hashtable with
+    #: atomic accumulation.
+    BLOCK_PER_VERTEX = "block-per-vertex"
+
+    @property
+    def uses_atomics(self) -> bool:
+        """Whether the kernel's hashtable is shared across lanes."""
+        return self is KernelKind.BLOCK_PER_VERTEX
+
+
+@dataclass
+class KernelLaunch:
+    """One simulated kernel launch and its accumulated events."""
+
+    kind: KernelKind
+    device: DeviceSpec
+    num_items: int
+    #: LPA iteration this launch belonged to.
+    iteration: int = 0
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+    def __post_init__(self) -> None:
+        if self.num_items < 0:
+            raise KernelLaunchError(
+                f"kernel launched with negative grid size {self.num_items}"
+            )
+        self.counters.launches = 1
+
+    @property
+    def threads_launched(self) -> int:
+        """Total threads across the grid."""
+        if self.kind is KernelKind.THREAD_PER_VERTEX:
+            return self.num_items
+        return self.num_items * self.device.default_block_size

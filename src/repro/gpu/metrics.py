@@ -1,0 +1,70 @@
+"""Event counters accumulated by simulated kernels.
+
+Every kernel launch produces a :class:`KernelCounters`; the driver sums them
+per run and hands the totals to :mod:`repro.perf.model`, which converts
+events into modelled seconds.  Keeping the counters as a plain additive
+dataclass (``a + b`` merges) makes the accounting composable across waves,
+kernels, and iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Additive event counts for one simulated kernel launch (or a sum)."""
+
+    #: Kernel launches (each costs fixed launch latency).
+    launches: int = 0
+    #: Waves of resident threads/blocks the grid was executed in.
+    waves: int = 0
+    #: Global-memory sectors read (see MemoryModel for the coalescing rules).
+    sectors_read: int = 0
+    #: Global-memory sectors written.
+    sectors_written: int = 0
+    #: Edges scanned (CSR adjacency entries touched).
+    edges_scanned: int = 0
+    #: Vertices processed.
+    vertices_processed: int = 0
+    #: Hashtable slot inspections.
+    probes: int = 0
+    #: Sum over warps of the slowest lane's work (edge scans + probes) —
+    #: the lockstep critical-path cost of divergence.
+    warp_serial_probes: int = 0
+    #: atomicCAS attempts.
+    atomic_cas: int = 0
+    #: atomicAdd operations.
+    atomic_add: int = 0
+    #: Extra serialisation from atomics contending on one address
+    #: (sum over addresses of multiplicity - 1).
+    atomic_conflicts: int = 0
+    #: Hashtable slots cleared.
+    slots_cleared: int = 0
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        return KernelCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "KernelCounters") -> "KernelCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total global-memory traffic in bytes (32-byte sectors)."""
+        return 32 * (self.sectors_read + self.sectors_written)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dict of all counters (report/serialisation helper)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,95 @@
+"""Occupancy calculator: how many blocks/threads an SM can actually host.
+
+CUDA occupancy is the min over three per-SM constraints — the architectural
+block limit, the thread budget, and shared memory.  The scheduler's wave
+sizes use the default (no dynamic shared memory) numbers; this module
+exposes the full calculation so ablations that *do* allocate shared memory
+(A3's per-thread tables) or alternative block sizes can reason about the
+residency they would really get.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy_for"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel configuration on one device."""
+
+    blocks_per_sm: int
+    threads_per_sm: int
+    #: Which constraint bound the result: "blocks" | "threads" | "shared".
+    limited_by: str
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident threads as a fraction of the SM's architectural max."""
+        return self.threads_per_sm / 2048.0 if self.threads_per_sm else 0.0
+
+    def device_blocks(self, device: DeviceSpec) -> int:
+        """Resident blocks device-wide (the block-kernel wave size)."""
+        return self.blocks_per_sm * device.num_sms
+
+    def device_threads(self, device: DeviceSpec) -> int:
+        """Resident threads device-wide (the thread-kernel wave size)."""
+        return self.threads_per_sm * device.num_sms
+
+
+def occupancy_for(
+    device: DeviceSpec,
+    *,
+    block_size: int | None = None,
+    shared_bytes_per_block: int = 0,
+) -> Occupancy:
+    """Compute occupancy for a kernel configuration.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    block_size:
+        Threads per block (default: the device's default block size).
+    shared_bytes_per_block:
+        Dynamic shared memory each block allocates; 0 means the kernel
+        only uses registers/global memory.
+    """
+    block_size = block_size or device.default_block_size
+    if block_size < 1 or block_size % device.warp_size:
+        raise KernelLaunchError(
+            f"block size {block_size} must be a positive multiple of the "
+            f"warp size {device.warp_size}"
+        )
+    if shared_bytes_per_block < 0:
+        raise KernelLaunchError("shared memory per block cannot be negative")
+
+    by_blocks = device.max_blocks_per_sm
+    by_threads = device.max_threads_per_sm // block_size
+    if shared_bytes_per_block > 0:
+        by_shared = device.shared_memory_per_sm_bytes // shared_bytes_per_block
+    else:
+        by_shared = by_blocks  # unconstrained
+
+    blocks = min(by_blocks, by_threads, by_shared)
+    if blocks <= 0:
+        raise KernelLaunchError(
+            f"configuration does not fit: block_size={block_size}, "
+            f"shared={shared_bytes_per_block}B on {device.name}"
+        )
+
+    if blocks == by_shared and by_shared < min(by_blocks, by_threads):
+        limited = "shared"
+    elif blocks == by_threads and by_threads <= by_blocks:
+        limited = "threads"
+    else:
+        limited = "blocks"
+    return Occupancy(
+        blocks_per_sm=blocks,
+        threads_per_sm=blocks * block_size,
+        limited_by=limited,
+    )

@@ -1,0 +1,106 @@
+"""Wave scheduling: mapping a grid of work onto resident hardware.
+
+A CUDA grid larger than the device's residency limit executes in *waves*:
+the first ``max_resident`` blocks/threads run (in lockstep within warps),
+then the next batch, and so on, roughly in issue order.  The simulator
+makes that deterministic: work items are dispatched in index order, wave
+``k`` covers items ``[k*W, (k+1)*W)``, reads within a wave observe memory as
+of the wave start, and writes commit at the wave boundary.
+
+This wave structure is what reproduces the paper's central pathology — two
+symmetric adjacent vertices scheduled into the same wave adopt each other's
+labels simultaneously and swap forever — while keeping runs reproducible
+(real hardware would interleave nondeterministically; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelKind
+
+__all__ = ["WavePlan", "plan_waves", "warp_assignment"]
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """Partition of a grid of ``num_items`` work items into waves."""
+
+    kind: KernelKind
+    num_items: int
+    wave_size: int
+
+    @property
+    def num_waves(self) -> int:
+        """Number of waves needed."""
+        if self.num_items == 0:
+            return 0
+        return -(-self.num_items // self.wave_size)
+
+    def wave_bounds(self, wave: int) -> tuple[int, int]:
+        """Half-open item range of wave ``wave``."""
+        if not 0 <= wave < max(self.num_waves, 1):
+            raise KernelLaunchError(
+                f"wave {wave} out of range for {self.num_waves} waves"
+            )
+        lo = wave * self.wave_size
+        return lo, min(lo + self.wave_size, self.num_items)
+
+    def __iter__(self):
+        for w in range(self.num_waves):
+            yield self.wave_bounds(w)
+
+
+def plan_waves(device: DeviceSpec, kind: KernelKind, num_items: int) -> WavePlan:
+    """Build the :class:`WavePlan` for a kernel of ``num_items`` items.
+
+    Thread-per-vertex: one item per thread, wave size =
+    ``device.max_resident_threads``.  Block-per-vertex: one item per block,
+    wave size = ``device.max_resident_blocks``.
+    """
+    if num_items < 0:
+        raise KernelLaunchError(f"negative grid size {num_items}")
+    if kind is KernelKind.THREAD_PER_VERTEX:
+        wave = device.max_resident_threads
+    elif kind is KernelKind.BLOCK_PER_VERTEX:
+        wave = device.max_resident_blocks
+    else:  # pragma: no cover - exhaustive enum
+        raise KernelLaunchError(f"unknown kernel kind {kind}")
+    return WavePlan(kind=kind, num_items=num_items, wave_size=wave)
+
+
+def warp_assignment(
+    device: DeviceSpec,
+    kind: KernelKind,
+    item_index_in_wave: np.ndarray,
+    edge_rank: np.ndarray | None = None,
+) -> np.ndarray:
+    """Warp id of each scanned edge within a wave.
+
+    Thread-per-vertex: vertex (= thread) ``t`` sits in warp ``t // 32``;
+    every edge it scans belongs to that warp, so divergence couples the 32
+    *different vertices* of the warp — the reason high-degree vertices
+    starve their warp-mates.
+
+    Block-per-vertex: vertex = block; its edges are strided across the
+    block's lanes, so edge ``e`` of the vertex lands in warp
+    ``block * warps_per_block + (e % block_size) // 32``.
+
+    Parameters
+    ----------
+    item_index_in_wave:
+        Per-edge index of the owning work item *within its wave*.
+    edge_rank:
+        Per-edge rank within the owning vertex's adjacency list; required
+        for the block kernel, ignored for the thread kernel.
+    """
+    if kind is KernelKind.THREAD_PER_VERTEX:
+        return item_index_in_wave // device.warp_size
+    if edge_rank is None:
+        raise KernelLaunchError("block-per-vertex warp mapping needs edge ranks")
+    lane = edge_rank % device.default_block_size
+    return item_index_in_wave * device.warps_per_block + lane // device.warp_size

@@ -1,0 +1,51 @@
+"""Graph substrate: CSR storage, builders, IO, generators, dataset registry.
+
+The paper operates on undirected weighted graphs in Compressed Sparse Row
+(CSR) form; the same CSR offsets double as the address map for the
+per-vertex hashtables (Figure 2), so :class:`CSRGraph` is the common
+currency of the whole library.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import (
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    symmetrize_edges,
+    deduplicate_edges,
+)
+from repro.graph.io import (
+    read_edgelist,
+    write_edgelist,
+    read_matrix_market,
+    write_matrix_market,
+    read_metis,
+    write_metis,
+    load_graph,
+)
+from repro.graph.properties import (
+    degree_histogram,
+    degree_statistics,
+    connected_components,
+    is_symmetric,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "from_scipy_sparse",
+    "symmetrize_edges",
+    "deduplicate_edges",
+    "read_edgelist",
+    "write_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_metis",
+    "write_metis",
+    "load_graph",
+    "degree_histogram",
+    "degree_statistics",
+    "connected_components",
+    "is_symmetric",
+]

@@ -1,0 +1,260 @@
+"""Compressed Sparse Row graph container.
+
+An undirected weighted graph :math:`G(V, E, w)` stored exactly the way the
+paper's kernels consume it:
+
+* ``offsets`` — ``int64[N+1]``, edge range of vertex *i* is
+  ``[offsets[i], offsets[i+1])``;
+* ``targets`` — ``int64[M]`` neighbour ids, where ``M`` counts each
+  undirected edge in both directions (the paper's :math:`|E|` "after adding
+  reverse edges");
+* ``weights`` — ``float32[M]`` matching edge weights (``1.0`` when the input
+  is unweighted).
+
+The container is immutable after construction: every algorithm in the
+library treats a :class:`CSRGraph` as read-only shared state, which is what
+lets the GPU simulator hand the same arrays to thousands of simulated
+threads without copies (see the HPC guides: views, not copies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.types import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        ``int64[N+1]`` monotonically non-decreasing, ``offsets[0] == 0``.
+    targets:
+        ``int64[M]`` neighbour ids with ``M == offsets[-1]``.
+    weights:
+        Optional ``float32[M]``; defaults to all ones (unweighted input).
+    validate:
+        When true (default) the arrays are checked for structural
+        consistency.  Generators that construct provably valid CSR directly
+        pass ``validate=False`` to skip the O(M) checks.
+    """
+
+    __slots__ = ("_offsets", "_targets", "_weights", "_degrees")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        offsets = np.ascontiguousarray(offsets, dtype=OFFSET_DTYPE)
+        targets = np.ascontiguousarray(targets, dtype=VERTEX_DTYPE)
+        if weights is None:
+            weights = np.ones(targets.shape[0], dtype=WEIGHT_DTYPE)
+        else:
+            weights = np.ascontiguousarray(weights, dtype=WEIGHT_DTYPE)
+
+        if validate:
+            self._validate(offsets, targets, weights)
+
+        self._offsets = offsets
+        self._targets = targets
+        self._weights = weights
+        degrees = np.diff(offsets)
+        self._degrees = degrees
+
+        # Freeze the buffers: algorithms share views of these arrays.
+        for arr in (self._offsets, self._targets, self._weights, self._degrees):
+            arr.setflags(write=False)
+
+    @staticmethod
+    def _validate(
+        offsets: np.ndarray, targets: np.ndarray, weights: np.ndarray
+    ) -> None:
+        if offsets.ndim != 1 or offsets.shape[0] < 1:
+            raise GraphConstructionError("offsets must be a 1-D array of length >= 1")
+        if offsets[0] != 0:
+            raise GraphConstructionError("offsets[0] must be 0")
+        if np.any(np.diff(offsets) < 0):
+            raise GraphConstructionError("offsets must be non-decreasing")
+        if targets.ndim != 1:
+            raise GraphConstructionError("targets must be a 1-D array")
+        if offsets[-1] != targets.shape[0]:
+            raise GraphConstructionError(
+                f"offsets[-1] ({int(offsets[-1])}) must equal "
+                f"len(targets) ({targets.shape[0]})"
+            )
+        if weights.shape != targets.shape:
+            raise GraphConstructionError("weights must align with targets")
+        n = offsets.shape[0] - 1
+        if targets.shape[0] and (targets.min() < 0 or targets.max() >= n):
+            raise GraphConstructionError(
+                f"target ids must lie in [0, {n}); "
+                f"got range [{int(targets.min())}, {int(targets.max())}]"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices :math:`N = |V|`."""
+        return self._offsets.shape[0] - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed arcs :math:`M` (undirected edges count twice)."""
+        return self._targets.shape[0]
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Number of undirected edges, counting self-loops once."""
+        loops = int(np.count_nonzero(self._targets == self._vertex_ids_of_targets()))
+        return (self.num_edges - loops) // 2 + loops
+
+    def _vertex_ids_of_targets(self) -> np.ndarray:
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self._degrees
+        )
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """CSR offsets array (read-only view)."""
+        return self._offsets
+
+    @property
+    def targets(self) -> np.ndarray:
+        """CSR neighbour array (read-only view)."""
+        return self._targets
+
+    @property
+    def weights(self) -> np.ndarray:
+        """CSR edge-weight array (read-only view)."""
+        return self._weights
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (read-only view)."""
+        return self._degrees
+
+    # ------------------------------------------------------------------ #
+    # Weighted quantities used by modularity / LPA
+    # ------------------------------------------------------------------ #
+
+    def weighted_degrees(self) -> np.ndarray:
+        """:math:`K_i = \\sum_{j \\in J_i} w_{ij}` for every vertex.
+
+        Computed as a segmented sum over the CSR rows; float64 accumulator
+        to keep modularity arithmetic stable on large graphs.
+        """
+        out = np.zeros(self.num_vertices, dtype=np.float64)
+        np.add.at(out, self.source_ids(), self._weights.astype(np.float64))
+        return out
+
+    def total_weight(self) -> float:
+        """:math:`m = \\sum_{ij} w_{ij} / 2`, total undirected edge weight."""
+        return float(self._weights.sum(dtype=np.float64) / 2.0)
+
+    def source_ids(self) -> np.ndarray:
+        """Source vertex id of every CSR arc (``int64[M]``).
+
+        The expansion of ``offsets`` used everywhere an edge-parallel
+        computation needs to know which row an arc belongs to.
+        """
+        return self._vertex_ids_of_targets()
+
+    # ------------------------------------------------------------------ #
+    # Access helpers
+    # ------------------------------------------------------------------ #
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Neighbour ids of vertex ``i`` (read-only view into ``targets``)."""
+        return self._targets[self._offsets[i] : self._offsets[i + 1]]
+
+    def neighbor_weights(self, i: int) -> np.ndarray:
+        """Edge weights of vertex ``i``'s incident arcs (read-only view)."""
+        return self._weights[self._offsets[i] : self._offsets[i + 1]]
+
+    def degree(self, i: int) -> int:
+        """Out-degree of vertex ``i``."""
+        return int(self._degrees[i])
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield every arc as ``(src, dst, weight)``; O(M), test/IO use only."""
+        for i in range(self.num_vertices):
+            lo, hi = self._offsets[i], self._offsets[i + 1]
+            for e in range(lo, hi):
+                yield i, int(self._targets[e]), float(self._weights[e])
+
+    # ------------------------------------------------------------------ #
+    # Dunder & misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, "
+            f"avg_degree={self.num_edges / max(1, self.num_vertices):.2f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self._offsets, other._offsets)
+            and np.array_equal(self._targets, other._targets)
+            and np.array_equal(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:
+        # Cheap structural hash: shapes plus a few sampled entries.
+        return hash(
+            (
+                self.num_vertices,
+                self.num_edges,
+                int(self._targets[0]) if self.num_edges else -1,
+                int(self._targets[-1]) if self.num_edges else -1,
+            )
+        )
+
+    def memory_bytes(self) -> int:
+        """Device-accounted footprint: 4-byte ids/weights, 8-byte offsets."""
+        return 8 * self._offsets.shape[0] + 4 * 2 * self._targets.shape[0]
+
+    def sorted_by_degree(self) -> tuple["CSRGraph", np.ndarray]:
+        """Return a copy whose vertices are renumbered by ascending degree.
+
+        Returns the permuted graph and the permutation ``perm`` such that new
+        vertex ``k`` is old vertex ``perm[k]``.  Used by the two-kernel
+        partitioner, which wants low-degree vertices contiguous.
+        """
+        perm = np.argsort(self._degrees, kind="stable").astype(VERTEX_DTYPE)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(self.num_vertices, dtype=VERTEX_DTYPE)
+
+        new_degrees = self._degrees[perm]
+        new_offsets = np.zeros(self.num_vertices + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(new_degrees, out=new_offsets[1:])
+
+        new_targets = np.empty_like(self._targets)
+        new_weights = np.empty_like(self._weights)
+        for new_id in range(self.num_vertices):
+            old_id = perm[new_id]
+            lo, hi = self._offsets[old_id], self._offsets[old_id + 1]
+            nlo = new_offsets[new_id]
+            new_targets[nlo : nlo + (hi - lo)] = inverse[self._targets[lo:hi]]
+            new_weights[nlo : nlo + (hi - lo)] = self._weights[lo:hi]
+        return (
+            CSRGraph(new_offsets, new_targets, new_weights, validate=False),
+            perm,
+        )

@@ -1,0 +1,190 @@
+"""Registry of the paper's 13 graphs and their synthetic stand-ins.
+
+Each :class:`DatasetSpec` records the paper's published numbers (Table 1:
+|V|, |E| after adding reverse edges, average degree, and the community count
+ν-LPA found) together with a generator recipe producing a laptop-scale
+stand-in of the same structural class.  Experiments run on the stand-in;
+reports show both the measured stand-in values and the paper-scale values
+extrapolated through the cost model.
+
+``scale`` multiplies the default stand-in vertex counts; tests use
+``scale=0.1`` to stay fast, benchmarks use ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    kmer_graph,
+    lfr_like,
+    road_network,
+    web_graph,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "large_dataset_names",
+    "get_dataset",
+    "generate_standin",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table 1 plus its stand-in recipe."""
+
+    name: str
+    family: str  # "web" | "social" | "road" | "kmer"
+    directed: bool
+    paper_num_vertices: int
+    paper_num_edges: int  # after adding reverse edges
+    paper_avg_degree: float
+    #: Communities ν-LPA found in the paper (None where the paper prints "?").
+    paper_num_communities: int | None
+    #: Builds the stand-in graph; signature (scale, seed) -> CSRGraph.
+    generator: Callable[[float, int], CSRGraph] = field(repr=False)
+    #: Whether the paper's Figure experiments used it as a "large graph".
+    large: bool = True
+
+
+def _web_standin(base_n: int, avg_degree: float):
+    def build(scale: float, seed: int) -> CSRGraph:
+        n = max(64, int(base_n * scale))
+        return web_graph(n, avg_degree=avg_degree * 0.72, seed=seed)
+
+    return build
+
+
+def _social_standin(base_n: int, avg_degree: float, *, min_community: int, mixing: float):
+    def build(scale: float, seed: int) -> CSRGraph:
+        n = max(256, int(base_n * scale))
+        graph, _ = lfr_like(
+            n,
+            avg_degree=avg_degree * 1.05,
+            mixing=mixing,
+            min_community=min(min_community, max(4, n // 8)),
+            seed=seed,
+        )
+        return graph
+
+    return build
+
+
+def _road_standin(base_rows: int, base_cols: int):
+    def build(scale: float, seed: int) -> CSRGraph:
+        factor = max(0.05, np.sqrt(scale))
+        rows = max(3, int(base_rows * factor))
+        cols = max(3, int(base_cols * factor))
+        return road_network(rows, cols, chain_length=6, seed=seed)
+
+    return build
+
+
+def _kmer_standin(base_n: int):
+    def build(scale: float, seed: int) -> CSRGraph:
+        n = max(64, int(base_n * scale))
+        return kmer_graph(n, seed=seed)
+
+    return build
+
+
+#: Paper Table 1, in order. Stand-in sizes are tuned so the full benchmark
+#: suite completes in minutes on one core while preserving each family's
+#: degree profile.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            "indochina-2004", "web", True, 7_414_866, 341_000_000, 41.0, 215_000,
+            _web_standin(20_000, 41.0),
+        ),
+        DatasetSpec(
+            "uk-2002", "web", True, 18_520_486, 567_000_000, 16.1, 541_000,
+            _web_standin(30_000, 16.1),
+        ),
+        DatasetSpec(
+            "arabic-2005", "web", True, 22_744_080, 1_210_000_000, 28.2, 364_000,
+            _web_standin(30_000, 28.2),
+        ),
+        DatasetSpec(
+            "uk-2005", "web", True, 39_459_925, 1_730_000_000, 23.7, 1_140_000,
+            _web_standin(40_000, 23.7),
+        ),
+        DatasetSpec(
+            "webbase-2001", "web", True, 118_142_155, 1_890_000_000, 8.6, 8_510_000,
+            _web_standin(60_000, 8.6),
+        ),
+        DatasetSpec(
+            "it-2004", "web", True, 41_291_594, 2_190_000_000, 27.9, 901_000,
+            _web_standin(40_000, 27.9),
+        ),
+        DatasetSpec(
+            "sk-2005", "web", True, 50_636_154, 3_800_000_000, 38.5, None,
+            _web_standin(50_000, 38.5),
+        ),
+        DatasetSpec(
+            "com-LiveJournal", "social", False, 3_997_962, 69_400_000, 17.4, 145_000,
+            _social_standin(16_000, 17.4, min_community=16, mixing=0.25),
+        ),
+        DatasetSpec(
+            "com-Orkut", "social", False, 3_072_441, 234_000_000, 76.2, 2_210,
+            _social_standin(10_000, 76.2, min_community=256, mixing=0.20),
+        ),
+        DatasetSpec(
+            "asia_osm", "road", False, 11_950_757, 25_400_000, 2.1, 2_010_000,
+            _road_standin(25, 25),
+        ),
+        DatasetSpec(
+            "europe_osm", "road", False, 50_912_018, 108_000_000, 2.1, 7_510_000,
+            _road_standin(50, 50),
+        ),
+        DatasetSpec(
+            "kmer_A2a", "kmer", False, 170_728_175, 361_000_000, 2.1, 28_800_000,
+            _kmer_standin(40_000),
+        ),
+        DatasetSpec(
+            "kmer_V1r", "kmer", False, 214_005_017, 465_000_000, 2.2, 34_700_000,
+            _kmer_standin(50_000),
+        ),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """All 13 paper graph names in Table-1 order."""
+    return list(DATASETS)
+
+
+def large_dataset_names() -> list[str]:
+    """Names used in the paper's 'large graphs' optimisation figures."""
+    return [name for name, spec in DATASETS.items() if spec.large]
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a :class:`DatasetSpec` by paper graph name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(DATASETS)}"
+        ) from None
+
+
+def generate_standin(name: str, *, scale: float = 1.0, seed: int = 42) -> CSRGraph:
+    """Generate the stand-in graph for paper dataset ``name``.
+
+    ``scale`` shrinks/grows the stand-in (tests pass 0.1); ``seed`` makes
+    the graph reproducible across the whole experiment suite.
+    """
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive; got {scale}")
+    spec = get_dataset(name)
+    return spec.generator(scale, seed)

@@ -1,0 +1,35 @@
+"""Synthetic graph generators standing in for the paper's dataset classes.
+
+Table 1 of the paper spans four graph families; each has a generator here
+whose outputs match the family's structural signature at laptop scale:
+
+* **Web graphs (LAW)** — :func:`web_graph` (copying model with hierarchical
+  host-block structure, heavy-tailed degrees, D_avg 8-41);
+* **Social networks (SNAP)** — :func:`rmat_graph` / :func:`barabasi_albert`
+  (power-law, D_avg 17-76);
+* **Road networks (DIMACS10)** — :func:`road_network` (2-D lattice with
+  perturbed connectivity, D_avg ~ 2.1);
+* **Protein k-mer graphs (GenBank)** — :func:`kmer_graph` (unions of long
+  paths with sparse branching, D_avg ~ 2.1).
+
+All generators take an integer ``seed`` and are deterministic given it.
+"""
+
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.ba import barabasi_albert
+from repro.graph.generators.ws import watts_strogatz
+from repro.graph.generators.grid import road_network
+from repro.graph.generators.kmer import kmer_graph
+from repro.graph.generators.lfr import planted_partition, lfr_like
+from repro.graph.generators.webgraph import web_graph
+
+__all__ = [
+    "rmat_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "road_network",
+    "kmer_graph",
+    "planted_partition",
+    "lfr_like",
+    "web_graph",
+]

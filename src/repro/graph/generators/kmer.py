@@ -1,0 +1,76 @@
+"""Protein k-mer graph stand-in generator.
+
+GenBank k-mer graphs (kmer_A2a, kmer_V1r) are de-Bruijn-style: overwhelmingly
+unbranched paths (degree 2) with occasional branch vertices where sequences
+diverge, average degree ~= 2.1, and tens of millions of tiny communities.
+We model them as a forest of long paths whose interiors are sparsely
+cross-linked at "branch" vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["kmer_graph"]
+
+
+def kmer_graph(
+    n: int,
+    *,
+    mean_path_length: int = 50,
+    branch_probability: float = 0.03,
+    seed: int = 0,
+) -> CSRGraph:
+    """Generate a k-mer-like graph on exactly ``n`` vertices.
+
+    Parameters
+    ----------
+    n:
+        Vertex count.
+    mean_path_length:
+        Expected length of the unbranched segments the vertex range is cut
+        into (geometric cuts).
+    branch_probability:
+        Fraction of vertices that receive one extra edge to a random vertex
+        of another segment (models sequence divergence points).
+    seed:
+        PRNG seed.
+    """
+    if n < 2:
+        raise GraphConstructionError(f"need at least 2 vertices; got n={n}")
+    if mean_path_length < 2:
+        raise GraphConstructionError(
+            f"mean_path_length must be >= 2; got {mean_path_length}"
+        )
+    if not 0.0 <= branch_probability <= 1.0:
+        raise GraphConstructionError(
+            f"branch_probability must be in [0,1]; got {branch_probability}"
+        )
+    rng = np.random.default_rng(seed)
+
+    # Cut [0, n) into segments: a vertex starts a new segment with
+    # probability 1/mean_path_length.
+    cut = rng.random(n) < (1.0 / mean_path_length)
+    cut[0] = True
+    segment_id = np.cumsum(cut) - 1
+
+    # Path edges: consecutive vertices within the same segment.
+    same_seg = segment_id[:-1] == segment_id[1:]
+    src = np.flatnonzero(same_seg).astype(VERTEX_DTYPE)
+    dst = src + 1
+
+    # Branch edges: random cross-links between different segments.
+    n_branch = int(round(branch_probability * n))
+    if n_branch:
+        bsrc = rng.integers(0, n, size=n_branch).astype(VERTEX_DTYPE)
+        bdst = rng.integers(0, n, size=n_branch).astype(VERTEX_DTYPE)
+        ok = (bsrc != bdst) & (segment_id[bsrc] != segment_id[bdst])
+        src = np.concatenate([src, bsrc[ok]])
+        dst = np.concatenate([dst, bdst[ok]])
+
+    return from_edges(src, dst, num_vertices=n, symmetrize=True, dedupe=True)

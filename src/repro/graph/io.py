@@ -1,0 +1,269 @@
+"""Graph file IO: edge lists, Matrix Market, and METIS formats.
+
+The paper loads SuiteSparse ``.mtx`` files; we support that format plus the
+plain SNAP-style edge lists and METIS adjacency files common in the
+community-detection literature, all funnelling into the same
+:func:`repro.graph.build.from_edges` pipeline.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_metis",
+    "write_metis",
+    "load_graph",
+]
+
+
+def _open_text(path: str | Path, mode: str = "rt") -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+# --------------------------------------------------------------------- #
+# Edge lists (SNAP style)
+# --------------------------------------------------------------------- #
+
+
+def read_edgelist(
+    path: str | Path,
+    *,
+    comments: str = "#",
+    weighted: bool | None = None,
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list.
+
+    Lines are ``u v`` or ``u v w``; ``weighted=None`` auto-detects from the
+    first data line.  Comment lines starting with ``comments`` (SNAP uses
+    ``#``) are skipped.  Ids need not be dense — they are compacted.
+    """
+    rows: list[str] = []
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            rows.append(line)
+    if not rows:
+        return from_edges(
+            np.empty(0, dtype=VERTEX_DTYPE),
+            np.empty(0, dtype=VERTEX_DTYPE),
+            num_vertices=0,
+        )
+
+    first_cols = rows[0].split()
+    if weighted is None:
+        weighted = len(first_cols) >= 3
+    ncols = 3 if weighted else 2
+
+    try:
+        data = np.loadtxt(
+            io.StringIO("\n".join(rows)), dtype=np.float64, usecols=range(ncols),
+            ndmin=2,
+        )
+    except ValueError as exc:
+        raise GraphFormatError(f"malformed edge list {path}: {exc}") from exc
+
+    src = data[:, 0].astype(VERTEX_DTYPE)
+    dst = data[:, 1].astype(VERTEX_DTYPE)
+    w = data[:, 2].astype(WEIGHT_DTYPE) if weighted else None
+
+    # Compact ids: SNAP graphs frequently have gaps.
+    ids = np.unique(np.concatenate([src, dst]))
+    remap = np.searchsorted(ids, np.concatenate([src, dst]))
+    src, dst = remap[: src.shape[0]], remap[src.shape[0] :]
+    return from_edges(src, dst, w, num_vertices=ids.shape[0], symmetrize=symmetrize)
+
+
+def write_edgelist(graph: CSRGraph, path: str | Path, *, weighted: bool = True) -> None:
+    """Write each undirected edge once (``u <= v``) as ``u v [w]``."""
+    src = graph.source_ids()
+    keep = src <= graph.targets
+    with _open_text(path, "wt") as fh:
+        fh.write(f"# repro edge list: {graph.num_vertices} vertices\n")
+        s, d, w = src[keep], graph.targets[keep], graph.weights[keep]
+        for i in range(s.shape[0]):
+            if weighted:
+                fh.write(f"{s[i]} {d[i]} {w[i]:g}\n")
+            else:
+                fh.write(f"{s[i]} {d[i]}\n")
+
+
+# --------------------------------------------------------------------- #
+# Matrix Market
+# --------------------------------------------------------------------- #
+
+
+def read_matrix_market(path: str | Path, *, symmetrize: bool = True) -> CSRGraph:
+    """Read a SuiteSparse-style ``.mtx`` adjacency matrix.
+
+    Supports ``coordinate`` format with ``pattern``/``real``/``integer``
+    fields and ``general``/``symmetric`` symmetry.  A ``symmetric`` header
+    stores the lower triangle only; the builder restores reverse arcs.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError(f"{path}: missing MatrixMarket header")
+        tokens = header.lower().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphFormatError(
+                f"{path}: only 'matrix coordinate' files are supported"
+            )
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}: bad size line {line!r}") from exc
+        if nrows != ncols:
+            raise GraphFormatError(f"{path}: adjacency must be square")
+
+        body = fh.read()
+
+    ncols_data = 2 if field == "pattern" else 3
+    data = np.loadtxt(io.StringIO(body), dtype=np.float64, ndmin=2)
+    if data.shape[0] != nnz:
+        raise GraphFormatError(
+            f"{path}: header promises {nnz} entries, file has {data.shape[0]}"
+        )
+    if data.shape[0] and data.shape[1] < ncols_data:
+        raise GraphFormatError(f"{path}: expected {ncols_data} columns")
+
+    src = data[:, 0].astype(VERTEX_DTYPE) - 1  # 1-indexed on disk
+    dst = data[:, 1].astype(VERTEX_DTYPE) - 1
+    w = data[:, 2].astype(WEIGHT_DTYPE) if field != "pattern" else None
+    return from_edges(src, dst, w, num_vertices=nrows, symmetrize=symmetrize)
+
+
+def write_matrix_market(graph: CSRGraph, path: str | Path) -> None:
+    """Write the lower triangle as a symmetric real coordinate matrix."""
+    src = graph.source_ids()
+    keep = src >= graph.targets  # lower triangle incl. diagonal
+    s, d, w = src[keep], graph.targets[keep], graph.weights[keep]
+    with _open_text(path, "wt") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {s.shape[0]}\n")
+        for i in range(s.shape[0]):
+            fh.write(f"{s[i] + 1} {d[i] + 1} {w[i]:g}\n")
+
+
+# --------------------------------------------------------------------- #
+# METIS
+# --------------------------------------------------------------------- #
+
+
+def read_metis(path: str | Path) -> CSRGraph:
+    """Read a METIS adjacency file (1-indexed; optional edge weights).
+
+    Blank lines are significant — they are the adjacency rows of isolated
+    vertices — so only comment lines are dropped.
+    """
+    with _open_text(path) as fh:
+        lines = [ln.strip() for ln in fh if not ln.startswith("%")]
+    while lines and not lines[-1]:
+        lines.pop()  # trailing newline padding
+    if not lines or not lines[0]:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    head = lines[0].split()
+    if len(head) < 2:
+        raise GraphFormatError(f"{path}: bad METIS header {lines[0]!r}")
+    n, m = int(head[0]), int(head[1])
+    fmt = head[2] if len(head) > 2 else "0"
+    has_edge_weights = len(fmt) >= 1 and fmt[-1] == "1"
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"{path}: header promises {n} vertex lines, found {len(lines) - 1}"
+        )
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    ws: list[np.ndarray] = []
+    for i, line in enumerate(lines[1:]):
+        vals = np.fromstring(line, dtype=np.float64, sep=" ")
+        if has_edge_weights:
+            if vals.shape[0] % 2:
+                raise GraphFormatError(f"{path}: odd token count on line {i + 2}")
+            nbrs = vals[0::2].astype(VERTEX_DTYPE) - 1
+            wts = vals[1::2].astype(WEIGHT_DTYPE)
+        else:
+            nbrs = vals.astype(VERTEX_DTYPE) - 1
+            wts = np.ones(nbrs.shape[0], dtype=WEIGHT_DTYPE)
+        srcs.append(np.full(nbrs.shape[0], i, dtype=VERTEX_DTYPE))
+        dsts.append(nbrs)
+        ws.append(wts)
+
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=VERTEX_DTYPE)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=VERTEX_DTYPE)
+    w = np.concatenate(ws) if ws else np.empty(0, dtype=WEIGHT_DTYPE)
+    graph = from_edges(src, dst, w, num_vertices=n, symmetrize=True)
+    if graph.num_undirected_edges != m:
+        # METIS headers count undirected edges; tolerate mismatch but flag it.
+        raise GraphFormatError(
+            f"{path}: header edge count {m} != parsed {graph.num_undirected_edges}"
+        )
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: str | Path) -> None:
+    """Write METIS format with edge weights (fmt code 001)."""
+    with _open_text(path, "wt") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_undirected_edges} 001\n")
+        for i in range(graph.num_vertices):
+            nbrs = graph.neighbors(i)
+            wts = graph.neighbor_weights(i)
+            parts = [f"{nbrs[k] + 1} {wts[k]:g}" for k in range(nbrs.shape[0])]
+            fh.write(" ".join(parts) + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Dispatch
+# --------------------------------------------------------------------- #
+
+_SUFFIX_READERS = {
+    ".mtx": read_matrix_market,
+    ".graph": read_metis,
+    ".metis": read_metis,
+    ".txt": read_edgelist,
+    ".edges": read_edgelist,
+    ".el": read_edgelist,
+}
+
+
+def load_graph(path: str | Path) -> CSRGraph:
+    """Load a graph, dispatching on file suffix (``.gz`` transparent)."""
+    p = Path(path)
+    suffix = p.suffixes[-2] if p.suffix == ".gz" and len(p.suffixes) >= 2 else p.suffix
+    reader = _SUFFIX_READERS.get(suffix)
+    if reader is None:
+        raise GraphFormatError(
+            f"cannot infer format of {path!r}; known suffixes: "
+            f"{sorted(_SUFFIX_READERS)}"
+        )
+    return reader(p)

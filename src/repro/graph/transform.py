@@ -1,0 +1,99 @@
+"""Graph transformations: subgraphs, relabeling, component extraction.
+
+Utilities a downstream user needs around the core algorithm: cutting a
+detected community out for inspection, restricting to the giant component
+before benchmarking, or permuting vertex ids (the degree-sorted order the
+two-kernel partition likes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.build import coo_to_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import connected_components
+from repro.types import VERTEX_DTYPE
+
+__all__ = [
+    "induced_subgraph",
+    "largest_component",
+    "permute_vertices",
+    "remove_self_loops",
+    "community_subgraph",
+]
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[k]`` is the original id
+    of the subgraph's vertex ``k``.  Duplicate ids are rejected.
+    """
+    vertices = np.asarray(vertices, dtype=VERTEX_DTYPE).ravel()
+    if vertices.shape[0] != np.unique(vertices).shape[0]:
+        raise GraphConstructionError("induced_subgraph: duplicate vertex ids")
+    if vertices.shape[0] and (
+        vertices.min() < 0 or vertices.max() >= graph.num_vertices
+    ):
+        raise GraphConstructionError("induced_subgraph: vertex id out of range")
+
+    keep = np.zeros(graph.num_vertices, dtype=bool)
+    keep[vertices] = True
+    new_id = np.full(graph.num_vertices, -1, dtype=VERTEX_DTYPE)
+    new_id[vertices] = np.arange(vertices.shape[0], dtype=VERTEX_DTYPE)
+
+    src = graph.source_ids()
+    dst = graph.targets
+    mask = keep[src] & keep[dst]
+    sub = coo_to_csr(
+        new_id[src[mask]], new_id[dst[mask]], graph.weights[mask],
+        vertices.shape[0],
+    )
+    return sub, vertices
+
+
+def largest_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph of the largest connected component."""
+    if graph.num_vertices == 0:
+        return graph, np.empty(0, dtype=VERTEX_DTYPE)
+    comp = connected_components(graph)
+    biggest = int(np.argmax(np.bincount(comp)))
+    return induced_subgraph(graph, np.flatnonzero(comp == biggest))
+
+
+def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Renumber vertices so that new vertex ``k`` is old vertex ``perm[k]``."""
+    perm = np.asarray(perm, dtype=VERTEX_DTYPE)
+    if not np.array_equal(np.sort(perm), np.arange(graph.num_vertices)):
+        raise GraphConstructionError("perm must be a permutation of 0..N-1")
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(graph.num_vertices, dtype=VERTEX_DTYPE)
+    src = inverse[graph.source_ids()]
+    dst = inverse[graph.targets]
+    return coo_to_csr(
+        src, dst, graph.weights, graph.num_vertices
+    )
+
+
+def remove_self_loops(graph: CSRGraph) -> CSRGraph:
+    """Copy of ``graph`` without self-loop arcs."""
+    src = graph.source_ids()
+    keep = src != graph.targets
+    return coo_to_csr(
+        src[keep], graph.targets[keep], graph.weights[keep], graph.num_vertices
+    )
+
+
+def community_subgraph(
+    graph: CSRGraph, labels: np.ndarray, community: int
+) -> tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph of one detected community."""
+    labels = np.asarray(labels)
+    members = np.flatnonzero(labels == community)
+    if members.shape[0] == 0:
+        raise GraphConstructionError(f"community {community} has no members")
+    return induced_subgraph(graph, members)

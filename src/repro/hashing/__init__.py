@@ -1,0 +1,44 @@
+"""Hashing substrate: the paper's per-vertex open-addressing hashtables.
+
+The novel data structure of ν-LPA (Section 4.2, Figure 2): every vertex
+owns a hashtable carved out of two flat ``2|E|`` buffers, addressed by the
+vertex's CSR offset, with capacity ``nextPow2(degree) - 1`` and collision
+resolution by linear, quadratic, double, or hybrid quadratic-double probing
+(Algorithm 2).
+
+Two implementations share the layout:
+
+* :mod:`repro.hashing.hashtable` — scalar reference, Algorithm 2 verbatim;
+* :mod:`repro.hashing.parallel_hashtable` — vectorised warp-parallel
+  simulation with ``atomicCAS`` winner resolution and probe statistics,
+  used by the GPU-simulator engine.
+"""
+
+from repro.hashing.primes import next_pow2, table_capacity, secondary_prime, is_prime
+from repro.hashing.probing import ProbeStrategy, probe_start, probe_advance
+from repro.hashing.hashtable import (
+    PerVertexHashtables,
+    MAX_RETRIES,
+)
+from repro.hashing.parallel_hashtable import (
+    WaveAccumulateResult,
+    parallel_accumulate,
+    segmented_max_key,
+)
+from repro.hashing.coalesced import CoalescedHashtables
+
+__all__ = [
+    "next_pow2",
+    "table_capacity",
+    "secondary_prime",
+    "is_prime",
+    "ProbeStrategy",
+    "probe_start",
+    "probe_advance",
+    "PerVertexHashtables",
+    "MAX_RETRIES",
+    "WaveAccumulateResult",
+    "parallel_accumulate",
+    "segmented_max_key",
+    "CoalescedHashtables",
+]

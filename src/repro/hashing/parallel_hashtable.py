@@ -1,0 +1,260 @@
+"""Warp-parallel per-vertex hashtable operations, vectorised over a wave.
+
+This module simulates what Algorithm 2 does when thousands of GPU lanes run
+it concurrently: every pending (key, value) entry probes its slot, empty
+slots are claimed by an ``atomicCAS`` whose *winner* is resolved
+deterministically (first entry in lane order — real hardware picks an
+arbitrary winner; lane order is the reproducible choice), winners and
+matching keys accumulate with ``atomicAdd``, and losers advance their probe
+sequence and retry in the next round.
+
+Because each round is a handful of NumPy array operations over *all*
+pending entries of the wave, the simulation costs O(total probes) vector
+work rather than O(total probes) Python iterations — this is the trick
+that makes a pure-Python "GPU" tolerable (see the HPC guides: vectorise the
+loop over data, keep the loop over *rounds*).
+
+The round structure also yields the exact statistics the cost model needs:
+per-entry probe counts (memory traffic), CAS/add counts (atomic
+contention), and per-warp round counts (lockstep divergence — a warp is as
+slow as its unluckiest lane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HashtableFullError
+from repro.hashing.hashtable import MAX_RETRIES
+from repro.hashing.probing import ProbeStrategy, probe_advance, probe_slot, probe_start
+from repro.types import EMPTY_KEY
+
+__all__ = [
+    "WaveAccumulateResult",
+    "parallel_accumulate",
+    "segmented_clear",
+    "segmented_max_key",
+    "segment_index_arrays",
+]
+
+
+@dataclass
+class WaveAccumulateResult:
+    """Statistics from one wave of parallel hashtable accumulation."""
+
+    #: Total probes across all entries (each slot inspection counts once).
+    total_probes: int = 0
+    #: Number of probe rounds the wave needed (== max probes of any entry).
+    rounds: int = 0
+    #: atomicCAS attempts (shared tables only).
+    cas_attempts: int = 0
+    #: atomicAdd operations (shared tables only).
+    atomic_adds: int = 0
+    #: Extra serialisation from atomics landing on one slot in the same
+    #: round (sum over slots of multiplicity - 1); shared tables only.
+    atomic_conflicts: int = 0
+    #: Per-warp maximum probe count — lockstep divergence cost; empty when
+    #: no warp mapping was supplied.
+    warp_max_probes: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    #: Probe count of every entry, in input order — callers aggregate these
+    #: into per-lane critical paths (the engine's divergence accounting).
+    entry_probes: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+
+def parallel_accumulate(
+    keys_buf: np.ndarray,
+    values_buf: np.ndarray,
+    table_base: np.ndarray,
+    table_p1: np.ndarray,
+    table_p2: np.ndarray,
+    entry_table: np.ndarray,
+    entry_key: np.ndarray,
+    entry_value: np.ndarray,
+    strategy: ProbeStrategy = ProbeStrategy.QUADRATIC_DOUBLE,
+    *,
+    shared: bool = True,
+    entry_warp: np.ndarray | None = None,
+    num_warps: int = 0,
+    max_retries: int = MAX_RETRIES,
+) -> WaveAccumulateResult:
+    """Accumulate all ``(entry_key, entry_value)`` pairs into their tables.
+
+    Parameters
+    ----------
+    keys_buf, values_buf:
+        The flat ``2|E|`` buffers; mutated in place.
+    table_base, table_p1, table_p2:
+        Layout arrays indexed by *wave-local* table id.
+    entry_table:
+        Wave-local table id of each entry (one entry per scanned edge).
+    entry_key, entry_value:
+        Label and edge weight of each entry.
+    strategy:
+        Probe strategy (paper default quadratic-double).
+    shared:
+        True for the block-per-vertex kernel (atomics are counted); False
+        for the thread-per-vertex kernel, where a single lane owns each
+        table so the CAS degenerates to a plain store — the slot outcome is
+        identical, only the atomic counters differ.
+    entry_warp, num_warps:
+        Optional mapping of entries to simulated warps for divergence
+        accounting.
+    """
+    n = entry_key.shape[0]
+    result = WaveAccumulateResult()
+    if entry_warp is not None:
+        result.warp_max_probes = np.zeros(num_warps, dtype=np.int64)
+    if n == 0:
+        return result
+
+    keys = entry_key.astype(np.int64, copy=False)
+    p1_of = table_p1[entry_table]
+    p2 = table_p2[entry_table]
+    probe_i, probe_di = probe_start(keys, p2, strategy)
+
+    pending = np.arange(n, dtype=np.int64)
+    probes_done = np.zeros(n, dtype=np.int64)
+    if max_retries == MAX_RETRIES:
+        # Enough for the completeness fallback to sweep the largest table.
+        max_retries = max(MAX_RETRIES, 2 * int(table_p1.max(initial=1)) + 64)
+
+    for round_no in range(1, max_retries + 1):
+        t = entry_table[pending]
+        k = keys[pending]
+        slots = table_base[t] + probe_slot(probe_i[pending], table_p1[t])
+
+        result.total_probes += pending.shape[0]
+        probes_done[pending] += 1
+
+        current = keys_buf[slots]
+        empty = current == EMPTY_KEY
+
+        if empty.any():
+            # atomicCAS: among entries probing the same empty slot, the
+            # first in lane order wins and writes its key.
+            empty_idx = np.flatnonzero(empty)
+            uniq_slots, first = np.unique(slots[empty_idx], return_index=True)
+            winners = empty_idx[first]
+            keys_buf[slots[winners]] = k[winners]
+            if shared:
+                result.cas_attempts += int(empty_idx.shape[0])
+            current = keys_buf[slots]  # re-read after CAS commits
+
+        success = current == k
+        if success.any():
+            sel = np.flatnonzero(success)
+            np.add.at(values_buf, slots[sel], entry_value[pending[sel]])
+            if shared:
+                result.atomic_adds += int(sel.shape[0])
+                _, mult = np.unique(slots[sel], return_counts=True)
+                result.atomic_conflicts += int((mult - 1).sum())
+
+        still = ~success
+        if not still.any():
+            result.rounds = round_no
+            break
+
+        retry = pending[still]
+        old_i = probe_i[retry].copy()
+        probe_i[retry], probe_di[retry] = probe_advance(
+            probe_i[retry], probe_di[retry], keys[retry], p2[retry], strategy
+        )
+        # Completeness guard: with p1 = 2^k - 1 the doubling-based step
+        # sequences are periodic (2 has order k mod 2^k - 1) and can orbit a
+        # strict subset of slots at high load.  After p1 strategy probes an
+        # entry degrades to a step-1 linear sweep (re-forced every round),
+        # which provably visits every slot within another p1 rounds
+        # (see DESIGN.md).
+        fb = probes_done[retry] >= p1_of[retry]
+        if fb.any():
+            probe_i[retry[fb]] = old_i[fb] + 1
+        pending = retry
+        result.rounds = round_no
+    else:
+        raise HashtableFullError(
+            f"{pending.shape[0]} entries unplaced after {max_retries} probe "
+            f"rounds (strategy={strategy.value})"
+        )
+
+    if entry_warp is not None and num_warps > 0:
+        np.maximum.at(result.warp_max_probes, entry_warp, probes_done)
+    result.entry_probes = probes_done
+    return result
+
+
+def segment_index_arrays(
+    table_base: np.ndarray, table_p1: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index machinery for per-table segmented operations.
+
+    Returns ``(flat_index, segment_id, segment_starts)`` where
+    ``flat_index`` enumerates every live slot of every table
+    (``base[t] + [0, p1[t])``), ``segment_id`` labels which table each flat
+    slot belongs to, and ``segment_starts`` are reduceat boundaries.
+    """
+    p1 = table_p1.astype(np.int64, copy=False)
+    total = int(p1.sum())
+    seg_id = np.repeat(np.arange(table_p1.shape[0], dtype=np.int64), p1)
+    starts = np.zeros(table_p1.shape[0], dtype=np.int64)
+    np.cumsum(p1[:-1], out=starts[1:])
+    within = np.arange(total, dtype=np.int64) - starts[seg_id]
+    flat = table_base[seg_id] + within
+    return flat, seg_id, starts
+
+
+def segmented_clear(
+    keys_buf: np.ndarray,
+    values_buf: np.ndarray,
+    table_base: np.ndarray,
+    table_p1: np.ndarray,
+) -> int:
+    """``hashtableClear`` for every table of a wave; returns slots cleared."""
+    if table_base.shape[0] == 0:
+        return 0
+    flat, _, _ = segment_index_arrays(table_base, table_p1)
+    keys_buf[flat] = EMPTY_KEY
+    values_buf[flat] = 0
+    return int(flat.shape[0])
+
+
+def segmented_max_key(
+    keys_buf: np.ndarray,
+    values_buf: np.ndarray,
+    table_base: np.ndarray,
+    table_p1: np.ndarray,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """``hashtableMaxKey`` for every table of a wave.
+
+    Returns, per table, the key of the *lowest slot* holding the maximum
+    value (strict-LPA's "first label with the highest weight"), or
+    ``fallback[t]`` for tables with no occupied slot.
+    """
+    if table_base.shape[0] == 0:
+        return fallback.copy()
+    flat, seg_id, starts = segment_index_arrays(table_base, table_p1)
+    keys = keys_buf[flat]
+    values = values_buf[flat].astype(np.float64, copy=False)
+    occupied = keys != EMPTY_KEY
+
+    masked = np.where(occupied, values, -np.inf)
+    seg_max = np.maximum.reduceat(masked, starts)
+
+    # First (lowest-slot) occurrence of the segment max.
+    within = np.arange(flat.shape[0], dtype=np.int64) - starts[seg_id]
+    big = np.int64(np.iinfo(np.int64).max)
+    candidate_pos = np.where(
+        occupied & (masked == seg_max[seg_id]), within, big
+    )
+    first_pos = np.minimum.reduceat(candidate_pos, starts)
+
+    out = fallback.copy()
+    has_any = first_pos != big
+    out[has_any] = keys_buf[table_base[has_any] + first_pos[has_any]]
+    return out

@@ -1,0 +1,85 @@
+"""Capacity and prime utilities for the per-vertex hashtables.
+
+The paper sizes each vertex's table as ``p1 = nextPow2(D_i) - 1`` so that
+``mod`` doubles as the hash function, and derives the double-hashing
+modulus ``p2 = nextPow2(p1) - 1``, which is co-prime with ``p1``
+(consecutive Mersenne numbers ``2^k - 1`` and ``2^{k+1} - 1`` share no
+factor).  ``nextPow2`` here means the smallest power of two *strictly
+greater* than its argument, which guarantees ``p1 >= D_i`` (every distinct
+neighbour label fits) and ``p1 < 2 D_i`` (the table fits in the reserved
+``2 D_i`` slots of the flat buffer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["next_pow2", "table_capacity", "secondary_prime", "is_prime"]
+
+
+def next_pow2(x: int | np.ndarray) -> int | np.ndarray:
+    """Smallest power of two strictly greater than ``x`` (elementwise).
+
+    ``next_pow2(0) == 1``, ``next_pow2(1) == 2``, ``next_pow2(4) == 8``.
+    """
+    if isinstance(x, np.ndarray):
+        x = x.astype(np.int64)
+        out = np.ones_like(x)
+        positive = x > 0
+        # bit_length of x is floor(log2(x)) + 1; shifting 1 by it gives the
+        # smallest power of two > x except when x is a power of two, where
+        # it already is strictly greater. E.g. x=4 (100b, len 3) -> 8.
+        lengths = np.zeros_like(x)
+        xs = x[positive]
+        # Vectorised bit length via frexp on float64 is exact for x < 2**53.
+        _, exp = np.frexp(xs.astype(np.float64))
+        lengths_pos = exp.astype(np.int64)
+        # frexp(x) gives x = m * 2**exp with m in [0.5, 1), so exp is
+        # bit_length for all positive ints.
+        lengths[positive] = lengths_pos
+        out[positive] = np.int64(1) << lengths[positive]
+        return out
+    x = int(x)
+    if x <= 0:
+        return 1
+    return 1 << x.bit_length()
+
+
+def table_capacity(degree: int | np.ndarray) -> int | np.ndarray:
+    """``p1 = nextPow2(degree) - 1`` — per-vertex hashtable capacity.
+
+    Degree-0 vertices get capacity 1 (a single slot) so that every table
+    view is non-empty; such vertices never insert anything.
+    """
+    cap = next_pow2(degree) - 1
+    if isinstance(cap, np.ndarray):
+        return np.maximum(cap, 1)
+    return max(int(cap), 1)
+
+
+def secondary_prime(p1: int | np.ndarray) -> int | np.ndarray:
+    """The double-hashing modulus: the next Mersenne number above ``p1``.
+
+    The paper writes ``p2 = nextPow2(p1) - 1`` with the requirement
+    ``p2 > p1``; since every capacity ``p1`` is itself of the form
+    ``2^k - 1``, a literal reading would yield ``p2 == p1``.  The intended
+    (and coprime — consecutive Mersenne numbers share no factor) value is
+    the next one up, ``2^{k+1} - 1``, i.e. ``nextPow2(p1 + 1) - 1``.
+    """
+    return next_pow2(p1 + 1) - 1
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for test assertions (trial division)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True

@@ -1,0 +1,23 @@
+"""Community-quality metrics: modularity, NMI/ARI, community statistics."""
+
+from repro.metrics.modularity import modularity, delta_modularity
+from repro.metrics.nmi import normalized_mutual_information, adjusted_rand_index
+from repro.metrics.community_stats import (
+    CommunitySummary,
+    community_sizes,
+    num_communities,
+    summarize_communities,
+    compact_labels,
+)
+
+__all__ = [
+    "modularity",
+    "delta_modularity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "CommunitySummary",
+    "community_sizes",
+    "num_communities",
+    "summarize_communities",
+    "compact_labels",
+]

@@ -1,0 +1,85 @@
+"""Descriptive statistics of a community assignment.
+
+Table 1's last column (:math:`|\\Gamma|`, communities found by ν-LPA) and
+the experiment reports consume these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = [
+    "compact_labels",
+    "community_sizes",
+    "num_communities",
+    "CommunitySummary",
+    "summarize_communities",
+    "intra_edge_fraction",
+]
+
+
+def compact_labels(labels: np.ndarray) -> np.ndarray:
+    """Renumber labels to dense ``0..k-1`` preserving first-appearance order."""
+    labels = np.asarray(labels)
+    _, inverse = np.unique(labels, return_inverse=True)
+    return inverse.astype(VERTEX_DTYPE)
+
+
+def community_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of all communities (index = compacted community id)."""
+    return np.bincount(compact_labels(labels))
+
+
+def num_communities(labels: np.ndarray) -> int:
+    """Number of distinct communities :math:`|\\Gamma|`."""
+    return int(np.unique(np.asarray(labels)).shape[0])
+
+
+def intra_edge_fraction(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Weighted fraction of arcs that stay inside a community."""
+    if graph.num_edges == 0:
+        return 0.0
+    labels = np.asarray(labels)
+    src = graph.source_ids()
+    same = labels[src] == labels[graph.targets]
+    w = graph.weights.astype(np.float64)
+    total = w.sum()
+    return float(w[same].sum() / total) if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CommunitySummary:
+    """Shape of a community assignment, as reported in experiment tables."""
+
+    num_communities: int
+    largest: int
+    smallest: int
+    mean_size: float
+    median_size: float
+    #: Fraction of vertices in the single largest community — the "monster
+    #: community" diagnostic from the LPA literature.
+    largest_fraction: float
+    #: Number of singleton communities.
+    singletons: int
+
+
+def summarize_communities(labels: np.ndarray) -> CommunitySummary:
+    """Compute a :class:`CommunitySummary` for ``labels``."""
+    sizes = community_sizes(labels)
+    if sizes.shape[0] == 0:
+        return CommunitySummary(0, 0, 0, 0.0, 0.0, 0.0, 0)
+    n = int(sizes.sum())
+    return CommunitySummary(
+        num_communities=int(sizes.shape[0]),
+        largest=int(sizes.max()),
+        smallest=int(sizes.min()),
+        mean_size=float(sizes.mean()),
+        median_size=float(np.median(sizes)),
+        largest_fraction=float(sizes.max() / n),
+        singletons=int(np.count_nonzero(sizes == 1)),
+    )

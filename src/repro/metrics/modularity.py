@@ -1,0 +1,116 @@
+"""Modularity (Equation 1) and delta-modularity (Equation 2).
+
+.. math::
+
+   Q = \\sum_{c \\in \\Gamma} \\left[ \\frac{\\sigma_c}{2m}
+       - \\left(\\frac{\\Sigma_c}{2m}\\right)^2 \\right]
+
+where :math:`\\sigma_c` is twice-counted intra-community weight and
+:math:`\\Sigma_c` the total weight incident to community *c*.  The
+implementation is a pair of scatter-adds over the CSR arcs — O(M) with no
+Python loop — using float64 accumulators regardless of the graph's edge
+dtype (fp32 sums over 1e8 edges lose digits that modularity comparisons at
+the 0.1% level care about).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["modularity", "delta_modularity", "community_weights"]
+
+
+def community_weights(
+    graph: CSRGraph, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Per-community ``(sigma_c, Sigma_c)`` and the total weight ``m``.
+
+    ``sigma_c`` counts intra-community arc weight (each undirected edge
+    twice, matching :math:`2 \\sigma_c` in the paper's notation being
+    ``sigma`` here over arcs); ``Sigma_c`` is the sum of weighted degrees of
+    the community's members.  Labels may be any non-negative integers.
+    """
+    labels = np.asarray(labels)
+    if labels.shape[0] != graph.num_vertices:
+        raise ValueError(
+            f"labels length {labels.shape[0]} != num_vertices {graph.num_vertices}"
+        )
+    src = graph.source_ids()
+    dst = graph.targets
+    w = graph.weights.astype(np.float64)
+
+    n_comms = int(labels.max()) + 1 if labels.shape[0] else 0
+    intra = np.zeros(n_comms, dtype=np.float64)
+    same = labels[src] == labels[dst]
+    np.add.at(intra, labels[src[same]], w[same])
+
+    total = np.zeros(n_comms, dtype=np.float64)
+    np.add.at(total, labels[src], w)
+
+    m = float(w.sum() / 2.0)
+    return intra, total, m
+
+
+def modularity(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Modularity :math:`Q \\in [-0.5, 1]` of a disjoint community assignment."""
+    if graph.num_edges == 0:
+        return 0.0
+    intra, total, m = community_weights(graph, labels)
+    if m == 0:
+        return 0.0
+    return float((intra / (2.0 * m) - (total / (2.0 * m)) ** 2).sum())
+
+
+def delta_modularity(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    vertex: int,
+    target_community: int,
+    *,
+    weighted_degrees: np.ndarray | None = None,
+    community_totals: np.ndarray | None = None,
+) -> float:
+    """Equation 2: :math:`\\Delta Q_{i: d \\to c}` of moving ``vertex`` to
+    ``target_community``.
+
+    .. math::
+
+       \\Delta Q = \\frac{1}{m}(K_{i \\to c} - K_{i \\to d})
+                   - \\frac{K_i}{2 m^2}(K_i + \\Sigma_c - \\Sigma_d)
+
+    ``weighted_degrees`` / ``community_totals`` may be passed to amortise
+    recomputation across many calls (the Louvain baseline does).
+    """
+    labels = np.asarray(labels)
+    d = int(labels[vertex])
+    c = int(target_community)
+    if d == c:
+        return 0.0
+    m = graph.total_weight()
+    if m == 0:
+        return 0.0
+
+    nbrs = graph.neighbors(vertex)
+    wts = graph.neighbor_weights(vertex).astype(np.float64)
+    non_loop = nbrs != vertex
+    nbr_labels = labels[nbrs[non_loop]]
+    nbr_w = wts[non_loop]
+    k_i_to_c = float(nbr_w[nbr_labels == c].sum())
+    k_i_to_d = float(nbr_w[nbr_labels == d].sum())
+
+    if weighted_degrees is None:
+        weighted_degrees = graph.weighted_degrees()
+    k_i = float(weighted_degrees[vertex])
+
+    if community_totals is None:
+        # Size for the target too: moving to a brand-new (empty) community
+        # is legal and has Sigma_c = 0.
+        n_comms = max(int(labels.max()), c, d) + 1
+        community_totals = np.zeros(n_comms, dtype=np.float64)
+        np.add.at(community_totals, labels, weighted_degrees)
+    sigma_c = float(community_totals[c]) if c < community_totals.shape[0] else 0.0
+    sigma_d = float(community_totals[d])
+
+    return (k_i_to_c - k_i_to_d) / m - k_i * (k_i + sigma_c - sigma_d) / (2.0 * m * m)

@@ -1,0 +1,95 @@
+"""Additional partition-quality metrics: conductance, coverage, performance.
+
+Modularity (the paper's metric) rewards statistically-surprising density;
+these complements answer different questions — how leaky each community's
+boundary is (conductance), what fraction of edges the partition explains
+(coverage), and how many vertex pairs it classifies correctly
+(performance).  All are O(M) scatter-adds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.metrics.community_stats import compact_labels
+
+__all__ = [
+    "coverage",
+    "performance",
+    "community_conductance",
+    "mean_conductance",
+]
+
+
+def coverage(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Weighted fraction of edges with both endpoints in one community."""
+    if graph.num_edges == 0:
+        return 0.0
+    labels = np.asarray(labels)
+    src = graph.source_ids()
+    w = graph.weights.astype(np.float64)
+    total = w.sum()
+    if total == 0:
+        return 0.0
+    same = labels[src] == labels[graph.targets]
+    return float(w[same].sum() / total)
+
+
+def performance(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Fraction of vertex pairs classified correctly (unweighted).
+
+    A pair is correct when it is an intra-community edge or an absent
+    inter-community edge.  Computed from counts, not an N² loop.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        return 1.0
+    labels = compact_labels(np.asarray(labels))
+    sizes = np.bincount(labels).astype(np.float64)
+    total_pairs = n * (n - 1) / 2.0
+    intra_pairs = float((sizes * (sizes - 1) / 2.0).sum())
+
+    src = graph.source_ids()
+    dst = graph.targets
+    non_loop = src != dst
+    same = labels[src[non_loop]] == labels[dst[non_loop]]
+    # Arcs count each undirected edge twice.
+    intra_edges = float(np.count_nonzero(same)) / 2.0
+    inter_edges = float(np.count_nonzero(~same)) / 2.0
+
+    correct = intra_edges + ((total_pairs - intra_pairs) - inter_edges)
+    return float(correct / total_pairs)
+
+
+def community_conductance(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Conductance of every community: cut weight / min(vol, total - vol).
+
+    Lower is better; singleton or whole-graph communities get conductance
+    1.0 and 0.0 respectively by convention of the limiting cases.
+    """
+    labels = compact_labels(np.asarray(labels))
+    n_comms = int(labels.max()) + 1 if labels.shape[0] else 0
+    src = graph.source_ids()
+    dst = graph.targets
+    w = graph.weights.astype(np.float64)
+
+    volume = np.zeros(n_comms)
+    np.add.at(volume, labels[src], w)
+    cut = np.zeros(n_comms)
+    inter = labels[src] != labels[dst]
+    np.add.at(cut, labels[src[inter]], w[inter])
+
+    total = w.sum()
+    denom = np.minimum(volume, total - volume)
+    out = np.ones(n_comms)
+    ok = denom > 0
+    out[ok] = cut[ok] / denom[ok]
+    out[volume == total] = 0.0
+    return out
+
+
+def mean_conductance(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Unweighted mean of per-community conductance (lower = better)."""
+    cond = community_conductance(graph, labels)
+    return float(cond.mean()) if cond.shape[0] else 0.0

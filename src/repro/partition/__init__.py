@@ -1,0 +1,20 @@
+"""Graph partitioning with size-constrained label propagation.
+
+The paper's conclusion points at "performance-critical applications, such
+as partitioning of large graphs" as ν-LPA's future work, building on the
+LPA-partitioning line it surveys (PuLP, SCLaP, XtraPuLP).  This package
+implements that extension: a size-constrained LPA partitioner seeded with
+``k`` balanced blocks, an explicit balance-repair phase, and the standard
+partition-quality metrics (edge cut, imbalance).
+"""
+
+from repro.partition.sclap import size_constrained_lpa, PartitionResult
+from repro.partition.metrics import edge_cut_fraction, imbalance, partition_summary
+
+__all__ = [
+    "size_constrained_lpa",
+    "PartitionResult",
+    "edge_cut_fraction",
+    "imbalance",
+    "partition_summary",
+]

@@ -1,0 +1,69 @@
+"""Partition-quality metrics: edge cut, imbalance, per-part summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "edge_cut_fraction",
+    "edge_cut_weight",
+    "imbalance",
+    "PartitionSummary",
+    "partition_summary",
+]
+
+
+def edge_cut_weight(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Total weight of undirected edges crossing part boundaries."""
+    parts = np.asarray(parts)
+    src = graph.source_ids()
+    cross = parts[src] != parts[graph.targets]
+    # Arcs count each undirected edge twice.
+    return float(graph.weights[cross].astype(np.float64).sum() / 2.0)
+
+
+def edge_cut_fraction(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Cut weight as a fraction of total edge weight (lower = better)."""
+    total = graph.total_weight()
+    if total == 0:
+        return 0.0
+    return edge_cut_weight(graph, parts) / total
+
+
+def imbalance(parts: np.ndarray, k: int | None = None) -> float:
+    """Load imbalance: ``max part size / ideal size - 1`` (0 = perfect)."""
+    parts = np.asarray(parts)
+    if parts.shape[0] == 0:
+        return 0.0
+    if k is None:
+        k = int(parts.max()) + 1
+    sizes = np.bincount(parts, minlength=k)
+    ideal = parts.shape[0] / k
+    return float(sizes.max() / ideal - 1.0)
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """One-line description of a k-way partition."""
+
+    k: int
+    edge_cut_fraction: float
+    imbalance: float
+    smallest_part: int
+    largest_part: int
+
+
+def partition_summary(graph: CSRGraph, parts: np.ndarray, k: int) -> PartitionSummary:
+    """Build the :class:`PartitionSummary` for ``parts``."""
+    sizes = np.bincount(np.asarray(parts), minlength=k)
+    return PartitionSummary(
+        k=k,
+        edge_cut_fraction=edge_cut_fraction(graph, parts),
+        imbalance=imbalance(parts, k),
+        smallest_part=int(sizes.min()),
+        largest_part=int(sizes.max()),
+    )

@@ -1,0 +1,53 @@
+"""Performance modelling: event counts → modelled seconds.
+
+The simulator cannot time an A100; it *counts* what the A100 would do
+(sectors moved, probes serialised behind warp divergence, atomic
+conflicts, kernel launches, waves).  This package converts those counts
+into modelled runtimes with per-platform constants calibrated **once**
+against the paper's published anchors (3.0 B edges/s ν-LPA throughput on
+it-2004; the 364× / 62× / 2.6× / 37× speedup ratios) and never refitted per
+experiment — so the *shapes* benchmarks report (who wins where, how factors
+move across graphs and configurations) come entirely from measured counts.
+"""
+
+from repro.perf.platforms import (
+    GpuPlatform,
+    CpuPlatform,
+    A100_PLATFORM,
+    XEON_SEQUENTIAL,
+    XEON_MULTICORE,
+)
+from repro.perf.model import (
+    estimate_gpu_seconds,
+    estimate_lpa_result_seconds,
+    estimate_flpa_seconds,
+    estimate_networkit_seconds,
+    estimate_gve_seconds,
+    estimate_gunrock_seconds,
+    estimate_louvain_seconds,
+    extrapolation_ratios,
+)
+from repro.perf.harness import Measurement, run_measurement, repeat_measure
+from repro.perf.report import format_table, format_series, RelativeSeries
+
+__all__ = [
+    "GpuPlatform",
+    "CpuPlatform",
+    "A100_PLATFORM",
+    "XEON_SEQUENTIAL",
+    "XEON_MULTICORE",
+    "estimate_gpu_seconds",
+    "estimate_lpa_result_seconds",
+    "estimate_flpa_seconds",
+    "estimate_networkit_seconds",
+    "estimate_gve_seconds",
+    "estimate_gunrock_seconds",
+    "estimate_louvain_seconds",
+    "extrapolation_ratios",
+    "Measurement",
+    "run_measurement",
+    "repeat_measure",
+    "format_table",
+    "format_series",
+    "RelativeSeries",
+]

@@ -1,0 +1,160 @@
+"""Measurement harness: run an algorithm on a dataset, collect everything.
+
+A :class:`Measurement` is one (algorithm, dataset) cell of a paper figure:
+measured community quality, measured work counts, and the modelled
+paper-scale runtime.  :func:`repeat_measure` averages over seeds the way the
+paper averages over five runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import flpa, gunrock_lpa, gve_lpa, louvain, networkit_plp
+from repro.core import LPAConfig, nu_lpa
+from repro.core.result import LPAResult
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import get_dataset
+from repro.metrics import modularity
+from repro.perf import model as perf_model
+from repro.perf.model import Ratios, extrapolation_ratios
+
+__all__ = ["Measurement", "run_measurement", "repeat_measure", "ALGORITHMS"]
+
+
+@dataclass
+class Measurement:
+    """One algorithm × dataset data point."""
+
+    algorithm: str
+    dataset: str
+    modularity: float
+    num_communities: int
+    iterations: int
+    converged: bool
+    #: Modelled runtime at paper scale, seconds.
+    modeled_seconds: float
+    #: Wall-clock of the Python simulation (diagnostic only).
+    wall_seconds: float
+    #: Raw work counts for debugging/reporting.
+    details: dict = field(default_factory=dict)
+
+
+def _measure_nu_lpa(
+    graph: CSRGraph, ratios: Ratios, *, config: LPAConfig | None = None,
+    engine: str = "hashtable", seed: int = 0,
+) -> tuple[np.ndarray, int, bool, float, dict]:
+    result: LPAResult = nu_lpa(graph, config or LPAConfig(), engine=engine)
+    secs = perf_model.estimate_lpa_result_seconds(result, ratios)
+    details = result.total_counters.as_dict()
+    return result.labels, result.num_iterations, result.converged, secs, details
+
+
+def _measure_flpa(graph, ratios, *, seed=0, **_):
+    r = flpa(graph, seed=seed)
+    return r.labels, r.iterations, r.converged, perf_model.estimate_flpa_seconds(r, ratios), dict(r.extra)
+
+
+def _measure_networkit(graph, ratios, *, seed=0, **_):
+    r = networkit_plp(graph, seed=seed)
+    return r.labels, r.iterations, r.converged, perf_model.estimate_networkit_seconds(r, ratios), dict(r.extra)
+
+
+def _measure_gve(graph, ratios, *, seed=0, **_):
+    r = gve_lpa(graph, seed=seed)
+    return r.labels, r.iterations, r.converged, perf_model.estimate_gve_seconds(r, ratios), dict(r.extra)
+
+
+def _measure_gunrock(graph, ratios, *, seed=0, **_):
+    r = gunrock_lpa(graph, seed=seed)
+    return r.labels, r.iterations, r.converged, perf_model.estimate_gunrock_seconds(r, ratios), dict(r.extra)
+
+
+def _measure_louvain(graph, ratios, *, seed=0, **_):
+    r = louvain(graph, seed=seed)
+    return r.labels, r.iterations, r.converged, perf_model.estimate_louvain_seconds(r, ratios), dict(r.extra)
+
+
+#: Algorithm registry used by the comparison experiments; names match the
+#: paper's Figure 6 legend.
+ALGORITHMS: dict[str, Callable] = {
+    "nu-lpa": _measure_nu_lpa,
+    "flpa": _measure_flpa,
+    "networkit-lpa": _measure_networkit,
+    "gve-lpa": _measure_gve,
+    "gunrock-lpa": _measure_gunrock,
+    "cugraph-louvain": _measure_louvain,
+}
+
+
+def run_measurement(
+    algorithm: str,
+    graph: CSRGraph,
+    *,
+    dataset: str | None = None,
+    seed: int = 0,
+    **kwargs,
+) -> Measurement:
+    """Run ``algorithm`` on ``graph`` and build its :class:`Measurement`.
+
+    ``dataset`` (a Table-1 name) enables paper-scale extrapolation of the
+    modelled runtime; without it, times are at stand-in scale.
+    """
+    if dataset is not None:
+        spec = get_dataset(dataset)
+        ratios = extrapolation_ratios(
+            graph, spec.paper_num_vertices, spec.paper_num_edges
+        )
+    else:
+        ratios = Ratios(edges=1.0, vertices=1.0)
+
+    fn = ALGORITHMS[algorithm]
+    t0 = time.perf_counter()
+    labels, iterations, converged, secs, details = fn(
+        graph, ratios, seed=seed, **kwargs
+    )
+    wall = time.perf_counter() - t0
+
+    return Measurement(
+        algorithm=algorithm,
+        dataset=dataset or "custom",
+        modularity=modularity(graph, labels),
+        num_communities=int(np.unique(labels).shape[0]),
+        iterations=iterations,
+        converged=converged,
+        modeled_seconds=secs,
+        wall_seconds=wall,
+        details=details,
+    )
+
+
+def repeat_measure(
+    algorithm: str,
+    graph: CSRGraph,
+    *,
+    repeats: int = 3,
+    dataset: str | None = None,
+    **kwargs,
+) -> Measurement:
+    """Average ``repeats`` runs with different seeds (paper: five runs)."""
+    runs = [
+        run_measurement(algorithm, graph, dataset=dataset, seed=s, **kwargs)
+        for s in range(repeats)
+    ]
+    best = runs[0]
+    return Measurement(
+        algorithm=best.algorithm,
+        dataset=best.dataset,
+        modularity=mean(r.modularity for r in runs),
+        num_communities=int(mean(r.num_communities for r in runs)),
+        iterations=int(mean(r.iterations for r in runs)),
+        converged=all(r.converged for r in runs),
+        modeled_seconds=mean(r.modeled_seconds for r in runs),
+        wall_seconds=mean(r.wall_seconds for r in runs),
+        details=best.details,
+    )

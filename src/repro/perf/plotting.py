@@ -1,0 +1,87 @@
+"""Terminal rendering of the paper's figures as ASCII bar charts.
+
+The experiments print tables; these helpers render the same data the way
+the paper's figures read — one bar per variant, scaled to the worst — for
+quick visual comparison in a terminal (``python -m repro.experiments F3
+--plot``).  Pure string manipulation; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bar_chart", "log_bar_chart", "series_chart"]
+
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A left-aligned bar filling ``fraction`` of ``width`` characters."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    rem = cells - full
+    partial = _PARTIAL[int(rem * 8)] if full < width else ""
+    return _FULL * full + partial
+
+
+def bar_chart(
+    values: dict[str, float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = ".3f",
+) -> str:
+    """Horizontal bar chart, bars scaled linearly to the maximum value."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, val in values.items():
+        frac = val / peak if peak > 0 else 0.0
+        lines.append(f"{key.ljust(label_w)} |{_bar(frac, width)} {val:{fmt}}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    values: dict[str, float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = ".3g",
+) -> str:
+    """Bar chart on a log scale — the paper's runtime figures are log-scale."""
+    positive = {k: v for k, v in values.items() if v > 0}
+    if not positive:
+        return title or ""
+    lo = min(positive.values())
+    hi = max(positive.values())
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, val in values.items():
+        if val <= 0:
+            lines.append(f"{key.ljust(label_w)} | (non-positive: {val:{fmt}})")
+            continue
+        frac = (math.log10(val / lo) / span) if span > 0 else 1.0
+        # Floor at one cell so the smallest value is still visible.
+        frac = max(frac, 1.0 / width)
+        lines.append(f"{key.ljust(label_w)} |{_bar(frac, width)} {val:{fmt}}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: dict[str, dict[str, float]],
+    *,
+    width: int = 30,
+    title: str | None = None,
+) -> str:
+    """Grouped bars: one block per outer key, bars for the inner dict."""
+    lines = [title] if title else []
+    for group, values in series.items():
+        lines.append(f"{group}:")
+        chart = bar_chart(values, width=width)
+        lines.extend("  " + line for line in chart.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Paper-style report formatting.
+
+The benchmarks print the same row/series structure the paper's tables and
+figures carry: per-dataset absolute numbers for Figure 6 and Table 1,
+mean *relative* runtime / modularity for the optimisation figures
+(Figures 1, 3-5, 7), where everything is normalised to a designated
+reference configuration exactly as the paper normalises to its chosen
+variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["format_table", "format_series", "RelativeSeries", "geometric_mean"]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, the right average for runtime ratios."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table (benchmark stdout / EXPERIMENTS.md blocks)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class RelativeSeries:
+    """One bar group of a relative-runtime/modularity figure."""
+
+    label: str
+    #: Per-dataset absolute values, keyed by dataset name.
+    values: dict[str, float]
+
+    def relative_to(self, reference: "RelativeSeries") -> dict[str, float]:
+        """Per-dataset ratio against ``reference`` (paper's normalisation)."""
+        out = {}
+        for key, val in self.values.items():
+            ref = reference.values.get(key)
+            if ref and ref > 0:
+                out[key] = val / ref
+        return out
+
+    def mean_relative(self, reference: "RelativeSeries") -> float:
+        """Geometric-mean ratio across datasets — the figures' bar height."""
+        return geometric_mean(list(self.relative_to(reference).values()))
+
+
+def format_series(
+    series: list[RelativeSeries],
+    reference_label: str,
+    *,
+    value_name: str = "runtime",
+    title: str | None = None,
+) -> str:
+    """Render a relative figure as a text table with a mean column."""
+    reference = next(s for s in series if s.label == reference_label)
+    datasets = list(reference.values)
+    headers = ["variant"] + datasets + [f"mean rel. {value_name}"]
+    rows = []
+    for s in series:
+        rel = s.relative_to(reference)
+        rows.append(
+            [s.label]
+            + [f"{rel.get(d, float('nan')):.3f}" for d in datasets]
+            + [f"{s.mean_relative(reference):.3f}"]
+        )
+    return format_table(headers, rows, title=title)

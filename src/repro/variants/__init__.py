@@ -1,0 +1,26 @@
+"""Label-propagation variants the paper's selection study covered.
+
+Section 1 of the paper: "In our evaluation of other label-propagation-based
+methods such as COPRA, SLPA, and LabelRank, LPA emerged as the most
+efficient, delivering communities of comparable quality."  This package
+implements those three variants so the claim is checkable (extension
+experiment E1):
+
+* :func:`copra` — Community Overlap PRopagation (Gregory 2010): belief
+  vectors of up to ``v`` labels per vertex;
+* :func:`slpa` — Speaker-Listener LPA (Xie et al. 2011): per-vertex label
+  memories with speaker sampling and listener majority;
+* :func:`labelrank` — LabelRank (Xie & Szymanski 2013): label distribution
+  propagation with inflation, cutoff, and conditional update.
+
+All three natively produce *overlapping* assignments; each returns both the
+sparse assignment and its disjoint argmax projection so the quality
+comparison against LPA is apples-to-apples.
+"""
+
+from repro.variants.copra import copra
+from repro.variants.slpa import slpa
+from repro.variants.labelrank import labelrank
+from repro.variants.common import VariantResult
+
+__all__ = ["copra", "slpa", "labelrank", "VariantResult"]

@@ -1,0 +1,163 @@
+"""Shared machinery for the label-propagation variants.
+
+All three variants manipulate *sparse per-vertex label weights*: a triple
+of aligned arrays ``(vertex, label, weight)``.  The helpers here implement
+the recurring bulk operations — group-summing duplicate (vertex, label)
+pairs, per-vertex normalisation, top-k / threshold pruning, and argmax
+projection — as sort-based NumPy passes, which is what keeps COPRA and
+LabelRank O(active-pairs log active-pairs) per iteration instead of
+Python-dict-per-vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import VERTEX_DTYPE
+
+__all__ = [
+    "VariantResult",
+    "SparseBeliefs",
+]
+
+
+@dataclass
+class VariantResult:
+    """Outcome of a variant run."""
+
+    #: Disjoint projection: the strongest label per vertex.
+    labels: np.ndarray
+    #: Sparse overlapping assignment as (vertex, label, weight) arrays.
+    vertex: np.ndarray
+    label: np.ndarray
+    weight: np.ndarray
+    algorithm: str
+    iterations: int
+    #: Total (vertex, label) pairs processed — the work measure E1 reports.
+    pairs_processed: int
+    extra: dict = field(default_factory=dict)
+
+    def memberships(self, threshold: float = 0.0) -> list[list[int]]:
+        """Overlapping communities: vertices per label above ``threshold``."""
+        keep = self.weight >= threshold
+        labels = self.label[keep]
+        vertices = self.vertex[keep]
+        out: dict[int, list[int]] = {}
+        for v, c in zip(vertices.tolist(), labels.tolist()):
+            out.setdefault(c, []).append(v)
+        return [sorted(members) for _, members in sorted(out.items())]
+
+    def mean_memberships_per_vertex(self) -> float:
+        """Average number of labels held per vertex (1.0 = disjoint)."""
+        if self.labels.shape[0] == 0:
+            return 0.0
+        return self.vertex.shape[0] / self.labels.shape[0]
+
+
+class SparseBeliefs:
+    """Sparse (vertex, label, weight) table with bulk operations."""
+
+    def __init__(
+        self, vertex: np.ndarray, label: np.ndarray, weight: np.ndarray
+    ) -> None:
+        self.vertex = np.asarray(vertex, dtype=VERTEX_DTYPE)
+        self.label = np.asarray(label, dtype=VERTEX_DTYPE)
+        self.weight = np.asarray(weight, dtype=np.float64)
+
+    @classmethod
+    def identity(cls, n: int) -> "SparseBeliefs":
+        """Each vertex fully believes its own label."""
+        ids = np.arange(n, dtype=VERTEX_DTYPE)
+        return cls(ids, ids.copy(), np.ones(n))
+
+    @property
+    def num_pairs(self) -> int:
+        """Active (vertex, label) pairs."""
+        return int(self.vertex.shape[0])
+
+    def combined(self) -> "SparseBeliefs":
+        """Group-sum duplicate (vertex, label) pairs; result sorted."""
+        if self.num_pairs == 0:
+            return self
+        order = np.lexsort((self.label, self.vertex))
+        v, c, w = self.vertex[order], self.label[order], self.weight[order]
+        first = np.ones(v.shape[0], dtype=bool)
+        first[1:] = (v[1:] != v[:-1]) | (c[1:] != c[:-1])
+        starts = np.flatnonzero(first)
+        return SparseBeliefs(
+            v[starts], c[starts], np.add.reduceat(w, starts)
+        )
+
+    def normalized(self) -> "SparseBeliefs":
+        """Scale each vertex's weights to sum to 1 (requires sorted pairs)."""
+        if self.num_pairs == 0:
+            return self
+        totals = np.zeros(int(self.vertex.max()) + 1)
+        np.add.at(totals, self.vertex, self.weight)
+        denom = totals[self.vertex]
+        w = np.divide(self.weight, denom, out=np.zeros_like(self.weight),
+                      where=denom > 0)
+        return SparseBeliefs(self.vertex, self.label, w)
+
+    def pruned(self, threshold: float) -> "SparseBeliefs":
+        """Drop pairs below ``threshold``; vertices losing everything keep
+        their single strongest label (COPRA's retention rule)."""
+        combined = self.combined()
+        keep = combined.weight >= threshold
+        survivors = combined.vertex[keep]
+        # Vertices with no surviving label keep their argmax.
+        all_vertices = np.unique(combined.vertex)
+        lost = np.setdiff1d(all_vertices, np.unique(survivors))
+        if lost.shape[0]:
+            best = combined.argmax_labels(int(all_vertices.max()) + 1)
+            extra_v = lost
+            extra_c = best[lost]
+            extra_w = np.ones(lost.shape[0])
+            return SparseBeliefs(
+                np.concatenate([combined.vertex[keep], extra_v]),
+                np.concatenate([combined.label[keep], extra_c]),
+                np.concatenate([combined.weight[keep], extra_w]),
+            ).combined()
+        return SparseBeliefs(
+            combined.vertex[keep], combined.label[keep], combined.weight[keep]
+        )
+
+    def top_k(self, k: int) -> "SparseBeliefs":
+        """Keep each vertex's ``k`` heaviest labels (ties by smaller label)."""
+        if self.num_pairs == 0:
+            return self
+        combined = self.combined()
+        # Rank within vertex by (-weight, label).
+        order = np.lexsort(
+            (combined.label, -combined.weight, combined.vertex)
+        )
+        v = combined.vertex[order]
+        first = np.ones(v.shape[0], dtype=bool)
+        first[1:] = v[1:] != v[:-1]
+        starts_of = np.flatnonzero(first)
+        seg_id = np.cumsum(first) - 1
+        rank = np.arange(v.shape[0]) - starts_of[seg_id]
+        keep = rank < k
+        sel = order[keep]
+        return SparseBeliefs(
+            combined.vertex[sel], combined.label[sel], combined.weight[sel]
+        )
+
+    def argmax_labels(self, n: int) -> np.ndarray:
+        """Strongest label per vertex (ties to smaller label); own id when
+        a vertex holds no pairs."""
+        out = np.arange(n, dtype=VERTEX_DTYPE)
+        if self.num_pairs == 0:
+            return out
+        combined = self.combined()
+        order = np.lexsort(
+            (combined.label, -combined.weight, combined.vertex)
+        )
+        v = combined.vertex[order]
+        first = np.ones(v.shape[0], dtype=bool)
+        first[1:] = v[1:] != v[:-1]
+        sel = order[first]
+        out[combined.vertex[sel]] = combined.label[sel]
+        return out

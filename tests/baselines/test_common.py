@@ -1,0 +1,71 @@
+"""Tests for shared baseline machinery."""
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineResult,
+    chunked_async_sweep,
+    decorrelated_order,
+)
+from repro.types import VERTEX_DTYPE
+
+
+class TestDecorrelatedOrder:
+    def test_is_permutation(self):
+        v = np.arange(100, dtype=np.int64)
+        order = decorrelated_order(v)
+        assert np.array_equal(np.sort(order), v)
+
+    def test_deterministic(self):
+        v = np.arange(50, dtype=np.int64)
+        assert np.array_equal(decorrelated_order(v), decorrelated_order(v))
+
+    def test_breaks_id_adjacency(self):
+        v = np.arange(1000, dtype=np.int64)
+        order = decorrelated_order(v)
+        adjacent = np.abs(np.diff(order)) == 1
+        assert adjacent.mean() < 0.05
+
+    def test_subset_input(self):
+        v = np.array([3, 17, 42, 99], dtype=np.int64)
+        assert set(decorrelated_order(v).tolist()) == set(v.tolist())
+
+
+class TestChunkedAsyncSweep:
+    def test_later_chunks_see_earlier_commits(self, path6):
+        # Chunk size 1 == fully asynchronous: a label can travel the whole
+        # path in one sweep.
+        labels = np.arange(6, dtype=VERTEX_DTYPE)
+        changed, edges = chunked_async_sweep(
+            path6, labels, np.arange(6, dtype=np.int64), 1, tie_break="smallest"
+        )
+        assert np.unique(labels).shape[0] == 1  # full cascade
+        assert edges == path6.num_edges
+
+    def test_full_chunk_is_synchronous(self, path6):
+        labels = np.arange(6, dtype=VERTEX_DTYPE)
+        chunked_async_sweep(
+            path6, labels, np.arange(6, dtype=np.int64), 6, tie_break="smallest"
+        )
+        # Synchronous: each vertex adopts its smallest neighbour's old
+        # label (vertex 0's only neighbour is 1).
+        assert labels.tolist() == [1, 0, 1, 2, 3, 4]
+
+    def test_changed_vertices_reported(self, two_cliques):
+        labels = np.arange(10, dtype=VERTEX_DTYPE)
+        changed, _ = chunked_async_sweep(
+            two_cliques, labels, np.arange(10, dtype=np.int64), 4
+        )
+        assert changed.shape[0] > 0
+        assert np.all(labels[changed] != np.arange(10)[changed])
+
+    def test_result_container(self):
+        r = BaselineResult(
+            labels=np.array([0, 0, 1]),
+            algorithm="x",
+            iterations=2,
+            converged=True,
+            edges_scanned=10,
+            vertices_processed=3,
+        )
+        assert r.num_communities() == 2

@@ -1,0 +1,46 @@
+"""Tests for the FLPA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import flpa
+from repro.metrics import modularity, normalized_mutual_information
+
+
+class TestFlpa:
+    def test_two_cliques(self, two_cliques):
+        r = flpa(two_cliques, seed=0)
+        assert r.converged
+        assert r.num_communities() == 2
+
+    def test_exact_convergence_no_queue_left(self, small_road):
+        r = flpa(small_road, seed=0)
+        assert r.converged
+
+    def test_quality_on_planted(self, planted):
+        g, truth = planted
+        r = flpa(g, seed=0)
+        assert normalized_mutual_information(truth, r.labels) > 0.6
+
+    def test_work_counts_positive(self, two_cliques):
+        r = flpa(two_cliques, seed=0)
+        assert r.edges_scanned > 0
+        assert r.vertices_processed >= two_cliques.num_vertices
+
+    def test_seed_changes_tie_breaks(self, small_road):
+        a = flpa(small_road, seed=0)
+        b = flpa(small_road, seed=1)
+        # Same quality regime even if labels differ.
+        qa, qb = modularity(small_road, a.labels), modularity(small_road, b.labels)
+        assert abs(qa - qb) < 0.2
+
+    def test_max_pops_cap(self, small_road):
+        r = flpa(small_road, seed=0, max_pops=5)
+        assert not r.converged
+
+    def test_empty_graph(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        r = flpa(g)
+        assert r.labels.shape[0] == 0

@@ -1,0 +1,39 @@
+"""Tests for the Gunrock-style synchronous LPA baseline."""
+
+import numpy as np
+
+from repro.baselines import gunrock_lpa
+from repro.graph.generators import watts_strogatz
+from repro.metrics import modularity
+
+
+class TestGunrock:
+    def test_two_cliques(self, two_cliques):
+        r = gunrock_lpa(two_cliques)
+        assert r.num_communities() <= 4  # cliques collapse quickly
+
+    def test_oscillation_on_symmetric_graph(self):
+        """No swap mitigation: a symmetric ring never settles."""
+        ring = watts_strogatz(64, 2, 0.0, seed=1)
+        r = gunrock_lpa(ring, max_iterations=10)
+        assert not r.converged
+        assert r.iterations == 10
+
+    def test_low_modularity_on_road(self, small_road):
+        """The paper: 'the modularity achieved by Gunrock LPA is very low'."""
+        from repro import nu_lpa
+
+        q_gr = modularity(small_road, gunrock_lpa(small_road).labels)
+        q_nu = modularity(small_road, nu_lpa(small_road).labels)
+        assert q_gr < q_nu - 0.3
+
+    def test_fixed_iteration_work(self, small_web):
+        r = gunrock_lpa(small_web, max_iterations=5)
+        assert r.iterations <= 5
+        # Synchronous: every iteration scans every (non-loop) edge.
+        assert r.edges_scanned >= 4 * (small_web.num_edges * 0.9)
+
+    def test_deterministic(self, small_web):
+        a = gunrock_lpa(small_web)
+        b = gunrock_lpa(small_web)
+        assert np.array_equal(a.labels, b.labels)

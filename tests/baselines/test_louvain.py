@@ -1,0 +1,82 @@
+"""Tests for the Louvain baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import louvain
+from repro.baselines.louvain import aggregate_graph, local_moving
+from repro.graph.build import from_edges
+from repro.metrics import modularity, normalized_mutual_information
+
+
+class TestLocalMoving:
+    def test_path_pairs_up(self, path6):
+        labels, rounds, edges = local_moving(path6)
+        # P6 optimum groups consecutive pairs/triples; Q must be positive.
+        assert modularity(path6, labels) > 0.2
+        assert edges > 0
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        labels, rounds, edges = local_moving(g)
+        assert labels.shape[0] == 0
+
+
+class TestAggregate:
+    def test_preserves_total_weight(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        agg = aggregate_graph(two_cliques, labels)
+        assert agg.num_vertices == 2
+        assert agg.total_weight() == pytest.approx(two_cliques.total_weight())
+
+    def test_intra_weight_becomes_self_loops(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        agg = aggregate_graph(two_cliques, labels)
+        # K5 has 10 undirected intra edges -> arc weight 20 on the loop.
+        assert 0 in agg.neighbors(0)
+
+    def test_modularity_invariant_under_aggregation(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        agg = aggregate_graph(two_cliques, labels)
+        q_orig = modularity(two_cliques, labels)
+        q_agg = modularity(agg, np.array([0, 1]))
+        assert q_agg == pytest.approx(q_orig, rel=1e-6)
+
+
+class TestLouvain:
+    def test_two_cliques_exact(self, two_cliques):
+        r = louvain(two_cliques)
+        assert r.num_communities() == 2
+        assert modularity(two_cliques, r.labels) > 0.4
+
+    def test_planted_partition_recovered(self, planted):
+        g, truth = planted
+        r = louvain(g)
+        assert normalized_mutual_information(truth, r.labels) > 0.8
+
+    def test_quality_ceiling_on_road(self, small_road):
+        """Louvain is the paper's quality reference (+9.6% over nu-LPA)."""
+        from repro import nu_lpa
+
+        q_lv = modularity(small_road, louvain(small_road).labels)
+        q_nu = modularity(small_road, nu_lpa(small_road).labels)
+        assert q_lv > q_nu
+
+    def test_pass_modularity_non_decreasing(self, small_web):
+        r = louvain(small_web)
+        qs = r.pass_modularity
+        assert all(qs[i + 1] >= qs[i] - 1e-9 for i in range(len(qs) - 1))
+
+    def test_pass_sizes_shrink(self, small_web):
+        r = louvain(small_web)
+        sizes = r.pass_sizes
+        assert all(sizes[i + 1] < sizes[i] for i in range(len(sizes) - 1))
+
+    def test_labels_cover_original_vertices(self, small_web):
+        r = louvain(small_web)
+        assert r.labels.shape[0] == small_web.num_vertices
+
+    def test_resolution_controls_granularity(self, small_web):
+        coarse = louvain(small_web, resolution=0.5)
+        fine = louvain(small_web, resolution=2.0)
+        assert fine.num_communities() >= coarse.num_communities()

@@ -1,0 +1,81 @@
+"""Shared fixtures: small deterministic graphs covering the main shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    planted_partition,
+    rmat_graph,
+    road_network,
+    web_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """K3 — the smallest graph with a non-trivial community."""
+    return from_edges(np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+@pytest.fixture
+def path6() -> CSRGraph:
+    """P6 — path of six vertices; pathological for synchronous LPA."""
+    return from_edges(np.arange(5), np.arange(1, 6))
+
+
+@pytest.fixture
+def star() -> CSRGraph:
+    """Star with 8 leaves — a hub plus degree-1 vertices."""
+    n = 9
+    return from_edges(np.zeros(n - 1, dtype=np.int64), np.arange(1, n))
+
+
+@pytest.fixture
+def two_cliques() -> CSRGraph:
+    """Two K5 cliques joined by one bridge edge — unambiguous communities."""
+    import itertools
+
+    edges = []
+    for base in (0, 5):
+        edges.extend((base + a, base + b) for a, b in itertools.combinations(range(5), 2))
+    edges.append((4, 5))
+    src, dst = map(np.asarray, zip(*edges))
+    return from_edges(src, dst)
+
+
+@pytest.fixture
+def weighted_triangle() -> CSRGraph:
+    """K3 with distinct weights, for weighted-path assertions."""
+    return from_edges(
+        np.array([0, 1, 2]),
+        np.array([1, 2, 0]),
+        np.array([1.0, 2.0, 3.0], dtype=np.float32),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_web() -> CSRGraph:
+    """A 2000-vertex web-graph stand-in (session-scoped: generation cost)."""
+    return web_graph(2000, avg_degree=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_road() -> CSRGraph:
+    """A small road-network stand-in."""
+    return road_network(10, 10, chain_length=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_social() -> CSRGraph:
+    """A small heavy-tailed social-network stand-in."""
+    return rmat_graph(10, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def planted() -> tuple[CSRGraph, np.ndarray]:
+    """Planted partition with strong, recoverable communities."""
+    return planted_partition(400, 8, p_in=0.25, p_out=0.01, seed=7)

@@ -1,0 +1,70 @@
+"""Tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import LPAConfig, nu_lpa
+from repro.core.diagnostics import diagnose_run, find_swap_cycles
+from repro.graph.generators import watts_strogatz
+
+
+class TestSwapDetection:
+    def test_perfect_matching_swaps_everywhere(self):
+        """The canonical pathology: disjoint edges swap labels forever."""
+        from repro.graph.build import from_edges
+
+        n = 32
+        g = from_edges(np.arange(0, n, 2), np.arange(1, n, 2))
+        report = find_swap_cycles(g)
+        assert report.swap_fraction == pytest.approx(1.0)
+
+    def test_ring_drifts_rather_than_swaps(self):
+        """A ring under smallest-label ties is a travelling wave, not a
+        period-2 swap: only the wrap-around pair 2-cycles."""
+        ring = watts_strogatz(64, 2, 0.0, seed=1)
+        report = find_swap_cycles(ring)
+        assert report.any_swaps
+        assert report.swap_fraction < 0.1
+
+    def test_two_cliques_mostly_stable(self, two_cliques):
+        report = find_swap_cycles(two_cliques)
+        # Clique cores converge instantly; at most boundary jitter.
+        assert report.swap_fraction < 0.5
+
+    def test_converged_state_has_no_swaps(self, two_cliques):
+        labels = np.array([0] * 5 + [5] * 5)
+        report = find_swap_cycles(two_cliques, labels)
+        assert not report.any_swaps
+
+    def test_report_vertices_are_valid(self, small_road):
+        report = find_swap_cycles(small_road)
+        if report.any_swaps:
+            assert report.swapping_vertices.max() < small_road.num_vertices
+
+
+class TestDiagnoseRun:
+    def test_converged_run(self, two_cliques):
+        r = nu_lpa(two_cliques)
+        report = diagnose_run(r, two_cliques.num_vertices)
+        assert report.converged
+        assert report.final_change_fraction < 0.2
+
+    def test_oscillating_run_decay_near_one(self):
+        ring = watts_strogatz(64, 2, 0.0, seed=1)
+        r = nu_lpa(ring, LPAConfig(pl_period=None))
+        report = diagnose_run(r, ring.num_vertices)
+        assert not report.converged
+        assert report.change_decay > 0.8  # stuck, not decaying
+
+    def test_healthy_run_decays(self, small_web):
+        r = nu_lpa(small_web)
+        report = diagnose_run(r, small_web.num_vertices)
+        assert report.change_decay < 1.0
+        assert report.knee_iteration >= 0
+
+    def test_empty_history(self):
+        from repro.core.result import LPAResult
+
+        r = LPAResult(labels=np.array([]), iterations=[], converged=True)
+        report = diagnose_run(r, 0)
+        assert report.iterations == 0

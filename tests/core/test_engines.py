@@ -1,0 +1,102 @@
+"""Engine-level tests: one lpaMove at a time."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig
+from repro.core.engine_hashtable import HashtableEngine
+from repro.core.engine_vectorized import VectorizedEngine, best_labels_groupby
+from repro.core.pruning import Frontier
+from repro.types import VERTEX_DTYPE
+
+
+ENGINE_CLASSES = [VectorizedEngine, HashtableEngine]
+
+
+class TestGroupby:
+    def test_basic_argmax(self):
+        table_id = np.array([0, 0, 0, 1])
+        keys = np.array([7, 7, 3, 9])
+        values = np.array([1.0, 1.0, 1.5, 2.0])
+        out = best_labels_groupby(table_id, keys, values, 2, np.array([-1, -1]))
+        assert out.tolist() == [7, 9]
+
+    def test_tie_breaks_to_smallest(self):
+        table_id = np.array([0, 0])
+        keys = np.array([9, 4])
+        values = np.array([1.0, 1.0])
+        out = best_labels_groupby(table_id, keys, values, 1, np.array([-1]))
+        assert out[0] == 4
+
+    def test_hash_tie_break_differs_deterministically(self):
+        table_id = np.zeros(4, dtype=np.int64)
+        keys = np.array([1, 2, 3, 4])
+        values = np.ones(4)
+        a = best_labels_groupby(table_id, keys, values, 1, np.array([-1]),
+                                tie_break="hash")
+        b = best_labels_groupby(table_id, keys, values, 1, np.array([-1]),
+                                tie_break="hash")
+        assert a[0] == b[0]
+        assert a[0] in keys
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            best_labels_groupby(
+                np.array([0]), np.array([1]), np.array([1.0]), 1,
+                np.array([-1]), tie_break="random",
+            )
+
+    def test_empty_tables_get_fallback(self):
+        out = best_labels_groupby(
+            np.array([1]), np.array([5]), np.array([1.0]), 3,
+            np.array([10, 11, 12]),
+        )
+        assert out.tolist() == [10, 5, 12]
+
+    def test_weights_accumulate_across_duplicate_keys(self):
+        table_id = np.array([0, 0, 0])
+        keys = np.array([4, 9, 4])
+        values = np.array([1.0, 1.5, 1.0])  # 4 totals 2.0 > 9's 1.5
+        out = best_labels_groupby(table_id, keys, values, 1, np.array([-1]))
+        assert out[0] == 4
+
+
+@pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+class TestMove:
+    def test_first_move_changes_vertices(self, two_cliques, engine_cls):
+        config = LPAConfig()
+        engine = engine_cls(two_cliques, config)
+        labels = np.arange(two_cliques.num_vertices, dtype=VERTEX_DTYPE)
+        frontier = Frontier(two_cliques)
+        out = engine.move(labels, frontier, pick_less=True, iteration=0)
+        assert out.changed > 0
+        assert out.processed == two_cliques.num_vertices
+        assert np.array_equal(np.sort(out.changed_vertices),
+                              np.flatnonzero(labels != np.arange(labels.shape[0])))
+
+    def test_pick_less_only_lowers_labels(self, small_web, engine_cls):
+        config = LPAConfig()
+        engine = engine_cls(small_web, config)
+        labels = np.arange(small_web.num_vertices, dtype=VERTEX_DTYPE)
+        before = labels.copy()
+        frontier = Frontier(small_web)
+        engine.move(labels, frontier, pick_less=True, iteration=0)
+        assert np.all(labels <= before)
+
+    def test_processed_vertices_marked(self, star, engine_cls):
+        config = LPAConfig()
+        engine = engine_cls(star, config)
+        labels = np.arange(star.num_vertices, dtype=VERTEX_DTYPE)
+        frontier = Frontier(star)
+        out = engine.move(labels, frontier, pick_less=False, iteration=0)
+        # Changed vertices re-marked their neighbours; everything else done.
+        assert frontier.num_active() <= star.num_vertices
+
+    def test_move_without_changes_empties_frontier(self, triangle, engine_cls):
+        config = LPAConfig()
+        engine = engine_cls(triangle, config)
+        labels = np.zeros(3, dtype=VERTEX_DTYPE)  # already converged
+        frontier = Frontier(triangle)
+        out = engine.move(labels, frontier, pick_less=False, iteration=0)
+        assert out.changed == 0
+        assert frontier.num_active() == 0

@@ -1,0 +1,42 @@
+"""Tests for the CSR edge-gather utility."""
+
+import numpy as np
+
+from repro.core._gather import gather_edges
+
+
+class TestGatherEdges:
+    def test_full_graph(self, triangle):
+        g = gather_edges(triangle, np.arange(3, dtype=np.int64))
+        assert g.num_edges == triangle.num_edges
+        # Edge indices enumerate the CSR arcs exactly once, in order.
+        assert np.array_equal(g.edge_index, np.arange(triangle.num_edges))
+
+    def test_table_ids_are_wave_local(self, star):
+        g = gather_edges(star, np.array([3, 7], dtype=np.int64))
+        assert set(np.unique(g.table_id)) == {0, 1}
+        assert g.num_edges == 2  # leaves have degree 1
+
+    def test_edge_ranks_restart_per_vertex(self, star):
+        g = gather_edges(star, np.array([0], dtype=np.int64))
+        assert np.array_equal(g.edge_rank, np.arange(8))
+
+    def test_targets_match_neighbors(self, two_cliques):
+        vertices = np.array([2, 9], dtype=np.int64)
+        g = gather_edges(two_cliques, vertices)
+        got = two_cliques.targets[g.edge_index]
+        expected = np.concatenate(
+            [two_cliques.neighbors(2), two_cliques.neighbors(9)]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_empty_vertex_set(self, triangle):
+        g = gather_edges(triangle, np.empty(0, dtype=np.int64))
+        assert g.num_edges == 0
+
+    def test_all_zero_degree(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges(np.array([0]), np.array([1]), num_vertices=4)
+        gathered = gather_edges(g, np.array([2, 3], dtype=np.int64))
+        assert gathered.num_edges == 0

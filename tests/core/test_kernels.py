@@ -1,0 +1,45 @@
+"""Tests for the degree partitioner."""
+
+import numpy as np
+
+from repro.core.kernels import partition_by_degree
+from repro.gpu.kernel import KernelKind
+
+
+class TestPartition:
+    def test_split_by_threshold(self, star):
+        vertices = np.arange(star.num_vertices, dtype=np.int64)
+        part = partition_by_degree(vertices, star.degrees, 2)
+        assert part.high.tolist() == [0]  # the hub
+        assert len(part.low) == 8
+
+    def test_zero_threshold_all_block(self, star):
+        vertices = np.arange(star.num_vertices, dtype=np.int64)
+        part = partition_by_degree(vertices, star.degrees, 0)
+        assert part.low.shape[0] == 0
+        assert part.total == star.num_vertices
+
+    def test_huge_threshold_all_thread(self, star):
+        vertices = np.arange(star.num_vertices, dtype=np.int64)
+        part = partition_by_degree(vertices, star.degrees, 10**6)
+        assert part.high.shape[0] == 0
+
+    def test_subset_of_vertices(self, star):
+        part = partition_by_degree(np.array([0, 3]), star.degrees, 2)
+        assert part.total == 2
+
+    def test_order_preserved(self, small_web):
+        vertices = np.arange(small_web.num_vertices, dtype=np.int64)
+        part = partition_by_degree(vertices, small_web.degrees, 32)
+        assert np.all(np.diff(part.low) > 0)
+        assert np.all(np.diff(part.high) > 0)
+
+    def test_empty_input(self, star):
+        part = partition_by_degree(np.empty(0, dtype=np.int64), star.degrees, 32)
+        assert part.total == 0
+
+    def test_for_kind(self, star):
+        vertices = np.arange(star.num_vertices, dtype=np.int64)
+        part = partition_by_degree(vertices, star.degrees, 2)
+        assert part.for_kind(KernelKind.BLOCK_PER_VERTEX).tolist() == [0]
+        assert len(part.for_kind(KernelKind.THREAD_PER_VERTEX)) == 8

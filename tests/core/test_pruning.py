@@ -1,0 +1,44 @@
+"""Tests for the unprocessed-vertex frontier."""
+
+import numpy as np
+
+from repro.core.pruning import Frontier
+
+
+class TestFrontier:
+    def test_starts_all_active(self, star):
+        f = Frontier(star)
+        assert f.num_active() == star.num_vertices
+
+    def test_mark_processed(self, star):
+        f = Frontier(star)
+        f.mark_processed(np.array([0, 1]))
+        assert f.num_active() == star.num_vertices - 2
+        active = f.active_vertices()
+        assert 0 not in active and 1 not in active
+
+    def test_neighbor_marking_reactivates(self, star):
+        f = Frontier(star)
+        f.mark_processed(np.arange(star.num_vertices))
+        arcs = f.mark_neighbors_unprocessed(np.array([0]))  # the hub
+        assert arcs == 8
+        assert f.num_active() == 8  # all leaves reactivated, hub still done
+
+    def test_neighbor_marking_empty(self, star):
+        f = Frontier(star)
+        assert f.mark_neighbors_unprocessed(np.empty(0, dtype=np.int64)) == 0
+
+    def test_disabled_pruning_always_active(self, star):
+        f = Frontier(star, enabled=False)
+        f.mark_processed(np.arange(star.num_vertices))
+        assert f.num_active() == star.num_vertices
+        assert f.active_vertices().shape[0] == star.num_vertices
+
+    def test_flags_dtype_is_uint8(self, star):
+        assert Frontier(star).flags.dtype == np.uint8
+
+    def test_active_vertices_sorted(self, small_road):
+        f = Frontier(small_road)
+        f.mark_processed(np.array([5, 2, 9]))
+        active = f.active_vertices()
+        assert np.all(np.diff(active) > 0)

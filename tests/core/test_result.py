@@ -1,0 +1,49 @@
+"""Tests for the LPAResult container."""
+
+import numpy as np
+
+from repro.core.result import IterationStats, LPAResult
+from repro.gpu.metrics import KernelCounters
+
+
+def _result(changes):
+    iterations = [
+        IterationStats(
+            iteration=i, changed=c, processed=10, pick_less=(i % 4 == 0),
+            cross_check=False, counters=KernelCounters(probes=c),
+        )
+        for i, c in enumerate(changes)
+    ]
+    return LPAResult(
+        labels=np.array([0, 0, 1]),
+        iterations=iterations,
+        converged=True,
+    )
+
+
+class TestLPAResult:
+    def test_num_iterations(self):
+        assert _result([5, 3, 1]).num_iterations == 3
+
+    def test_total_counters_sum(self):
+        r = _result([5, 3, 1])
+        assert r.total_counters.probes == 9
+
+    def test_changed_history(self):
+        r = _result([5, 3, 1])
+        assert r.changed_history.tolist() == [5, 3, 1]
+
+    def test_num_communities(self):
+        assert _result([1]).num_communities() == 2
+
+    def test_empty_run(self):
+        r = LPAResult(labels=np.array([]), iterations=[], converged=True)
+        assert r.num_iterations == 0
+        assert r.total_counters == KernelCounters()
+        assert r.changed_history.shape[0] == 0
+
+    def test_iteration_stats_fields(self):
+        r = _result([4])
+        stat = r.iterations[0]
+        assert stat.pick_less  # iteration 0, period 4
+        assert stat.reverted == 0

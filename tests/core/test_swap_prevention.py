@@ -1,0 +1,64 @@
+"""Tests for Pick-Less filtering and Cross-Check reverts."""
+
+import numpy as np
+
+from repro.core.swap_prevention import cross_check_revert, pick_less_filter
+
+
+class TestPickLess:
+    def test_inactive_allows_any_change(self):
+        current = np.array([5, 5, 5])
+        proposed = np.array([3, 5, 9])
+        mask = pick_less_filter(current, proposed, pick_less=False)
+        assert mask.tolist() == [True, False, True]
+
+    def test_active_blocks_larger_labels(self):
+        current = np.array([5, 5, 5])
+        proposed = np.array([3, 5, 9])
+        mask = pick_less_filter(current, proposed, pick_less=True)
+        assert mask.tolist() == [True, False, False]
+
+    def test_equal_label_never_counts_as_change(self):
+        mask = pick_less_filter(np.array([4]), np.array([4]), pick_less=True)
+        assert mask.tolist() == [False]
+
+
+class TestCrossCheck:
+    def test_swap_pair_resolves_to_merge(self):
+        # Vertices 0 and 1 swapped labels: C = [1, 0]; both memberships are
+        # "bad" (leader not in own community).  Sequential revert fixes 0,
+        # making 1's membership good: only one member reverts.
+        labels = np.array([1, 0])
+        previous = np.array([0, 1])
+        reverted = cross_check_revert(labels, previous, np.array([0, 1]))
+        assert reverted == 1
+        assert labels.tolist() == [0, 0]
+
+    def test_good_changes_untouched(self):
+        # Vertex 1 joined community 0 whose leader 0 is present: good.
+        labels = np.array([0, 0])
+        previous = np.array([0, 1])
+        reverted = cross_check_revert(labels, previous, np.array([1]))
+        assert reverted == 0
+        assert labels.tolist() == [0, 0]
+
+    def test_bad_non_swap_reverts(self):
+        # Vertex 2 joined community 1, but vertex 1 itself moved to 0:
+        # leader check fails, 2 reverts.
+        labels = np.array([0, 0, 1])
+        previous = np.array([0, 1, 2])
+        reverted = cross_check_revert(labels, previous, np.array([1, 2]))
+        assert reverted == 1
+        assert labels.tolist() == [0, 0, 2]
+
+    def test_empty_changed_set(self):
+        labels = np.array([1, 0])
+        assert cross_check_revert(labels, labels.copy(), np.array([], dtype=int)) == 0
+
+    def test_three_cycle(self):
+        # 0 -> 1's label, 1 -> 2's label, 2 -> 0's label (rotation).
+        labels = np.array([1, 2, 0])
+        previous = np.array([0, 1, 2])
+        cross_check_revert(labels, previous, np.array([0, 1, 2]))
+        # After the pass every membership must be self-consistent.
+        assert np.all(labels[labels] == labels)

@@ -1,0 +1,114 @@
+"""Smoke + shape tests for the experiment runners (tiny scale).
+
+Each runner is executed at ``scale=0.05`` with a two-dataset subset so the
+whole module stays in tens of seconds; assertions target the *shape* facts
+the paper reports, at thresholds loose enough for tiny stand-ins.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import ablations, collision_resolution, datatype
+from repro.experiments import swap_prevention, switch_degree
+
+TINY = dict(scale=0.08, seed=42, datasets=["indochina-2004", "europe_osm"])
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {"T1", "F1", "F3", "F4", "F5", "F6", "F7", "A1", "A2", "A3", "E1", "E2", "E3", "E4"}
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("F2")
+
+    def test_case_insensitive(self):
+        r = run_experiment("t1", scale=0.05, datasets=["asia_osm"])
+        assert r.experiment_id == "T1"
+
+
+class TestT1:
+    def test_values_and_table(self):
+        r = run_experiment("T1", scale=0.05, datasets=["asia_osm", "kmer_A2a"])
+        assert "asia_osm" in r.values
+        assert r.values["asia_osm"]["num_communities"] > 1
+        assert "asia_osm" in r.table
+
+    def test_community_density_tracks_family(self):
+        r = run_experiment(
+            "T1", scale=0.1, datasets=["indochina-2004", "kmer_A2a"]
+        )
+        # k-mer graphs have far more communities per vertex than web graphs.
+        assert (
+            r.values["kmer_A2a"]["communities_per_vertex"]
+            > 3 * r.values["indochina-2004"]["communities_per_vertex"]
+        )
+
+
+class TestF1:
+    def test_pl1_collapses_quality(self):
+        r = swap_prevention.run(**TINY, include_hybrid=False)
+        assert r.values["modularity"]["PL1"] < r.values["modularity"]["PL4"]
+
+    def test_reference_is_one(self):
+        r = swap_prevention.run(**TINY, include_hybrid=False)
+        assert r.values["runtime"]["PL4"] == pytest.approx(1.0)
+
+
+class TestF3:
+    def test_quadratic_is_worst(self):
+        r = collision_resolution.run(**TINY)
+        rt = r.values["runtime"]
+        assert rt["quadratic"] == max(rt.values())
+
+    def test_hub_stress_reproduces_paper_gaps(self):
+        stress = collision_resolution.hub_table_stress(seed=1)
+        qd = stress["quadratic-double"]["probes"]
+        assert stress["quadratic"]["probes"] > 10 * qd
+        assert stress["linear"]["probes"] > 1.5 * qd
+        assert stress["double"]["probes"] == pytest.approx(qd, rel=0.5)
+
+
+class TestF4:
+    def test_degree_2_is_bad_on_road(self):
+        r = switch_degree.run(scale=0.08, seed=42, datasets=["europe_osm"])
+        assert r.values["runtime"]["2"] > 1.5
+
+
+class TestF5:
+    def test_fp64_slower_fp32_equal_quality(self):
+        r = datatype.run(**TINY)
+        assert r.values["runtime"]["double"] > 1.0
+        assert r.values["max_modularity_gap"] < 0.02
+
+
+class TestAblations:
+    def test_pruning_saves_time(self):
+        r = ablations.run_pruning(**TINY)
+        assert r.values["runtime"]["no-pruning"] > 1.0
+        assert r.values["modularity_gap"] < 0.25
+
+    def test_tolerance_monotone_iterations(self):
+        r = ablations.run_tolerance(**TINY)
+        iters = [r.values[t]["iterations"] for t in sorted(r.values)]
+        # Tighter tolerance (smaller tau) needs at least as many iterations.
+        assert iters[0] >= iters[-1]
+
+
+class TestSerialization:
+    def test_to_json_roundtrips(self):
+        import json
+
+        r = run_experiment("E3", datasets=["it-2004", "sk-2005"])
+        payload = json.loads(r.to_json())
+        assert payload["experiment_id"] == "E3"
+        assert payload["values"]["sk-2005"]["gpu_fits"] is False
+
+    def test_save(self, tmp_path):
+        import json
+
+        r = run_experiment("T1", scale=0.05, datasets=["asia_osm"])
+        out = tmp_path / "t1.json"
+        r.save(out)
+        assert json.loads(out.read_text())["experiment_id"] == "T1"

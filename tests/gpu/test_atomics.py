@@ -1,0 +1,51 @@
+"""Tests for simulated atomics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.atomics import (
+    contention_cost,
+    first_winner_per_address,
+    simulate_atomic_add,
+)
+
+
+class TestWinners:
+    def test_first_in_lane_order_wins(self):
+        addresses = np.array([5, 3, 5, 3, 5])
+        winners = first_winner_per_address(addresses)
+        # Ascending address order: addr 3 -> index 1, addr 5 -> index 0.
+        assert winners.tolist() == [1, 0]
+
+    def test_no_contenders(self):
+        assert first_winner_per_address(np.array([], dtype=np.int64)).shape[0] == 0
+
+    def test_all_distinct(self):
+        winners = first_winner_per_address(np.array([9, 4, 7]))
+        assert sorted(winners.tolist()) == [0, 1, 2]
+
+
+class TestContention:
+    def test_cost_is_multiplicity_minus_one(self):
+        assert contention_cost(np.array([1, 1, 1, 2])) == 2
+
+    def test_zero_for_distinct(self):
+        assert contention_cost(np.array([1, 2, 3])) == 0
+
+    def test_empty(self):
+        assert contention_cost(np.array([], dtype=np.int64)) == 0
+
+
+class TestAtomicAdd:
+    def test_result_matches_serial(self):
+        target = np.zeros(4)
+        cost = simulate_atomic_add(
+            target, np.array([0, 1, 0, 0]), np.array([1.0, 2.0, 3.0, 4.0])
+        )
+        assert target.tolist() == [8.0, 2.0, 0.0, 0.0]
+        assert cost == 2
+
+    def test_empty(self):
+        target = np.zeros(2)
+        assert simulate_atomic_add(target, np.array([], dtype=np.int64),
+                                   np.array([])) == 0

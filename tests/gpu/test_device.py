@@ -1,0 +1,55 @@
+"""Tests for device specifications."""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import A100, XEON_GOLD_6226R_DUAL, DeviceSpec
+
+
+class TestA100:
+    def test_paper_section_511_numbers(self):
+        assert A100.num_sms == 108
+        assert A100.cuda_cores_per_sm == 64
+        assert A100.global_memory_bytes == 80 * 1024**3
+        assert A100.shared_memory_per_sm_bytes == 164 * 1024
+
+    def test_resident_threads(self):
+        assert A100.max_resident_threads == 108 * 2048
+
+    def test_resident_blocks_bounded_by_threads(self):
+        # 2048 threads / 256-thread blocks = 8 blocks per SM by threads,
+        # below the 32-block architectural limit.
+        assert A100.max_resident_blocks == 108 * 8
+
+    def test_warps_per_block(self):
+        assert A100.warps_per_block == 8
+
+
+class TestValidation:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(KernelLaunchError):
+            DeviceSpec(
+                name="bad", num_sms=1, cuda_cores_per_sm=1, warp_size=32,
+                max_threads_per_sm=64, max_blocks_per_sm=1,
+                shared_memory_per_sm_bytes=1, global_memory_bytes=1,
+                global_bandwidth=1.0, default_block_size=100,
+            )
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(KernelLaunchError):
+            DeviceSpec(
+                name="bad", num_sms=0, cuda_cores_per_sm=1, warp_size=32,
+                max_threads_per_sm=64, max_blocks_per_sm=1,
+                shared_memory_per_sm_bytes=1, global_memory_bytes=1,
+                global_bandwidth=1.0,
+            )
+
+
+class TestScaled:
+    def test_scaling_sms_and_bandwidth(self):
+        half = A100.scaled(0.5)
+        assert half.num_sms == 54
+        assert half.global_bandwidth == pytest.approx(A100.global_bandwidth / 2)
+
+    def test_cpu_spec(self):
+        assert XEON_GOLD_6226R_DUAL.total_cores == 32

@@ -1,0 +1,61 @@
+"""Tests for the sector-based memory model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100
+from repro.gpu.memory import AccessPattern, MemoryModel
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(A100)
+
+
+class TestContiguous:
+    def test_exact_multiple(self, mem):
+        assert mem.sectors_for_contiguous(8, 4) == 1  # 32 bytes
+
+    def test_rounds_up(self, mem):
+        assert mem.sectors_for_contiguous(9, 4) == 2
+
+    def test_zero(self, mem):
+        assert mem.sectors_for_contiguous(0, 4) == 0
+
+
+class TestScattered:
+    def test_one_sector_per_access(self, mem):
+        assert mem.sectors_for_scattered(17) == 17
+
+
+class TestSegments:
+    def test_coalesced_pays_ceil_per_segment(self, mem):
+        lengths = np.array([1, 8, 9])
+        # 1 elem -> 1 sector; 8 -> 1; 9 -> 2.
+        assert mem.sectors_for_segments(lengths, 4, AccessPattern.COALESCED) == 4
+
+    def test_scattered_pays_per_element(self, mem):
+        lengths = np.array([1, 8, 9])
+        assert mem.sectors_for_segments(lengths, 4, AccessPattern.SCATTERED) == 18
+
+    def test_empty(self, mem):
+        assert mem.sectors_for_segments(np.array([], dtype=np.int64), 4,
+                                        AccessPattern.COALESCED) == 0
+
+
+class TestExactAddresses:
+    def test_shared_sector_within_warp(self, mem):
+        # Eight 4-byte elements in the same 32-byte sector, same warp.
+        addresses = np.arange(8)
+        warps = np.zeros(8, dtype=np.int64)
+        assert mem.sectors_for_addresses(addresses, 4, warps) == 1
+
+    def test_distinct_warps_do_not_share(self, mem):
+        addresses = np.zeros(4, dtype=np.int64)
+        warps = np.arange(4)
+        assert mem.sectors_for_addresses(addresses, 4, warps) == 4
+
+    def test_scattered_addresses(self, mem):
+        addresses = np.arange(4) * 1000
+        warps = np.zeros(4, dtype=np.int64)
+        assert mem.sectors_for_addresses(addresses, 4, warps) == 4

@@ -1,0 +1,58 @@
+"""Tests for kernel counters."""
+
+from repro.gpu.metrics import KernelCounters
+
+
+class TestCounters:
+    def test_addition(self):
+        a = KernelCounters(probes=3, sectors_read=10)
+        b = KernelCounters(probes=4, waves=2)
+        c = a + b
+        assert c.probes == 7 and c.sectors_read == 10 and c.waves == 2
+
+    def test_inplace_addition(self):
+        a = KernelCounters(atomic_add=1)
+        a += KernelCounters(atomic_add=5)
+        assert a.atomic_add == 6
+
+    def test_bytes_moved(self):
+        c = KernelCounters(sectors_read=2, sectors_written=3)
+        assert c.bytes_moved == 5 * 32
+
+    def test_as_dict_roundtrip(self):
+        c = KernelCounters(probes=9)
+        assert KernelCounters(**c.as_dict()) == c
+
+    def test_addition_rejects_other_types(self):
+        try:
+            KernelCounters() + 3
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected TypeError")
+
+
+class TestKernelLaunch:
+    def test_launch_counts_itself(self):
+        from repro.gpu.device import A100
+        from repro.gpu.kernel import KernelKind, KernelLaunch
+
+        launch = KernelLaunch(KernelKind.THREAD_PER_VERTEX, A100, 100)
+        assert launch.counters.launches == 1
+        assert launch.threads_launched == 100
+
+    def test_block_kernel_thread_count(self):
+        from repro.gpu.device import A100
+        from repro.gpu.kernel import KernelKind, KernelLaunch
+
+        launch = KernelLaunch(KernelKind.BLOCK_PER_VERTEX, A100, 10)
+        assert launch.threads_launched == 10 * 256
+
+    def test_negative_grid_rejected(self):
+        from repro.errors import KernelLaunchError
+        from repro.gpu.device import A100
+        from repro.gpu.kernel import KernelKind, KernelLaunch
+        import pytest
+
+        with pytest.raises(KernelLaunchError):
+            KernelLaunch(KernelKind.THREAD_PER_VERTEX, A100, -5)

@@ -1,0 +1,55 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import A100
+from repro.gpu.occupancy import occupancy_for
+
+
+class TestOccupancy:
+    def test_default_config_thread_limited(self):
+        occ = occupancy_for(A100)
+        # 2048 threads / 256-thread blocks = 8 blocks; below 32-block limit.
+        assert occ.blocks_per_sm == 8
+        assert occ.threads_per_sm == 2048
+        assert occ.limited_by == "threads"
+        assert occ.occupancy_fraction == pytest.approx(1.0)
+
+    def test_small_blocks_hit_block_limit(self):
+        occ = occupancy_for(A100, block_size=32)
+        # 2048/32 = 64 by threads, but the architectural cap is 32.
+        assert occ.blocks_per_sm == 32
+        assert occ.limited_by == "blocks"
+        assert occ.threads_per_sm == 1024
+        assert occ.occupancy_fraction == pytest.approx(0.5)
+
+    def test_shared_memory_limits(self):
+        # 64 KB per block: only 2 blocks fit in 164 KB of shared memory.
+        occ = occupancy_for(A100, shared_bytes_per_block=64 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "shared"
+
+    def test_a3_per_thread_tables_fit_without_loss(self):
+        """The A3 budget (82 B per thread) costs no occupancy on an A100."""
+        block = A100.default_block_size
+        per_thread = A100.shared_memory_per_sm_bytes // A100.max_threads_per_sm
+        occ = occupancy_for(A100, shared_bytes_per_block=per_thread * block)
+        assert occ.threads_per_sm == A100.max_threads_per_sm
+
+    def test_device_wide_numbers(self):
+        occ = occupancy_for(A100)
+        assert occ.device_blocks(A100) == A100.max_resident_blocks
+        assert occ.device_threads(A100) == A100.max_resident_threads
+
+    def test_invalid_block_size(self):
+        with pytest.raises(KernelLaunchError):
+            occupancy_for(A100, block_size=100)
+
+    def test_oversized_shared_memory(self):
+        with pytest.raises(KernelLaunchError):
+            occupancy_for(A100, shared_bytes_per_block=10**9)
+
+    def test_negative_shared_memory(self):
+        with pytest.raises(KernelLaunchError):
+            occupancy_for(A100, shared_bytes_per_block=-1)

@@ -1,0 +1,67 @@
+"""Tests for wave scheduling and warp assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpu.device import A100
+from repro.gpu.kernel import KernelKind
+from repro.gpu.scheduler import plan_waves, warp_assignment
+
+
+class TestWavePlan:
+    def test_thread_kernel_wave_size(self):
+        plan = plan_waves(A100, KernelKind.THREAD_PER_VERTEX, 10)
+        assert plan.wave_size == A100.max_resident_threads
+
+    def test_block_kernel_wave_size(self):
+        plan = plan_waves(A100, KernelKind.BLOCK_PER_VERTEX, 10)
+        assert plan.wave_size == A100.max_resident_blocks
+
+    def test_wave_count(self):
+        plan = plan_waves(A100, KernelKind.BLOCK_PER_VERTEX, 2000)
+        assert plan.num_waves == -(-2000 // A100.max_resident_blocks)
+
+    def test_bounds_cover_all_items(self):
+        plan = plan_waves(A100, KernelKind.BLOCK_PER_VERTEX, 2000)
+        covered = []
+        for lo, hi in plan:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(2000))
+
+    def test_empty_grid(self):
+        plan = plan_waves(A100, KernelKind.THREAD_PER_VERTEX, 0)
+        assert plan.num_waves == 0
+        assert list(plan) == []
+
+    def test_negative_grid_rejected(self):
+        with pytest.raises(KernelLaunchError):
+            plan_waves(A100, KernelKind.THREAD_PER_VERTEX, -1)
+
+    def test_out_of_range_wave_rejected(self):
+        plan = plan_waves(A100, KernelKind.THREAD_PER_VERTEX, 10)
+        with pytest.raises(KernelLaunchError):
+            plan.wave_bounds(5)
+
+
+class TestWarpAssignment:
+    def test_thread_kernel_groups_of_32(self):
+        idx = np.array([0, 31, 32, 63, 64])
+        warps = warp_assignment(A100, KernelKind.THREAD_PER_VERTEX, idx)
+        assert warps.tolist() == [0, 0, 1, 1, 2]
+
+    def test_block_kernel_strides_edges_across_warps(self):
+        # Vertex 0's edges 0..255 fill the block's 8 warps of 32 lanes.
+        item = np.zeros(256, dtype=np.int64)
+        rank = np.arange(256)
+        warps = warp_assignment(A100, KernelKind.BLOCK_PER_VERTEX, item, rank)
+        assert warps.min() == 0 and warps.max() == 7
+        assert np.all(warps == rank // 32)
+
+    def test_block_kernel_requires_ranks(self):
+        with pytest.raises(KernelLaunchError):
+            warp_assignment(A100, KernelKind.BLOCK_PER_VERTEX, np.array([0]))
+
+    def test_kernel_kind_atomics(self):
+        assert KernelKind.BLOCK_PER_VERTEX.uses_atomics
+        assert not KernelKind.THREAD_PER_VERTEX.uses_atomics

@@ -1,0 +1,74 @@
+"""Tests for weight-constrained LPA coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.coarsen import coarsen
+from repro.graph.properties import is_symmetric
+
+
+class TestCoarsen:
+    def test_shrinks_graph(self, small_road):
+        r = coarsen(small_road, max_weight=8)
+        assert r.coarsest.num_vertices < small_road.num_vertices
+        assert r.reduction > 1.5
+
+    def test_total_weight_preserved_every_level(self, small_web):
+        r = coarsen(small_web, max_weight=16, max_levels=3)
+        for level in r.levels[1:]:
+            assert level.total_weight() == pytest.approx(
+                small_web.total_weight(), rel=1e-5
+            )
+
+    def test_vertex_weights_account_everyone(self, small_road):
+        r = coarsen(small_road, max_weight=8)
+        assert int(r.vertex_weights.sum()) == small_road.num_vertices
+
+    def test_weight_constraint_respected(self, small_road):
+        r = coarsen(small_road, max_weight=5)
+        assert int(r.vertex_weights.max()) <= 5
+
+    def test_mapping_is_consistent(self, small_road):
+        r = coarsen(small_road, max_weight=8)
+        assert r.mapping.shape[0] == small_road.num_vertices
+        assert int(r.mapping.max()) < r.coarsest.num_vertices
+        sizes = np.bincount(r.mapping, minlength=r.coarsest.num_vertices)
+        assert np.array_equal(sizes, r.vertex_weights)
+
+    def test_levels_stay_symmetric(self, small_web):
+        r = coarsen(small_web, max_weight=16, max_levels=2)
+        for level in r.levels:
+            assert is_symmetric(level)
+
+    def test_target_vertices_stop(self, small_road):
+        r = coarsen(small_road, max_weight=50, target_vertices=30)
+        # Stops at or soon after crossing the target.
+        assert r.coarsest.num_vertices <= max(
+            30, r.levels[-2].num_vertices if len(r.levels) > 1 else 30
+        )
+
+    def test_max_weight_one_is_noop(self, triangle):
+        r = coarsen(triangle, max_weight=1)
+        assert r.coarsest.num_vertices == 3
+
+    def test_empty_graph(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        r = coarsen(g)
+        assert r.coarsest.num_vertices == 0
+
+    def test_invalid_max_weight(self, triangle):
+        with pytest.raises(ConfigurationError):
+            coarsen(triangle, max_weight=0)
+
+    def test_coarse_communities_lift_back(self, small_web):
+        """Detecting on the coarse graph and lifting is still meaningful."""
+        from repro import nu_lpa
+        from repro.metrics import modularity
+
+        r = coarsen(small_web, max_weight=16, max_levels=2)
+        coarse_labels = nu_lpa(r.coarsest).labels
+        lifted = coarse_labels[r.mapping]
+        assert modularity(small_web, lifted) > 0.3

@@ -1,0 +1,125 @@
+"""Tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import CSRGraph
+from repro.graph.build import from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = CSRGraph(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+        assert g.num_vertices == 2
+        assert g.degree(0) == 0 and g.degree(1) == 0
+
+    def test_basic_shape(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 6  # each edge stored twice
+        assert triangle.num_undirected_edges == 3
+
+    def test_default_weights_are_one(self, triangle):
+        assert np.all(triangle.weights == 1.0)
+
+    def test_rejects_bad_offsets_start(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_rejects_decreasing_offsets(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_rejects_offset_target_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(
+                np.array([0, 1, 2]),
+                np.array([1, 0]),
+                np.array([1.0], dtype=np.float32),
+            )
+
+    def test_arrays_are_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.targets[0] = 2
+        with pytest.raises(ValueError):
+            triangle.offsets[0] = 1
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 9.0
+
+
+class TestAccessors:
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors(0).tolist()) == {1, 2}
+
+    def test_neighbor_weights(self, weighted_triangle):
+        # Vertex 0 has edges to 1 (w=1) and 2 (w=3).
+        nbrs = weighted_triangle.neighbors(0)
+        wts = weighted_triangle.neighbor_weights(0)
+        lookup = dict(zip(nbrs.tolist(), wts.tolist()))
+        assert lookup[1] == pytest.approx(1.0)
+        assert lookup[2] == pytest.approx(3.0)
+
+    def test_degrees_match_offsets(self, star):
+        assert star.degree(0) == 8
+        assert all(star.degree(i) == 1 for i in range(1, 9))
+
+    def test_source_ids(self, triangle):
+        src = triangle.source_ids()
+        assert src.shape[0] == triangle.num_edges
+        for i in range(triangle.num_vertices):
+            lo, hi = triangle.offsets[i], triangle.offsets[i + 1]
+            assert np.all(src[lo:hi] == i)
+
+    def test_iter_edges_count(self, triangle):
+        assert len(list(triangle.iter_edges())) == triangle.num_edges
+
+
+class TestWeightedQuantities:
+    def test_weighted_degrees_unweighted(self, star):
+        wd = star.weighted_degrees()
+        assert wd[0] == pytest.approx(8.0)
+        assert np.allclose(wd[1:], 1.0)
+
+    def test_total_weight(self, weighted_triangle):
+        assert weighted_triangle.total_weight() == pytest.approx(6.0)
+
+    def test_total_weight_matches_sum_of_degrees(self, small_web):
+        assert small_web.weighted_degrees().sum() == pytest.approx(
+            2 * small_web.total_weight(), rel=1e-6
+        )
+
+
+class TestEqualityAndSort:
+    def test_equality(self, triangle):
+        other = from_edges(np.array([0, 1, 2]), np.array([1, 2, 0]))
+        assert triangle == other
+
+    def test_inequality(self, triangle, path6):
+        assert triangle != path6
+
+    def test_sorted_by_degree_preserves_structure(self, small_road):
+        g2, perm = small_road.sorted_by_degree()
+        assert g2.num_vertices == small_road.num_vertices
+        assert g2.num_edges == small_road.num_edges
+        # Degrees must be ascending and a permutation of the originals.
+        assert np.all(np.diff(g2.degrees) >= 0)
+        assert np.array_equal(np.sort(g2.degrees), np.sort(small_road.degrees))
+        # Edge (perm[a], perm[b]) in old graph <-> (a, b) in new graph.
+        assert g2.degree(0) == small_road.degree(int(perm[0]))
+
+    def test_memory_bytes_accounting(self, triangle):
+        # 4 offsets * 8B + 6 arcs * (4B id + 4B weight).
+        assert triangle.memory_bytes() == 4 * 8 + 6 * 8

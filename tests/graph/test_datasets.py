@@ -1,0 +1,74 @@
+"""Tests for the Table-1 dataset registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_names,
+    generate_standin,
+    get_dataset,
+    large_dataset_names,
+)
+from repro.graph.properties import degree_statistics, is_symmetric
+
+
+class TestRegistry:
+    def test_thirteen_datasets(self):
+        assert len(DATASETS) == 13
+
+    def test_table1_order(self):
+        names = dataset_names()
+        assert names[0] == "indochina-2004"
+        assert names[-1] == "kmer_V1r"
+
+    def test_families(self):
+        fams = {spec.family for spec in DATASETS.values()}
+        assert fams == {"web", "social", "road", "kmer"}
+
+    def test_paper_numbers_recorded(self):
+        spec = get_dataset("it-2004")
+        assert spec.paper_num_edges == 2_190_000_000
+        assert spec.paper_num_communities == 901_000
+
+    def test_sk2005_unknown_communities(self):
+        assert get_dataset("sk-2005").paper_num_communities is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            get_dataset("facebook")
+
+    def test_large_names_subset(self):
+        assert set(large_dataset_names()) <= set(dataset_names())
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_standin_generates_and_is_symmetric(self, name):
+        g = generate_standin(name, scale=0.05, seed=1)
+        assert g.num_vertices > 0
+        assert is_symmetric(g)
+
+    def test_family_degree_profiles(self):
+        road = generate_standin("asia_osm", scale=0.3, seed=1)
+        kmer = generate_standin("kmer_A2a", scale=0.3, seed=1)
+        web = generate_standin("indochina-2004", scale=0.3, seed=1)
+        assert degree_statistics(road).mean < 3
+        assert degree_statistics(kmer).mean < 3
+        web_stats = degree_statistics(web)
+        assert web_stats.mean > 10
+        assert web_stats.max > 5 * web_stats.mean
+
+    def test_scale_shrinks(self):
+        big = generate_standin("kmer_A2a", scale=0.2, seed=1)
+        small = generate_standin("kmer_A2a", scale=0.1, seed=1)
+        assert small.num_vertices < big.num_vertices
+
+    def test_deterministic(self):
+        a = generate_standin("europe_osm", scale=0.1, seed=5)
+        b = generate_standin("europe_osm", scale=0.1, seed=5)
+        assert a == b
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            generate_standin("asia_osm", scale=0.0)

@@ -1,0 +1,178 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.generators import (
+    barabasi_albert,
+    kmer_graph,
+    lfr_like,
+    planted_partition,
+    rmat_graph,
+    road_network,
+    watts_strogatz,
+    web_graph,
+)
+from repro.graph.properties import (
+    degree_statistics,
+    is_symmetric,
+    largest_component_fraction,
+)
+from repro.metrics import modularity
+
+
+def _check_valid(g):
+    assert is_symmetric(g)
+    assert g.num_edges > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: rmat_graph(8, 4, seed=s),
+            lambda s: barabasi_albert(200, 3, seed=s),
+            lambda s: watts_strogatz(100, 4, 0.2, seed=s),
+            lambda s: road_network(8, 8, seed=s),
+            lambda s: kmer_graph(500, seed=s),
+            lambda s: web_graph(500, seed=s),
+            lambda s: planted_partition(100, 5, seed=s)[0],
+            lambda s: lfr_like(400, seed=s)[0],
+        ],
+        ids=["rmat", "ba", "ws", "road", "kmer", "web", "pp", "lfr"],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert make(3) == make(3)
+
+    def test_different_seed_different_graph(self):
+        assert rmat_graph(8, 4, seed=1) != rmat_graph(8, 4, seed=2)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat_graph(9, 8, seed=0)
+        assert g.num_vertices == 512
+        _check_valid(g)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(11, 16, seed=0)
+        st = degree_statistics(g)
+        assert st.max > 8 * st.mean
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphConstructionError):
+            rmat_graph(4, 4, a=0.9, b=0.9, c=0.9)
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        g = barabasi_albert(300, 2, seed=0)
+        assert g.num_vertices == 300
+        _check_valid(g)
+
+    def test_connected(self):
+        g = barabasi_albert(300, 2, seed=0)
+        assert largest_component_fraction(g) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(GraphConstructionError):
+            barabasi_albert(3, 5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz(50, 4, 0.0, seed=0)
+        assert np.all(g.degrees == 4)
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphConstructionError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphConstructionError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestRoadNetwork:
+    def test_degree_profile(self):
+        g = road_network(15, 15, chain_length=6, seed=0)
+        st = degree_statistics(g)
+        assert 1.9 < st.mean < 2.4  # OSM-like
+        assert st.max <= 6
+
+    def test_mostly_connected(self):
+        g = road_network(10, 10, thin_probability=0.05, seed=0)
+        assert largest_component_fraction(g) > 0.8
+
+    def test_chain_length_one(self):
+        g = road_network(5, 5, chain_length=1, thin_probability=0.0, seed=0)
+        assert g.num_vertices == 25
+
+    def test_invalid_grid(self):
+        with pytest.raises(GraphConstructionError):
+            road_network(1, 5)
+
+
+class TestKmer:
+    def test_degree_profile(self):
+        g = kmer_graph(5000, seed=0)
+        st = degree_statistics(g)
+        assert 1.8 < st.mean < 2.5
+        assert st.max < 10
+
+    def test_exact_vertex_count(self):
+        assert kmer_graph(1234, seed=0).num_vertices == 1234
+
+    def test_invalid(self):
+        with pytest.raises(GraphConstructionError):
+            kmer_graph(1)
+
+
+class TestWebGraph:
+    def test_hubs_exist(self):
+        g = web_graph(5000, avg_degree=12, seed=0)
+        st = degree_statistics(g)
+        assert st.max > 10 * st.mean  # genuine hubs
+
+    def test_community_structure(self):
+        from repro import nu_lpa
+
+        g = web_graph(3000, avg_degree=8, seed=0)
+        r = nu_lpa(g)
+        assert modularity(g, r.labels) > 0.4
+
+    def test_invalid(self):
+        with pytest.raises(GraphConstructionError):
+            web_graph(2)
+
+
+class TestPlantedPartition:
+    def test_ground_truth_shape(self):
+        g, labels = planted_partition(120, 6, seed=0)
+        assert labels.shape[0] == 120
+        assert np.unique(labels).shape[0] == 6
+
+    def test_ground_truth_has_high_modularity(self):
+        g, labels = planted_partition(300, 6, p_in=0.3, p_out=0.01, seed=0)
+        assert modularity(g, labels) > 0.5
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphConstructionError):
+            planted_partition(100, 5, p_in=0.01, p_out=0.5)
+
+
+class TestLfrLike:
+    def test_covers_all_vertices(self):
+        g, labels = lfr_like(600, seed=0)
+        assert labels.shape[0] == 600
+        assert g.num_vertices == 600
+
+    def test_mixing_controls_quality(self):
+        g_low, lab_low = lfr_like(800, mixing=0.1, seed=0)
+        g_high, lab_high = lfr_like(800, mixing=0.6, seed=0)
+        assert modularity(g_low, lab_low) > modularity(g_high, lab_high)
+
+    def test_invalid_mixing(self):
+        with pytest.raises(GraphConstructionError):
+            lfr_like(100, mixing=1.5)

@@ -1,0 +1,159 @@
+"""Tests for graph file IO round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.io import (
+    load_graph,
+    read_edgelist,
+    read_matrix_market,
+    read_metis,
+    write_edgelist,
+    write_matrix_market,
+    write_metis,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    return from_edges(
+        np.array([0, 1, 2, 3]),
+        np.array([1, 2, 3, 0]),
+        np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32),
+    )
+
+
+class TestEdgelist:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edgelist(sample_graph, path)
+        g = read_edgelist(path)
+        assert g == sample_graph
+
+    def test_roundtrip_gzip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        write_edgelist(sample_graph, path)
+        assert read_edgelist(path) == sample_graph
+
+    def test_unweighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edgelist(path)
+        assert g.num_undirected_edges == 2
+        assert np.all(g.weights == 1.0)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n0 1\n")
+        assert read_edgelist(path).num_undirected_edges == 1
+
+    def test_gappy_ids_compacted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("10 20\n20 30\n")
+        g = read_edgelist(path)
+        assert g.num_vertices == 3
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        assert read_edgelist(path).num_vertices == 0
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(sample_graph, path)
+        assert read_matrix_market(path) == sample_graph
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_undirected_edges == 2
+        assert np.all(g.weights == 1.0)
+
+    def test_general_symmetry(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 2 1.0\n2 1 1.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_undirected_edges == 1
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_wrong_nnz_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 2 1.0\n"
+        )
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_comment_lines_after_header(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% SuiteSparse metadata\n"
+            "2 2 1\n2 1 1.0\n"
+        )
+        assert read_matrix_market(path).num_undirected_edges == 1
+
+
+class TestMetis:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.graph"
+        write_metis(sample_graph, path)
+        assert read_metis(path) == sample_graph
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("5\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_wrong_line_count_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1 001\n2 1.0\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+
+class TestLoadGraph:
+    def test_dispatch_by_suffix(self, sample_graph, tmp_path):
+        for suffix, writer in [
+            (".mtx", write_matrix_market),
+            (".graph", write_metis),
+            (".txt", write_edgelist),
+        ]:
+            path = tmp_path / f"g{suffix}"
+            writer(sample_graph, path)
+            assert load_graph(path) == sample_graph
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            load_graph(path)

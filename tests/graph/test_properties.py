@@ -1,0 +1,102 @@
+"""Tests for structural graph properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.properties import (
+    connected_components,
+    degree_histogram,
+    degree_statistics,
+    has_self_loops,
+    is_symmetric,
+    largest_component_fraction,
+    power_law_exponent_estimate,
+)
+
+
+class TestDegreeStats:
+    def test_histogram(self, star):
+        hist = degree_histogram(star)
+        assert hist[1] == 8 and hist[8] == 1
+
+    def test_statistics(self, star):
+        st = degree_statistics(star)
+        assert st.min == 1 and st.max == 8
+        assert st.mean == pytest.approx(16 / 9)
+        assert st.frac_low_degree == 1.0  # all below 32
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        st = degree_statistics(g)
+        assert st.mean == 0.0 and st.gini == 0.0
+
+    def test_gini_zero_for_regular_graph(self, triangle):
+        assert degree_statistics(triangle).gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_positive_for_star(self, star):
+        assert degree_statistics(star).gini > 0.3
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        comp = connected_components(triangle)
+        assert np.unique(comp).shape[0] == 1
+
+    def test_two_components(self):
+        g = from_edges(np.array([0, 2]), np.array([1, 3]))
+        comp = connected_components(g)
+        assert np.unique(comp).shape[0] == 2
+        assert comp[0] == comp[1] and comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_isolated_vertices_are_own_components(self):
+        g = from_edges(np.array([0]), np.array([1]), num_vertices=4)
+        comp = connected_components(g)
+        assert np.unique(comp).shape[0] == 3
+
+    def test_labels_are_compact(self, two_cliques):
+        comp = connected_components(two_cliques)
+        assert set(np.unique(comp)) == {0}
+
+    def test_largest_component_fraction(self):
+        g = from_edges(np.array([0, 1]), np.array([1, 2]), num_vertices=6)
+        assert largest_component_fraction(g) == pytest.approx(0.5)
+
+    def test_long_path(self):
+        n = 500
+        g = from_edges(np.arange(n - 1), np.arange(1, n))
+        assert np.unique(connected_components(g)).shape[0] == 1
+
+
+class TestSymmetry:
+    def test_symmetric_after_build(self, small_web):
+        assert is_symmetric(small_web)
+
+    def test_asymmetric_detected(self):
+        g = from_edges(np.array([0]), np.array([1]), symmetrize=False)
+        assert not is_symmetric(g)
+
+    def test_weight_mismatch_detected(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(
+            np.array([0, 1, 2]),
+            np.array([1, 0]),
+            np.array([1.0, 2.0], dtype=np.float32),
+        )
+        assert not is_symmetric(g)
+
+    def test_self_loops(self):
+        g = from_edges(np.array([0, 1]), np.array([0, 2]), dedupe=False)
+        assert has_self_loops(g)
+
+
+class TestPowerLaw:
+    def test_heavy_tail_has_low_exponent(self, small_web):
+        alpha = power_law_exponent_estimate(small_web)
+        assert 1.0 < alpha < 3.5
+
+    def test_no_tail_returns_inf(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        assert power_law_exponent_estimate(g, d_min=5) == float("inf")

@@ -1,0 +1,102 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.build import from_edges
+from repro.graph.properties import is_symmetric
+from repro.graph.transform import (
+    community_subgraph,
+    induced_subgraph,
+    largest_component,
+    permute_vertices,
+    remove_self_loops,
+)
+
+
+class TestInducedSubgraph:
+    def test_clique_extraction(self, two_cliques):
+        sub, mapping = induced_subgraph(two_cliques, np.arange(5))
+        assert sub.num_vertices == 5
+        assert sub.num_undirected_edges == 10  # K5
+        assert mapping.tolist() == [0, 1, 2, 3, 4]
+
+    def test_preserves_symmetry(self, small_web):
+        sub, _ = induced_subgraph(small_web, np.arange(0, 500, 2))
+        assert is_symmetric(sub)
+
+    def test_cross_edges_dropped(self, two_cliques):
+        sub, _ = induced_subgraph(two_cliques, np.array([4, 5]))
+        # Only the bridge edge survives.
+        assert sub.num_undirected_edges == 1
+
+    def test_duplicates_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            induced_subgraph(triangle, np.array([0, 0]))
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            induced_subgraph(triangle, np.array([5]))
+
+    def test_weights_carried(self, weighted_triangle):
+        sub, _ = induced_subgraph(weighted_triangle, np.array([0, 1]))
+        assert sub.weights[0] == pytest.approx(1.0)
+
+
+class TestLargestComponent:
+    def test_selects_biggest(self):
+        g = from_edges(np.array([0, 1, 5]), np.array([1, 2, 6]), num_vertices=8)
+        sub, mapping = largest_component(g)
+        assert sub.num_vertices == 3
+        assert set(mapping.tolist()) == {0, 1, 2}
+
+    def test_connected_graph_unchanged(self, triangle):
+        sub, mapping = largest_component(triangle)
+        assert sub == triangle
+
+    def test_empty(self):
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        sub, mapping = largest_component(g)
+        assert sub.num_vertices == 0
+
+
+class TestPermute:
+    def test_roundtrip(self, small_road):
+        perm = np.random.default_rng(0).permutation(small_road.num_vertices)
+        permuted = permute_vertices(small_road, perm)
+        assert permuted.num_edges == small_road.num_edges
+        assert is_symmetric(permuted)
+        # Degree multiset preserved; degrees follow the permutation.
+        assert np.array_equal(permuted.degrees, small_road.degrees[perm])
+
+    def test_identity(self, triangle):
+        assert permute_vertices(triangle, np.arange(3)) == triangle
+
+    def test_non_permutation_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            permute_vertices(triangle, np.array([0, 0, 2]))
+
+
+class TestRemoveSelfLoops:
+    def test_removes_only_loops(self):
+        g = from_edges(np.array([0, 1]), np.array([0, 2]), dedupe=False)
+        clean = remove_self_loops(g)
+        assert clean.num_vertices == g.num_vertices
+        src = clean.source_ids()
+        assert np.all(src != clean.targets)
+
+    def test_noop_without_loops(self, triangle):
+        assert remove_self_loops(triangle) == triangle
+
+
+class TestCommunitySubgraph:
+    def test_extracts_community(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        sub, mapping = community_subgraph(two_cliques, labels, 1)
+        assert sub.num_vertices == 5
+        assert set(mapping.tolist()) == {5, 6, 7, 8, 9}
+
+    def test_missing_community_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            community_subgraph(triangle, np.zeros(3, dtype=int), 7)

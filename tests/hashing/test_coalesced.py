@@ -1,0 +1,71 @@
+"""Tests for the coalesced-chaining hashtable variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HashtableFullError
+from repro.graph.build import from_edges
+from repro.hashing.coalesced import CoalescedHashtables
+
+
+class TestCoalesced:
+    def test_insert_and_accumulate(self, star):
+        t = CoalescedHashtables(star)
+        t.clear(0)
+        t.accumulate(0, key=10, value=1.0)
+        t.accumulate(0, key=10, value=2.0)
+        assert t.max_key(0) == 10
+
+    def test_chains_resolve_collisions(self, star):
+        t = CoalescedHashtables(star)
+        t.clear(0)
+        p1 = int(t._p1[0])
+        # All keys hash to the same home slot -> full chain.
+        for k in range(5):
+            t.accumulate(0, key=p1 * (k + 1), value=float(k + 1))
+        assert t.max_key(0) == p1 * 5
+        assert t.total_link_steps > 0
+
+    def test_max_key_empty(self, star):
+        t = CoalescedHashtables(star)
+        t.clear(0)
+        assert t.max_key(0) == -1
+
+    def test_region_exhaustion_raises(self):
+        g = from_edges(np.array([0]), np.array([1]))
+        t = CoalescedHashtables(g)
+        t.clear(0)
+        with pytest.raises(HashtableFullError):
+            for k in range(10):
+                t.accumulate(0, key=1 + 3 * k, value=1.0)
+
+    def test_matches_open_addressing_totals(self, small_road):
+        from repro.hashing.hashtable import PerVertexHashtables
+
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 40, size=small_road.num_vertices)
+        open_t = PerVertexHashtables(small_road)
+        co_t = CoalescedHashtables(small_road)
+        for v in range(0, small_road.num_vertices, 13):
+            a = open_t.accumulate_neighborhood(v, labels)
+            b = co_t.accumulate_neighborhood(v, labels)
+            assert open_t.entries(v).keys() == _entries(co_t, v).keys()
+            for k, val in open_t.entries(v).items():
+                assert _entries(co_t, v)[k] == pytest.approx(val)
+
+    def test_memory_includes_nexts(self, star):
+        from repro.hashing.hashtable import PerVertexHashtables
+
+        assert (
+            CoalescedHashtables(star).memory_bytes()
+            > PerVertexHashtables(star).memory_bytes()
+        )
+
+
+def _entries(tables, i):
+    base = int(tables._base[i])
+    region = int(tables._region[i])
+    keys = tables.keys[base : base + region]
+    values = tables.values[base : base + region]
+    occ = keys != -1
+    return {int(k): float(v) for k, v in zip(keys[occ], values[occ])}

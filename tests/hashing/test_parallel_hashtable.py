@@ -1,0 +1,208 @@
+"""Tests for the vectorised warp-parallel hashtable."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HashtableFullError
+from repro.hashing.parallel_hashtable import (
+    parallel_accumulate,
+    segment_index_arrays,
+    segmented_clear,
+    segmented_max_key,
+)
+from repro.hashing.probing import ProbeStrategy
+from repro.types import EMPTY_KEY
+
+
+def _make_tables(capacities):
+    caps = np.asarray(capacities, dtype=np.int64)
+    base = np.zeros(caps.shape[0], dtype=np.int64)
+    np.cumsum(2 * (caps + 1)[:-1], out=base[1:])
+    size = int((2 * (caps + 1)).sum())
+    keys = np.full(size, EMPTY_KEY, dtype=np.int64)
+    values = np.zeros(size, dtype=np.float64)
+    p2 = 2 * (caps + 1) - 1
+    return keys, values, base, caps, p2
+
+
+class TestSegmentIndex:
+    def test_basic(self):
+        _, _, base, p1, _ = _make_tables([3, 7])
+        flat, seg, starts = segment_index_arrays(base, p1)
+        assert flat.shape[0] == 10
+        assert seg.tolist() == [0] * 3 + [1] * 7
+        assert starts.tolist() == [0, 3]
+        assert flat[:3].tolist() == [base[0], base[0] + 1, base[0] + 2]
+
+
+class TestClear:
+    def test_clears_only_live_region(self):
+        keys, values, base, p1, _ = _make_tables([3, 3])
+        keys[:] = 9
+        values[:] = 5.0
+        cleared = segmented_clear(keys, values, base, p1)
+        assert cleared == 6
+        assert np.all(keys[base[0] : base[0] + 3] == EMPTY_KEY)
+        # Slack region beyond p1 is untouched.
+        assert keys[base[0] + 3] == 9
+
+    def test_empty_tables(self):
+        keys, values, base, p1, _ = _make_tables([])
+        assert segmented_clear(keys, values, base, p1) == 0
+
+
+class TestAccumulate:
+    @pytest.mark.parametrize("strategy", list(ProbeStrategy))
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_totals_match_dict(self, strategy, shared):
+        rng = np.random.default_rng(1)
+        keys_buf, values_buf, base, p1, p2 = _make_tables([7, 15, 31])
+        n = 40
+        entry_table = rng.integers(0, 3, size=n)
+        entry_key = rng.integers(0, 8, size=n) * 101
+        entry_value = rng.random(n).astype(np.float64)
+        segmented_clear(keys_buf, values_buf, base, p1)
+        parallel_accumulate(
+            keys_buf, values_buf, base, p1, p2,
+            entry_table, entry_key, entry_value, strategy, shared=shared,
+        )
+        for t in range(3):
+            expected: dict[int, float] = {}
+            for e in range(n):
+                if entry_table[e] == t:
+                    expected[int(entry_key[e])] = (
+                        expected.get(int(entry_key[e]), 0.0) + entry_value[e]
+                    )
+            got = {}
+            for s in range(p1[t]):
+                k = keys_buf[base[t] + s]
+                if k != EMPTY_KEY:
+                    got[int(k)] = got.get(int(k), 0.0) + float(values_buf[base[t] + s])
+            assert got.keys() == expected.keys()
+            for k in expected:
+                assert got[k] == pytest.approx(expected[k])
+
+    def test_full_load_all_strategies(self):
+        # 100% load: p1 distinct keys into a p1-slot table must all land.
+        for strategy in ProbeStrategy:
+            keys_buf, values_buf, base, p1, p2 = _make_tables([31])
+            entry_key = 17 * np.arange(31, dtype=np.int64) + 5
+            segmented_clear(keys_buf, values_buf, base, p1)
+            res = parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2,
+                np.zeros(31, dtype=np.int64), entry_key,
+                np.ones(31, dtype=np.float64), strategy,
+            )
+            live = keys_buf[base[0] : base[0] + 31]
+            assert np.count_nonzero(live != EMPTY_KEY) == 31
+            assert res.total_probes >= 31
+
+    def test_overfull_table_raises(self):
+        keys_buf, values_buf, base, p1, p2 = _make_tables([3])
+        with pytest.raises(HashtableFullError):
+            parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2,
+                np.zeros(5, dtype=np.int64),
+                np.arange(5, dtype=np.int64) * 7 + 1,
+                np.ones(5, dtype=np.float64),
+                ProbeStrategy.LINEAR,
+            )
+
+    def test_empty_input(self):
+        keys_buf, values_buf, base, p1, p2 = _make_tables([7])
+        res = parallel_accumulate(
+            keys_buf, values_buf, base, p1, p2,
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64), ProbeStrategy.LINEAR,
+        )
+        assert res.total_probes == 0
+
+    def test_atomics_counted_only_when_shared(self):
+        for shared, expect in ((True, True), (False, False)):
+            keys_buf, values_buf, base, p1, p2 = _make_tables([7])
+            res = parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2,
+                np.zeros(4, dtype=np.int64),
+                np.array([1, 2, 3, 1]), np.ones(4, dtype=np.float64),
+                ProbeStrategy.QUADRATIC_DOUBLE, shared=shared,
+            )
+            assert (res.atomic_adds > 0) is expect
+            assert (res.cas_attempts > 0) is expect
+
+    def test_entry_probes_returned(self):
+        keys_buf, values_buf, base, p1, p2 = _make_tables([7])
+        res = parallel_accumulate(
+            keys_buf, values_buf, base, p1, p2,
+            np.zeros(3, dtype=np.int64), np.array([1, 2, 3]),
+            np.ones(3, dtype=np.float64), ProbeStrategy.LINEAR,
+        )
+        assert res.entry_probes.shape[0] == 3
+        assert res.entry_probes.sum() == res.total_probes
+
+    def test_matches_scalar_reference(self, star):
+        """Parallel and scalar implementations agree on every vertex."""
+        from repro.hashing.hashtable import PerVertexHashtables
+
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 5, size=star.num_vertices)
+        scalar = PerVertexHashtables(star, strategy=ProbeStrategy.QUADRATIC_DOUBLE)
+        expected = {
+            v: scalar.accumulate_neighborhood(v, labels)
+            for v in range(star.num_vertices)
+        }
+
+        par = PerVertexHashtables(star, strategy=ProbeStrategy.QUADRATIC_DOUBLE)
+        vertices = np.arange(star.num_vertices, dtype=np.int64)
+        from repro.core._gather import gather_edges
+
+        gather = gather_edges(star, vertices)
+        targets = star.targets[gather.edge_index]
+        non_loop = targets != vertices[gather.table_id]
+        base = par.bases[vertices]
+        p1 = par.capacities[vertices]
+        p2 = par.secondary_primes[vertices]
+        segmented_clear(par.keys, par.values, base, p1)
+        parallel_accumulate(
+            par.keys, par.values, base, p1, p2,
+            gather.table_id[non_loop], labels[targets[non_loop]],
+            star.weights[gather.edge_index][non_loop].astype(par.values.dtype),
+            ProbeStrategy.QUADRATIC_DOUBLE,
+        )
+        got = segmented_max_key(par.keys, par.values, base, p1, labels[vertices])
+        for v in range(star.num_vertices):
+            # Both pick a maximal label; weights must match (ties may differ).
+            assert scalar.entries(v) == {
+                int(k): pytest.approx(float(val))
+                for k, val in par_entries(par, v).items()
+            }
+            assert got[v] in scalar.entries(v) or got[v] == expected[v]
+
+
+def par_entries(tables, i):
+    view = tables.table(i)
+    keys = tables.keys[view.base : view.base + view.p1]
+    values = tables.values[view.base : view.base + view.p1]
+    occ = keys != EMPTY_KEY
+    return {int(k): float(v) for k, v in zip(keys[occ], values[occ])}
+
+
+class TestMaxKey:
+    def test_first_max_in_slot_order(self):
+        keys_buf, values_buf, base, p1, p2 = _make_tables([7])
+        segmented_clear(keys_buf, values_buf, base, p1)
+        keys_buf[base[0] + 2] = 50
+        values_buf[base[0] + 2] = 3.0
+        keys_buf[base[0] + 5] = 60
+        values_buf[base[0] + 5] = 3.0
+        out = segmented_max_key(keys_buf, values_buf, base, p1, np.array([-1]))
+        assert out[0] == 50  # lowest slot wins the tie
+
+    def test_fallback_for_empty(self):
+        keys_buf, values_buf, base, p1, p2 = _make_tables([7, 7])
+        segmented_clear(keys_buf, values_buf, base, p1)
+        keys_buf[base[1]] = 9
+        values_buf[base[1]] = 1.0
+        out = segmented_max_key(
+            keys_buf, values_buf, base, p1, np.array([111, 222])
+        )
+        assert out.tolist() == [111, 9]

@@ -1,0 +1,77 @@
+"""Tests for capacity/prime utilities."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.primes import is_prime, next_pow2, secondary_prime, table_capacity
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0, 1), (1, 2), (2, 4), (3, 4), (4, 8), (7, 8), (8, 16), (1023, 1024), (1024, 2048)],
+    )
+    def test_scalar(self, x, expected):
+        assert next_pow2(x) == expected
+
+    def test_strictly_greater(self):
+        for x in range(1, 200):
+            np2 = next_pow2(x)
+            assert np2 > x
+            assert np2 & (np2 - 1) == 0  # power of two
+
+    def test_array_matches_scalar(self):
+        xs = np.arange(0, 5000)
+        arr = next_pow2(xs)
+        assert all(arr[i] == next_pow2(int(i)) for i in range(0, 5000, 97))
+
+    def test_large_values(self):
+        assert next_pow2(2**40) == 2**41
+
+
+class TestCapacity:
+    def test_capacity_fits_degree(self):
+        # Every distinct neighbour label must fit: capacity >= degree.
+        degrees = np.arange(1, 2000)
+        caps = table_capacity(degrees)
+        assert np.all(caps >= degrees)
+
+    def test_capacity_fits_reserved_region(self):
+        # The table must fit in the 2*degree reserved slots (Figure 2).
+        degrees = np.arange(1, 2000)
+        caps = table_capacity(degrees)
+        assert np.all(caps <= 2 * degrees)
+
+    def test_degree_zero_gets_one_slot(self):
+        assert table_capacity(0) == 1
+
+    def test_mersenne_shape(self):
+        # Capacities are 2^k - 1, so mod can serve as the hash.
+        caps = table_capacity(np.arange(1, 300))
+        assert np.all(((caps + 1) & caps) == 0)
+
+
+class TestSecondaryPrime:
+    def test_strictly_greater_than_p1(self):
+        p1 = table_capacity(np.arange(1, 1000))
+        p2 = secondary_prime(p1)
+        assert np.all(p2 > p1)
+
+    def test_coprime_with_p1(self):
+        # Consecutive Mersenne numbers share no factor.
+        import math
+
+        for d in range(1, 500, 7):
+            p1 = int(table_capacity(d))
+            p2 = int(secondary_prime(p1))
+            assert math.gcd(p1, p2) == 1
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 31, 127, 8191])
+    def test_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 15, 255, 511])
+    def test_non_primes(self, n):
+        assert not is_prime(n)

@@ -1,0 +1,86 @@
+"""Tests for probe-sequence strategies."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.probing import (
+    ProbeStrategy,
+    probe_advance,
+    probe_slot,
+    probe_start,
+)
+
+
+def _sequence(strategy, key=12345, p1=127, p2=255, steps=10):
+    keys = np.asarray([key])
+    p2a = np.asarray([p2])
+    i, di = probe_start(keys, p2a, strategy)
+    slots = [int(probe_slot(i, np.asarray([p1]))[0])]
+    for _ in range(steps):
+        i, di = probe_advance(i, di, keys, p2a, strategy)
+        slots.append(int(probe_slot(i, np.asarray([p1]))[0]))
+    return slots
+
+
+class TestStart:
+    def test_first_slot_is_key_mod_p1(self):
+        for strategy in ProbeStrategy:
+            assert _sequence(strategy, key=1000, p1=127)[0] == 1000 % 127
+
+    def test_double_step_is_key_dependent(self):
+        keys = np.asarray([10, 20])
+        p2 = np.asarray([31, 31])
+        _, di = probe_start(keys, p2, ProbeStrategy.DOUBLE)
+        assert di[0] == 11 and di[1] == 21
+
+    def test_double_step_never_zero(self):
+        keys = np.asarray([0, 31, 62])
+        p2 = np.asarray([31, 31, 31])
+        _, di = probe_start(keys, p2, ProbeStrategy.DOUBLE)
+        assert np.all(di >= 1)
+
+
+class TestAdvance:
+    def test_linear_steps_by_one(self):
+        slots = _sequence(ProbeStrategy.LINEAR, key=5, p1=127)
+        assert slots[:4] == [5, 6, 7, 8]
+
+    def test_quadratic_doubles(self):
+        slots = _sequence(ProbeStrategy.QUADRATIC, key=0, p1=1023)
+        # offsets: 0, +1, +2, +4, +8 -> 0,1,3,7,15
+        assert slots[:5] == [0, 1, 3, 7, 15]
+
+    def test_double_constant_stride(self):
+        key, p1, p2 = 40, 127, 255
+        slots = _sequence(ProbeStrategy.DOUBLE, key=key, p1=p1, p2=p2)
+        stride = 1 + key % p2
+        diffs = {(slots[k + 1] - slots[k]) % p1 for k in range(5)}
+        assert diffs == {stride % p1}
+
+    def test_quadratic_double_matches_paper_recurrence(self):
+        # Algorithm 2: i += di; di = 2*di + (k mod p2).
+        key, p1, p2 = 77, 127, 255
+        i, di = key, 1
+        expected = [key % p1]
+        for _ in range(5):
+            i += di
+            di = 2 * di + (key % p2)
+            expected.append(i % p1)
+        assert _sequence(ProbeStrategy.QUADRATIC_DOUBLE, key=key, p1=p1, p2=p2)[:6] == expected
+
+    def test_advance_does_not_mutate_inputs(self):
+        keys = np.asarray([3])
+        p2 = np.asarray([31])
+        i, di = probe_start(keys, p2, ProbeStrategy.QUADRATIC)
+        i0, di0 = i.copy(), di.copy()
+        probe_advance(i, di, keys, p2, ProbeStrategy.QUADRATIC)
+        assert np.array_equal(i, i0) and np.array_equal(di, di0)
+
+
+class TestMeta:
+    def test_cache_friendliness(self):
+        assert ProbeStrategy.LINEAR.cache_friendly
+        assert not ProbeStrategy.DOUBLE.cache_friendly
+
+    def test_enum_values_are_figure_labels(self):
+        assert ProbeStrategy.QUADRATIC_DOUBLE.value == "quadratic-double"

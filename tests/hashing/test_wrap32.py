@@ -1,0 +1,77 @@
+"""Tests for the CUDA-register-faithful (uint32-wrap) probing mode."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.probing import (
+    UINT32_MASK,
+    ProbeStrategy,
+    probe_advance,
+    probe_slot,
+    probe_start,
+)
+
+
+def _run(strategy, key, p1, p2, steps, wrap32):
+    keys = np.asarray([key], dtype=np.int64)
+    p2a = np.asarray([p2], dtype=np.int64)
+    i, di = probe_start(keys, p2a, strategy, wrap32=wrap32)
+    slots = [int(probe_slot(i, np.asarray([p1]))[0])]
+    for _ in range(steps):
+        i, di = probe_advance(i, di, keys, p2a, strategy, wrap32=wrap32)
+        slots.append(int(probe_slot(i, np.asarray([p1]))[0]))
+    return slots, int(i[0]), int(di[0])
+
+
+class TestAgreementBeforeOverflow:
+    @pytest.mark.parametrize("strategy", list(ProbeStrategy))
+    def test_sequences_match_for_small_steps(self, strategy):
+        """Below 2^32 (first ~18 doublings), wrapping is invisible."""
+        a, _, _ = _run(strategy, key=123457, p1=8191, p2=16383, steps=15,
+                       wrap32=False)
+        b, _, _ = _run(strategy, key=123457, p1=8191, p2=16383, steps=15,
+                       wrap32=True)
+        assert a == b
+
+    def test_state_stays_in_32_bits(self):
+        _, i, di = _run(ProbeStrategy.QUADRATIC_DOUBLE, key=99, p1=127,
+                        p2=255, steps=100, wrap32=True)
+        assert 0 <= i <= int(UINT32_MASK)
+        assert 0 <= di <= int(UINT32_MASK)
+
+
+class TestDivergenceAfterOverflow:
+    def test_doubling_overflows_and_diverges(self):
+        """After ~32 doublings the wrapped sequence departs from int64."""
+        a, _, _ = _run(ProbeStrategy.QUADRATIC, key=7, p1=8191, p2=16383,
+                       steps=50, wrap32=False)
+        b, _, _ = _run(ProbeStrategy.QUADRATIC, key=7, p1=8191, p2=16383,
+                       steps=50, wrap32=True)
+        assert a[:25] == b[:25]
+        assert a != b
+
+    def test_wrap_freezes_pure_quadratic(self):
+        """In 32-bit registers a power-of-two step doubles to exactly 0 at
+        the 32nd collision: pure quadratic probing freezes on one slot —
+        the register-level failure mode of the paper's worst strategy."""
+        slots, _, di = _run(ProbeStrategy.QUADRATIC, key=5, p1=8191,
+                            p2=16383, steps=100, wrap32=True)
+        assert di == 0
+        tail = slots[-40:]
+        assert len(set(tail)) == 1  # stuck
+
+    def test_quadratic_double_survives_wrap(self):
+        """The + (k mod p2) term keeps the hybrid's step alive past 2^32."""
+        slots, _, di = _run(ProbeStrategy.QUADRATIC_DOUBLE, key=5, p1=8191,
+                            p2=16383, steps=100, wrap32=True)
+        assert di != 0
+        assert len(set(slots[-40:])) > 10  # still exploring
+
+
+class TestLinearUnaffected:
+    def test_linear_never_wraps_in_practice(self):
+        a, _, _ = _run(ProbeStrategy.LINEAR, key=3, p1=127, p2=255,
+                       steps=500, wrap32=False)
+        b, _, _ = _run(ProbeStrategy.LINEAR, key=3, p1=127, p2=255,
+                       steps=500, wrap32=True)
+        assert a == b

@@ -1,0 +1,61 @@
+"""Tests for community statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.community_stats import (
+    community_sizes,
+    compact_labels,
+    intra_edge_fraction,
+    num_communities,
+    summarize_communities,
+)
+
+
+class TestCompact:
+    def test_preserves_first_appearance_order(self):
+        labels = np.array([50, 10, 50, 99])
+        out = compact_labels(labels)
+        assert out.max() == 2
+        assert out[0] == out[2]
+
+    def test_already_compact(self):
+        labels = np.array([0, 1, 2])
+        assert np.array_equal(np.sort(np.unique(compact_labels(labels))),
+                              np.array([0, 1, 2]))
+
+
+class TestSizes:
+    def test_sizes(self):
+        labels = np.array([3, 3, 3, 8, 8])
+        assert sorted(community_sizes(labels).tolist()) == [2, 3]
+
+    def test_num_communities(self):
+        assert num_communities(np.array([4, 4, 9])) == 2
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        labels = np.array([0, 0, 0, 1, 2])
+        s = summarize_communities(labels)
+        assert s.num_communities == 3
+        assert s.largest == 3
+        assert s.smallest == 1
+        assert s.singletons == 2
+        assert s.largest_fraction == pytest.approx(0.6)
+
+    def test_empty(self):
+        s = summarize_communities(np.array([], dtype=int))
+        assert s.num_communities == 0
+
+
+class TestIntraFraction:
+    def test_all_intra(self, triangle):
+        assert intra_edge_fraction(triangle, np.zeros(3, dtype=int)) == 1.0
+
+    def test_all_inter(self, triangle):
+        assert intra_edge_fraction(triangle, np.arange(3)) == 0.0
+
+    def test_two_cliques(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert intra_edge_fraction(two_cliques, labels) == pytest.approx(40 / 42)

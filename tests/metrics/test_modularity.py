@@ -1,0 +1,102 @@
+"""Tests for modularity and delta-modularity (paper Equations 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.metrics.modularity import community_weights, delta_modularity, modularity
+
+
+class TestModularity:
+    def test_single_community_is_zero(self, triangle):
+        # sigma_c/2m = 1 and (Sigma_c/2m)^2 = 1.
+        assert modularity(triangle, np.zeros(3, dtype=int)) == pytest.approx(0.0)
+
+    def test_all_singletons_negative_or_zero(self, triangle):
+        q = modularity(triangle, np.arange(3))
+        assert q <= 0.0
+
+    def test_two_cliques_partition(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        q = modularity(two_cliques, labels)
+        # Each K5: sigma_c = 20 arcs, Sigma_c = 21 (bridge endpoint degree).
+        assert q == pytest.approx(2 * (20 / 42 - (21 / 42) ** 2), rel=1e-6)
+
+    def test_bounds(self, small_web):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 50, size=small_web.num_vertices)
+        q = modularity(small_web, labels)
+        assert -0.5 <= q <= 1.0
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert modularity(g, np.empty(0, dtype=int)) == 0.0
+
+    def test_weighted(self, weighted_triangle):
+        labels = np.array([0, 0, 1])
+        # m=6; intra arcs: (0,1) twice = 2*1; Sigma_0 = K0+K1 = 4+3, Sigma_1 = 5.
+        expected = 2 / 12 - (7 / 12) ** 2 + 0 - (5 / 12) ** 2
+        assert modularity(weighted_triangle, labels) == pytest.approx(expected, rel=1e-6)
+
+    def test_label_length_mismatch_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            modularity(triangle, np.array([0, 1]))
+
+    def test_non_compact_labels_ok(self, triangle):
+        q1 = modularity(triangle, np.array([0, 0, 0]))
+        q2 = modularity(triangle, np.array([7, 7, 7]))
+        assert q1 == pytest.approx(q2)
+
+
+class TestCommunityWeights:
+    def test_sigma_counts_intra_arcs(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        intra, total, m = community_weights(two_cliques, labels)
+        assert m == pytest.approx(21.0)
+        assert intra[0] == pytest.approx(20.0)  # arcs, both directions
+        assert total[0] == pytest.approx(21.0)
+
+
+class TestDeltaModularity:
+    def test_same_community_is_zero(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert delta_modularity(two_cliques, labels, 0, 0) == 0.0
+
+    def test_matches_recompute(self, two_cliques):
+        """Equation 2 must equal the brute-force Q difference."""
+        labels = np.array([0] * 5 + [1] * 5)
+        for vertex, target in [(4, 1), (0, 1), (5, 0)]:
+            dq = delta_modularity(two_cliques, labels, vertex, target)
+            moved = labels.copy()
+            moved[vertex] = target
+            brute = modularity(two_cliques, moved) - modularity(two_cliques, labels)
+            assert dq == pytest.approx(brute, abs=1e-9)
+
+    def test_matches_recompute_random(self, small_web):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 20, size=small_web.num_vertices)
+        for _ in range(10):
+            v = int(rng.integers(0, small_web.num_vertices))
+            c = int(rng.integers(0, 20))
+            dq = delta_modularity(small_web, labels, v, c)
+            moved = labels.copy()
+            moved[v] = c
+            brute = modularity(small_web, moved) - modularity(small_web, labels)
+            assert dq == pytest.approx(brute, abs=1e-8)
+
+    def test_moving_bridge_vertex_is_negative(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        # Moving a clique member to the other community must hurt.
+        assert delta_modularity(two_cliques, labels, 0, 1) < 0
+
+    def test_precomputed_totals_match(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        k = two_cliques.weighted_degrees()
+        totals = np.zeros(2)
+        np.add.at(totals, labels, k)
+        a = delta_modularity(two_cliques, labels, 4, 1)
+        b = delta_modularity(
+            two_cliques, labels, 4, 1,
+            weighted_degrees=k, community_totals=totals,
+        )
+        assert a == pytest.approx(b)

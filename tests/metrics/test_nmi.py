@@ -1,0 +1,73 @@
+"""Tests for NMI and ARI."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.nmi import adjusted_rand_index, normalized_mutual_information
+
+
+class TestNmi:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([9, 9, 4, 4])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_trivial_single_cluster_convention(self):
+        a = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a = rng.integers(0, 8, size=300)
+            b = rng.integers(0, 4, size=300)
+            nmi = normalized_mutual_information(a, b)
+            assert 0.0 <= nmi <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 6, size=500)
+        b = rng.integers(0, 3, size=500)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0]), np.array([0, 1]))
+
+
+class TestAri:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 5, size=3000)
+        b = rng.integers(0, 5, size=3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 4, size=400)
+        b = rng.integers(0, 7, size=400)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_refinement_scores_between(self):
+        coarse = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        fine = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        ari = adjusted_rand_index(coarse, fine)
+        assert 0.0 < ari < 1.0

@@ -1,0 +1,78 @@
+"""Tests for conductance / coverage / performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.partition_quality import (
+    community_conductance,
+    coverage,
+    mean_conductance,
+    performance,
+)
+
+
+class TestCoverage:
+    def test_single_community(self, triangle):
+        assert coverage(triangle, np.zeros(3, dtype=int)) == 1.0
+
+    def test_singletons(self, triangle):
+        assert coverage(triangle, np.arange(3)) == 0.0
+
+    def test_two_cliques(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        assert coverage(two_cliques, labels) == pytest.approx(40 / 42)
+
+
+class TestPerformance:
+    def test_perfect_partition(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        # Only the bridge pair is misclassified.
+        assert performance(two_cliques, labels) == pytest.approx(44 / 45)
+
+    def test_single_community_counts_non_edges_wrong(self, path6):
+        # P6 in one community: 5 edges right, 10 non-adjacent pairs wrong.
+        assert performance(path6, np.zeros(6, dtype=int)) == pytest.approx(5 / 15)
+
+    def test_tiny_graph(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges(np.array([0]), np.array([0]), num_vertices=1, dedupe=False)
+        assert performance(g, np.array([0])) == 1.0
+
+
+class TestConductance:
+    def test_isolated_communities_are_tight(self):
+        from repro.graph.build import from_edges
+
+        # Two disjoint triangles.
+        g = from_edges(np.array([0, 1, 2, 3, 4, 5]), np.array([1, 2, 0, 4, 5, 3]))
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        cond = community_conductance(g, labels)
+        assert np.allclose(cond, 0.0)
+
+    def test_bridged_cliques(self, two_cliques):
+        labels = np.array([0] * 5 + [1] * 5)
+        cond = community_conductance(g := two_cliques, labels)
+        # One cut edge over volume 21 each.
+        assert np.allclose(cond, 1 / 21)
+
+    def test_bad_partition_higher_conductance(self, two_cliques):
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.array([0, 1] * 5)
+        assert mean_conductance(two_cliques, bad) > mean_conductance(
+            two_cliques, good
+        )
+
+    def test_whole_graph_zero(self, triangle):
+        assert mean_conductance(triangle, np.zeros(3, dtype=int)) == 0.0
+
+    def test_lpa_partitions_beat_random(self, small_web):
+        from repro import nu_lpa
+
+        rng = np.random.default_rng(0)
+        detected = nu_lpa(small_web).labels
+        random = rng.integers(0, np.unique(detected).shape[0],
+                              size=small_web.num_vertices)
+        assert mean_conductance(small_web, detected) < mean_conductance(
+            small_web, random
+        )

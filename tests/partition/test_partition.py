@@ -1,0 +1,120 @@
+"""Tests for size-constrained LPA partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.partition import (
+    edge_cut_fraction,
+    imbalance,
+    partition_summary,
+    size_constrained_lpa,
+)
+from repro.partition.metrics import edge_cut_weight
+
+
+class TestMetrics:
+    def test_cut_weight_counts_crossings_once(self, two_cliques):
+        parts = np.array([0] * 5 + [1] * 5)
+        assert edge_cut_weight(two_cliques, parts) == pytest.approx(1.0)
+
+    def test_cut_fraction(self, two_cliques):
+        parts = np.array([0] * 5 + [1] * 5)
+        assert edge_cut_fraction(two_cliques, parts) == pytest.approx(1 / 21)
+
+    def test_no_cut_single_part(self, two_cliques):
+        assert edge_cut_fraction(two_cliques, np.zeros(10, dtype=int)) == 0.0
+
+    def test_imbalance_perfect(self):
+        assert imbalance(np.array([0, 0, 1, 1]), 2) == pytest.approx(0.0)
+
+    def test_imbalance_skewed(self):
+        assert imbalance(np.array([0, 0, 0, 1]), 2) == pytest.approx(0.5)
+
+    def test_summary(self, two_cliques):
+        s = partition_summary(two_cliques, np.array([0] * 5 + [1] * 5), 2)
+        assert s.k == 2
+        assert s.smallest_part == 5 and s.largest_part == 5
+
+
+class TestPartitioner:
+    def test_respects_balance(self, small_web):
+        r = size_constrained_lpa(small_web, 8, epsilon=0.05)
+        assert r.imbalance <= 0.06  # epsilon plus integer rounding
+
+    def test_all_parts_used(self, small_web):
+        r = size_constrained_lpa(small_web, 4)
+        assert np.unique(r.parts).shape[0] == 4
+
+    def test_beats_random_cut(self, small_road):
+        r = size_constrained_lpa(small_road, 4)
+        rng = np.random.default_rng(0)
+        random_cut = edge_cut_fraction(
+            small_road, rng.integers(0, 4, size=small_road.num_vertices)
+        )
+        assert r.edge_cut_fraction < random_cut * 0.6
+
+    def test_cut_history_improves(self, small_road):
+        r = size_constrained_lpa(small_road, 4)
+        assert r.cut_history[-1] <= r.cut_history[0]
+
+    def test_k_equals_one(self, triangle):
+        r = size_constrained_lpa(triangle, 1)
+        assert r.edge_cut_fraction == 0.0
+        assert np.all(r.parts == 0)
+
+    def test_deterministic(self, small_road):
+        a = size_constrained_lpa(small_road, 4)
+        b = size_constrained_lpa(small_road, 4)
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ConfigurationError):
+            size_constrained_lpa(triangle, 0)
+        with pytest.raises(ConfigurationError):
+            size_constrained_lpa(triangle, 10)
+
+    def test_invalid_epsilon(self, triangle):
+        with pytest.raises(ConfigurationError):
+            size_constrained_lpa(triangle, 2, epsilon=-0.1)
+
+    def test_weighted_vertices_balance_by_weight(self, small_road):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(1, 5, size=small_road.num_vertices)
+        r = size_constrained_lpa(
+            small_road, 4, epsilon=0.05, vertex_weights=weights
+        )
+        part_weight = np.zeros(4)
+        np.add.at(part_weight, r.parts, weights)
+        ideal = weights.sum() / 4
+        assert part_weight.max() / ideal - 1.0 <= 0.06
+
+    def test_invalid_weights_rejected(self, triangle):
+        with pytest.raises(ConfigurationError):
+            size_constrained_lpa(
+                triangle, 2, vertex_weights=np.array([1, 0, 1])
+            )
+        with pytest.raises(ConfigurationError):
+            size_constrained_lpa(triangle, 2, vertex_weights=np.array([1, 1]))
+
+    def test_multilevel_pipeline_beats_direct(self, small_road):
+        """Coarsen + partition + lift should cut fewer edges than direct."""
+        from repro.graph.coarsen import coarsen
+        from repro.partition.metrics import edge_cut_fraction as cut
+
+        k = 4
+        direct = size_constrained_lpa(small_road, k)
+        hier = coarsen(small_road, max_weight=small_road.num_vertices // (4 * k))
+        coarse_part = size_constrained_lpa(
+            hier.coarsest, k, vertex_weights=hier.vertex_weights
+        )
+        lifted = coarse_part.parts[hier.mapping]
+        assert cut(small_road, lifted) <= direct.edge_cut_fraction * 1.1
+
+    def test_e2_runner(self):
+        from repro.experiments import run_experiment
+
+        r = run_experiment("E2", scale=0.08, datasets=["europe_osm"])
+        v = r.values["europe_osm"]
+        assert v["cut"] < v["random_cut"]
+        assert v["imbalance"] <= 0.08

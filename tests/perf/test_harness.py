@@ -1,0 +1,37 @@
+"""Tests for the measurement harness."""
+
+import pytest
+
+from repro.perf.harness import ALGORITHMS, repeat_measure, run_measurement
+
+
+class TestRunMeasurement:
+    def test_all_algorithms_registered(self):
+        assert set(ALGORITHMS) == {
+            "nu-lpa", "flpa", "networkit-lpa", "gve-lpa",
+            "gunrock-lpa", "cugraph-louvain",
+        }
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_runs_on_custom_graph(self, two_cliques, algorithm):
+        m = run_measurement(algorithm, two_cliques)
+        assert m.dataset == "custom"
+        assert -0.5 <= m.modularity <= 1.0
+        assert m.num_communities >= 1
+        assert m.modeled_seconds > 0
+
+    def test_paper_scale_extrapolation(self, small_road):
+        local = run_measurement("nu-lpa", small_road)
+        scaled = run_measurement("nu-lpa", small_road, dataset="asia_osm")
+        assert scaled.modeled_seconds > local.modeled_seconds
+
+    def test_details_populated_for_nu_lpa(self, two_cliques):
+        m = run_measurement("nu-lpa", two_cliques)
+        assert m.details["edges_scanned"] > 0
+
+
+class TestRepeat:
+    def test_averaging(self, two_cliques):
+        m = repeat_measure("flpa", two_cliques, repeats=2)
+        assert m.algorithm == "flpa"
+        assert m.modeled_seconds > 0

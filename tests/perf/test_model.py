@@ -1,0 +1,114 @@
+"""Tests for the cost models and extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import BaselineResult
+from repro.gpu.metrics import KernelCounters
+from repro.perf.model import (
+    Ratios,
+    estimate_flpa_seconds,
+    estimate_gpu_seconds,
+    estimate_gunrock_seconds,
+    estimate_networkit_seconds,
+    extrapolation_ratios,
+    scale_counters,
+)
+from repro.perf.platforms import A100_PLATFORM
+
+
+def _result(edges=1000, vertices=100, iterations=3):
+    return BaselineResult(
+        labels=np.zeros(vertices, dtype=np.int64),
+        algorithm="x",
+        iterations=iterations,
+        converged=True,
+        edges_scanned=edges,
+        vertices_processed=vertices,
+    )
+
+
+class TestRatios:
+    def test_identity_without_paper_target(self, triangle):
+        r = extrapolation_ratios(triangle, None, None)
+        assert r.edges == 1.0 and r.vertices == 1.0
+
+    def test_ratios_computed(self, triangle):
+        r = extrapolation_ratios(triangle, 30, 600)
+        assert r.vertices == pytest.approx(10.0)
+        assert r.edges == pytest.approx(100.0)
+
+
+class TestScaleCounters:
+    def test_edge_counters_scale_with_edges(self):
+        c = KernelCounters(probes=10, sectors_read=20, edges_scanned=30)
+        s = scale_counters(c, Ratios(edges=10.0, vertices=2.0))
+        assert s.probes == 100
+        assert s.sectors_read == 200
+
+    def test_vertex_counters_scale_with_vertices(self):
+        c = KernelCounters(vertices_processed=10, waves=4)
+        s = scale_counters(c, Ratios(edges=10.0, vertices=3.0))
+        assert s.vertices_processed == 30
+        assert s.waves == 12
+
+    def test_launches_do_not_scale(self):
+        c = KernelCounters(launches=7)
+        s = scale_counters(c, Ratios(edges=100.0, vertices=100.0))
+        assert s.launches == 7
+
+
+class TestGpuModel:
+    def test_monotone_in_traffic(self):
+        small = estimate_gpu_seconds(KernelCounters(sectors_read=10**6))
+        large = estimate_gpu_seconds(KernelCounters(sectors_read=10**8))
+        assert large > small
+
+    def test_all_terms_contribute(self):
+        base = estimate_gpu_seconds(KernelCounters())
+        for field in ("launches", "waves", "sectors_read",
+                      "warp_serial_probes", "atomic_conflicts"):
+            c = KernelCounters(**{field: 10**6})
+            assert estimate_gpu_seconds(c) > base
+
+    def test_it2004_anchor(self):
+        """The calibration target: ~1.6s for a paper-scale it-2004 run."""
+        from repro.core import nu_lpa
+        from repro.graph.datasets import generate_standin, get_dataset
+        from repro.perf.model import estimate_lpa_result_seconds
+
+        g = generate_standin("it-2004", scale=0.15, seed=42)
+        spec = get_dataset("it-2004")
+        ratios = extrapolation_ratios(
+            g, spec.paper_num_vertices, spec.paper_num_edges
+        )
+        result = nu_lpa(g, engine="hashtable")
+        secs = estimate_lpa_result_seconds(result, ratios)
+        assert 0.5 < secs < 5.0  # within ~3x of the paper's 1.6 s
+
+
+class TestBaselineModels:
+    def test_flpa_slowest_per_edge(self):
+        r = _result(edges=10**6)
+        ratios = Ratios(1.0, 1.0)
+        assert estimate_flpa_seconds(r, ratios) > estimate_networkit_seconds(r, ratios)
+
+    def test_networkit_uses_cores(self):
+        from repro.perf.platforms import CpuPlatform
+
+        r = _result(edges=10**6)
+        one = CpuPlatform(name="x", cores=1, edge_cost=1e-7, vertex_cost=0.0)
+        many = CpuPlatform(name="y", cores=32, edge_cost=1e-7, vertex_cost=0.0)
+        assert estimate_networkit_seconds(r, Ratios(1, 1), one) > \
+            estimate_networkit_seconds(r, Ratios(1, 1), many)
+
+    def test_gunrock_faster_than_flpa(self):
+        r = _result(edges=10**7)
+        assert estimate_gunrock_seconds(r, Ratios(1, 1)) < \
+            estimate_flpa_seconds(r, Ratios(1, 1))
+
+    def test_extrapolation_scales_linearly(self):
+        r = _result(edges=1000)
+        t1 = estimate_flpa_seconds(r, Ratios(1.0, 1.0))
+        t100 = estimate_flpa_seconds(r, Ratios(100.0, 100.0))
+        assert t100 == pytest.approx(100 * t1, rel=1e-9)

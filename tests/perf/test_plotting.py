@@ -1,0 +1,63 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.perf.plotting import bar_chart, log_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_max_value_fills_width(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart({"short": 1.0, "longer-name": 1.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="T")
+        assert out.startswith("T\n")
+
+    def test_empty(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_values_printed(self):
+        out = bar_chart({"a": 0.125}, fmt=".3f")
+        assert "0.125" in out
+
+
+class TestLogBarChart:
+    def test_log_scaling_compresses_ratios(self):
+        out = log_bar_chart({"fast": 1.0, "slow": 1000.0}, width=30)
+        lines = out.splitlines()
+        fast_len = lines[0].count("█")
+        slow_len = lines[1].count("█")
+        assert slow_len == 30
+        assert fast_len >= 1  # floored to stay visible
+
+    def test_non_positive_flagged(self):
+        out = log_bar_chart({"ok": 1.0, "zero": 0.0})
+        assert "non-positive" in out
+
+    def test_single_value(self):
+        out = log_bar_chart({"only": 5.0})
+        assert "only" in out
+
+
+class TestSeriesChart:
+    def test_groups_rendered(self):
+        out = series_chart({"g1": {"a": 1.0}, "g2": {"b": 2.0}})
+        assert "g1:" in out and "g2:" in out
+        assert "  a" in out
+
+
+class TestCliPlot:
+    def test_experiments_plot_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["F5", "--scale", "0.05", "--datasets", "asia_osm", "--plot"])
+        out = capsys.readouterr().out
+        assert "█" in out

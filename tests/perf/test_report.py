@@ -1,0 +1,60 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.perf.report import (
+    RelativeSeries,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_ignores_non_positive(self):
+        assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [["x", "1"], ["yy", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.startswith("T\n")
+
+
+class TestRelativeSeries:
+    def test_relative_to(self):
+        ref = RelativeSeries("ref", {"a": 2.0, "b": 4.0})
+        s = RelativeSeries("x", {"a": 4.0, "b": 4.0})
+        rel = s.relative_to(ref)
+        assert rel == {"a": 2.0, "b": 1.0}
+
+    def test_mean_relative(self):
+        ref = RelativeSeries("ref", {"a": 1.0, "b": 1.0})
+        s = RelativeSeries("x", {"a": 2.0, "b": 8.0})
+        assert s.mean_relative(ref) == pytest.approx(4.0)
+
+    def test_missing_datasets_skipped(self):
+        ref = RelativeSeries("ref", {"a": 1.0})
+        s = RelativeSeries("x", {"a": 3.0, "b": 9.0})
+        assert s.relative_to(ref) == {"a": 3.0}
+
+    def test_format_series_reference_row_is_one(self):
+        series = [
+            RelativeSeries("ref", {"a": 2.0}),
+            RelativeSeries("x", {"a": 6.0}),
+        ]
+        out = format_series(series, "ref")
+        ref_line = [l for l in out.splitlines() if l.startswith("ref")][0]
+        assert "1.000" in ref_line

@@ -1,0 +1,103 @@
+"""Property-based tests on algorithm-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.louvain import aggregate_graph
+from repro.graph.build import from_edges
+from repro.hashing.parallel_hashtable import parallel_accumulate, segmented_clear
+from repro.hashing.primes import secondary_prime, table_capacity
+from repro.hashing.probing import ProbeStrategy
+from repro.metrics.modularity import delta_modularity, modularity
+from repro.partition import imbalance, size_constrained_lpa
+from repro.types import EMPTY_KEY
+
+
+@st.composite
+def graphs_with_labels(draw):
+    n = draw(st.integers(3, 20))
+    m = draw(st.integers(2, 50))
+    src = np.asarray(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    dst = np.asarray(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    g = from_edges(src, dst, num_vertices=n)
+    labels = np.asarray(
+        draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+    )
+    return g, labels
+
+
+class TestModularityProperties:
+    @given(graphs_with_labels())
+    @settings(max_examples=50, deadline=None)
+    def test_aggregation_preserves_modularity(self, data):
+        """Louvain phase 2 must not change Q for any labeling."""
+        g, labels = data
+        agg = aggregate_graph(g, labels)
+        _, compact = np.unique(labels, return_inverse=True)
+        q_orig = modularity(g, labels)
+        q_agg = modularity(agg, np.arange(agg.num_vertices))
+        assert q_agg == pytest.approx(q_orig, abs=1e-9)
+
+    @given(graphs_with_labels(), st.integers(0, 19), st.integers(0, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_delta_modularity_equals_brute_force(self, data, v_raw, c):
+        """Equation 2 must agree with recomputing Q for every move."""
+        g, labels = data
+        v = v_raw % g.num_vertices
+        dq = delta_modularity(g, labels, v, c)
+        moved = labels.copy()
+        moved[v] = c
+        brute = modularity(g, moved) - modularity(g, labels)
+        assert dq == pytest.approx(brute, abs=1e-9)
+
+
+class TestProbeCoverage:
+    @given(
+        st.integers(2, 8),           # capacity bits
+        st.integers(1, 997),         # key multiplier (spread pattern)
+        st.sampled_from(list(ProbeStrategy)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_full_table_always_fits(self, bits, mult, strategy):
+        """With the linear fallback, p1 distinct keys always place."""
+        p1 = (1 << bits) - 1
+        keys_buf = np.full(2 * (p1 + 1), EMPTY_KEY, dtype=np.int64)
+        values_buf = np.zeros(2 * (p1 + 1), dtype=np.float64)
+        base = np.asarray([0])
+        p1a = np.asarray([p1])
+        p2a = np.asarray([secondary_prime(p1)])
+        keys = (np.arange(p1, dtype=np.int64) * mult) % (10 * p1)
+        keys = np.unique(keys)  # distinct
+        segmented_clear(keys_buf, values_buf, base, p1a)
+        parallel_accumulate(
+            keys_buf, values_buf, base, p1a, p2a,
+            np.zeros(keys.shape[0], dtype=np.int64), keys,
+            np.ones(keys.shape[0]), strategy,
+        )
+        live = keys_buf[: p1]
+        assert np.count_nonzero(live != EMPTY_KEY) == keys.shape[0]
+
+    @given(st.integers(1, 4000))
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_invariants(self, degree):
+        p1 = int(table_capacity(degree))
+        p2 = int(secondary_prime(p1))
+        assert degree <= p1 <= 2 * degree
+        assert p2 > p1
+        import math
+
+        assert math.gcd(p1, p2) == 1
+
+
+class TestPartitionProperties:
+    @given(graphs_with_labels(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_respects_balance(self, data, k):
+        g, _ = data
+        k = min(k, g.num_vertices)
+        r = size_constrained_lpa(g, k, epsilon=0.1, max_sweeps=5)
+        # Capacity bound: strictly below (1 + eps) * n/k per part, so the
+        # imbalance never exceeds epsilon plus one vertex of rounding.
+        assert imbalance(r.parts, k) <= 0.1 + k / g.num_vertices + 1e-9
+        assert r.parts.min() >= 0 and r.parts.max() < k

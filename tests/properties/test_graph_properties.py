@@ -1,0 +1,78 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.build import deduplicate_edges, from_edges, symmetrize_edges
+from repro.graph.properties import connected_components, is_symmetric
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.asarray)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.asarray)
+    )
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+class TestBuildInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edges_always_symmetric(self, data):
+        n, src, dst = data
+        g = from_edges(src, dst, num_vertices=n)
+        assert is_symmetric(g)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_consistent(self, data):
+        n, src, dst = data
+        g = from_edges(src, dst, num_vertices=n)
+        assert g.offsets[0] == 0
+        assert g.offsets[-1] == g.num_edges
+        assert np.all(np.diff(g.offsets) == g.degrees)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_no_parallel_arcs_after_dedupe(self, data):
+        n, src, dst = data
+        g = from_edges(src, dst, num_vertices=n)
+        keys = g.source_ids() * np.int64(max(n, 1)) + g.targets
+        assert np.unique(keys).shape[0] == keys.shape[0]
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetrize_then_dedupe_idempotent(self, data):
+        n, src, dst = data
+        s1, d1, w1 = symmetrize_edges(src, dst)
+        s1, d1, w1 = deduplicate_edges(s1, d1, w1, num_vertices=n)
+        s2, d2, w2 = symmetrize_edges(s1, d1, w1)
+        s2, d2, w2 = deduplicate_edges(s2, d2, w2, num_vertices=n)
+        assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+        assert np.allclose(w1, w2)
+
+
+class TestComponentInvariants:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_endpoints_share_component(self, data):
+        n, src, dst = data
+        g = from_edges(src, dst, num_vertices=n)
+        comp = connected_components(g)
+        s = g.source_ids()
+        assert np.all(comp[s] == comp[g.targets])
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_component_ids_compact(self, data):
+        n, src, dst = data
+        g = from_edges(src, dst, num_vertices=n)
+        comp = connected_components(g)
+        uniq = np.unique(comp)
+        assert np.array_equal(uniq, np.arange(uniq.shape[0]))

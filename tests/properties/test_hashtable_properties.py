@@ -1,0 +1,118 @@
+"""Property-based tests: hashtables must behave exactly like dicts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.parallel_hashtable import (
+    parallel_accumulate,
+    segmented_clear,
+    segmented_max_key,
+)
+from repro.hashing.probing import ProbeStrategy
+from repro.types import EMPTY_KEY
+
+
+@st.composite
+def workloads(draw):
+    """A few tables plus a stream of (table, key, value) accumulations."""
+    n_tables = draw(st.integers(1, 4))
+    cap_bits = [draw(st.integers(2, 6)) for _ in range(n_tables)]
+    capacities = [(1 << b) - 1 for b in cap_bits]
+    n_entries = draw(st.integers(0, 60))
+    entries = []
+    for _ in range(n_entries):
+        t = draw(st.integers(0, n_tables - 1))
+        # Bound distinct keys per table by its capacity so inserts fit.
+        key = draw(st.integers(0, capacities[t] - 1)) * 997 + 1
+        value = draw(st.floats(0.1, 10.0, allow_nan=False))
+        entries.append((t, key, value))
+    strategy = draw(st.sampled_from(list(ProbeStrategy)))
+    return capacities, entries, strategy
+
+
+def _tables(capacities):
+    caps = np.asarray(capacities, dtype=np.int64)
+    base = np.zeros(caps.shape[0], dtype=np.int64)
+    np.cumsum(2 * (caps + 1)[:-1], out=base[1:])
+    size = int((2 * (caps + 1)).sum())
+    keys = np.full(size, EMPTY_KEY, dtype=np.int64)
+    values = np.zeros(size, dtype=np.float64)
+    p2 = 2 * (caps + 1) - 1
+    return keys, values, base, caps, p2
+
+
+class TestDictEquivalence:
+    @given(workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_accumulate_matches_dict(self, workload):
+        capacities, entries, strategy = workload
+        keys_buf, values_buf, base, p1, p2 = _tables(capacities)
+        segmented_clear(keys_buf, values_buf, base, p1)
+
+        expected: list[dict[int, float]] = [dict() for _ in capacities]
+        for t, k, v in entries:
+            expected[t][k] = expected[t].get(k, 0.0) + v
+
+        if entries:
+            et = np.asarray([e[0] for e in entries], dtype=np.int64)
+            ek = np.asarray([e[1] for e in entries], dtype=np.int64)
+            ev = np.asarray([e[2] for e in entries], dtype=np.float64)
+            parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2, et, ek, ev, strategy
+            )
+
+        for t in range(len(capacities)):
+            got: dict[int, float] = {}
+            for s in range(p1[t]):
+                k = keys_buf[base[t] + s]
+                if k != EMPTY_KEY:
+                    got[int(k)] = float(values_buf[base[t] + s])
+            assert got.keys() == expected[t].keys()
+            for k in expected[t]:
+                assert got[k] == pytest.approx(expected[t][k], rel=1e-9)
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_max_key_is_argmax(self, workload):
+        capacities, entries, strategy = workload
+        keys_buf, values_buf, base, p1, p2 = _tables(capacities)
+        segmented_clear(keys_buf, values_buf, base, p1)
+        expected: list[dict[int, float]] = [dict() for _ in capacities]
+        for t, k, v in entries:
+            expected[t][k] = expected[t].get(k, 0.0) + v
+        if entries:
+            et = np.asarray([e[0] for e in entries], dtype=np.int64)
+            ek = np.asarray([e[1] for e in entries], dtype=np.int64)
+            ev = np.asarray([e[2] for e in entries], dtype=np.float64)
+            parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2, et, ek, ev, strategy
+            )
+        fallback = np.full(len(capacities), -7, dtype=np.int64)
+        best = segmented_max_key(keys_buf, values_buf, base, p1, fallback)
+        for t, exp in enumerate(expected):
+            if not exp:
+                assert best[t] == -7
+            else:
+                # The returned key must attain the maximum total.
+                assert exp[int(best[t])] == pytest.approx(
+                    max(exp.values()), rel=1e-9
+                )
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_clear_is_idempotent_reset(self, workload):
+        capacities, entries, strategy = workload
+        keys_buf, values_buf, base, p1, p2 = _tables(capacities)
+        if entries:
+            et = np.asarray([e[0] for e in entries], dtype=np.int64)
+            ek = np.asarray([e[1] for e in entries], dtype=np.int64)
+            ev = np.asarray([e[2] for e in entries], dtype=np.float64)
+            segmented_clear(keys_buf, values_buf, base, p1)
+            parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2, et, ek, ev, strategy
+            )
+        segmented_clear(keys_buf, values_buf, base, p1)
+        for t in range(len(capacities)):
+            live = keys_buf[base[t] : base[t] + p1[t]]
+            assert np.all(live == EMPTY_KEY)

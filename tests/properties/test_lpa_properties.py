@@ -1,0 +1,127 @@
+"""Property-based tests on LPA and metric invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LPAConfig, nu_lpa
+from repro.core.engine_vectorized import best_labels_groupby
+from repro.graph.build import from_edges
+from repro.metrics import modularity, normalized_mutual_information
+from repro.metrics.community_stats import compact_labels
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(2, 25))
+    m = draw(st.integers(1, 60))
+    src = np.asarray(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    dst = np.asarray(draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+    return from_edges(src, dst, num_vertices=n)
+
+
+@st.composite
+def groupby_inputs(draw):
+    n_tables = draw(st.integers(1, 5))
+    n = draw(st.integers(0, 40))
+    table_id = np.sort(
+        np.asarray(draw(st.lists(st.integers(0, n_tables - 1), min_size=n, max_size=n)),
+                   dtype=np.int64)
+    )
+    keys = np.asarray(
+        draw(st.lists(st.integers(0, 8), min_size=n, max_size=n)), dtype=np.int64
+    )
+    values = np.asarray(
+        draw(st.lists(st.floats(0.1, 5.0), min_size=n, max_size=n)), dtype=np.float64
+    )
+    fallback = np.arange(n_tables, dtype=np.int64) + 100
+    return table_id, keys, values, n_tables, fallback
+
+
+class TestGroupbyProperties:
+    @given(groupby_inputs())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bruteforce(self, data):
+        table_id, keys, values, n_tables, fallback = data
+        got = best_labels_groupby(table_id, keys, values, n_tables, fallback)
+        for t in range(n_tables):
+            sums: dict[int, float] = {}
+            for i in range(keys.shape[0]):
+                if table_id[i] == t:
+                    sums[int(keys[i])] = sums.get(int(keys[i]), 0.0) + values[i]
+            if not sums:
+                assert got[t] == fallback[t]
+            else:
+                best = max(sums.values())
+                winners = {k for k, v in sums.items() if v >= best - 1e-12}
+                assert int(got[t]) == min(winners)  # smallest-label tie-break
+
+    @given(groupby_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_hash_tie_break_still_maximal(self, data):
+        table_id, keys, values, n_tables, fallback = data
+        got = best_labels_groupby(
+            table_id, keys, values, n_tables, fallback, tie_break="hash"
+        )
+        for t in range(n_tables):
+            sums: dict[int, float] = {}
+            for i in range(keys.shape[0]):
+                if table_id[i] == t:
+                    sums[int(keys[i])] = sums.get(int(keys[i]), 0.0) + values[i]
+            if sums:
+                assert sums[int(got[t])] == pytest.approx(max(sums.values()))
+
+
+class TestLpaInvariants:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_always_valid(self, g):
+        r = nu_lpa(g, LPAConfig(max_iterations=5))
+        assert r.labels.shape[0] == g.num_vertices
+        assert np.all((r.labels >= 0) & (r.labels < g.num_vertices))
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_engines_produce_valid_partitions(self, g):
+        for engine in ("vectorized", "hashtable"):
+            r = nu_lpa(g, LPAConfig(max_iterations=4), engine=engine)
+            assert np.unique(r.labels).shape[0] >= 1
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_modularity_bounds(self, g):
+        r = nu_lpa(g, LPAConfig(max_iterations=5))
+        q = modularity(g, r.labels)
+        assert -0.5 - 1e-9 <= q <= 1.0 + 1e-9
+
+
+class TestMetricInvariants:
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_nmi_self_is_one(self, labels):
+        arr = np.asarray(labels)
+        assert normalized_mutual_information(arr, arr) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(0, 6), min_size=1, max_size=60),
+        st.integers(1, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nmi_invariant_under_relabeling(self, labels, offset):
+        a = np.asarray(labels)
+        b = (a + offset) * 13  # injective relabel
+        other = np.roll(a, 1)
+        assert normalized_mutual_information(a, other) == pytest.approx(
+            normalized_mutual_information(b, other), abs=1e-9
+        )
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_compact_labels_preserves_partition(self, labels):
+        arr = np.asarray(labels)
+        out = compact_labels(arr)
+        assert out.max() + 1 == np.unique(arr).shape[0]
+        # Same-group relation preserved.
+        for i in range(0, arr.shape[0], 7):
+            same = arr == arr[i]
+            assert np.all((out == out[i]) == same)

@@ -1,0 +1,80 @@
+"""Property-based tests for the sparse-belief machinery (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variants.common import SparseBeliefs
+
+
+@st.composite
+def beliefs(draw):
+    n = draw(st.integers(0, 50))
+    vertex = np.asarray(
+        draw(st.lists(st.integers(0, 9), min_size=n, max_size=n)), dtype=np.int64
+    )
+    label = np.asarray(
+        draw(st.lists(st.integers(0, 12), min_size=n, max_size=n)), dtype=np.int64
+    )
+    weight = np.asarray(
+        draw(st.lists(st.floats(0.01, 5.0), min_size=n, max_size=n))
+    )
+    return SparseBeliefs(vertex, label, weight)
+
+
+class TestSparseBeliefProperties:
+    @given(beliefs())
+    @settings(max_examples=80, deadline=None)
+    def test_combined_is_idempotent(self, b):
+        once = b.combined()
+        twice = once.combined()
+        assert np.array_equal(once.vertex, twice.vertex)
+        assert np.array_equal(once.label, twice.label)
+        assert np.allclose(once.weight, twice.weight)
+
+    @given(beliefs())
+    @settings(max_examples=80, deadline=None)
+    def test_combined_preserves_totals(self, b):
+        c = b.combined()
+        assert c.weight.sum() == pytest.approx(b.weight.sum(), rel=1e-9)
+        # Per-vertex totals preserved too.
+        for v in np.unique(b.vertex):
+            assert c.weight[c.vertex == v].sum() == pytest.approx(
+                b.weight[b.vertex == v].sum(), rel=1e-9
+            )
+
+    @given(beliefs())
+    @settings(max_examples=80, deadline=None)
+    def test_normalized_sums_to_one(self, b):
+        n = b.normalized()
+        for v in np.unique(n.vertex):
+            total = n.weight[n.vertex == v].sum()
+            if total > 0:
+                assert total == pytest.approx(1.0, rel=1e-9)
+
+    @given(beliefs(), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_top_k_bounds_memberships(self, b, k):
+        t = b.top_k(k)
+        if t.num_pairs:
+            counts = np.bincount(t.vertex)
+            assert counts.max() <= k
+
+    @given(beliefs(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_never_orphans_a_vertex(self, b, threshold):
+        before = set(np.unique(b.combined().vertex).tolist())
+        after = set(np.unique(b.pruned(threshold).vertex).tolist())
+        assert after == before  # COPRA retention: everyone keeps >= 1 label
+
+    @given(beliefs())
+    @settings(max_examples=60, deadline=None)
+    def test_argmax_attains_max(self, b):
+        c = b.combined()
+        out = b.argmax_labels(10)
+        for v in np.unique(c.vertex):
+            weights = {
+                int(l): float(w)
+                for l, w in zip(c.label[c.vertex == v], c.weight[c.vertex == v])
+            }
+            assert weights[int(out[v])] == pytest.approx(max(weights.values()))

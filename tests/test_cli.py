@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDetect:
+    def test_detect_on_dataset(self, capsys):
+        assert main(["detect", "--dataset", "asia_osm", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+        assert "communities" in out
+
+    def test_detect_writes_labels(self, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--output", str(out_file),
+        ])
+        labels = np.loadtxt(out_file, dtype=np.int64)
+        assert labels.shape[0] > 0
+
+    def test_detect_on_file(self, tmp_path, capsys, two_cliques):
+        from repro.graph.io import write_matrix_market
+
+        path = tmp_path / "g.mtx"
+        write_matrix_market(two_cliques, path)
+        assert main(["detect", "--input", str(path)]) == 0
+
+    def test_detect_custom_options(self, capsys):
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--engine", "hashtable", "--pl-period", "0",
+            "--probing", "linear", "--tolerance", "0.1",
+        ]) == 0
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["detect"])
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info", "--dataset", "kmer_A2a", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "giant component" in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["web", "road", "kmer", "social", "rmat"])
+    def test_generate_families(self, tmp_path, capsys, family):
+        out = tmp_path / "g.txt"
+        assert main([
+            "generate", family, "--vertices", "500", "--output", str(out)
+        ]) == 0
+        assert out.exists()
+
+    def test_generate_mtx(self, tmp_path, capsys):
+        out = tmp_path / "g.mtx"
+        main(["generate", "kmer", "--vertices", "300", "--output", str(out)])
+        from repro.graph.io import load_graph
+
+        assert load_graph(out).num_vertices > 0
+
+
+class TestCompare:
+    def test_compare_runs_all_systems(self, capsys):
+        assert main(["compare", "--dataset", "asia_osm", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        for system in ("nu-lpa", "flpa", "networkit-lpa", "cugraph-louvain"):
+            assert system in out

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are executed in-process (import + ``main()``) with their default
+parameters; these are integration tests of the public API surface the
+README advertises.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("example", EXAMPLE_FILES)
+def test_example_runs(example, capsys, monkeypatch):
+    if example == "compare_systems.py":
+        monkeypatch.setattr(sys, "argv", ["compare_systems.py", "asia_osm"])
+    module = _load_example(example)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced a real report
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLE_FILES
+    assert len(EXAMPLE_FILES) >= 3

@@ -1,0 +1,68 @@
+"""Golden regression tests: frozen outputs for fixed seeds.
+
+Every quantity here is integer-derived (label CRCs, counter totals,
+iteration counts) or a float with generous tolerance, so the goldens are
+stable across platforms.  If an intentional algorithm change shifts them,
+re-derive with the snippet in each test and update the constant — that is
+the point: unintentional behaviour drift fails loudly.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import LPAConfig, nu_lpa
+from repro.graph.generators import road_network, web_graph
+from repro.metrics import modularity
+
+
+def _crc(labels: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(labels.astype(np.int64)).tobytes())
+
+
+@pytest.fixture(scope="module")
+def golden_web():
+    return web_graph(2000, avg_degree=8, seed=123)
+
+
+class TestGoldenLabels:
+    def test_web_hashtable_labels(self, golden_web):
+        r = nu_lpa(golden_web, engine="hashtable")
+        assert _crc(r.labels) == 2530107329
+        assert r.num_iterations == 6
+
+    def test_web_vectorized_labels(self, golden_web):
+        r = nu_lpa(golden_web, engine="vectorized")
+        assert _crc(r.labels) == 983060449
+
+    def test_road_hashtable_labels(self):
+        g = road_network(12, 12, seed=123)
+        r = nu_lpa(g, engine="hashtable")
+        assert _crc(r.labels) == 1809539972
+        assert r.num_iterations == 10
+
+
+class TestGoldenQuality:
+    def test_web_modularity(self, golden_web):
+        r = nu_lpa(golden_web, engine="hashtable")
+        assert modularity(golden_web, r.labels) == pytest.approx(0.74147, abs=1e-4)
+
+    def test_road_modularity(self):
+        g = road_network(12, 12, seed=123)
+        r = nu_lpa(g, engine="hashtable")
+        assert modularity(g, r.labels) == pytest.approx(0.85808, abs=1e-4)
+
+
+class TestGoldenCounters:
+    def test_web_counter_totals(self, golden_web):
+        c = nu_lpa(golden_web, engine="hashtable").total_counters
+        assert c.edges_scanned == 92912
+        assert c.probes == 122315
+        assert c.atomic_add == 19642
+        assert c.waves == 12
+
+    def test_graph_generation_is_frozen(self, golden_web):
+        # The generators themselves are part of the reproducibility story.
+        assert golden_web.num_edges == 22080
+        assert _crc(golden_web.targets) == 925477088

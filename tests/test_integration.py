@@ -1,0 +1,105 @@
+"""End-to-end integration tests across the whole library surface.
+
+Each test walks a realistic multi-module pipeline: generate → persist →
+reload → detect → measure → transform/partition, checking the pieces
+compose without glue code.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LPAConfig, load_graph, nu_lpa
+from repro.baselines import louvain, networkit_plp
+from repro.graph.datasets import generate_standin
+from repro.graph.generators import lfr_like, web_graph
+from repro.graph.io import write_matrix_market
+from repro.graph.transform import community_subgraph, largest_component
+from repro.metrics import (
+    modularity,
+    normalized_mutual_information,
+    summarize_communities,
+)
+from repro.metrics.partition_quality import coverage, mean_conductance
+from repro.partition import size_constrained_lpa
+from repro.perf.model import extrapolation_ratios, estimate_lpa_result_seconds
+
+
+class TestFilePipeline:
+    def test_generate_save_load_detect(self, tmp_path):
+        graph, truth = lfr_like(1500, avg_degree=12, mixing=0.15, seed=4)
+        path = tmp_path / "graph.mtx"
+        write_matrix_market(graph, path)
+        reloaded = load_graph(path)
+        assert reloaded == graph
+
+        result = nu_lpa(reloaded)
+        assert normalized_mutual_information(truth, result.labels) > 0.7
+        assert coverage(reloaded, result.labels) > 0.6
+
+
+class TestDetectInspectDrill:
+    def test_community_drilldown(self):
+        graph = web_graph(4000, avg_degree=10, seed=6)
+        result = nu_lpa(graph)
+        summary = summarize_communities(result.labels)
+        assert summary.num_communities > 5
+
+        # Extract the largest community and verify it is denser inside
+        # than the graph average.
+        sizes = np.bincount(result.labels)
+        biggest = int(np.argmax(sizes))
+        sub, members = community_subgraph(graph, result.labels, biggest)
+        if sub.num_vertices > 2:
+            sub_density = sub.num_edges / sub.num_vertices
+            # Intra-community density should not collapse versus global.
+            assert sub_density > 0.2 * (graph.num_edges / graph.num_vertices)
+
+    def test_component_restriction_then_detect(self):
+        graph = generate_standin("kmer_A2a", scale=0.1, seed=2)
+        giant, mapping = largest_component(graph)
+        result = nu_lpa(giant)
+        assert result.labels.shape[0] == giant.num_vertices
+
+
+class TestCrossAlgorithmConsistency:
+    def test_quality_ordering_pipeline(self):
+        graph = generate_standin("europe_osm", scale=0.25, seed=3)
+        q_nu = modularity(graph, nu_lpa(graph).labels)
+        q_nk = modularity(graph, networkit_plp(graph).labels)
+        q_lv = modularity(graph, louvain(graph).labels)
+        # The paper's Figure-6c ordering on road networks.
+        assert q_lv > q_nu
+        assert q_nk > q_nu
+        assert q_nu > 0.5
+
+    def test_conductance_agrees_with_modularity_direction(self):
+        graph = generate_standin("indochina-2004", scale=0.15, seed=3)
+        good = nu_lpa(graph).labels
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 50, size=graph.num_vertices)
+        assert modularity(graph, good) > modularity(graph, bad)
+        assert mean_conductance(graph, good) < mean_conductance(graph, bad)
+
+
+class TestDetectThenPartition:
+    def test_partition_after_detection(self):
+        graph = generate_standin("asia_osm", scale=0.3, seed=5)
+        detection = nu_lpa(graph)
+        part = size_constrained_lpa(graph, 4)
+        # Partitioning balances; detection does not — both valid outputs.
+        assert part.imbalance <= 0.06
+        assert detection.num_communities() > part.k
+
+
+class TestModeledTimePipeline:
+    def test_counters_to_seconds(self):
+        graph = generate_standin("it-2004", scale=0.1, seed=7)
+        result = nu_lpa(graph, LPAConfig(), engine="hashtable")
+        from repro.graph.datasets import get_dataset
+
+        spec = get_dataset("it-2004")
+        ratios = extrapolation_ratios(
+            graph, spec.paper_num_vertices, spec.paper_num_edges
+        )
+        secs = estimate_lpa_result_seconds(result, ratios)
+        assert 0.1 < secs < 20.0

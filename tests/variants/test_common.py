@@ -1,0 +1,87 @@
+"""Tests for the sparse-belief machinery shared by the variants."""
+
+import numpy as np
+import pytest
+
+from repro.variants.common import SparseBeliefs, VariantResult
+
+
+class TestSparseBeliefs:
+    def test_identity(self):
+        b = SparseBeliefs.identity(4)
+        assert b.num_pairs == 4
+        assert np.array_equal(b.vertex, b.label)
+        assert np.all(b.weight == 1.0)
+
+    def test_combined_merges_duplicates(self):
+        b = SparseBeliefs(
+            np.array([0, 0, 1, 0]), np.array([5, 5, 5, 6]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        c = b.combined()
+        assert c.num_pairs == 3
+        lookup = {(int(v), int(l)): w for v, l, w in zip(c.vertex, c.label, c.weight)}
+        assert lookup[(0, 5)] == pytest.approx(3.0)
+        assert lookup[(0, 6)] == pytest.approx(4.0)
+        assert lookup[(1, 5)] == pytest.approx(3.0)
+
+    def test_normalized_sums_to_one(self):
+        b = SparseBeliefs(
+            np.array([0, 0, 1]), np.array([1, 2, 3]), np.array([1.0, 3.0, 5.0])
+        ).normalized()
+        totals: dict[int, float] = {}
+        for v, w in zip(b.vertex, b.weight):
+            totals[int(v)] = totals.get(int(v), 0.0) + float(w)
+        assert totals[0] == pytest.approx(1.0)
+        assert totals[1] == pytest.approx(1.0)
+
+    def test_pruned_keeps_strongest_when_all_below(self):
+        b = SparseBeliefs(
+            np.array([0, 0, 0]), np.array([1, 2, 3]),
+            np.array([0.4, 0.35, 0.25]),
+        )
+        p = b.pruned(0.5)
+        assert p.num_pairs == 1
+        assert int(p.label[0]) == 1  # the strongest label survives
+
+    def test_pruned_drops_weak_labels(self):
+        b = SparseBeliefs(
+            np.array([0, 0]), np.array([1, 2]), np.array([0.8, 0.2])
+        )
+        p = b.pruned(0.5)
+        assert p.num_pairs == 1 and int(p.label[0]) == 1
+
+    def test_top_k(self):
+        b = SparseBeliefs(
+            np.array([0, 0, 0, 1]), np.array([1, 2, 3, 9]),
+            np.array([0.5, 0.3, 0.2, 1.0]),
+        )
+        t = b.top_k(2)
+        zero_labels = set(t.label[t.vertex == 0].tolist())
+        assert zero_labels == {1, 2}
+        assert set(t.label[t.vertex == 1].tolist()) == {9}
+
+    def test_argmax_labels_with_fallback(self):
+        b = SparseBeliefs(np.array([1]), np.array([7]), np.array([1.0]))
+        out = b.argmax_labels(3)
+        assert out.tolist() == [0, 7, 2]  # vertices 0, 2 keep own ids
+
+    def test_argmax_tie_break_smaller_label(self):
+        b = SparseBeliefs(
+            np.array([0, 0]), np.array([9, 4]), np.array([1.0, 1.0])
+        )
+        assert b.argmax_labels(1)[0] == 4
+
+
+class TestVariantResult:
+    def test_memberships(self):
+        r = VariantResult(
+            labels=np.array([5, 5]),
+            vertex=np.array([0, 1, 1]),
+            label=np.array([5, 5, 6]),
+            weight=np.array([1.0, 0.6, 0.4]),
+            algorithm="x", iterations=1, pairs_processed=3,
+        )
+        comms = r.memberships(threshold=0.5)
+        assert [0, 1] in comms
+        assert r.mean_memberships_per_vertex() == pytest.approx(1.5)

@@ -1,0 +1,139 @@
+"""Tests for COPRA, SLPA, and LabelRank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import modularity, normalized_mutual_information
+from repro.variants import copra, labelrank, slpa
+
+ALL_VARIANTS = [copra, slpa, labelrank]
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=["copra", "slpa", "labelrank"])
+class TestCommonBehaviour:
+    def test_two_cliques(self, two_cliques, variant):
+        r = variant(two_cliques, seed=0)
+        labels = r.labels
+        assert np.unique(labels[:5]).shape[0] == 1
+        assert np.unique(labels[5:]).shape[0] == 1
+        assert labels[0] != labels[5]
+
+    def test_planted_recovery(self, planted, variant):
+        g, truth = planted
+        r = variant(g, seed=0)
+        assert normalized_mutual_information(truth, r.labels) > 0.7
+
+    def test_quality_comparable_to_lpa(self, small_web, variant):
+        """The paper: variants deliver 'communities of comparable quality'."""
+        from repro import nu_lpa
+
+        q_lpa = modularity(small_web, nu_lpa(small_web).labels)
+        q_var = modularity(small_web, variant(small_web, seed=0).labels)
+        assert q_var > q_lpa - 0.15
+
+    def test_result_structure(self, triangle, variant):
+        r = variant(triangle, seed=0)
+        assert r.labels.shape[0] == 3
+        assert r.pairs_processed > 0
+        assert r.vertex.shape == r.label.shape == r.weight.shape
+
+    def test_deterministic(self, small_road, variant):
+        a = variant(small_road, seed=3)
+        b = variant(small_road, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestCopra:
+    def test_v1_is_disjoint(self, two_cliques):
+        r = copra(two_cliques, v=1)
+        assert r.mean_memberships_per_vertex() == pytest.approx(1.0)
+
+    def test_larger_v_allows_overlap(self, two_cliques):
+        r = copra(two_cliques, v=3)
+        assert r.mean_memberships_per_vertex() >= 1.0
+
+    def test_invalid_v(self, triangle):
+        with pytest.raises(ConfigurationError):
+            copra(triangle, v=0)
+
+    def test_bridge_vertex_can_overlap(self):
+        """A vertex between two cliques may belong to both with v=2."""
+        import itertools
+
+        from repro.graph.build import from_edges
+
+        edges = []
+        for base in (0, 5):
+            edges.extend(
+                (base + a, base + b)
+                for a, b in itertools.combinations(range(5), 2)
+            )
+        # Vertex 10 bridges both cliques with two links each.
+        edges += [(10, 0), (10, 1), (10, 5), (10, 6)]
+        src, dst = map(np.asarray, zip(*edges))
+        g = from_edges(src, dst)
+        r = copra(g, v=2)
+        assert r.mean_memberships_per_vertex() >= 1.0
+
+
+class TestSlpa:
+    def test_memory_rounds(self, triangle):
+        r = slpa(triangle, rounds=5)
+        assert r.iterations == 5
+
+    def test_threshold_controls_overlap(self, small_web):
+        loose = slpa(small_web, rounds=10, r=0.05, seed=0)
+        strict = slpa(small_web, rounds=10, r=0.4, seed=0)
+        assert (
+            loose.vertex.shape[0] >= strict.vertex.shape[0]
+        )
+
+    def test_invalid_params(self, triangle):
+        with pytest.raises(ConfigurationError):
+            slpa(triangle, rounds=0)
+        with pytest.raises(ConfigurationError):
+            slpa(triangle, r=2.0)
+
+    def test_seed_changes_sampling(self, small_web):
+        a = slpa(small_web, seed=0)
+        b = slpa(small_web, seed=1)
+        # Different sampling, same quality regime.
+        qa = modularity(small_web, a.labels)
+        qb = modularity(small_web, b.labels)
+        assert abs(qa - qb) < 0.15
+
+
+class TestLabelRank:
+    def test_inflation_sharpens(self, small_web):
+        soft = labelrank(small_web, inflation=1.2, max_iterations=10)
+        sharp = labelrank(small_web, inflation=3.0, max_iterations=10)
+        # Stronger inflation concentrates distributions.
+        assert (
+            sharp.mean_memberships_per_vertex()
+            <= soft.mean_memberships_per_vertex() + 0.3
+        )
+
+    def test_invalid_params(self, triangle):
+        with pytest.raises(ConfigurationError):
+            labelrank(triangle, inflation=0.0)
+        with pytest.raises(ConfigurationError):
+            labelrank(triangle, cutoff=1.0)
+
+    def test_stabilisation_stops_early(self, two_cliques):
+        r = labelrank(two_cliques, max_iterations=30)
+        assert r.iterations <= 30
+
+
+class TestVariantStudy:
+    def test_e1_runner(self):
+        from repro.experiments import run_experiment
+
+        r = run_experiment(
+            "E1", scale=0.08, datasets=["indochina-2004", "europe_osm"]
+        )
+        # The paper's claim: plain LPA is the most efficient.
+        assert r.values["most_efficient"] == "lpa"
+        # And quality is comparable (within 20% geomean).
+        qs = r.values["modularity"]
+        assert min(qs.values()) > 0.5 * max(qs.values())
