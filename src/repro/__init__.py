@@ -18,10 +18,11 @@ Quickstart::
     print(result.num_communities(), modularity(g, result.labels))
 """
 
-from repro.core import LPAConfig, LPAResult, SwapPrevention, nu_lpa
+from repro.core import LPAConfig, LPAResult, ResilienceConfig, SwapPrevention, nu_lpa
 from repro.graph import CSRGraph, from_edges, load_graph
 from repro.hashing import ProbeStrategy
 from repro.metrics import modularity, normalized_mutual_information
+from repro.resilience import FaultSpec
 
 __version__ = "1.0.0"
 
@@ -29,6 +30,8 @@ __all__ = [
     "nu_lpa",
     "LPAConfig",
     "LPAResult",
+    "ResilienceConfig",
+    "FaultSpec",
     "SwapPrevention",
     "ProbeStrategy",
     "CSRGraph",

@@ -24,6 +24,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import LPAConfig, nu_lpa
+from repro.core.config import ResilienceConfig
+from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import dataset_names, generate_standin
 from repro.graph.generators import (
@@ -37,6 +39,7 @@ from repro.graph.io import load_graph, write_edgelist, write_matrix_market
 from repro.graph.properties import degree_statistics, largest_component_fraction
 from repro.hashing.probing import ProbeStrategy
 from repro.metrics import modularity, summarize_communities
+from repro.resilience.faults import FAULT_KINDS, FaultSpec
 
 __all__ = ["main"]
 
@@ -59,6 +62,25 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _resilience_from_args(args) -> ResilienceConfig | None:
+    faults = None
+    if args.inject_faults:
+        faults = FaultSpec(
+            kinds=tuple(args.inject_faults),
+            rate=args.fault_rate,
+            seed=args.fault_seed,
+            max_fires=args.fault_max_fires,
+        )
+    if faults is None and args.checkpoint_dir is None and not args.resume:
+        return None
+    return ResilienceConfig(
+        faults=faults,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+
 def _cmd_detect(args) -> int:
     graph = _load(args)
     config = LPAConfig(
@@ -68,15 +90,25 @@ def _cmd_detect(args) -> int:
         probing=ProbeStrategy(args.probing),
         switch_degree=args.switch_degree,
     )
-    result = nu_lpa(graph, config, engine=args.engine)
+    resilience = _resilience_from_args(args)
+    result = nu_lpa(graph, config, engine=args.engine, resilience=resilience)
     q = modularity(graph, result.labels)
     s = summarize_communities(result.labels)
     print(f"graph:       {graph}")
+    if result.resumed_from is not None:
+        print(f"resumed:     from iteration {result.resumed_from}")
     print(f"iterations:  {result.num_iterations} "
           f"({'converged' if result.converged else 'not converged'})")
     print(f"communities: {s.num_communities} (largest {s.largest}, "
           f"{s.singletons} singletons)")
     print(f"modularity:  {q:.4f}")
+    if result.fault_events:
+        by_action: dict[str, int] = {}
+        for ev in result.fault_events:
+            by_action[ev.action] = by_action.get(ev.action, 0) + 1
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(by_action.items()))
+        print(f"faults:      {len(result.fault_events)} events ({summary})"
+              f"{' [degraded]' if result.degraded else ''}")
     if args.output:
         np.savetxt(args.output, result.labels, fmt="%d")
         print(f"labels written to {args.output}")
@@ -152,6 +184,22 @@ def main(argv: list[str] | None = None) -> int:
                    choices=[s.value for s in ProbeStrategy])
     p.add_argument("--switch-degree", type=int, default=32)
     p.add_argument("--output", type=Path, help="write labels to this file")
+    p.add_argument("--checkpoint-dir", type=Path,
+                   help="snapshot run state into this directory")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   help="snapshot every N iterations (default 1)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest checkpoint in --checkpoint-dir")
+    p.add_argument("--inject-faults", action="append", choices=list(FAULT_KINDS),
+                   metavar="KIND", default=None,
+                   help="inject device faults (repeatable; "
+                        f"choices: {', '.join(FAULT_KINDS)})")
+    p.add_argument("--fault-rate", type=float, default=1.0,
+                   help="per-opportunity fire probability (default 1.0)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault injector RNG seed (default 0)")
+    p.add_argument("--fault-max-fires", type=int, default=None,
+                   help="total injection budget (default: unlimited)")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("info", help="print graph statistics")
@@ -170,7 +218,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ Two engines execute the same driver loop:
   path for applications.
 """
 
-from repro.core.config import LPAConfig, SwapPrevention
+from repro.core.config import LPAConfig, ResilienceConfig, SwapPrevention
 from repro.core.result import LPAResult, IterationStats
 from repro.core.lpa import nu_lpa
 from repro.core.incremental import nu_lpa_incremental, affected_vertices
@@ -23,6 +23,7 @@ from repro.core.kernels import partition_by_degree
 
 __all__ = [
     "LPAConfig",
+    "ResilienceConfig",
     "SwapPrevention",
     "LPAResult",
     "IterationStats",

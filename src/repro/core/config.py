@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,7 +20,10 @@ from repro.gpu.device import A100, DeviceSpec
 from repro.hashing.probing import ProbeStrategy
 from repro.types import VALUE_DTYPE_F32, VALUE_DTYPE_F64
 
-__all__ = ["LPAConfig", "SwapPrevention"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see resilience/)
+    from repro.resilience.faults import FaultSpec
+
+__all__ = ["LPAConfig", "ResilienceConfig", "SwapPrevention"]
 
 
 class SwapPrevention(enum.Enum):
@@ -138,3 +143,88 @@ class LPAConfig:
         if kind is SwapPrevention.HYBRID:
             return f"H(CC{self.cc_period},PL{self.pl_period})"
         return "none"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerant execution policy for a ν-LPA run.
+
+    Passing a ``ResilienceConfig`` to :func:`~repro.core.lpa.nu_lpa`
+    routes every engine move through the
+    :class:`~repro.resilience.supervisor.KernelSupervisor` (invariant
+    checks + the retry → regrow → fallback → abort degradation ladder) and
+    optionally enables checkpoint/resume and fault injection.
+
+    Attributes
+    ----------
+    max_retries:
+        Ladder rung 1: how many times a faulted move is retried from the
+        restored pre-move snapshot before descending.
+    backoff_base_s:
+        Base of the exponential retry backoff (``base * 2**attempt``
+        seconds).  0 (default) disables sleeping — the simulator's faults
+        are deterministic, so backoff only matters when modelling wall
+        time.
+    allow_regrow:
+        Ladder rung 2: rebuild the per-vertex hashtables at the next
+        power-of-two capacity after a persistent overflow or corruption
+        (also scrubs the flat buffers).
+    allow_fallback:
+        Ladder rung 3: recompute the affected move on a fresh, hook-free
+        :class:`~repro.core.engine_vectorized.VectorizedEngine`.
+    validate_invariants:
+        Run the post-move invariant checks (label range, finite values).
+    deep_checks:
+        Include the O(|E|) finite-value sweep over the hashtable value
+        buffer in those checks.
+    strict_pl_monotone:
+        Escalate a rising changed-vertex fraction across Pick-Less rounds
+        from a flagged report entry to a hard
+        :class:`~repro.errors.InvariantViolation` raised to the caller
+        (re-execution cannot change a deterministic outcome, so this
+        anomaly bypasses the ladder).
+    checkpoint_dir:
+        Directory for iteration-boundary snapshots; ``None`` disables
+        checkpointing.
+    checkpoint_every:
+        Snapshot every this many iterations (k).
+    resume:
+        Continue from the newest checkpoint in ``checkpoint_dir`` if one
+        exists (bit-identical to the uninterrupted run); start fresh
+        otherwise.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultSpec` describing
+        faults to inject (testing / chaos engineering).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.0
+    allow_regrow: bool = True
+    allow_fallback: bool = True
+    validate_invariants: bool = True
+    deep_checks: bool = True
+    strict_pl_monotone: bool = False
+    checkpoint_dir: str | Path | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    faults: "FaultSpec | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0; got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0; got {self.backoff_base_s}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1; got {self.checkpoint_every}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError("resume=True requires checkpoint_dir")
+
+    def with_(self, **changes) -> "ResilienceConfig":
+        """Functional update (``dataclasses.replace`` convenience)."""
+        return replace(self, **changes)

@@ -39,6 +39,7 @@ from repro.hashing.parallel_hashtable import (
     segmented_max_key,
 )
 from repro.hashing.probing import ProbeStrategy
+from repro.resilience.faults import FaultContext
 
 __all__ = ["MoveOutcome", "HashtableEngine"]
 
@@ -70,6 +71,11 @@ class HashtableEngine:
 
     name = "hashtable"
 
+    #: Optional resilience hook (see :mod:`repro.resilience.faults`): called
+    #: with a :class:`FaultContext` at the accumulate and reduce points of
+    #: every wave.  ``None`` (the default) costs one attribute test per wave.
+    fault_hook = None
+
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
@@ -86,6 +92,24 @@ class HashtableEngine:
             device.shared_memory_per_sm_bytes // device.max_threads_per_sm
         )
         self._smem_degree_limit = max(1, per_thread_budget // (2 * slot_bytes))
+
+    # ------------------------------------------------------------------ #
+
+    def grow_tables(self) -> int:
+        """Rebuild every per-vertex table at the next power-of-two capacity.
+
+        The resilience layer's *regrow* ladder rung: doubling the capacity
+        scale moves each ``p1`` to the next Mersenne number, and the fresh
+        allocation scrubs any corrupted slots.  Returns the new scale.
+        """
+        scale = self.tables.capacity_scale * 2
+        self.tables = PerVertexHashtables(
+            self.graph,
+            value_dtype=self.config.value_dtype,
+            strategy=self.config.probing,
+            capacity_scale=scale,
+        )
+        return scale
 
     # ------------------------------------------------------------------ #
 
@@ -166,6 +190,9 @@ class HashtableEngine:
         p1 = self.tables.capacities[wave]
         p2 = self.tables.secondary_primes[wave]
 
+        if self.fault_hook is not None:
+            self.fault_hook(self._fault_context("accumulate", kind, wave, labels, base, p1))
+
         cleared = segmented_clear(self.tables.keys, self.tables.values, base, p1)
         acc = parallel_accumulate(
             self.tables.keys,
@@ -182,6 +209,9 @@ class HashtableEngine:
         warp_serial = self._warp_critical_path(
             kind, wave, entry_table, edge_rank, acc.entry_probes
         )
+
+        if self.fault_hook is not None:
+            self.fault_hook(self._fault_context("reduce", kind, wave, labels, base, p1))
 
         fallback = labels[wave]
         best = segmented_max_key(self.tables.keys, self.tables.values, base, p1, fallback)
@@ -228,6 +258,22 @@ class HashtableEngine:
             smem_probes=smem_probes,
         )
         return adopters
+
+    # ------------------------------------------------------------------ #
+
+    def _fault_context(self, phase, kind, wave, labels, base, p1) -> FaultContext:
+        return FaultContext(
+            phase=phase,
+            engine=self.name,
+            kernel=kind,
+            device=self.config.device,
+            wave=wave,
+            labels=labels,
+            keys=self.tables.keys,
+            values=self.tables.values,
+            base=base,
+            p1=p1,
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -31,6 +31,7 @@ from repro.gpu.kernel import KernelKind
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultContext
 
 __all__ = ["VectorizedEngine", "best_labels_groupby"]
 
@@ -108,6 +109,11 @@ class VectorizedEngine:
 
     name = "vectorized"
 
+    #: Optional resilience hook (see :mod:`repro.resilience.faults`): called
+    #: with a :class:`FaultContext` once per wave, before the group-by
+    #: reduction.  ``None`` (the default) costs one attribute test per wave.
+    fault_hook = None
+
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
@@ -152,6 +158,22 @@ class VectorizedEngine:
                 table_id = gather.table_id[non_loop]
                 keys = labels[targets[non_loop]]
                 values = self.graph.weights[gather.edge_index][non_loop]
+
+                if self.fault_hook is not None:
+                    # `keys` is a fresh gather (fancy indexing copies), so a
+                    # bit flip here corrupts the wave's working set without
+                    # touching the committed labels.
+                    self.fault_hook(
+                        FaultContext(
+                            phase="reduce",
+                            engine=self.name,
+                            kernel=kind,
+                            device=self.config.device,
+                            wave=wave,
+                            labels=labels,
+                            keys=keys,
+                        )
+                    )
 
                 fallback = labels[wave]
                 best = best_labels_groupby(

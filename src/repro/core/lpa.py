@@ -4,7 +4,13 @@ The driver owns everything iteration-shaped: label initialisation, the
 Pick-Less schedule (every ρ iterations), the optional Cross-Check pass,
 the tolerance test (which is suppressed while PL is active, per Algorithm 1
 line 9), and the iteration cap.  The per-iteration ``lpaMove`` is delegated
-to one of the two engines.
+to one of the two engines — or, when a
+:class:`~repro.core.config.ResilienceConfig` is supplied, to the
+:class:`~repro.resilience.supervisor.KernelSupervisor`, which becomes the
+single choke point through which every kernel launch flows (invariant
+checks, the retry → regrow → fallback degradation ladder, fault
+injection).  The same configuration enables iteration-boundary
+checkpointing and deterministic, bit-identical resume.
 """
 
 from __future__ import annotations
@@ -14,14 +20,16 @@ import warnings
 
 import numpy as np
 
-from repro.core.config import LPAConfig
+from repro.core.config import LPAConfig, ResilienceConfig
 from repro.core.engine_hashtable import HashtableEngine
 from repro.core.engine_vectorized import VectorizedEngine
 from repro.core.pruning import Frontier
 from repro.core.result import IterationStats, LPAResult
 from repro.core.swap_prevention import cross_check_revert
-from repro.errors import ConfigurationError, ConvergenceWarning
+from repro.errors import CheckpointError, ConfigurationError, ConvergenceWarning
 from repro.graph.csr import CSRGraph
+from repro.resilience.checkpoint import CheckpointManager, CheckpointState, run_digest
+from repro.resilience.supervisor import KernelSupervisor
 from repro.types import VERTEX_DTYPE
 
 __all__ = ["nu_lpa", "make_engine"]
@@ -50,7 +58,8 @@ def nu_lpa(
     engine: str = "vectorized",
     initial_labels: np.ndarray | None = None,
     initial_active: np.ndarray | None = None,
-    warn_on_no_convergence: bool = False,
+    warn_on_no_convergence: bool = True,
+    resilience: ResilienceConfig | None = None,
 ) -> LPAResult:
     """Run ν-LPA community detection on ``graph``.
 
@@ -76,13 +85,21 @@ def nu_lpa(
         neighbourhood.  Ignored when ``config.pruning`` is off.
     warn_on_no_convergence:
         Emit :class:`~repro.errors.ConvergenceWarning` when the iteration
-        cap is hit (off by default: on several paper graphs hitting the
-        cap is expected behaviour without swap mitigation).
+        cap is hit without meeting τ (on by default; the result's
+        ``converged`` flag carries the same information for programmatic
+        use).  Pass ``False`` for batch experiments where hitting the cap
+        is expected behaviour, e.g. runs without swap mitigation.
+    resilience:
+        Optional fault-tolerance policy.  When given, every move runs
+        under the kernel supervisor, and ``resilience.checkpoint_dir`` /
+        ``resilience.resume`` enable snapshotting and bit-identical
+        resume from the newest checkpoint.
 
     Returns
     -------
     LPAResult
-        Final labels, per-iteration statistics, kernel counters.
+        Final labels, per-iteration statistics, kernel counters, fault
+        events (for supervised runs).
     """
     config = config or LPAConfig()
     eng = make_engine(graph, config, engine)
@@ -104,37 +121,101 @@ def nu_lpa(
             raise ConfigurationError("initial_active vertex id out of range")
         frontier.flags[:] = 0
         frontier.flags[active] = 1
+
+    supervisor: KernelSupervisor | None = None
+    ckpt: CheckpointManager | None = None
+    digest = ""
+    start_iteration = 0
+    resumed_from: int | None = None
     iterations: list[IterationStats] = []
     converged = n == 0
-    t0 = time.perf_counter()
 
-    for li in range(config.max_iterations):
-        pick_less = config.pick_less_active(li)
-        cross_check = config.cross_check_active(li)
-
-        previous = labels.copy() if cross_check else None
-        outcome = eng.move(labels, frontier, pick_less=pick_less, iteration=li)
-
-        reverted = 0
-        if cross_check and previous is not None:
-            reverted = cross_check_revert(labels, previous, outcome.changed_vertices)
-
-        iterations.append(
-            IterationStats(
-                iteration=li,
-                changed=outcome.changed,
-                processed=outcome.processed,
-                pick_less=pick_less,
-                cross_check=cross_check,
-                reverted=reverted,
-                counters=outcome.counters,
+    if resilience is not None:
+        supervisor = KernelSupervisor(eng, graph, config, resilience)
+        if resilience.checkpoint_dir is not None:
+            ckpt = CheckpointManager(
+                resilience.checkpoint_dir, every=resilience.checkpoint_every
             )
-        )
+            digest = run_digest(graph, config, engine)
+            if resilience.resume:
+                state = ckpt.latest()
+                if state is not None:
+                    if state.digest != digest:
+                        raise CheckpointError(
+                            f"checkpoint in {resilience.checkpoint_dir} was "
+                            f"written by a different run (digest "
+                            f"{state.digest} != {digest}); refusing to resume"
+                        )
+                    labels[:] = state.labels
+                    frontier.flags[:] = state.flags
+                    start_iteration = state.iteration
+                    resumed_from = state.iteration
+                    iterations = list(state.stats)
+                    converged = state.converged or converged
+                    supervisor.restore_state(
+                        injector_fires=state.injector_fires,
+                        last_pl_fraction=state.last_pl_fraction,
+                    )
 
-        # Algorithm 1 line 9: converge only when PL was off this iteration.
-        if not pick_less and n > 0 and outcome.changed / n < config.tolerance:
-            converged = True
-            break
+    t0 = time.perf_counter()
+    if not converged:
+        for li in range(start_iteration, config.max_iterations):
+            pick_less = config.pick_less_active(li)
+            cross_check = config.cross_check_active(li)
+
+            previous = labels.copy() if cross_check else None
+            if supervisor is not None:
+                outcome = supervisor.move(
+                    labels, frontier, pick_less=pick_less, iteration=li
+                )
+            else:
+                outcome = eng.move(labels, frontier, pick_less=pick_less, iteration=li)
+
+            reverted = 0
+            if cross_check and previous is not None:
+                reverted = cross_check_revert(labels, previous, outcome.changed_vertices)
+
+            iterations.append(
+                IterationStats(
+                    iteration=li,
+                    changed=outcome.changed,
+                    processed=outcome.processed,
+                    pick_less=pick_less,
+                    cross_check=cross_check,
+                    reverted=reverted,
+                    counters=outcome.counters,
+                )
+            )
+
+            # Algorithm 1 line 9: converge only when PL was off this iteration.
+            if not pick_less and n > 0 and outcome.changed / n < config.tolerance:
+                converged = True
+
+            # Snapshot at the iteration boundary: the state here is exactly
+            # what a deterministic re-run would hold entering iteration
+            # li + 1, so a killed run resumes bit-identically.
+            if ckpt is not None and (ckpt.due(li + 1) or converged):
+                ckpt.save(
+                    CheckpointState(
+                        labels=labels,
+                        flags=frontier.flags,
+                        iteration=li + 1,
+                        digest=digest,
+                        converged=converged,
+                        stats=iterations,
+                        injector_fires=(
+                            supervisor.injector.fires
+                            if supervisor is not None and supervisor.injector is not None
+                            else 0
+                        ),
+                        last_pl_fraction=(
+                            supervisor.last_pl_fraction if supervisor is not None else None
+                        ),
+                    )
+                )
+
+            if converged:
+                break
 
     wall = time.perf_counter() - t0
     if not converged and warn_on_no_convergence:
@@ -151,4 +232,6 @@ def nu_lpa(
         config=config,
         wall_seconds=wall,
         algorithm=f"nu-lpa[{eng.name}]",
+        fault_events=list(supervisor.events) if supervisor is not None else [],
+        resumed_from=resumed_from,
     )

@@ -51,6 +51,11 @@ class LPAResult:
     wall_seconds: float = 0.0
     #: Name of the algorithm/implementation that produced this result.
     algorithm: str = "nu-lpa"
+    #: :class:`~repro.resilience.report.FaultEvent` records from the kernel
+    #: supervisor; empty for unsupervised runs.
+    fault_events: list = field(default_factory=list)
+    #: Iteration the run was resumed from (``None`` = started fresh).
+    resumed_from: int | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -69,6 +74,11 @@ class LPAResult:
     def changed_history(self) -> np.ndarray:
         """ΔN per iteration, for convergence plots."""
         return np.asarray([it.changed for it in self.iterations], dtype=np.int64)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any iteration was completed by the fallback engine."""
+        return any(ev.action == "fallback" for ev in self.fault_events)
 
     def num_communities(self) -> int:
         """Distinct labels in the final assignment."""

@@ -13,6 +13,11 @@ __all__ = [
     "GraphConstructionError",
     "HashtableFullError",
     "KernelLaunchError",
+    "KernelTimeoutError",
+    "TransientKernelError",
+    "InvariantViolation",
+    "ResilienceExhaustedError",
+    "CheckpointError",
     "ConfigurationError",
     "DatasetError",
     "ConvergenceWarning",
@@ -46,6 +51,50 @@ class HashtableFullError(ReproError):
 
 class KernelLaunchError(ReproError):
     """A simulated kernel was launched with an invalid configuration."""
+
+
+class KernelTimeoutError(KernelLaunchError):
+    """A simulated kernel exceeded its watchdog budget and was killed.
+
+    Real GPUs kill kernels that hold an SM past the driver watchdog; the
+    fault injector raises this to model that class of failure.  The kernel
+    supervisor treats it as retryable.
+    """
+
+
+class TransientKernelError(ReproError):
+    """A transient device fault (e.g. an ``atomicCAS`` retry storm).
+
+    Models faults that clear on re-execution: contention storms, spurious
+    ECC corrections, scheduler hiccups.  The kernel supervisor retries
+    these with backoff before descending the degradation ladder.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A post-kernel invariant check failed (suspected silent corruption).
+
+    Raised by :mod:`repro.resilience.invariants` when a supervised move
+    produces labels outside ``[0, |V|)`` or non-finite hashtable values.
+    The supervisor restores the pre-move snapshot and retries.
+    """
+
+
+class ResilienceExhaustedError(ReproError):
+    """Every rung of the degradation ladder failed for one iteration.
+
+    Carries the structured :class:`~repro.resilience.report.FaultReport`
+    describing each attempt in :attr:`report`.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        #: The :class:`~repro.resilience.report.FaultReport` of the run.
+        self.report = report
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or matched to this run."""
 
 
 class ConfigurationError(ReproError):

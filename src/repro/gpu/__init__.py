@@ -22,7 +22,7 @@ from repro.gpu.metrics import KernelCounters
 from repro.gpu.memory import MemoryModel, AccessPattern
 from repro.gpu.atomics import first_winner_per_address, contention_cost
 from repro.gpu.scheduler import WavePlan, plan_waves, warp_assignment
-from repro.gpu.kernel import KernelLaunch, KernelKind
+from repro.gpu.kernel import KernelLaunch, KernelKind, LaunchStatus
 from repro.gpu.occupancy import Occupancy, occupancy_for
 
 __all__ = [
@@ -41,4 +41,5 @@ __all__ = [
     "warp_assignment",
     "KernelLaunch",
     "KernelKind",
+    "LaunchStatus",
 ]

@@ -17,7 +17,26 @@ from repro.errors import KernelLaunchError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.metrics import KernelCounters
 
-__all__ = ["KernelKind", "KernelLaunch"]
+__all__ = ["KernelKind", "KernelLaunch", "LaunchStatus"]
+
+
+class LaunchStatus(enum.Enum):
+    """Terminal state of a simulated kernel launch.
+
+    ``COMPLETED`` is the normal case.  The other states classify how a
+    supervised launch failed — the resilience layer stamps them onto its
+    :class:`~repro.resilience.report.FaultEvent` records so a
+    :class:`~repro.resilience.report.FaultReport` can be aggregated by
+    failure class.
+    """
+
+    COMPLETED = "completed"
+    #: Killed by the (simulated) driver watchdog.
+    TIMEOUT = "timeout"
+    #: Aborted by a device fault (overflow, CAS storm, ...).
+    FAULTED = "faulted"
+    #: Output discarded by the supervisor after an invariant check failed.
+    CORRUPTED = "corrupted"
 
 
 class KernelKind(enum.Enum):
@@ -46,6 +65,9 @@ class KernelLaunch:
     #: LPA iteration this launch belonged to.
     iteration: int = 0
     counters: KernelCounters = field(default_factory=KernelCounters)
+    #: How the launch ended; only the resilience layer ever sets a
+    #: non-``COMPLETED`` value.
+    status: LaunchStatus = LaunchStatus.COMPLETED
 
     def __post_init__(self) -> None:
         if self.num_items < 0:

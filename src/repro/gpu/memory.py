@@ -51,6 +51,17 @@ class MemoryModel:
         """Sectors when every access lands in its own sector (worst case)."""
         return max(0, num_accesses)
 
+    def slots_per_sector(self, element_bytes: int) -> int:
+        """How many ``element_bytes``-wide slots share one memory sector.
+
+        DRAM faults hit whole sectors, not single elements — the fault
+        injector uses this to corrupt a sector-aligned run of hashtable
+        slots, the granularity at which a real bit flip would surface.
+        """
+        if element_bytes <= 0:
+            return 1
+        return max(1, self.sector_bytes // element_bytes)
+
     def sectors_for_segments(
         self, segment_lengths: np.ndarray, element_bytes: int,
         pattern: AccessPattern,

@@ -8,10 +8,12 @@ community-detection literature, all funnelling into the same
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import io
+import zlib
 from pathlib import Path
-from typing import IO
+from typing import IO, Iterator
 
 import numpy as np
 
@@ -38,6 +40,38 @@ def _open_text(path: str | Path, mode: str = "rt") -> IO[str]:
     return open(path, mode)
 
 
+def _compressed_offset(fh: IO[str]) -> int | None:
+    """Best-effort compressed byte position of a gzip text stream."""
+    try:
+        raw = getattr(fh, "buffer", fh)  # TextIOWrapper -> GzipFile
+        inner = getattr(raw, "fileobj", None)  # GzipFile -> raw file
+        if inner is not None:
+            return int(inner.tell())
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+@contextlib.contextmanager
+def _truncation_guard(path: str | Path, fh: IO[str]) -> Iterator[None]:
+    """Convert gzip truncation/corruption into :class:`GraphFormatError`.
+
+    A ``.gz`` edge list cut off mid-transfer otherwise surfaces as a bare
+    ``EOFError`` (no end-of-stream marker) or ``BadGzipFile``/``zlib.error``
+    (corrupt CRC or deflate data) from deep inside the decompressor, with no
+    hint of which file or where.
+    """
+    try:
+        yield
+    except (EOFError, gzip.BadGzipFile, zlib.error) as exc:
+        offset = _compressed_offset(fh)
+        where = f" near compressed byte {offset}" if offset is not None else ""
+        detail = str(exc) or type(exc).__name__
+        raise GraphFormatError(
+            f"{path}: truncated or corrupt gzip stream{where}: {detail}"
+        ) from exc
+
+
 # --------------------------------------------------------------------- #
 # Edge lists (SNAP style)
 # --------------------------------------------------------------------- #
@@ -57,7 +91,7 @@ def read_edgelist(
     ``#``) are skipped.  Ids need not be dense — they are compacted.
     """
     rows: list[str] = []
-    with _open_text(path) as fh:
+    with _open_text(path) as fh, _truncation_guard(path, fh):
         for line in fh:
             line = line.strip()
             if not line or line.startswith(comments):
@@ -120,7 +154,7 @@ def read_matrix_market(path: str | Path, *, symmetrize: bool = True) -> CSRGraph
     fields and ``general``/``symmetric`` symmetry.  A ``symmetric`` header
     stores the lower triangle only; the builder restores reverse arcs.
     """
-    with _open_text(path) as fh:
+    with _open_text(path) as fh, _truncation_guard(path, fh):
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
             raise GraphFormatError(f"{path}: missing MatrixMarket header")
@@ -185,7 +219,7 @@ def read_metis(path: str | Path) -> CSRGraph:
     Blank lines are significant — they are the adjacency rows of isolated
     vertices — so only comment lines are dropped.
     """
-    with _open_text(path) as fh:
+    with _open_text(path) as fh, _truncation_guard(path, fh):
         lines = [ln.strip() for ln in fh if not ln.startswith("%")]
     while lines and not lines[-1]:
         lines.pop()  # trailing newline padding

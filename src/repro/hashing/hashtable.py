@@ -52,6 +52,13 @@ class PerVertexHashtables:
         ``float32`` (paper default) or ``float64`` (Figure-5 ablation).
     strategy:
         Collision-resolution strategy (paper default: quadratic-double).
+    capacity_scale:
+        Multiplier on each vertex's nominal degree when sizing its table;
+        the paper's layout is ``capacity_scale=1``.  The resilience layer's
+        *regrow* ladder rung doubles this after a persistent overflow,
+        which moves every ``p1`` to the next Mersenne capacity (the next
+        power of two, minus one) and rebuilds — and thereby scrubs — the
+        flat buffers.
     """
 
     def __init__(
@@ -60,18 +67,22 @@ class PerVertexHashtables:
         *,
         value_dtype: np.dtype | type = VALUE_DTYPE_F32,
         strategy: ProbeStrategy = ProbeStrategy.QUADRATIC_DOUBLE,
+        capacity_scale: int = 1,
     ) -> None:
+        if capacity_scale < 1:
+            raise ValueError(f"capacity_scale must be >= 1; got {capacity_scale}")
         self.graph = graph
         self.strategy = strategy
-        size = 2 * graph.num_edges
+        self.capacity_scale = int(capacity_scale)
+        size = 2 * graph.num_edges * self.capacity_scale
         # A single allocation for each buffer, exactly as the paper does
         # ("memory allocation ... only requires two calls of size 2|E|").
         self.keys = np.full(max(size, 1), EMPTY_KEY, dtype=np.int64)
         self.values = np.zeros(max(size, 1), dtype=value_dtype)
         degrees = graph.degrees
-        self._p1 = table_capacity(degrees).astype(np.int64)
+        self._p1 = table_capacity(degrees * self.capacity_scale).astype(np.int64)
         self._p2 = np.asarray(secondary_prime(self._p1), dtype=np.int64)
-        self._base = 2 * graph.offsets[:-1]
+        self._base = 2 * graph.offsets[:-1] * self.capacity_scale
         #: Total probes performed since construction (for the cost model).
         self.total_probes = 0
 

@@ -1,0 +1,207 @@
+"""Checkpoint/resume for LPA runs.
+
+A checkpoint is everything the driver loop needs to continue a run
+bit-identically from an iteration boundary: the membership (label) vector,
+the frontier's processed flags, the next iteration index, the per-iteration
+statistics so far, and the supervisor's cross-iteration state (injector
+fire count, last Pick-Less changed fraction).  Because the simulator is
+deterministic, ``state at iteration k`` + ``same config`` =>
+``bit-identical final communities`` — per-iteration state is a restartable
+queue, not a monolithic pass.
+
+Format
+------
+One ``ckpt-NNNNNN.npz`` per snapshot inside the checkpoint directory:
+``labels`` and ``flags`` arrays plus a JSON ``meta`` blob (schema version,
+run digest, iteration, convergence flag, serialized iteration stats,
+supervisor state).  Writes go to a temporary file in the same directory
+followed by an atomic :func:`os.replace`, so a run killed mid-write never
+leaves a partial checkpoint that :meth:`CheckpointManager.latest` could
+pick up.
+
+The *run digest* binds a checkpoint to the (graph, engine, config) that
+produced it; resuming against anything else raises
+:class:`~repro.errors.CheckpointError` instead of silently computing
+garbage.  ``max_iterations`` is deliberately excluded so a killed run can
+be resumed with a different cap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import LPAConfig
+from repro.core.result import IterationStats
+from repro.errors import CheckpointError
+from repro.gpu.metrics import KernelCounters
+from repro.graph.csr import CSRGraph
+from repro.types import FLAG_DTYPE, VERTEX_DTYPE
+
+__all__ = ["CheckpointState", "CheckpointManager", "run_digest"]
+
+#: Bump when the on-disk schema changes incompatibly.
+_SCHEMA_VERSION = 1
+
+_PREFIX = "ckpt-"
+_SUFFIX = ".npz"
+
+
+def run_digest(graph: CSRGraph, config: LPAConfig, engine: str) -> str:
+    """Fingerprint of everything that must match for a resume to be valid."""
+    payload = "|".join(
+        str(part)
+        for part in (
+            graph.num_vertices,
+            graph.num_edges,
+            engine,
+            config.tolerance,
+            config.pl_period,
+            config.cc_period,
+            config.switch_degree,
+            config.probing.value,
+            np.dtype(config.value_dtype).name,
+            config.pruning,
+            config.shared_memory_tables,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CheckpointState:
+    """In-memory image of one checkpoint."""
+
+    labels: np.ndarray
+    flags: np.ndarray
+    #: Next iteration the driver loop should execute.
+    iteration: int
+    digest: str
+    converged: bool = False
+    stats: list[IterationStats] = field(default_factory=list)
+    #: Fault-injector fires so far (keeps a resumed injection budget exact).
+    injector_fires: int = 0
+    #: Supervisor's last Pick-Less changed fraction, if any.
+    last_pl_fraction: float | None = None
+
+
+def _stats_to_json(stats: list[IterationStats]) -> list[dict]:
+    return [
+        {
+            "iteration": s.iteration,
+            "changed": s.changed,
+            "processed": s.processed,
+            "pick_less": s.pick_less,
+            "cross_check": s.cross_check,
+            "reverted": s.reverted,
+            "counters": s.counters.as_dict(),
+        }
+        for s in stats
+    ]
+
+
+def _stats_from_json(raw: list[dict]) -> list[IterationStats]:
+    return [
+        IterationStats(
+            iteration=int(item["iteration"]),
+            changed=int(item["changed"]),
+            processed=int(item["processed"]),
+            pick_less=bool(item["pick_less"]),
+            cross_check=bool(item["cross_check"]),
+            reverted=int(item["reverted"]),
+            counters=KernelCounters(**{k: int(v) for k, v in item["counters"].items()}),
+        )
+        for item in raw
+    ]
+
+
+class CheckpointManager:
+    """Writes and restores iteration-boundary snapshots of one run."""
+
+    def __init__(self, directory: str | Path, *, every: int = 1) -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1; got {every}")
+        self.directory = Path(directory)
+        self.every = every
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Paths written by this manager instance, in order.
+        self.written: list[Path] = []
+
+    # ------------------------------------------------------------------ #
+
+    def due(self, iteration: int) -> bool:
+        """Whether the boundary after ``iteration`` completed is a snapshot point."""
+        return iteration % self.every == 0
+
+    def save(self, state: CheckpointState) -> Path:
+        """Atomically persist ``state``; returns the checkpoint path."""
+        meta = {
+            "version": _SCHEMA_VERSION,
+            "iteration": state.iteration,
+            "digest": state.digest,
+            "converged": state.converged,
+            "injector_fires": state.injector_fires,
+            "last_pl_fraction": state.last_pl_fraction,
+            "stats": _stats_to_json(state.stats),
+        }
+        final = self.directory / f"{_PREFIX}{state.iteration:06d}{_SUFFIX}"
+        tmp = self.directory / f".tmp-{os.getpid()}-{state.iteration:06d}{_SUFFIX}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    labels=state.labels,
+                    flags=state.flags,
+                    meta=np.array(json.dumps(meta)),
+                )
+            os.replace(tmp, final)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
+        self.written.append(final)
+        return final
+
+    # ------------------------------------------------------------------ #
+
+    def checkpoints(self) -> list[Path]:
+        """All well-named checkpoints in the directory, oldest first."""
+        return sorted(self.directory.glob(f"{_PREFIX}*{_SUFFIX}"))
+
+    def latest(self) -> CheckpointState | None:
+        """Load the newest checkpoint, or ``None`` when the dir is empty."""
+        found = self.checkpoints()
+        if not found:
+            return None
+        return self.load(found[-1])
+
+    @staticmethod
+    def load(path: str | Path) -> CheckpointState:
+        """Load one checkpoint file."""
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                labels = data["labels"].astype(VERTEX_DTYPE)
+                flags = data["flags"].astype(FLAG_DTYPE)
+                meta = json.loads(str(data["meta"]))
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        if meta.get("version") != _SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has schema version {meta.get('version')}; "
+                f"this build reads version {_SCHEMA_VERSION}"
+            )
+        last_pl = meta.get("last_pl_fraction")
+        return CheckpointState(
+            labels=labels,
+            flags=flags,
+            iteration=int(meta["iteration"]),
+            digest=str(meta["digest"]),
+            converged=bool(meta.get("converged", False)),
+            stats=_stats_from_json(meta.get("stats", [])),
+            injector_fires=int(meta.get("injector_fires", 0)),
+            last_pl_fraction=None if last_pl is None else float(last_pl),
+        )

@@ -1,0 +1,233 @@
+"""Configurable fault injection for the simulated GPU.
+
+The injector wraps the :mod:`repro.gpu` primitives *from the outside*: the
+engines expose a single ``fault_hook`` called at deterministic points of
+every wave (see :class:`FaultContext`), and an armed injector either raises
+a device-fault exception there or corrupts the flat hashtable buffers in
+place, exactly where a real A100 fault would surface.
+
+Fault classes
+-------------
+``overflow``
+    Forced hashtable overflow: the insert path reports ``failed`` at the
+    configured probe depth, raising
+    :class:`~repro.errors.HashtableFullError` — the paper assumes this
+    "is avoided by ensuring the hashtable has sufficient capacity"; the
+    injector violates that assumption on purpose.
+``bitflip``
+    Flips a high bit in a sector-aligned run of occupied hashtable key
+    slots (or, for the vectorized engine, of the gathered label keys), and
+    optionally the exponent bit of value slots.  Key flips are either
+    harmless (the corrupt key loses the max-reduce) or detected by the
+    supervisor's label-range invariant; value flips model *silent* data
+    corruption and are only caught when they produce non-finite values.
+``cas-storm``
+    A transient ``atomicCAS`` retry storm
+    (:class:`~repro.errors.TransientKernelError`); clears on re-execution.
+``timeout``
+    The driver watchdog kills the kernel
+    (:class:`~repro.errors.KernelTimeoutError`).
+
+Determinism: whether an attempt fires, the fault class chosen, and the
+corrupted slots are all derived from ``(seed, iteration, attempt)`` — a
+retried attempt re-rolls, a resumed run re-derives the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    HashtableFullError,
+    KernelTimeoutError,
+    TransientKernelError,
+)
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelKind
+from repro.gpu.memory import MemoryModel
+from repro.types import EMPTY_KEY
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultContext", "FaultInjector"]
+
+#: The injectable fault classes, in canonical order.
+FAULT_KINDS = ("overflow", "bitflip", "cas-storm", "timeout")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject, how often, and with which deterministic stream."""
+
+    #: Fault classes to draw from (uniformly) when an attempt fires.
+    kinds: tuple[str, ...] = ("overflow",)
+    #: Per-move-attempt probability of firing.
+    rate: float = 1.0
+    #: Seed of the deterministic injection stream.
+    seed: int = 0
+    #: Total injection budget; ``None`` = unlimited (persistent fault).
+    max_fires: int | None = None
+    #: Probe depth at which a forced overflow reports ``failed``.
+    probe_depth: int = 8
+    #: Which bit of an int64 key a ``bitflip`` toggles.  The default sits
+    #: far above any realistic vertex count, so a corrupt key that wins the
+    #: max-reduce is guaranteed to violate the label-range invariant.
+    key_bit: int = 41
+    #: Buffers a ``bitflip`` may target: ``"keys"`` and/or ``"values"``.
+    targets: tuple[str, ...] = ("keys",)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kinds {sorted(unknown)}; choose from {FAULT_KINDS}"
+            )
+        if not self.kinds:
+            raise ConfigurationError("FaultSpec.kinds must not be empty")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"fault rate must be in [0, 1]; got {self.rate}")
+        if self.probe_depth < 1:
+            raise ConfigurationError(
+                f"probe_depth must be >= 1; got {self.probe_depth}"
+            )
+        bad_targets = set(self.targets) - {"keys", "values"}
+        if bad_targets:
+            raise ConfigurationError(
+                f"unknown bitflip targets {sorted(bad_targets)}"
+            )
+
+
+@dataclass
+class FaultContext:
+    """Where in a wave the engine is when it calls the fault hook.
+
+    ``phase`` is ``"accumulate"`` (before the hashtable accumulation — the
+    point where overflow/timeout/storm faults surface) or ``"reduce"``
+    (after accumulation, before the max-reduce — the point where buffer
+    corruption is visible to the reduction).  The vectorized engine has no
+    accumulation step and calls the hook once with ``phase="reduce"``.
+    """
+
+    phase: str
+    engine: str
+    kernel: KernelKind
+    device: DeviceSpec
+    #: Vertex ids of the wave being processed.
+    wave: np.ndarray
+    #: The run's label vector (read-only by convention).
+    labels: np.ndarray
+    #: Hashtable engine: the flat key buffer.  Vectorized engine: the
+    #: wave's gathered label keys.  Mutated in place by ``bitflip``.
+    keys: np.ndarray | None = None
+    #: Flat value buffer (hashtable engine only).
+    values: np.ndarray | None = None
+    #: Live-region layout of the wave's tables (hashtable engine only).
+    base: np.ndarray | None = None
+    p1: np.ndarray | None = None
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault source; engines call it via their fault hook."""
+
+    spec: FaultSpec
+    #: Injections performed so far (persisted across checkpoint/resume).
+    fires: int = 0
+    _armed: str | None = field(default=None, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def arm(self, iteration: int, attempt: int) -> str | None:
+        """Roll the deterministic dice for one move attempt.
+
+        Returns the armed fault kind (or ``None``).  The supervisor calls
+        this before every supervised move so that retries re-roll and a
+        bounded ``max_fires`` budget eventually lets a retry through.
+        """
+        self._armed = None
+        self._rng = None
+        if self.spec.max_fires is not None and self.fires >= self.spec.max_fires:
+            return None
+        rng = np.random.default_rng([self.spec.seed, iteration, attempt])
+        if rng.random() >= self.spec.rate:
+            return None
+        self._armed = self.spec.kinds[int(rng.integers(len(self.spec.kinds)))]
+        self._rng = rng
+        return self._armed
+
+    def disarm(self) -> None:
+        """Drop any armed fault (used when a move completes cleanly)."""
+        self._armed = None
+        self._rng = None
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, ctx: FaultContext) -> None:
+        """The engine-facing hook: fire the armed fault, if any."""
+        kind = self._armed
+        if kind is None:
+            return
+        if kind == "bitflip" and ctx.phase != "reduce":
+            return  # wait until the buffers hold this wave's entries
+        rng = self._rng
+        self._armed = None
+        self._rng = None
+        self.fires += 1
+
+        if kind == "timeout":
+            raise KernelTimeoutError(
+                f"injected: watchdog killed {ctx.kernel.value} kernel mid-wave "
+                f"({ctx.wave.shape[0]} vertices resident)"
+            )
+        if kind == "cas-storm":
+            raise TransientKernelError(
+                f"injected: atomicCAS retry storm in {ctx.kernel.value} kernel"
+            )
+        if kind == "overflow":
+            raise HashtableFullError(
+                f"injected: hashtable overflow forced at probe depth "
+                f"{self.spec.probe_depth} ({ctx.engine} engine, "
+                f"{ctx.kernel.value} kernel)"
+            )
+        self._flip_bits(ctx, rng)
+
+    # ------------------------------------------------------------------ #
+
+    def _flip_bits(self, ctx: FaultContext, rng: np.random.Generator | None) -> None:
+        """Corrupt a sector-aligned run of slots in the wave's buffers."""
+        if ctx.keys is None or rng is None:
+            return
+        if ctx.base is not None and ctx.p1 is not None:
+            flat = _live_slots(ctx.base, ctx.p1)
+            occupied = flat[ctx.keys[flat] != EMPTY_KEY]
+        else:
+            occupied = np.arange(ctx.keys.shape[0], dtype=np.int64)
+        if occupied.shape[0] == 0:
+            return
+
+        mem = MemoryModel(ctx.device)
+        start = int(occupied[int(rng.integers(occupied.shape[0]))])
+        if "keys" in self.spec.targets:
+            span = mem.slots_per_sector(ctx.keys.itemsize)
+            sector_lo = (start // span) * span
+            hit = occupied[(occupied >= sector_lo) & (occupied < sector_lo + span)]
+            ctx.keys[hit] ^= np.int64(1) << np.int64(self.spec.key_bit)
+        if "values" in self.spec.targets and ctx.values is not None:
+            width = ctx.values.itemsize
+            uint = np.uint32 if width == 4 else np.uint64
+            exp_bit = 30 if width == 4 else 62
+            view = ctx.values.view(uint)
+            view[start] ^= uint(1) << uint(exp_bit)
+
+
+def _live_slots(base: np.ndarray, p1: np.ndarray) -> np.ndarray:
+    """Flat indices of every live slot of the wave's tables."""
+    p1 = p1.astype(np.int64, copy=False)
+    total = int(p1.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg = np.repeat(np.arange(base.shape[0], dtype=np.int64), p1)
+    starts = np.zeros(base.shape[0], dtype=np.int64)
+    np.cumsum(p1[:-1], out=starts[1:])
+    within = np.arange(total, dtype=np.int64) - starts[seg]
+    return base[seg] + within

@@ -1,0 +1,81 @@
+"""Post-kernel invariant checks for supervised LPA moves.
+
+Silent corruption — a flipped bit that survives the max-reduce — does not
+raise; it has to be *caught*.  After every supervised move the supervisor
+runs these checks against the engine's output:
+
+* **label range** — every label lies in ``[0, |V|)``.  A corrupt key that
+  wins a max-reduce lands outside the vertex-id space (the injector flips
+  bit 41; real upsets hit high bits just as happily).
+* **finite values** — no NaN/Inf in the fp32/fp64 hashtable value buffer.
+  Accumulated edge weights are finite by construction, so a non-finite
+  value proves buffer corruption.
+* **Pick-Less monotonicity** — across successive Pick-Less rounds the
+  changed-vertex fraction should not increase: PL only permits moves to
+  *smaller* labels, so the set of vertices that can still move shrinks as
+  labels settle.  This is a strong heuristic rather than a theorem, so by
+  default a violation is *flagged* in the fault report instead of
+  triggering the retry ladder (``ResilienceConfig.strict_pl_monotone``
+  escalates it).
+
+The first two checks are cheap relative to a move (O(|V|) and O(|E|)) and
+deterministic, so a retry after a clean restore either passes them or
+proves the fault persistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "check_label_range",
+    "check_finite_values",
+    "check_pl_monotone",
+]
+
+
+def check_label_range(labels: np.ndarray, num_vertices: int) -> None:
+    """Raise :class:`InvariantViolation` unless all labels are in range."""
+    if labels.shape[0] == 0:
+        return
+    lo = int(labels.min())
+    hi = int(labels.max())
+    if lo < 0 or hi >= num_vertices:
+        bad = np.flatnonzero((labels < 0) | (labels >= num_vertices))
+        raise InvariantViolation(
+            f"label-range: {bad.shape[0]} label(s) outside [0, {num_vertices}) "
+            f"(min={lo}, max={hi}, first bad vertex={int(bad[0])})"
+        )
+
+
+def check_finite_values(values: np.ndarray) -> None:
+    """Raise :class:`InvariantViolation` if the value buffer holds NaN/Inf."""
+    if values.shape[0] == 0:
+        return
+    if not np.isfinite(values).all():
+        bad = np.flatnonzero(~np.isfinite(values))
+        raise InvariantViolation(
+            f"finite-values: {bad.shape[0]} non-finite hashtable value(s) "
+            f"(first at slot {int(bad[0])})"
+        )
+
+
+def check_pl_monotone(
+    previous_fraction: float | None, fraction: float, *, slack: float = 0.0
+) -> str | None:
+    """Return a violation description if the PL changed-fraction grew.
+
+    ``None`` means the invariant holds (or there is no previous PL round
+    to compare against).  Returning a string rather than raising lets the
+    supervisor decide between flagging and escalating.
+    """
+    if previous_fraction is None:
+        return None
+    if fraction > previous_fraction + slack:
+        return (
+            f"pl-monotone: changed fraction rose across Pick-Less rounds "
+            f"({previous_fraction:.4f} -> {fraction:.4f})"
+        )
+    return None

@@ -1,0 +1,110 @@
+"""Structured fault records produced by the kernel supervisor.
+
+Every fault the supervisor observes — an injected or genuine exception, or
+an invariant check tripping on a kernel's output — becomes one
+:class:`FaultEvent` stating what failed and which rung of the degradation
+ladder handled it.  A :class:`FaultReport` aggregates the events of one run
+(or, on abort, of the iteration that exhausted the ladder) so operators and
+tests can ask "what happened" without parsing log text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    HashtableFullError,
+    InvariantViolation,
+    KernelTimeoutError,
+    TransientKernelError,
+)
+from repro.gpu.kernel import LaunchStatus
+
+__all__ = ["FaultEvent", "FaultReport", "classify_fault"]
+
+#: Ladder actions, in descending order of preference.
+ACTIONS = ("retry", "regrow", "fallback", "flagged", "abort")
+
+
+def classify_fault(exc: BaseException) -> LaunchStatus:
+    """Map a supervised exception to the launch status it implies."""
+    if isinstance(exc, KernelTimeoutError):
+        return LaunchStatus.TIMEOUT
+    if isinstance(exc, InvariantViolation):
+        return LaunchStatus.CORRUPTED
+    if isinstance(exc, (HashtableFullError, TransientKernelError)):
+        return LaunchStatus.FAULTED
+    return LaunchStatus.FAULTED
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault observation and the supervisor's response to it."""
+
+    #: LPA iteration during which the fault surfaced.
+    iteration: int
+    #: Which attempt of that iteration's move failed (0 = first try).
+    attempt: int
+    #: Exception class name, or the invariant tag for flagged checks.
+    fault: str
+    #: Human-readable detail (exception message / check description).
+    detail: str
+    #: Ladder rung taken: ``retry``, ``regrow``, ``fallback``, ``flagged``
+    #: (recorded without intervention), or ``abort``.
+    action: str
+    #: Name of the engine whose move failed.
+    engine: str
+    #: Launch status the fault implies.
+    status: LaunchStatus
+    #: Backoff applied before the next attempt, in seconds.
+    backoff_s: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"iter {self.iteration} attempt {self.attempt}: {self.fault} "
+            f"-> {self.action} ({self.detail})"
+        )
+
+
+@dataclass
+class FaultReport:
+    """All fault events of a supervised run, with aggregation helpers."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    #: Iteration at which the run aborted; ``None`` if it survived.
+    aborted_at: int | None = None
+    #: Primary engine of the supervised run.
+    engine: str = ""
+
+    def append(self, event: FaultEvent) -> None:
+        """Record one event."""
+        self.events.append(event)
+
+    def by_action(self) -> dict[str, int]:
+        """Event counts keyed by ladder action."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.action] = counts.get(ev.action, 0) + 1
+        return counts
+
+    def by_fault(self) -> dict[str, int]:
+        """Event counts keyed by fault class."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.fault] = counts.get(ev.fault, 0) + 1
+        return counts
+
+    @property
+    def degraded_iterations(self) -> set[int]:
+        """Iterations that were completed by the fallback engine."""
+        return {ev.iteration for ev in self.events if ev.action == "fallback"}
+
+    def summary(self) -> str:
+        """One-line digest for logs and the CLI."""
+        if not self.events:
+            return "no faults observed"
+        actions = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.by_action().items())
+        )
+        tail = f"; aborted at iteration {self.aborted_at}" if self.aborted_at is not None else ""
+        return f"{len(self.events)} fault event(s): {actions}{tail}"

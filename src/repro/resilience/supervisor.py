@@ -1,0 +1,261 @@
+"""The kernel supervisor: every supervised ``lpaMove`` flows through here.
+
+One :meth:`KernelSupervisor.move` call is one *supervised* iteration: the
+pre-move state (labels + frontier flags) is snapshotted, the engine runs,
+and the output is validated against the invariants in
+:mod:`repro.resilience.invariants`.  Any device fault or invariant failure
+restores the snapshot and descends the degradation ladder:
+
+1. **retry** the move with exponential backoff (transient faults — CAS
+   storms, watchdog timeouts, one-shot corruption — clear on re-run);
+2. **regrow** the per-vertex hashtables to the next power of two
+   (:meth:`~repro.core.engine_hashtable.HashtableEngine.grow_tables`) —
+   rebuilding the flat buffers both fixes genuine capacity overflow and
+   scrubs persistent buffer corruption, like an ECC scrub cycle;
+3. **fall back** to a fresh, unsupervised
+   :class:`~repro.core.engine_vectorized.VectorizedEngine` for the
+   affected move (the fallback engine has no fault hook, so injected
+   faults cannot reach it);
+4. **abort** with :class:`~repro.errors.ResilienceExhaustedError` carrying
+   a structured :class:`~repro.resilience.report.FaultReport`.
+
+Because every rung restarts from the restored snapshot, a fault-free rung
+produces exactly the move an unfaulted engine would have produced — which
+is what makes "forced overflow every iteration" converge to the same
+communities as a clean vectorized run (see ``tests/resilience``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.engine_vectorized import VectorizedEngine
+from repro.core.pruning import Frontier
+from repro.errors import (
+    HashtableFullError,
+    InvariantViolation,
+    KernelLaunchError,
+    KernelTimeoutError,
+    ResilienceExhaustedError,
+    TransientKernelError,
+)
+from repro.gpu.kernel import LaunchStatus
+from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultInjector
+from repro.resilience.invariants import (
+    check_finite_values,
+    check_label_range,
+    check_pl_monotone,
+)
+from repro.resilience.report import FaultEvent, FaultReport, classify_fault
+
+__all__ = ["KernelSupervisor", "SUPERVISED_FAULTS"]
+
+#: Exception classes the ladder handles; anything else propagates (it is a
+#: programming error, not a device fault).
+SUPERVISED_FAULTS = (
+    HashtableFullError,
+    KernelTimeoutError,
+    TransientKernelError,
+    KernelLaunchError,
+    InvariantViolation,
+)
+
+
+class KernelSupervisor:
+    """Wraps an engine's ``move`` with checks, retries, and fallback."""
+
+    def __init__(
+        self,
+        engine,
+        graph: CSRGraph,
+        config: LPAConfig,
+        resilience: ResilienceConfig,
+    ) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.config = config
+        self.resilience = resilience
+        self.report = FaultReport(engine=engine.name)
+        self.injector: FaultInjector | None = None
+        if resilience.faults is not None:
+            self.injector = FaultInjector(resilience.faults)
+            engine.fault_hook = self.injector
+        self._fallback: VectorizedEngine | None = None
+        #: Changed fraction of the last completed Pick-Less round.
+        self.last_pl_fraction: float | None = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        """All fault events recorded so far."""
+        return self.report.events
+
+    def restore_state(self, *, injector_fires: int, last_pl_fraction: float | None) -> None:
+        """Reinstate cross-iteration supervisor state from a checkpoint."""
+        if self.injector is not None:
+            self.injector.fires = injector_fires
+        self.last_pl_fraction = last_pl_fraction
+
+    # ------------------------------------------------------------------ #
+
+    def move(
+        self,
+        labels: np.ndarray,
+        frontier: Frontier,
+        *,
+        pick_less: bool,
+        iteration: int,
+    ):
+        """One supervised ``lpaMove``; returns the engine's ``MoveOutcome``."""
+        snapshot_labels = labels.copy()
+        snapshot_flags = frontier.flags.copy()
+
+        def restore() -> None:
+            labels[:] = snapshot_labels
+            frontier.flags[:] = snapshot_flags
+
+        attempt = 0
+        regrown = False
+        while True:
+            if self.injector is not None:
+                self.injector.arm(iteration, attempt)
+            try:
+                outcome = self.engine.move(
+                    labels, frontier, pick_less=pick_less, iteration=iteration
+                )
+                self._validate(labels, self.engine, pick_less, iteration)
+            except SUPERVISED_FAULTS as exc:
+                restore()
+                if self.injector is not None:
+                    self.injector.disarm()
+                if attempt < self.resilience.max_retries:
+                    backoff = self._backoff(attempt)
+                    self._record(iteration, attempt, exc, "retry", backoff)
+                    attempt += 1
+                    continue
+                if (
+                    not regrown
+                    and self.resilience.allow_regrow
+                    and isinstance(exc, (HashtableFullError, InvariantViolation))
+                    and hasattr(self.engine, "grow_tables")
+                ):
+                    self._record(iteration, attempt, exc, "regrow", 0.0)
+                    self.engine.grow_tables()
+                    regrown = True
+                    attempt += 1
+                    continue
+                return self._fall_back(
+                    labels, frontier, restore, exc,
+                    pick_less=pick_less, iteration=iteration, attempt=attempt,
+                )
+            else:
+                self._note_pick_less(pick_less, outcome, iteration)
+                return outcome
+
+    # ------------------------------------------------------------------ #
+
+    def _fall_back(
+        self,
+        labels: np.ndarray,
+        frontier: Frontier,
+        restore,
+        cause: BaseException,
+        *,
+        pick_less: bool,
+        iteration: int,
+        attempt: int,
+    ):
+        """Ladder rung 3: recompute the move on the unsupervised fallback."""
+        if not self.resilience.allow_fallback:
+            return self._abort(iteration, attempt, cause)
+        self._record(iteration, attempt, cause, "fallback", 0.0)
+        if self._fallback is None:
+            self._fallback = VectorizedEngine(self.graph, self.config)
+        try:
+            outcome = self._fallback.move(
+                labels, frontier, pick_less=pick_less, iteration=iteration
+            )
+            check_label_range(labels, self.graph.num_vertices)
+        except SUPERVISED_FAULTS as exc:
+            restore()
+            return self._abort(iteration, attempt + 1, exc)
+        self._note_pick_less(pick_less, outcome, iteration)
+        return outcome
+
+    def _abort(self, iteration: int, attempt: int, cause: BaseException):
+        self._record(iteration, attempt, cause, "abort", 0.0)
+        self.report.aborted_at = iteration
+        raise ResilienceExhaustedError(
+            f"degradation ladder exhausted at iteration {iteration}: "
+            f"{type(cause).__name__}: {cause} ({self.report.summary()})",
+            report=self.report,
+        ) from cause
+
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, labels, engine, pick_less: bool, iteration: int) -> None:
+        """Hard invariants; raises :class:`InvariantViolation` on failure."""
+        if not self.resilience.validate_invariants:
+            return
+        check_label_range(labels, self.graph.num_vertices)
+        tables = getattr(engine, "tables", None)
+        if tables is not None and self.resilience.deep_checks:
+            check_finite_values(tables.values)
+
+    def _note_pick_less(self, pick_less: bool, outcome, iteration: int) -> None:
+        """Track the PL changed-fraction invariant on successful moves."""
+        n = self.graph.num_vertices
+        if not pick_less or n == 0:
+            return
+        fraction = outcome.changed / n
+        message = check_pl_monotone(self.last_pl_fraction, fraction)
+        if message is not None:
+            if self.resilience.strict_pl_monotone:
+                self.last_pl_fraction = fraction
+                raise InvariantViolation(message)
+            self.report.append(
+                FaultEvent(
+                    iteration=iteration,
+                    attempt=0,
+                    fault="pl-monotone",
+                    detail=message,
+                    action="flagged",
+                    engine=self.engine.name,
+                    status=LaunchStatus.COMPLETED,
+                )
+            )
+        self.last_pl_fraction = fraction
+
+    # ------------------------------------------------------------------ #
+
+    def _backoff(self, attempt: int) -> float:
+        delay = self.resilience.backoff_base_s * (2.0 ** attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def _record(
+        self,
+        iteration: int,
+        attempt: int,
+        exc: BaseException,
+        action: str,
+        backoff: float,
+    ) -> None:
+        self.report.append(
+            FaultEvent(
+                iteration=iteration,
+                attempt=attempt,
+                fault=type(exc).__name__,
+                detail=str(exc),
+                action=action,
+                engine=self.engine.name,
+                status=classify_fault(exc),
+                backoff_s=backoff,
+            )
+        )

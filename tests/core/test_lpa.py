@@ -177,3 +177,35 @@ class TestWeightedGraphs:
             e: modularity(g, nu_lpa(g, engine=e).labels) for e in ENGINES
         }
         assert abs(q["vectorized"] - q["hashtable"]) < 0.12
+
+
+class TestConvergenceWarningDefault:
+    """The warning must be emitted *by default*, not only on request, and
+    the result must carry the same information programmatically."""
+
+    def test_warns_by_default(self):
+        from repro.errors import ConvergenceWarning
+
+        ring = watts_strogatz(64, 2, 0.0, seed=1)
+        with pytest.warns(ConvergenceWarning, match="max_iterations"):
+            r = nu_lpa(ring, LPAConfig(pl_period=None))
+        assert r.converged is False
+
+    def test_opt_out_suppresses(self):
+        import warnings
+
+        ring = watts_strogatz(64, 2, 0.0, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            r = nu_lpa(
+                ring, LPAConfig(pl_period=None), warn_on_no_convergence=False
+            )
+        assert r.converged is False
+
+    def test_converged_run_does_not_warn(self, small_web):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            r = nu_lpa(small_web)
+        assert r.converged is True

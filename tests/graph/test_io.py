@@ -157,3 +157,64 @@ class TestLoadGraph:
         path.write_text("")
         with pytest.raises(GraphFormatError):
             load_graph(path)
+
+
+class TestTruncatedGzip:
+    """A .gz file cut off mid-transfer must fail as a format error with a
+    location, never a bare EOFError from inside the decompressor."""
+
+    @staticmethod
+    def _truncate(path, fraction=0.5):
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, int(len(data) * fraction))])
+
+    @pytest.fixture
+    def big_gz_edgelist(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "big.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            for i in range(20_000):
+                fh.write(f"{i} {i + 1}\n")
+        return path
+
+    def test_truncated_edgelist_raises_format_error(self, big_gz_edgelist):
+        self._truncate(big_gz_edgelist)
+        with pytest.raises(GraphFormatError, match="truncated or corrupt"):
+            read_edgelist(big_gz_edgelist)
+
+    def test_error_reports_byte_offset(self, big_gz_edgelist):
+        self._truncate(big_gz_edgelist)
+        with pytest.raises(GraphFormatError, match="compressed byte \\d+"):
+            read_edgelist(big_gz_edgelist)
+
+    def test_error_names_the_file(self, big_gz_edgelist):
+        self._truncate(big_gz_edgelist)
+        with pytest.raises(GraphFormatError, match="big.txt.gz"):
+            read_edgelist(big_gz_edgelist)
+
+    def test_corrupt_body_raises_format_error(self, big_gz_edgelist):
+        data = bytearray(big_gz_edgelist.read_bytes())
+        for i in range(64, min(len(data), 256)):
+            data[i] ^= 0xFF  # smash the deflate stream, keep the header
+        big_gz_edgelist.write_bytes(bytes(data))
+        with pytest.raises(GraphFormatError, match="truncated or corrupt"):
+            read_edgelist(big_gz_edgelist)
+
+    def test_truncated_mtx_raises_format_error(self, sample_graph, tmp_path):
+        path = tmp_path / "g.mtx.gz"
+        write_matrix_market(sample_graph, path)
+        self._truncate(path, fraction=0.6)
+        with pytest.raises(GraphFormatError, match="truncated or corrupt"):
+            read_matrix_market(path)
+
+    def test_truncated_metis_raises_format_error(self, sample_graph, tmp_path):
+        path = tmp_path / "g.graph.gz"
+        write_metis(sample_graph, path)
+        self._truncate(path, fraction=0.6)
+        with pytest.raises(GraphFormatError, match="truncated or corrupt"):
+            read_metis(path)
+
+    def test_intact_gzip_still_loads(self, big_gz_edgelist):
+        g = read_edgelist(big_gz_edgelist)
+        assert g.num_vertices == 20_001

@@ -1,0 +1,206 @@
+"""Tests for checkpoint/resume: format, digests, and bit-identical resume."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.core.result import IterationStats
+from repro.errors import CheckpointError
+from repro.graph.generators import web_graph
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CheckpointState,
+    run_digest,
+)
+from repro.resilience.faults import FaultSpec
+
+
+@pytest.fixture
+def graph():
+    return web_graph(900, avg_degree=6, seed=23)
+
+
+def ckpt_config(tmp_path, *, resume=False, every=1, faults=None):
+    return ResilienceConfig(
+        checkpoint_dir=tmp_path / "ckpt",
+        checkpoint_every=every,
+        resume=resume,
+        faults=faults,
+    )
+
+
+class TestFormat:
+    def test_save_load_roundtrip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        state = CheckpointState(
+            labels=np.array([3, 1, 4, 1, 5], dtype=np.int64),
+            flags=np.array([1, 0, 1, 0, 1], dtype=np.uint8),
+            iteration=7,
+            digest="abc123",
+            converged=True,
+            stats=[
+                IterationStats(
+                    iteration=0, changed=5, processed=5,
+                    pick_less=False, cross_check=False, reverted=1,
+                )
+            ],
+            injector_fires=3,
+            last_pl_fraction=0.25,
+        )
+        path = mgr.save(state)
+        assert path.name == "ckpt-000007.npz"
+        loaded = CheckpointManager.load(path)
+        assert np.array_equal(loaded.labels, state.labels)
+        assert np.array_equal(loaded.flags, state.flags)
+        assert loaded.iteration == 7
+        assert loaded.digest == "abc123"
+        assert loaded.converged is True
+        assert loaded.injector_fires == 3
+        assert loaded.last_pl_fraction == 0.25
+        assert len(loaded.stats) == 1
+        assert loaded.stats[0].changed == 5
+        assert loaded.stats[0].reverted == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(CheckpointState(
+            labels=np.zeros(3, dtype=np.int64),
+            flags=np.zeros(3, dtype=np.uint8),
+            iteration=1, digest="d",
+        ))
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt-000001.npz"]
+
+    def test_latest_picks_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for it in (1, 2, 10):
+            mgr.save(CheckpointState(
+                labels=np.full(2, it, dtype=np.int64),
+                flags=np.zeros(2, dtype=np.uint8),
+                iteration=it, digest="d",
+            ))
+        latest = mgr.latest()
+        assert latest.iteration == 10
+
+    def test_empty_dir_has_no_latest(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_corrupt_file_raises(self, tmp_path):
+        bad = tmp_path / "ckpt-000001.npz"
+        bad.write_bytes(b"not an npz file")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointManager.load(bad)
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every=0)
+
+    def test_due_respects_interval(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every=3)
+        assert [i for i in range(1, 10) if mgr.due(i)] == [3, 6, 9]
+
+
+class TestRunDigest:
+    def test_stable(self, graph):
+        cfg = LPAConfig()
+        assert run_digest(graph, cfg, "hashtable") == run_digest(graph, cfg, "hashtable")
+
+    def test_engine_changes_digest(self, graph):
+        cfg = LPAConfig()
+        assert run_digest(graph, cfg, "hashtable") != run_digest(graph, cfg, "vectorized")
+
+    def test_config_changes_digest(self, graph):
+        assert run_digest(graph, LPAConfig(), "v") != run_digest(
+            graph, LPAConfig(tolerance=0.01), "v"
+        )
+
+    def test_max_iterations_excluded(self, graph):
+        # a killed run may legitimately be resumed with a higher cap
+        assert run_digest(graph, LPAConfig(max_iterations=3), "v") == run_digest(
+            graph, LPAConfig(max_iterations=50), "v"
+        )
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path, graph):
+        baseline = nu_lpa(graph, engine="hashtable", warn_on_no_convergence=False)
+
+        # "kill" the run after 3 iterations by capping it
+        nu_lpa(
+            graph, LPAConfig(max_iterations=3), engine="hashtable",
+            resilience=ckpt_config(tmp_path), warn_on_no_convergence=False,
+        )
+        resumed = nu_lpa(
+            graph, engine="hashtable",
+            resilience=ckpt_config(tmp_path, resume=True),
+            warn_on_no_convergence=False,
+        )
+        assert resumed.resumed_from == 3
+        assert np.array_equal(resumed.labels, baseline.labels)
+        assert resumed.converged == baseline.converged
+        assert resumed.num_iterations == baseline.num_iterations
+        assert [s.changed for s in resumed.iterations] == [
+            s.changed for s in baseline.iterations
+        ]
+
+    def test_faulted_interrupted_resume_equals_clean_run(self, tmp_path, graph):
+        """Acceptance scenario: overflow-faulted, checkpointed, killed,
+        resumed — final membership bit-identical to an uninterrupted
+        un-faulted run."""
+        clean = nu_lpa(graph, engine="vectorized", warn_on_no_convergence=False)
+        faults = FaultSpec(kinds=("overflow",), rate=1.0, seed=5)
+        nu_lpa(
+            graph, LPAConfig(max_iterations=2), engine="hashtable",
+            resilience=ckpt_config(tmp_path, faults=faults),
+            warn_on_no_convergence=False,
+        )
+        resumed = nu_lpa(
+            graph, engine="hashtable",
+            resilience=ckpt_config(tmp_path, resume=True, faults=faults),
+            warn_on_no_convergence=False,
+        )
+        assert resumed.resumed_from == 2
+        assert resumed.degraded
+        assert np.array_equal(resumed.labels, clean.labels)
+
+    def test_resume_from_converged_checkpoint_skips_loop(self, tmp_path, graph):
+        first = nu_lpa(
+            graph, engine="vectorized", resilience=ckpt_config(tmp_path),
+        )
+        resumed = nu_lpa(
+            graph, engine="vectorized",
+            resilience=ckpt_config(tmp_path, resume=True),
+        )
+        assert resumed.converged
+        assert resumed.num_iterations == first.num_iterations
+        assert np.array_equal(resumed.labels, first.labels)
+
+    def test_resume_empty_dir_starts_fresh(self, tmp_path, graph):
+        r = nu_lpa(
+            graph, engine="vectorized",
+            resilience=ckpt_config(tmp_path, resume=True),
+        )
+        assert r.resumed_from is None
+        assert r.converged
+
+    def test_digest_mismatch_refuses(self, tmp_path, graph):
+        nu_lpa(
+            graph, LPAConfig(max_iterations=2), engine="hashtable",
+            resilience=ckpt_config(tmp_path), warn_on_no_convergence=False,
+        )
+        with pytest.raises(CheckpointError, match="different run"):
+            nu_lpa(
+                graph, engine="vectorized",  # different engine than checkpoint
+                resilience=ckpt_config(tmp_path, resume=True),
+            )
+
+    def test_checkpoint_every_writes_fewer_files(self, tmp_path, graph):
+        nu_lpa(
+            graph, LPAConfig(max_iterations=4), engine="vectorized",
+            resilience=ckpt_config(tmp_path, every=2),
+            warn_on_no_convergence=False,
+        )
+        names = sorted(p.name for p in (tmp_path / "ckpt").iterdir())
+        # boundaries 2 and 4 are due; convergence may add a final one
+        assert "ckpt-000002.npz" in names
+        assert "ckpt-000001.npz" not in names

@@ -1,0 +1,64 @@
+"""Tests for post-kernel invariant checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.resilience.invariants import (
+    check_finite_values,
+    check_label_range,
+    check_pl_monotone,
+)
+
+
+class TestLabelRange:
+    def test_valid_passes(self):
+        check_label_range(np.array([0, 1, 2, 2]), 3)
+
+    def test_empty_passes(self):
+        check_label_range(np.empty(0, dtype=np.int64), 0)
+
+    def test_negative_raises(self):
+        with pytest.raises(InvariantViolation, match="label-range"):
+            check_label_range(np.array([0, -1, 2]), 3)
+
+    def test_too_large_raises(self):
+        with pytest.raises(InvariantViolation, match="label-range"):
+            check_label_range(np.array([0, 1, 3]), 3)
+
+    def test_message_counts_bad_labels(self):
+        with pytest.raises(InvariantViolation, match="2 label"):
+            check_label_range(np.array([5, 1, 7]), 3)
+
+
+class TestFiniteValues:
+    def test_finite_passes(self):
+        check_finite_values(np.array([0.0, 1.5, 1e30], dtype=np.float32))
+
+    def test_empty_passes(self):
+        check_finite_values(np.empty(0, dtype=np.float32))
+
+    def test_nan_raises(self):
+        with pytest.raises(InvariantViolation, match="finite-values"):
+            check_finite_values(np.array([1.0, np.nan], dtype=np.float32))
+
+    def test_inf_raises(self):
+        with pytest.raises(InvariantViolation, match="finite-values"):
+            check_finite_values(np.array([np.inf, 1.0], dtype=np.float32))
+
+
+class TestPlMonotone:
+    def test_no_previous_round_passes(self):
+        assert check_pl_monotone(None, 0.9) is None
+
+    def test_non_increasing_passes(self):
+        assert check_pl_monotone(0.5, 0.5) is None
+        assert check_pl_monotone(0.5, 0.1) is None
+
+    def test_increase_reports(self):
+        msg = check_pl_monotone(0.1, 0.4)
+        assert msg is not None and "pl-monotone" in msg
+
+    def test_slack_tolerates_small_rise(self):
+        assert check_pl_monotone(0.10, 0.12, slack=0.05) is None
+        assert check_pl_monotone(0.10, 0.20, slack=0.05) is not None

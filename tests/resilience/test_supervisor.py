@@ -1,0 +1,147 @@
+"""Tests for the kernel supervisor and its degradation ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import make_engine, nu_lpa
+from repro.errors import ConfigurationError, ResilienceExhaustedError
+from repro.graph.generators import rmat_graph, road_network, web_graph
+from repro.resilience.faults import FAULT_KINDS, FaultSpec
+
+ENGINES = ["hashtable", "vectorized"]
+
+#: Three structurally different generator families (satellite: the forced
+#: overflow property must hold across graph shapes, not one lucky topology).
+GRAPH_CASES = [
+    pytest.param(lambda: web_graph(1200, avg_degree=6, seed=11), id="web"),
+    pytest.param(lambda: rmat_graph(10, 8, seed=13), id="rmat"),
+    pytest.param(lambda: road_network(18, 18, seed=17), id="road"),
+]
+
+
+def persistent(kind, seed=1, **kw):
+    """A fault that fires on every attempt — drives the full ladder."""
+    return ResilienceConfig(faults=FaultSpec(kinds=(kind,), rate=1.0, seed=seed, **kw))
+
+
+def transient(kind, seed=1, fires=2):
+    """A bounded fault — clears within the retry budget."""
+    return ResilienceConfig(
+        faults=FaultSpec(kinds=(kind,), rate=1.0, seed=seed, max_fires=fires)
+    )
+
+
+class TestEveryFaultClassSurvives:
+    """No injected fault class may escape the supervisor as an exception."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_transient_fault_survived(self, small_web, engine, kind):
+        r = nu_lpa(small_web, resilience=transient(kind), engine=engine)
+        assert r.labels.min() >= 0
+        assert r.labels.max() < small_web.num_vertices
+        # transient faults clear within the retry budget: never degraded
+        assert not r.degraded
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_persistent_fault_survived(self, small_web, engine, kind):
+        r = nu_lpa(small_web, resilience=persistent(kind), engine=engine)
+        assert r.labels.min() >= 0
+        assert r.labels.max() < small_web.num_vertices
+        if kind != "bitflip":  # key flips may lose the reduce silently
+            assert r.fault_events
+
+
+class TestDegradationLadder:
+    def test_retry_then_regrow_then_fallback_order(self, small_web):
+        r = nu_lpa(small_web, resilience=persistent("overflow"), engine="hashtable")
+        assert r.degraded
+        first_iter = [ev for ev in r.fault_events if ev.iteration == 0]
+        actions = [ev.action for ev in first_iter]
+        # default max_retries=2 -> attempts 0,1 retry; regrow; then fallback
+        assert actions == ["retry", "retry", "regrow", "fallback"]
+
+    def test_regrow_doubles_capacity(self, small_web):
+        eng = make_engine(small_web, LPAConfig(), "hashtable")
+        before = eng.tables.capacity_scale
+        eng.grow_tables()
+        assert eng.tables.capacity_scale == 2 * before
+        assert eng.tables.keys.shape[0] == 2 * before * 2 * small_web.num_edges
+
+    def test_transient_clears_before_ladder_bottom(self, small_web):
+        r = nu_lpa(
+            small_web, resilience=transient("cas-storm", fires=1), engine="hashtable"
+        )
+        assert [ev.action for ev in r.fault_events] == ["retry"]
+
+    def test_fallback_disabled_aborts(self, small_web):
+        res = ResilienceConfig(
+            faults=FaultSpec(kinds=("timeout",), rate=1.0, seed=1),
+            allow_fallback=False,
+        )
+        with pytest.raises(ResilienceExhaustedError) as ei:
+            nu_lpa(small_web, resilience=res, engine="hashtable")
+        report = ei.value.report
+        assert report is not None
+        assert report.aborted_at == 0
+        assert report.events[-1].action == "abort"
+
+    def test_no_retries_goes_straight_down(self, small_web):
+        res = ResilienceConfig(
+            faults=FaultSpec(kinds=("overflow",), rate=1.0, seed=1),
+            max_retries=0,
+        )
+        r = nu_lpa(small_web, resilience=res, engine="hashtable")
+        first_iter = [ev.action for ev in r.fault_events if ev.iteration == 0]
+        assert first_iter == ["regrow", "fallback"]
+
+    def test_unsupervised_run_has_no_events(self, small_web):
+        r = nu_lpa(small_web)
+        assert r.fault_events == []
+        assert not r.degraded
+
+
+class TestOverflowEqualsCleanRun:
+    """The acceptance property: forced hashtable overflow must yield the
+    same communities as an un-faulted vectorized run, because every
+    degraded move re-executes from a restored snapshot on the hook-free
+    fallback engine."""
+
+    @pytest.mark.parametrize("make_graph", GRAPH_CASES)
+    @pytest.mark.parametrize("fault_seed", [1, 2, 3])
+    def test_forced_overflow_matches_unfaulted(self, make_graph, fault_seed):
+        g = make_graph()
+        clean = nu_lpa(g, engine="vectorized", warn_on_no_convergence=False)
+        faulted = nu_lpa(
+            g,
+            engine="hashtable",
+            resilience=persistent("overflow", seed=fault_seed),
+            warn_on_no_convergence=False,
+        )
+        assert faulted.degraded
+        assert np.array_equal(faulted.labels, clean.labels)
+        assert faulted.converged == clean.converged
+
+
+class TestInvariantEnforcement:
+    def test_bitflip_never_leaks_bad_labels(self, small_web):
+        r = nu_lpa(
+            small_web,
+            resilience=persistent("bitflip"),
+            engine="hashtable",
+        )
+        assert r.labels.min() >= 0
+        assert r.labels.max() < small_web.num_vertices
+
+    def test_validation_can_be_disabled(self, small_web):
+        res = ResilienceConfig(validate_invariants=False)
+        r = nu_lpa(small_web, resilience=res, engine="vectorized")
+        assert r.converged
+
+    def test_resilience_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(resume=True)  # resume requires checkpoint_dir

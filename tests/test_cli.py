@@ -71,3 +71,44 @@ class TestCompare:
         out = capsys.readouterr().out
         for system in ("nu-lpa", "flpa", "networkit-lpa", "cugraph-louvain"):
             assert system in out
+
+
+class TestDetectResilience:
+    ARGS = ["detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--engine", "hashtable"]
+
+    def test_inject_faults_survives_and_reports(self, capsys):
+        assert main(self.ARGS + ["--inject-faults", "overflow"]) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "fallback" in out
+
+    def test_inject_multiple_kinds(self, capsys):
+        assert main(
+            self.ARGS
+            + ["--inject-faults", "timeout", "--inject-faults", "cas-storm",
+               "--fault-max-fires", "3", "--fault-seed", "9"]
+        ) == 0
+        assert "faults:" in capsys.readouterr().out
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--inject-faults", "gremlins"])
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt)]) == 0
+        assert list(ckpt.glob("ckpt-*.npz"))
+        first = capsys.readouterr().out
+        assert main(
+            self.ARGS + ["--checkpoint-dir", str(ckpt), "--resume"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "resumed:" in second
+        # same final partition either way
+        line = [ln for ln in first.splitlines() if "communities" in ln]
+        assert line == [ln for ln in second.splitlines() if "communities" in ln]
+
+    def test_fault_free_run_prints_no_fault_line(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "faults:" not in capsys.readouterr().out
