@@ -1,0 +1,104 @@
+"""P1 — profile trajectory over the Table-1 stand-in suite.
+
+Runs ν-LPA (hashtable engine, ``profile=True``) on all 13 Table-1
+stand-ins and writes one ``repro.observe/bench`` document —
+``BENCH_lpa.json`` by default, overridable via ``REPRO_BENCH_OUT`` — with
+per-graph modelled seconds, paper-scale extrapolations, summed kernel
+counters, and community counts.  Later PRs diff their own run against
+this baseline to catch cost-model or accounting regressions.
+
+Every profile is validated against the versioned schema before the
+document is written, so a malformed profile fails the benchmark rather
+than producing an unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import nu_lpa
+from repro.graph.datasets import dataset_names, generate_standin, get_dataset
+from repro.metrics import modularity
+from repro.observe.schema import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    validate_bench,
+    validate_profile,
+)
+from repro.perf.model import estimate_lpa_result_seconds, extrapolation_ratios
+
+
+def _profile_suite(scale: float, seed: int) -> dict:
+    config = LPAConfig()
+    rows = []
+    for name in dataset_names():
+        spec = get_dataset(name)
+        graph = generate_standin(name, scale=scale, seed=seed)
+        result = nu_lpa(
+            graph, config, engine="hashtable", profile=True,
+            warn_on_no_convergence=False,
+        )
+        profile = result.profile
+        validate_profile(profile.as_dict())
+        # The 1e-9 agreement is the profile's core invariant; enforce it on
+        # every graph so the baseline can never encode a broken breakdown.
+        assert abs(profile.iteration_seconds_sum - profile.modeled_seconds) < 1e-9
+        ratios = extrapolation_ratios(
+            graph, spec.paper_num_vertices, spec.paper_num_edges
+        )
+        rows.append({
+            "name": name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "iterations": result.num_iterations,
+            "num_communities": result.num_communities(),
+            "converged": result.converged,
+            "modeled_seconds": profile.modeled_seconds,
+            "paper_modeled_seconds": estimate_lpa_result_seconds(result, ratios),
+            "modularity": modularity(graph, result.labels),
+            "counters": dict(profile.counters),
+        })
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "engine": "hashtable",
+        "device": {
+            "name": config.device.name,
+            "sector_bytes": config.device.sector_bytes,
+        },
+        "graphs": rows,
+    }
+
+
+def test_profile_trajectory(benchmark, bench_scale, bench_seed):
+    doc = benchmark.pedantic(
+        _profile_suite,
+        args=(bench_scale, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    validate_bench(doc)
+
+    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_lpa.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'graph':18s} {'V':>9s} {'E':>10s} {'iters':>5s} {'comms':>8s} "
+          f"{'model ms':>9s} {'paper s':>9s} {'Q':>7s}")
+    for g in doc["graphs"]:
+        print(f"{g['name']:18s} {g['num_vertices']:9d} {g['num_edges']:10d} "
+              f"{g['iterations']:5d} {g['num_communities']:8d} "
+              f"{g['modeled_seconds'] * 1e3:9.3f} "
+              f"{g['paper_modeled_seconds']:9.3f} {g['modularity']:7.4f}")
+    print(f"baseline written to {out}")
+
+    assert len(doc["graphs"]) == 13
+    # Paper-scale extrapolation must dominate the stand-in time: every
+    # Table-1 graph is orders of magnitude larger than its stand-in.
+    for g in doc["graphs"]:
+        assert g["paper_modeled_seconds"] > g["modeled_seconds"]

@@ -12,6 +12,7 @@ Run:
 """
 
 from repro import LPAConfig, ProbeStrategy, nu_lpa
+from repro.gpu.device import A100
 from repro.graph.datasets import generate_standin, get_dataset
 from repro.perf.model import (
     estimate_gpu_seconds,
@@ -50,7 +51,8 @@ def main() -> None:
     result = nu_lpa(graph, engine="hashtable")
     c = result.total_counters
     print(f"\ndefault run: {c.launches} kernel launches in {c.waves} waves; "
-          f"{c.bytes_moved / 1e9:.2f} GB moved at stand-in scale; "
+          f"{c.bytes_moved(A100.sector_bytes) / 1e9:.2f} GB moved at "
+          f"stand-in scale; "
           f"{c.slots_cleared:,} hashtable slots cleared")
 
 

@@ -22,6 +22,7 @@ from repro.core import LPAConfig, LPAResult, ResilienceConfig, SwapPrevention, n
 from repro.graph import CSRGraph, from_edges, load_graph
 from repro.hashing import ProbeStrategy
 from repro.metrics import modularity, normalized_mutual_information
+from repro.observe import Tracer
 from repro.resilience import FaultSpec
 
 __version__ = "1.0.0"
@@ -33,6 +34,7 @@ __all__ = [
     "ResilienceConfig",
     "FaultSpec",
     "SwapPrevention",
+    "Tracer",
     "ProbeStrategy",
     "CSRGraph",
     "from_edges",

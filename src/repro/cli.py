@@ -18,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -91,7 +92,11 @@ def _cmd_detect(args) -> int:
         switch_degree=args.switch_degree,
     )
     resilience = _resilience_from_args(args)
-    result = nu_lpa(graph, config, engine=args.engine, resilience=resilience)
+    want_profile = args.profile or args.trace_out is not None
+    result = nu_lpa(
+        graph, config, engine=args.engine, resilience=resilience,
+        profile=want_profile,
+    )
     q = modularity(graph, result.labels)
     s = summarize_communities(result.labels)
     print(f"graph:       {graph}")
@@ -109,6 +114,16 @@ def _cmd_detect(args) -> int:
         summary = ", ".join(f"{k}={v}" for k, v in sorted(by_action.items()))
         print(f"faults:      {len(result.fault_events)} events ({summary})"
               f"{' [degraded]' if result.degraded else ''}")
+    if args.profile:
+        print(result.profile.summary())
+    if args.trace_out is not None:
+        doc = {
+            "profile": result.profile.as_dict(),
+            "events": result.trace.as_dicts(),
+        }
+        args.trace_out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(result.trace)} events)")
     if args.output:
         np.savetxt(args.output, result.labels, fmt="%d")
         print(f"labels written to {args.output}")
@@ -184,6 +199,12 @@ def main(argv: list[str] | None = None) -> int:
                    choices=[s.value for s in ProbeStrategy])
     p.add_argument("--switch-degree", type=int, default=32)
     p.add_argument("--output", type=Path, help="write labels to this file")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-kernel/per-iteration profile of the run")
+    p.add_argument("--trace-out", type=Path, metavar="FILE",
+                   help="write the profile plus the full structured trace "
+                        "(kernel launches, waves, iterations, fault rungs) "
+                        "as JSON to FILE")
     p.add_argument("--checkpoint-dir", type=Path,
                    help="snapshot run state into this directory")
     p.add_argument("--checkpoint-every", type=int, default=1,

@@ -100,11 +100,17 @@ def diagnose_run(result: LPAResult, num_vertices: int) -> ConvergenceReport:
         return ConvergenceReport(result.converged, 0, 0.0, 0.0, -1)
 
     final_fraction = float(history[-1] / max(num_vertices, 1))
-    if history.shape[0] >= 2 and np.all(history[:-1] > 0):
-        ratios = history[1:] / history[:-1]
-        decay = float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-12)))))
-    else:
-        decay = 0.0
+    # Geometric-mean decay over consecutive *positive* pairs only: a single
+    # zero mid-history (e.g. a Pick-Less round that froze every vertex)
+    # must not collapse the decay estimate for the whole run, and a ratio
+    # into or out of zero is undefined rather than "infinitely fast".
+    decay = 0.0
+    if history.shape[0] >= 2:
+        prev, nxt = history[:-1], history[1:]
+        positive = (prev > 0) & (nxt > 0)
+        if positive.any():
+            ratios = nxt[positive] / prev[positive]
+            decay = float(np.exp(np.mean(np.log(ratios))))
 
     knee = -1
     threshold = history[0] * 0.1

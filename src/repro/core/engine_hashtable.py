@@ -32,6 +32,7 @@ from repro.gpu.memory import AccessPattern, MemoryModel
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
+from repro.observe.trace import KernelLaunchEvent, WaveEvent, counter_delta
 from repro.hashing.hashtable import PerVertexHashtables
 from repro.hashing.parallel_hashtable import (
     parallel_accumulate,
@@ -75,6 +76,11 @@ class HashtableEngine:
     #: with a :class:`FaultContext` at the accumulate and reduce points of
     #: every wave.  ``None`` (the default) costs one attribute test per wave.
     fault_hook = None
+
+    #: Optional :class:`~repro.observe.trace.Tracer`: receives kernel-launch
+    #: and per-wave counter-delta events.  ``None`` (the default) costs one
+    #: attribute test per move; a disabled tracer one boolean more.
+    tracer = None
 
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
@@ -133,6 +139,8 @@ class HashtableEngine:
             frontier.mark_processed(zero)
             active = active[self.graph.degrees[active] > 0]
 
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         partition = partition_by_degree(
             active, self.graph.degrees, self.config.switch_degree
         )
@@ -143,11 +151,28 @@ class HashtableEngine:
             counters.launches += 1
             plan = plan_waves(self.config.device, kind, vertices.shape[0])
             counters.waves += plan.num_waves
-            for lo, hi in plan:
+            if tracing:
+                tracer.emit(KernelLaunchEvent(
+                    iteration=iteration,
+                    kernel=kind.value,
+                    num_items=int(vertices.shape[0]),
+                    num_waves=plan.num_waves,
+                ))
+            for wave_index, (lo, hi) in enumerate(plan):
                 wave = vertices[lo:hi]
+                before = counters.as_dict() if tracing else None
                 changed_parts.append(
                     self._process_wave(wave, kind, labels, frontier, pick_less, counters)
                 )
+                if tracing:
+                    tracer.emit(WaveEvent(
+                        iteration=iteration,
+                        kernel=kind.value,
+                        wave_index=wave_index,
+                        lo=lo,
+                        hi=hi,
+                        counters=counter_delta(before, counters.as_dict()),
+                    ))
 
         changed_vertices = (
             np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)

@@ -31,6 +31,7 @@ from repro.gpu.kernel import KernelKind
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
+from repro.observe.trace import KernelLaunchEvent, WaveEvent, counter_delta
 from repro.resilience.faults import FaultContext
 
 __all__ = ["VectorizedEngine", "best_labels_groupby"]
@@ -114,6 +115,11 @@ class VectorizedEngine:
     #: reduction.  ``None`` (the default) costs one attribute test per wave.
     fault_hook = None
 
+    #: Optional :class:`~repro.observe.trace.Tracer` (same contract as the
+    #: hashtable engine); this engine's counters are coarse, so wave deltas
+    #: carry traffic and edge counts but no probe/atomic detail.
+    tracer = None
+
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
@@ -138,6 +144,8 @@ class VectorizedEngine:
             frontier.mark_processed(zero)
             active = active[self.graph.degrees[active] > 0]
 
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         partition = partition_by_degree(
             active, self.graph.degrees, self.config.switch_degree
         )
@@ -148,8 +156,16 @@ class VectorizedEngine:
             counters.launches += 1
             plan = plan_waves(self.config.device, kind, vertices.shape[0])
             counters.waves += plan.num_waves
-            for lo, hi in plan:
+            if tracing:
+                tracer.emit(KernelLaunchEvent(
+                    iteration=iteration,
+                    kernel=kind.value,
+                    num_items=int(vertices.shape[0]),
+                    num_waves=plan.num_waves,
+                ))
+            for wave_index, (lo, hi) in enumerate(plan):
                 wave = vertices[lo:hi]
+                before = counters.as_dict() if tracing else None
                 frontier.mark_processed(wave)
 
                 gather = gather_edges(self.graph, wave)
@@ -189,6 +205,15 @@ class VectorizedEngine:
                 counters.sectors_read += 2 * int(keys.shape[0])
                 counters.sectors_written += int(adopters.shape[0]) + marked
                 changed_parts.append(adopters)
+                if tracing:
+                    tracer.emit(WaveEvent(
+                        iteration=iteration,
+                        kernel=kind.value,
+                        wave_index=wave_index,
+                        lo=lo,
+                        hi=hi,
+                        counters=counter_delta(before, counters.as_dict()),
+                    ))
 
         changed_vertices = (
             np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)

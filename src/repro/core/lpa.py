@@ -28,6 +28,7 @@ from repro.core.result import IterationStats, LPAResult
 from repro.core.swap_prevention import cross_check_revert
 from repro.errors import CheckpointError, ConfigurationError, ConvergenceWarning
 from repro.graph.csr import CSRGraph
+from repro.observe.trace import IterationEvent, Tracer
 from repro.resilience.checkpoint import CheckpointManager, CheckpointState, run_digest
 from repro.resilience.supervisor import KernelSupervisor
 from repro.types import VERTEX_DTYPE
@@ -60,6 +61,8 @@ def nu_lpa(
     initial_active: np.ndarray | None = None,
     warn_on_no_convergence: bool = True,
     resilience: ResilienceConfig | None = None,
+    profile: bool = False,
+    tracer: Tracer | None = None,
 ) -> LPAResult:
     """Run ν-LPA community detection on ``graph``.
 
@@ -94,6 +97,17 @@ def nu_lpa(
         under the kernel supervisor, and ``resilience.checkpoint_dir`` /
         ``resilience.resume`` enable snapshotting and bit-identical
         resume from the newest checkpoint.
+    profile:
+        Build a :class:`~repro.observe.profile.RunProfile` (per-kernel /
+        per-iteration modelled-seconds breakdown, traffic, histograms)
+        and attach it as ``result.profile``.  Implies tracing: a
+        :class:`~repro.observe.trace.Tracer` is created when none is
+        passed.
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer` to record kernel
+        launch, wave, iteration, and fault-rung events into (attached as
+        ``result.trace``).  A disabled tracer records nothing at no
+        measurable cost.
 
     Returns
     -------
@@ -103,6 +117,12 @@ def nu_lpa(
     """
     config = config or LPAConfig()
     eng = make_engine(graph, config, engine)
+
+    if profile and tracer is None:
+        tracer = Tracer()
+    if tracer is not None:
+        eng.tracer = tracer
+    tracing = tracer is not None and tracer.enabled
 
     n = graph.num_vertices
     if initial_labels is None:
@@ -175,6 +195,16 @@ def nu_lpa(
             if cross_check and previous is not None:
                 reverted = cross_check_revert(labels, previous, outcome.changed_vertices)
 
+            if tracing:
+                tracer.emit(IterationEvent(
+                    iteration=li,
+                    changed=outcome.changed,
+                    processed=outcome.processed,
+                    pick_less=pick_less,
+                    cross_check=cross_check,
+                    reverted=reverted,
+                ))
+
             iterations.append(
                 IterationStats(
                     iteration=li,
@@ -225,7 +255,7 @@ def nu_lpa(
             ConvergenceWarning,
             stacklevel=2,
         )
-    return LPAResult(
+    result = LPAResult(
         labels=labels,
         iterations=iterations,
         converged=converged,
@@ -234,4 +264,12 @@ def nu_lpa(
         algorithm=f"nu-lpa[{eng.name}]",
         fault_events=list(supervisor.events) if supervisor is not None else [],
         resumed_from=resumed_from,
+        trace=tracer,
     )
+    if profile:
+        # Deferred import: repro.observe.profile pulls in the perf stack
+        # (and through it the baselines), which imports this module.
+        from repro.observe.profile import build_profile
+
+        result.profile = build_profile(result, device=config.device, tracer=tracer)
+    return result

@@ -56,6 +56,12 @@ class LPAResult:
     fault_events: list = field(default_factory=list)
     #: Iteration the run was resumed from (``None`` = started fresh).
     resumed_from: int | None = None
+    #: :class:`~repro.observe.profile.RunProfile` built when the run was
+    #: invoked with ``profile=True``; ``None`` otherwise.
+    profile: object | None = None
+    #: The :class:`~repro.observe.trace.Tracer` that recorded the run
+    #: (``None`` for untraced runs).
+    trace: object | None = None
 
     @property
     def num_iterations(self) -> int:

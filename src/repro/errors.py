@@ -20,6 +20,7 @@ __all__ = [
     "CheckpointError",
     "ConfigurationError",
     "DatasetError",
+    "SchemaValidationError",
     "ConvergenceWarning",
 ]
 
@@ -103,6 +104,14 @@ class ConfigurationError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset name is unknown or its generator parameters are invalid."""
+
+
+class SchemaValidationError(ReproError):
+    """A profile/bench JSON document does not match its declared schema.
+
+    Raised by :mod:`repro.observe.schema`; the message names the offending
+    field path (e.g. ``bench.graphs[3].counters.probes``).
+    """
 
 
 class ConvergenceWarning(UserWarning):

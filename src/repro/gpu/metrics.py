@@ -60,10 +60,17 @@ class KernelCounters:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
-    @property
-    def bytes_moved(self) -> int:
-        """Total global-memory traffic in bytes (32-byte sectors)."""
-        return 32 * (self.sectors_read + self.sectors_written)
+    def bytes_moved(self, sector_bytes: int) -> int:
+        """Total global-memory traffic in bytes.
+
+        ``sector_bytes`` is the transaction sector size of the device that
+        produced the counters (``DeviceSpec.sector_bytes``); counters only
+        record sector *counts*, so the byte conversion must come from the
+        caller's device rather than a baked-in A100 constant.
+        """
+        if sector_bytes <= 0:
+            raise ValueError(f"sector_bytes must be positive; got {sector_bytes}")
+        return sector_bytes * (self.sectors_read + self.sectors_written)
 
     def as_dict(self) -> dict[str, int]:
         """Plain dict of all counters (report/serialisation helper)."""

@@ -26,11 +26,15 @@ class Occupancy:
     threads_per_sm: int
     #: Which constraint bound the result: "blocks" | "threads" | "shared".
     limited_by: str
+    #: Architectural thread budget of the SM this was computed for.
+    max_threads_per_sm: int
 
     @property
     def occupancy_fraction(self) -> float:
         """Resident threads as a fraction of the SM's architectural max."""
-        return self.threads_per_sm / 2048.0 if self.threads_per_sm else 0.0
+        if not self.threads_per_sm:
+            return 0.0
+        return self.threads_per_sm / self.max_threads_per_sm
 
     def device_blocks(self, device: DeviceSpec) -> int:
         """Resident blocks device-wide (the block-kernel wave size)."""
@@ -82,7 +86,11 @@ def occupancy_for(
             f"shared={shared_bytes_per_block}B on {device.name}"
         )
 
-    if blocks == by_shared and by_shared < min(by_blocks, by_threads):
+    # Attribution order on ties: a real shared-memory allocation that
+    # reaches the minimum is the binding constraint even when another limit
+    # ties it (adding shared memory can only ever shrink residency, so the
+    # tie means shared memory is already at its wall).
+    if shared_bytes_per_block > 0 and by_shared == blocks:
         limited = "shared"
     elif blocks == by_threads and by_threads <= by_blocks:
         limited = "threads"
@@ -92,4 +100,5 @@ def occupancy_for(
         blocks_per_sm=blocks,
         threads_per_sm=blocks * block_size,
         limited_by=limited,
+        max_threads_per_sm=device.max_threads_per_sm,
     )

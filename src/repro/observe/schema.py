@@ -1,0 +1,181 @@
+"""Versioned JSON schemas for profiles, traces, and benchmark baselines.
+
+Two document families:
+
+* ``repro.observe/profile`` — one run's :class:`~repro.observe.profile.
+  RunProfile` (optionally bundled with its raw trace by ``--trace-out``);
+* ``repro.observe/bench`` — the regression baseline ``BENCH_lpa.json``
+  written by ``benchmarks/bench_profile_trajectory.py``: one record per
+  Table-1 stand-in graph, carrying modelled seconds, summed counters, and
+  iteration counts for later PRs to diff against.
+
+Validation is hand-rolled (the toolchain has no ``jsonschema``): each
+validator walks the document and raises
+:class:`~repro.errors.SchemaValidationError` naming the offending path, so
+CI failures point at the broken field rather than a generic mismatch.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.errors import SchemaValidationError
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "validate_profile",
+    "validate_bench",
+]
+
+PROFILE_SCHEMA = "repro.observe/profile"
+PROFILE_SCHEMA_VERSION = 1
+
+BENCH_SCHEMA = "repro.observe/bench"
+BENCH_SCHEMA_VERSION = 1
+
+
+def _fail(path: str, message: str):
+    raise SchemaValidationError(f"{path}: {message}")
+
+
+def _require(doc: dict, path: str, key: str, types, *, allow_none: bool = False):
+    if not isinstance(doc, dict):
+        _fail(path, f"expected object, got {type(doc).__name__}")
+    if key not in doc:
+        _fail(f"{path}.{key}", "missing required field")
+    value = doc[key]
+    if value is None and allow_none:
+        return value
+    # bool is an int subclass; reject it where a number is expected.
+    if isinstance(value, bool) and types is not bool and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        _fail(f"{path}.{key}", "expected number, got bool")
+    if not isinstance(value, types):
+        expected = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        _fail(f"{path}.{key}", f"expected {expected}, got {type(value).__name__}")
+    return value
+
+
+def _check_header(doc: dict, path: str, schema: str, version: int) -> None:
+    got_schema = _require(doc, path, "schema", str)
+    if got_schema != schema:
+        _fail(f"{path}.schema", f"expected {schema!r}, got {got_schema!r}")
+    got_version = _require(doc, path, "version", int)
+    if got_version != version:
+        _fail(f"{path}.version", f"unsupported version {got_version} (want {version})")
+
+
+def _check_counters(counters: dict, path: str) -> None:
+    from repro.gpu.metrics import KernelCounters
+
+    expected = set(KernelCounters().as_dict())
+    if set(counters) != expected:
+        missing = expected - set(counters)
+        extra = set(counters) - expected
+        _fail(path, f"counter keys mismatch (missing {sorted(missing)}, "
+                    f"unexpected {sorted(extra)})")
+    for key, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            _fail(f"{path}.{key}", f"expected int, got {type(value).__name__}")
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative counter {value}")
+
+
+def validate_profile(doc: dict) -> dict:
+    """Validate a serialised :class:`RunProfile`; returns ``doc``."""
+    path = "profile"
+    _check_header(doc, path, PROFILE_SCHEMA, PROFILE_SCHEMA_VERSION)
+    _require(doc, path, "algorithm", str)
+    device = _require(doc, path, "device", dict)
+    _require(device, f"{path}.device", "name", str)
+    sector = _require(device, f"{path}.device", "sector_bytes", int)
+    if sector <= 0:
+        _fail(f"{path}.device.sector_bytes", f"must be positive, got {sector}")
+    _require(doc, path, "converged", bool)
+    total = _require(doc, path, "modeled_seconds", numbers.Real)
+    if total < 0:
+        _fail(f"{path}.modeled_seconds", f"negative time {total}")
+    _require(doc, path, "bytes_moved", int)
+    _check_counters(_require(doc, path, "counters", dict), f"{path}.counters")
+
+    iterations = _require(doc, path, "iterations", list)
+    for i, it in enumerate(iterations):
+        ipath = f"{path}.iterations[{i}]"
+        _require(it, ipath, "iteration", int)
+        _require(it, ipath, "changed", int)
+        _require(it, ipath, "processed", int)
+        _require(it, ipath, "pick_less", bool)
+        _require(it, ipath, "cross_check", bool)
+        _require(it, ipath, "reverted", int)
+        _require(it, ipath, "modeled_seconds", numbers.Real)
+        _check_counters(_require(it, ipath, "counters", dict), f"{ipath}.counters")
+
+    kernels = _require(doc, path, "kernels", list)
+    for i, k in enumerate(kernels):
+        kpath = f"{path}.kernels[{i}]"
+        _require(k, kpath, "kernel", str)
+        _require(k, kpath, "launches", int)
+        _require(k, kpath, "waves", int)
+        _require(k, kpath, "modeled_seconds", numbers.Real)
+        _check_counters(_require(k, kpath, "counters", dict), f"{kpath}.counters")
+
+    histograms = _require(doc, path, "histograms", dict)
+    for name in ("probes_per_edge", "warp_serial_per_edge"):
+        hist = _require(histograms, f"{path}.histograms", name, dict)
+        hpath = f"{path}.histograms.{name}"
+        edges = _require(hist, hpath, "bin_edges", list)
+        counts = _require(hist, hpath, "counts", list)
+        if len(edges) != len(counts) + 1:
+            _fail(hpath, f"{len(edges)} bin edges for {len(counts)} counts")
+
+    rates = _require(doc, path, "rates", dict)
+    for name in ("atomic_conflict_rate", "probes_per_edge", "avg_waves_per_launch"):
+        _require(rates, f"{path}.rates", name, numbers.Real)
+
+    _require(doc, path, "fault_rungs", dict)
+    return doc
+
+
+def validate_bench(doc: dict) -> dict:
+    """Validate a ``BENCH_lpa.json`` document; returns ``doc``."""
+    path = "bench"
+    _check_header(doc, path, BENCH_SCHEMA, BENCH_SCHEMA_VERSION)
+    scale = _require(doc, path, "scale", numbers.Real)
+    if scale <= 0:
+        _fail(f"{path}.scale", f"must be positive, got {scale}")
+    _require(doc, path, "seed", int)
+    _require(doc, path, "engine", str)
+    device = _require(doc, path, "device", dict)
+    _require(device, f"{path}.device", "name", str)
+    _require(device, f"{path}.device", "sector_bytes", int)
+
+    graphs = _require(doc, path, "graphs", list)
+    if not graphs:
+        _fail(f"{path}.graphs", "empty graph list")
+    seen = set()
+    for i, g in enumerate(graphs):
+        gpath = f"{path}.graphs[{i}]"
+        name = _require(g, gpath, "name", str)
+        if name in seen:
+            _fail(f"{gpath}.name", f"duplicate graph {name!r}")
+        seen.add(name)
+        for key in ("num_vertices", "num_edges", "iterations", "num_communities"):
+            value = _require(g, gpath, key, int)
+            if value < 0:
+                _fail(f"{gpath}.{key}", f"negative value {value}")
+        _require(g, gpath, "converged", bool)
+        for key in ("modeled_seconds", "paper_modeled_seconds", "modularity"):
+            _require(g, gpath, key, numbers.Real, allow_none=(key == "paper_modeled_seconds"))
+        secs = g["modeled_seconds"]
+        if secs < 0:
+            _fail(f"{gpath}.modeled_seconds", f"negative time {secs}")
+        _check_counters(_require(g, gpath, "counters", dict), f"{gpath}.counters")
+    return doc

@@ -1,0 +1,142 @@
+"""Structured tracing over the simulated GPU.
+
+A :class:`Tracer` collects typed event records from the instrumented hook
+points — kernel launches, per-wave :class:`~repro.gpu.metrics.KernelCounters`
+deltas, iteration boundaries, and the resilience supervisor's degradation
+rungs.  Hook sites are written so a *disabled* (or absent) tracer costs one
+attribute test and one boolean check per wave and nothing else; the
+per-wave counter snapshotting that makes deltas possible only happens when
+a tracer is both attached and enabled.
+
+Events are plain dataclasses with an ``as_dict()`` so the whole trace
+serialises to JSON without custom encoders; :mod:`repro.observe.profile`
+aggregates them into a :class:`~repro.observe.profile.RunProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "TraceEvent",
+    "KernelLaunchEvent",
+    "WaveEvent",
+    "IterationEvent",
+    "FaultRungEvent",
+    "Tracer",
+    "counter_delta",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base record: every event knows its LPA iteration."""
+
+    iteration: int
+
+    #: Discriminator used in serialised form; overridden per subclass.
+    kind = "event"
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (adds the ``kind`` discriminator)."""
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+
+@dataclass(frozen=True)
+class KernelLaunchEvent(TraceEvent):
+    """One simulated kernel launch (one degree-class per iteration)."""
+
+    kernel: str
+    num_items: int
+    num_waves: int
+
+    kind = "kernel_launch"
+
+
+@dataclass(frozen=True)
+class WaveEvent(TraceEvent):
+    """One residency wave and the counter increments it produced."""
+
+    kernel: str
+    wave_index: int
+    #: Half-open item range ``[lo, hi)`` of the wave within its grid.
+    lo: int
+    hi: int
+    #: :class:`KernelCounters` delta for this wave, as a plain dict.
+    counters: dict = field(default_factory=dict)
+
+    kind = "wave"
+
+
+@dataclass(frozen=True)
+class IterationEvent(TraceEvent):
+    """One completed LPA iteration (driver-level boundary record)."""
+
+    changed: int
+    processed: int
+    pick_less: bool
+    cross_check: bool
+    reverted: int
+
+    kind = "iteration"
+
+
+@dataclass(frozen=True)
+class FaultRungEvent(TraceEvent):
+    """One step down the resilience supervisor's degradation ladder."""
+
+    attempt: int
+    fault: str
+    action: str
+
+    kind = "fault_rung"
+
+
+def counter_delta(before: dict, after: dict) -> dict:
+    """Per-field difference of two counter dicts, zero fields dropped."""
+    return {k: after[k] - before[k] for k in after if after[k] != before[k]}
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from instrumented hook points.
+
+    Attach to an engine (``engine.tracer = tracer``) or pass
+    ``tracer=``/``profile=True`` to :func:`~repro.core.lpa.nu_lpa`.  The
+    ``enabled`` flag is the single switch hook sites test; a disabled
+    tracer records nothing and costs nothing measurable (see
+    ``tests/observe/test_overhead.py``).
+    """
+
+    __slots__ = ("enabled", "events")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append one event (no-op while disabled)."""
+        if self.enabled:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events whose ``kind`` discriminator matches."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events (the enabled flag is untouched)."""
+        self.events.clear()
+
+    def as_dicts(self) -> list[dict]:
+        """The whole trace as JSON-ready dicts, in record order."""
+        return [e.as_dict() for e in self.events]

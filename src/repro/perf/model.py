@@ -5,7 +5,7 @@ Two ingredients:
 1. **Per-platform time formulae.**  For ν-LPA on the GPU,
 
    .. math:: t = n_{launch} c_{launch} + n_{wave} c_{wave}
-                 + \\frac{32 (S_r + S_w)}{BW}
+                 + \\frac{B_{sector} (S_r + S_w)}{BW}
                  + P_{warp} c_{probe} + A_{conf} c_{atomic}
 
    — bandwidth for the streamed traffic, serialised latency for what
@@ -102,7 +102,9 @@ def estimate_gpu_seconds(
     platform: GpuPlatform = A100_PLATFORM,
 ) -> float:
     """Modelled ν-LPA runtime from (possibly scaled) kernel counters."""
-    bandwidth_time = counters.bytes_moved / platform.effective_bandwidth
+    bandwidth_time = (
+        counters.bytes_moved(platform.sector_bytes) / platform.effective_bandwidth
+    )
     return (
         counters.launches * platform.launch_overhead
         + counters.waves * platform.wave_overhead

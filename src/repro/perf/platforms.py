@@ -49,6 +49,10 @@ class GpuPlatform:
     probe_serial_cost: float
     #: Extra serialisation per conflicting atomic, seconds.
     atomic_conflict_cost: float
+    #: Transaction sector size used to price counter traffic in bytes; must
+    #: match the ``DeviceSpec.sector_bytes`` of the simulated device whose
+    #: counters are being priced (32 B on every current NVIDIA part).
+    sector_bytes: int = 32
 
     # -- coefficients for the GPU *baselines* -------------------------- #
     #: Synchronous-LPA (Gunrock) streaming throughput, edges/second.

@@ -44,6 +44,7 @@ from repro.errors import (
 )
 from repro.gpu.kernel import LaunchStatus
 from repro.graph.csr import CSRGraph
+from repro.observe.trace import FaultRungEvent
 from repro.resilience.faults import FaultInjector
 from repro.resilience.invariants import (
     check_finite_values,
@@ -176,6 +177,10 @@ class KernelSupervisor:
         self._record(iteration, attempt, cause, "fallback", 0.0)
         if self._fallback is None:
             self._fallback = VectorizedEngine(self.graph, self.config)
+        # The fallback move belongs to the same run: route its kernel/wave
+        # events into the supervised engine's tracer (if any) so the trace
+        # shows which iterations were completed by the degraded path.
+        self._fallback.tracer = getattr(self.engine, "tracer", None)
         try:
             outcome = self._fallback.move(
                 labels, frontier, pick_less=pick_less, iteration=iteration
@@ -259,3 +264,11 @@ class KernelSupervisor:
                 backoff_s=backoff,
             )
         )
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(FaultRungEvent(
+                iteration=iteration,
+                attempt=attempt,
+                fault=type(exc).__name__,
+                action=action,
+            ))

@@ -68,3 +68,41 @@ class TestDiagnoseRun:
         r = LPAResult(labels=np.array([]), iterations=[], converged=True)
         report = diagnose_run(r, 0)
         assert report.iterations == 0
+
+    def test_mid_history_zero_does_not_collapse_decay(self):
+        # Regression: [100, 0, 40, 20] used to report decay 0.0 because a
+        # single zero anywhere in the history voided the whole estimate.
+        # The only consecutive positive pair is (40, 20) -> decay 0.5.
+        r = _result_with_history([100, 0, 40, 20])
+        report = diagnose_run(r, 1000)
+        assert report.change_decay == pytest.approx(0.5)
+
+    def test_all_positive_history_unchanged(self):
+        # [100, 50, 25]: both pairs halve -> geometric mean 0.5, exactly
+        # what the pre-fix code computed for zero-free histories.
+        r = _result_with_history([100, 50, 25])
+        report = diagnose_run(r, 1000)
+        assert report.change_decay == pytest.approx(0.5)
+
+    def test_trailing_zero_keeps_positive_pair_decay(self):
+        # [100, 50, 0]: the (50, 0) pair is excluded (a ratio into zero is
+        # convergence, not a decay observation); decay comes from (100, 50).
+        r = _result_with_history([100, 50, 0])
+        report = diagnose_run(r, 1000)
+        assert report.change_decay == pytest.approx(0.5)
+
+    def test_no_positive_pairs_yields_zero(self):
+        r = _result_with_history([100, 0, 0, 50])
+        report = diagnose_run(r, 1000)
+        assert report.change_decay == 0.0
+
+
+def _result_with_history(changes):
+    from repro.core.result import IterationStats, LPAResult
+
+    stats = [
+        IterationStats(iteration=i, changed=c, processed=c,
+                       pick_less=False, cross_check=False)
+        for i, c in enumerate(changes)
+    ]
+    return LPAResult(labels=np.arange(4), iterations=stats, converged=False)

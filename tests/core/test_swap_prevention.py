@@ -1,6 +1,7 @@
 """Tests for Pick-Less filtering and Cross-Check reverts."""
 
 import numpy as np
+import pytest
 
 from repro.core.swap_prevention import cross_check_revert, pick_less_filter
 
@@ -61,4 +62,76 @@ class TestCrossCheck:
         previous = np.array([0, 1, 2])
         cross_check_revert(labels, previous, np.array([0, 1, 2]))
         # After the pass every membership must be self-consistent.
+        assert np.all(labels[labels] == labels)
+
+    @pytest.mark.parametrize("offset", [0, 10, 37])
+    def test_swapped_pair_invariant_exactly_one_reverts(self, offset):
+        """Paper-faithful invariant (Section 4.1): of a swapped pair,
+        exactly one member reverts.
+
+        The paper's CC is an atomic revert racing on the GPU; our
+        deterministic stand-in processes bad vertices in ascending order
+        *re-evaluating against the updated labels*, so the smaller vertex
+        reverts and thereby heals the larger one.  The one-revert outcome
+        (a merge, not a double rollback) is the behaviour the paper
+        depends on — reverting both members would restore the original
+        state and re-enter the swap cycle next iteration.
+        """
+        n = offset + 2
+        previous = np.arange(n)
+        labels = np.arange(n)
+        a, b = offset, offset + 1
+        labels[a], labels[b] = b, a  # the pair traded labels
+        reverted = cross_check_revert(labels, previous, np.array([a, b]))
+        assert reverted == 1
+        # Merge outcome: both members share one self-consistent community.
+        assert labels[a] == labels[b] == a
+        assert np.all(labels[labels] == labels)
+
+    def test_many_independent_pairs_each_revert_once(self):
+        n = 20
+        previous = np.arange(n)
+        labels = np.arange(n)
+        pairs = [(0, 1), (4, 5), (10, 11), (18, 19)]
+        changed = []
+        for a, b in pairs:
+            labels[a], labels[b] = b, a
+            changed += [a, b]
+        reverted = cross_check_revert(labels, previous, np.array(changed))
+        assert reverted == len(pairs)
+        for a, b in pairs:
+            assert labels[a] == labels[b] == a
+
+    def test_leader_revert_cascades_to_followers(self):
+        """Reverting a leader invalidates followers that joined it.
+
+        Vertex 1 (an old member of community 3) adopted label 4, which
+        fails the leader check (vertex 4 moved to 0), so 1 reverts to 3.
+        Vertex 2 joined community 1 in the same iteration; once 1 has
+        reverted away, ``labels[1] != 1`` and 2's membership is bad too,
+        so the revert cascades.  Ascending-order re-evaluation makes this
+        deterministic: leaders are settled before their followers.  This
+        is the *other* paper-faithful half of CC — a follower must never
+        be left pointing at a community whose leader abandoned it, or the
+        "good community" invariant (labels[c*] == c*) breaks for the
+        state CC hands to the next iteration.
+        """
+        previous = np.array([0, 3, 2, 3, 4])
+        labels = np.array([0, 4, 1, 3, 0])  # post-move state
+        reverted = cross_check_revert(labels, previous, np.array([1, 2, 4]))
+        assert reverted == 2
+        assert labels.tolist() == [0, 3, 2, 3, 0]
+        # Vertex 4's change (joined 0, whose leader stayed) was good.
+        assert labels[4] == 0
+
+    def test_revert_heals_followers_when_leader_returns_home(self):
+        """Counterpart case: the revert *restores* the leader's own label,
+        so followers that joined it become good and do not revert."""
+        previous = np.array([0, 1, 2])
+        labels = np.array([1, 0, 0])  # 0 and 1 swapped; 2 joined community 0
+        reverted = cross_check_revert(labels, previous, np.array([0, 1, 2]))
+        # 0 reverts back to label 0; that heals both 1 and 2, which keep
+        # their new memberships in the now-consistent community 0.
+        assert reverted == 1
+        assert labels.tolist() == [0, 0, 0]
         assert np.all(labels[labels] == labels)

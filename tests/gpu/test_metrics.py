@@ -15,9 +15,33 @@ class TestCounters:
         a += KernelCounters(atomic_add=5)
         assert a.atomic_add == 6
 
-    def test_bytes_moved(self):
+    def test_bytes_moved_tracks_device_sector_size(self):
+        from repro.gpu.device import A100, DeviceSpec
+
         c = KernelCounters(sectors_read=2, sectors_written=3)
-        assert c.bytes_moved == 5 * 32
+        assert c.bytes_moved(A100.sector_bytes) == 5 * 32
+        wide = DeviceSpec(
+            name="wide-sector",
+            num_sms=4,
+            cuda_cores_per_sm=64,
+            warp_size=32,
+            max_threads_per_sm=1536,
+            max_blocks_per_sm=16,
+            shared_memory_per_sm_bytes=100 * 1024,
+            global_memory_bytes=8 * 1024**3,
+            global_bandwidth=400e9,
+            sector_bytes=128,
+        )
+        assert c.bytes_moved(wide.sector_bytes) == 5 * 128
+
+    def test_bytes_moved_rejects_bad_sector_size(self):
+        c = KernelCounters(sectors_read=1)
+        try:
+            c.bytes_moved(0)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
 
     def test_as_dict_roundtrip(self):
         c = KernelCounters(probes=9)

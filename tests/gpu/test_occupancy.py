@@ -3,8 +3,22 @@
 import pytest
 
 from repro.errors import KernelLaunchError
-from repro.gpu.device import A100
+from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.occupancy import occupancy_for
+
+#: A consumer-class SM: 1536-thread budget (Ada/Ampere GeForce parts),
+#: smaller shared memory — exercises every non-A100 branch.
+CONSUMER = DeviceSpec(
+    name="consumer-1536",
+    num_sms=46,
+    cuda_cores_per_sm=128,
+    warp_size=32,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=24,
+    shared_memory_per_sm_bytes=100 * 1024,
+    global_memory_bytes=12 * 1024**3,
+    global_bandwidth=504e9,
+)
 
 
 class TestOccupancy:
@@ -53,3 +67,43 @@ class TestOccupancy:
     def test_negative_shared_memory(self):
         with pytest.raises(KernelLaunchError):
             occupancy_for(A100, shared_bytes_per_block=-1)
+
+    def test_consumer_device_full_occupancy_is_1536_threads(self):
+        # 1536 / 256 = 6 blocks; a full SM must report fraction 1.0, not
+        # 1536/2048 (the old A100-hardcoded denominator).
+        occ = occupancy_for(CONSUMER)
+        assert occ.blocks_per_sm == 6
+        assert occ.threads_per_sm == 1536
+        assert occ.limited_by == "threads"
+        assert occ.occupancy_fraction == pytest.approx(1.0)
+
+    def test_consumer_device_partial_occupancy(self):
+        # 512-thread blocks: 3 blocks = 1536 threads resident, still full;
+        # with 40 KB shared per block only 2 fit -> 1024/1536 threads.
+        occ = occupancy_for(CONSUMER, block_size=512,
+                            shared_bytes_per_block=40 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "shared"
+        assert occ.occupancy_fraction == pytest.approx(1024 / 1536)
+
+    def test_fraction_differs_across_devices_for_same_config(self):
+        # Identical kernel configuration, different architectural budgets:
+        # the fraction must be computed against each device's own max.
+        a = occupancy_for(A100, block_size=256, shared_bytes_per_block=0)
+        c = occupancy_for(CONSUMER, block_size=256, shared_bytes_per_block=0)
+        assert a.occupancy_fraction == pytest.approx(1.0)
+        assert c.occupancy_fraction == pytest.approx(1.0)
+        assert a.threads_per_sm != c.threads_per_sm
+
+    def test_shared_memory_tie_reports_shared(self):
+        # 164 KB / 20.5 KB = exactly 8 blocks by shared memory, tying the
+        # 2048/256 = 8 thread limit.  Shared memory is the binding wall
+        # (any more of it shrinks residency), so the tie must say "shared",
+        # not "threads".
+        occ = occupancy_for(A100, shared_bytes_per_block=20 * 1024 + 512)
+        assert occ.blocks_per_sm == 8
+        assert occ.limited_by == "shared"
+
+    def test_zero_shared_memory_never_reports_shared(self):
+        occ = occupancy_for(A100, shared_bytes_per_block=0)
+        assert occ.limited_by in ("threads", "blocks")

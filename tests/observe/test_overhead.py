@@ -1,0 +1,55 @@
+"""Acceptance guard: a disabled tracer must add no measurable overhead.
+
+The hook sites are written so the untraced path pays one attribute test
+and one boolean check per wave — no counter snapshots, no event objects.
+Timing comparisons on shared CI hardware are noisy, so the threshold is
+deliberately generous (2x over the best of several repeats); a regression
+that starts snapshotting counters unconditionally costs far more than
+that.
+"""
+
+import time
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import nu_lpa
+from repro.observe.trace import Tracer
+
+
+def _best_of(runs, fn):
+    best = float("inf")
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracer_adds_no_measurable_overhead(small_web):
+    config = LPAConfig()
+
+    def plain():
+        nu_lpa(small_web, config, engine="hashtable")
+
+    def disabled():
+        nu_lpa(small_web, config, engine="hashtable", tracer=Tracer(enabled=False))
+
+    # Warm-up both paths (imports, allocator) before timing.
+    plain()
+    disabled()
+    base = _best_of(5, plain)
+    traced_off = _best_of(5, disabled)
+    assert traced_off < 2.0 * base + 1e-3, (
+        f"disabled tracer run took {traced_off:.4f}s vs {base:.4f}s untraced"
+    )
+
+
+def test_disabled_tracer_produces_identical_labels(small_web):
+    import numpy as np
+
+    plain = nu_lpa(small_web, LPAConfig(), engine="hashtable")
+    off = nu_lpa(
+        small_web, LPAConfig(), engine="hashtable", tracer=Tracer(enabled=False)
+    )
+    on = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+    assert np.array_equal(plain.labels, off.labels)
+    assert np.array_equal(plain.labels, on.labels)

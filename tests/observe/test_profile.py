@@ -1,0 +1,199 @@
+"""Tests for RunProfile aggregation and the versioned JSON schemas."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.errors import SchemaValidationError
+from repro.gpu.device import A100, DeviceSpec
+from repro.observe.profile import build_profile
+from repro.observe.schema import validate_bench, validate_profile
+from repro.observe.trace import Tracer
+from repro.perf.model import estimate_gpu_seconds
+from repro.perf.platforms import A100_PLATFORM
+from repro.resilience.faults import FaultSpec
+
+ENGINES = ["hashtable", "vectorized"]
+
+WIDE_SECTOR = DeviceSpec(
+    name="wide-sector",
+    num_sms=64,
+    cuda_cores_per_sm=64,
+    warp_size=32,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=16,
+    shared_memory_per_sm_bytes=100 * 1024,
+    global_memory_bytes=8 * 1024**3,
+    global_bandwidth=400e9,
+    sector_bytes=128,
+)
+
+
+class TestRunProfile:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_iteration_seconds_sum_matches_total(self, small_web, engine):
+        """Acceptance criterion: per-iteration pricing sums to the run total."""
+        result = nu_lpa(small_web, LPAConfig(), engine=engine, profile=True)
+        p = result.profile
+        assert p is not None
+        assert abs(p.iteration_seconds_sum - p.modeled_seconds) < 1e-9
+        assert p.modeled_seconds == pytest.approx(
+            estimate_gpu_seconds(result.total_counters, A100_PLATFORM)
+        )
+
+    def test_kernel_breakdown_reconciles(self, small_web):
+        """Per-kernel pricing partitions the run total (priced counters are
+        all incremented inside waves; launch/wave bookkeeping is restored
+        from the launch events)."""
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+        p = result.profile
+        assert {k.kernel for k in p.kernels} <= {
+            "thread-per-vertex", "block-per-vertex"
+        }
+        assert p.kernels
+        kernel_sum = sum(k.modeled_seconds for k in p.kernels)
+        assert abs(kernel_sum - p.modeled_seconds) < 1e-9
+        assert sum(k.launches for k in p.kernels) == p.counters["launches"]
+        assert sum(k.waves for k in p.kernels) == p.counters["waves"]
+
+    def test_profile_without_trace_degrades_gracefully(self, small_web):
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable")
+        p = build_profile(result)
+        assert p.kernels == ()
+        assert abs(p.iteration_seconds_sum - p.modeled_seconds) < 1e-9
+        validate_profile(p.as_dict())
+
+    def test_bytes_moved_tracks_device_sector(self, small_web):
+        """No hardcoded 32-byte sectors: a 128-byte-sector device must
+        report 4x the traffic for identical counters."""
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+        narrow = result.profile
+        wide = build_profile(result, device=WIDE_SECTOR, tracer=result.trace)
+        assert narrow.sector_bytes == A100.sector_bytes == 32
+        assert wide.sector_bytes == 128
+        assert wide.bytes_moved == 4 * narrow.bytes_moved
+        validate_profile(wide.as_dict())
+
+    def test_fault_rungs_recorded_under_resilience(self, small_web):
+        rc = ResilienceConfig(
+            faults=FaultSpec(kinds=("overflow",), rate=1.0, seed=3, max_fires=2)
+        )
+        result = nu_lpa(
+            small_web, LPAConfig(), engine="hashtable",
+            profile=True, resilience=rc,
+        )
+        p = result.profile
+        assert p.fault_rungs.get("retry", 0) >= 1
+        rung_events = result.trace.of_kind("fault_rung")
+        assert len(rung_events) == sum(p.fault_rungs.values())
+        validate_profile(p.as_dict())
+
+    def test_profile_json_roundtrip(self, small_web, tmp_path):
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+        out = tmp_path / "profile.json"
+        result.profile.to_json(out)
+        doc = json.loads(out.read_text())
+        validate_profile(doc)
+        assert doc["modeled_seconds"] == result.profile.modeled_seconds
+
+    def test_summary_mentions_kernels_and_iterations(self, small_web):
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+        text = result.profile.summary()
+        assert "thread-per-vertex" in text
+        assert "iter " in text
+        assert "modelled" in text
+
+
+class TestSchemaValidation:
+    def _profile_doc(self, small_web):
+        result = nu_lpa(small_web, LPAConfig(), engine="hashtable", profile=True)
+        return result.profile.as_dict()
+
+    def test_wrong_schema_name_rejected(self, small_web):
+        doc = self._profile_doc(small_web)
+        doc["schema"] = "something/else"
+        with pytest.raises(SchemaValidationError, match="schema"):
+            validate_profile(doc)
+
+    def test_unsupported_version_rejected(self, small_web):
+        doc = self._profile_doc(small_web)
+        doc["version"] = 99
+        with pytest.raises(SchemaValidationError, match="version"):
+            validate_profile(doc)
+
+    def test_missing_counter_key_rejected(self, small_web):
+        doc = self._profile_doc(small_web)
+        del doc["counters"]["probes"]
+        with pytest.raises(SchemaValidationError, match="probes"):
+            validate_profile(doc)
+
+    def test_negative_counter_rejected(self, small_web):
+        doc = self._profile_doc(small_web)
+        doc["iterations"][0]["counters"]["waves"] = -1
+        with pytest.raises(SchemaValidationError, match="negative"):
+            validate_profile(doc)
+
+    def test_bool_masquerading_as_number_rejected(self, small_web):
+        doc = self._profile_doc(small_web)
+        doc["modeled_seconds"] = True
+        with pytest.raises(SchemaValidationError, match="bool"):
+            validate_profile(doc)
+
+    def test_bench_document_validates(self):
+        doc = {
+            "schema": "repro.observe/bench",
+            "version": 1,
+            "scale": 0.1,
+            "seed": 42,
+            "engine": "hashtable",
+            "device": {"name": "NVIDIA A100", "sector_bytes": 32},
+            "graphs": [{
+                "name": "asia_osm",
+                "num_vertices": 100,
+                "num_edges": 200,
+                "iterations": 5,
+                "num_communities": 7,
+                "converged": True,
+                "modeled_seconds": 1e-4,
+                "paper_modeled_seconds": 2.0,
+                "modularity": 0.7,
+                "counters": {
+                    k: 0 for k in self._counter_keys()
+                },
+            }],
+        }
+        validate_bench(doc)
+
+    def test_bench_duplicate_graph_rejected(self):
+        row = {
+            "name": "asia_osm",
+            "num_vertices": 100,
+            "num_edges": 200,
+            "iterations": 5,
+            "num_communities": 7,
+            "converged": True,
+            "modeled_seconds": 1e-4,
+            "paper_modeled_seconds": None,
+            "modularity": 0.7,
+            "counters": {k: 0 for k in self._counter_keys()},
+        }
+        doc = {
+            "schema": "repro.observe/bench",
+            "version": 1,
+            "scale": 0.1,
+            "seed": 42,
+            "engine": "hashtable",
+            "device": {"name": "NVIDIA A100", "sector_bytes": 32},
+            "graphs": [row, dict(row)],
+        }
+        with pytest.raises(SchemaValidationError, match="duplicate"):
+            validate_bench(doc)
+
+    @staticmethod
+    def _counter_keys():
+        from repro.gpu.metrics import KernelCounters
+
+        return KernelCounters().as_dict().keys()

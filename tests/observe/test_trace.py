@@ -1,0 +1,137 @@
+"""Tests for the structured trace layer (events, tracer, engine hooks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import nu_lpa
+from repro.gpu.metrics import KernelCounters
+from repro.observe.trace import (
+    FaultRungEvent,
+    IterationEvent,
+    KernelLaunchEvent,
+    Tracer,
+    WaveEvent,
+    counter_delta,
+)
+
+ENGINES = ["hashtable", "vectorized"]
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(IterationEvent(iteration=0, changed=1, processed=1,
+                              pick_less=False, cross_check=False, reverted=0))
+        assert len(t) == 0
+        assert list(t) == []
+
+    def test_enabled_tracer_records_in_order(self):
+        t = Tracer()
+        for i in range(3):
+            t.emit(IterationEvent(iteration=i, changed=i, processed=i,
+                                  pick_less=False, cross_check=False, reverted=0))
+        assert len(t) == 3
+        assert [e.iteration for e in t] == [0, 1, 2]
+
+    def test_of_kind_filters(self):
+        t = Tracer()
+        t.emit(KernelLaunchEvent(iteration=0, kernel="thread-per-vertex",
+                                 num_items=10, num_waves=1))
+        t.emit(WaveEvent(iteration=0, kernel="thread-per-vertex",
+                         wave_index=0, lo=0, hi=10, counters={}))
+        t.emit(FaultRungEvent(iteration=0, attempt=0,
+                              fault="HashtableFullError", action="retry"))
+        assert [e.kind for e in t.of_kind("wave")] == ["wave"]
+        assert len(t.of_kind("kernel_launch")) == 1
+        assert len(t.of_kind("iteration")) == 0
+
+    def test_as_dicts_tags_kind(self):
+        t = Tracer()
+        t.emit(KernelLaunchEvent(iteration=2, kernel="block-per-vertex",
+                                 num_items=5, num_waves=2))
+        (d,) = t.as_dicts()
+        assert d["kind"] == "kernel_launch"
+        assert d["iteration"] == 2
+        assert d["num_waves"] == 2
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(IterationEvent(iteration=0, changed=0, processed=0,
+                              pick_less=False, cross_check=False, reverted=0))
+        t.clear()
+        assert len(t) == 0
+
+
+class TestCounterDelta:
+    def test_only_changed_fields(self):
+        a = KernelCounters(edges_scanned=10, probes=4).as_dict()
+        b = KernelCounters(edges_scanned=25, probes=4, atomic_cas=3).as_dict()
+        assert counter_delta(a, b) == {"edges_scanned": 15, "atomic_cas": 3}
+
+    def test_identical_snapshots_empty(self):
+        c = KernelCounters(waves=2).as_dict()
+        assert counter_delta(c, dict(c)) == {}
+
+
+class TestEngineEmission:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_wave_deltas_reconcile_with_iteration_counters(self, small_web, engine):
+        """Per-wave deltas + per-launch bookkeeping must sum to the run total."""
+        tracer = Tracer()
+        result = nu_lpa(small_web, LPAConfig(), engine=engine, tracer=tracer)
+
+        rebuilt = KernelCounters()
+        for ev in tracer.of_kind("wave"):
+            rebuilt += KernelCounters(**ev.counters)
+        for ev in tracer.of_kind("kernel_launch"):
+            rebuilt.launches += 1
+            rebuilt.waves += ev.num_waves
+
+        total = result.total_counters
+        # vertices_processed is committed at move end, outside the wave loop.
+        rebuilt.vertices_processed = total.vertices_processed
+        assert rebuilt == total
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_iteration_events_mirror_stats(self, small_web, engine):
+        tracer = Tracer()
+        result = nu_lpa(small_web, LPAConfig(), engine=engine, tracer=tracer)
+        events = tracer.of_kind("iteration")
+        assert len(events) == result.num_iterations
+        for ev, it in zip(events, result.iterations):
+            assert (ev.iteration, ev.changed, ev.processed, ev.reverted) == (
+                it.iteration, it.changed, it.processed, it.reverted
+            )
+            assert ev.pick_less == it.pick_less
+            assert ev.cross_check == it.cross_check
+
+    def test_untraced_run_attaches_no_trace(self, small_web):
+        result = nu_lpa(small_web, LPAConfig())
+        assert result.trace is None
+        assert result.profile is None
+
+    def test_disabled_tracer_through_run_stays_empty(self, small_web):
+        tracer = Tracer(enabled=False)
+        result = nu_lpa(small_web, LPAConfig(), tracer=tracer)
+        assert result.trace is tracer
+        assert len(tracer) == 0
+
+    def test_wave_bounds_cover_launch_items(self, small_web):
+        """Each launch's waves must tile [0, num_items) without gaps."""
+        tracer = Tracer()
+        nu_lpa(small_web, LPAConfig(), engine="hashtable", tracer=tracer)
+        launches = tracer.of_kind("kernel_launch")
+        waves = tracer.of_kind("wave")
+        assert launches and waves
+        wi = 0
+        for launch in launches:
+            covered = 0
+            for _ in range(launch.num_waves):
+                ev = waves[wi]
+                assert ev.kernel == launch.kernel
+                assert ev.lo == covered
+                covered = ev.hi
+                wi += 1
+            assert covered == launch.num_items
+        assert wi == len(waves)

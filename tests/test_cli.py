@@ -40,6 +40,46 @@ class TestDetect:
         with pytest.raises(SystemExit):
             main(["detect"])
 
+    def test_profile_prints_breakdown(self, capsys):
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--engine", "hashtable", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "modelled:" in out
+        assert "iter " in out
+
+    def test_trace_out_writes_schema_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.schema import validate_profile
+
+        out_file = tmp_path / "trace.json"
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--engine", "hashtable", "--trace-out", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text())
+        validate_profile(doc["profile"])
+        kinds = {e["kind"] for e in doc["events"]}
+        assert {"kernel_launch", "wave", "iteration"} <= kinds
+
+    def test_trace_out_with_faults_records_rungs(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--engine", "hashtable", "--trace-out", str(out_file),
+            "--inject-faults", "overflow", "--fault-max-fires", "2",
+            "--fault-seed", "7",
+        ]) == 0
+        doc = json.loads(out_file.read_text())
+        rungs = [e for e in doc["events"] if e["kind"] == "fault_rung"]
+        assert rungs
+        assert doc["profile"]["fault_rungs"]
+
 
 class TestInfo:
     def test_info(self, capsys):
