@@ -1,0 +1,82 @@
+"""R1 — chaos soak: randomized crash/fault schedules with bit-identical resume.
+
+Runs :func:`repro.resilience.chaos.run_chaos_soak` — 25 deterministic
+adversarial schedules by default (``REPRO_SOAK_SCHEDULES`` overrides),
+each combining injected device faults with a process crash at an
+iteration boundary, before/mid/after the checkpoint write, and sometimes
+post-crash corruption of the newest snapshot — then asserts every
+schedule's resumed run reproduces the never-crashed reference bit for
+bit.  That differential is the resilience layer's whole contract: under
+strict-LPA determinism, surviving a crash must be invisible in the final
+communities.
+
+Writes the machine-readable :class:`~repro.resilience.chaos.SoakReport`
+to ``BENCH_chaos_soak.json`` (override via ``REPRO_SOAK_OUT``) for the CI
+artifact.  Graph size scales with ``REPRO_BENCH_SCALE``; the schedule
+stream derives from ``REPRO_BENCH_SEED``, so a failing schedule replays
+in isolation via ``make_schedule(seed + i)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.config import LPAConfig
+from repro.graph.generators import web_graph
+from repro.resilience.chaos import run_chaos_soak
+
+
+def _soak(scale: float, seed: int, schedules: int, workdir: Path) -> dict:
+    # ~1200 vertices at the default 0.25 scale: large enough that runs
+    # span several checkpoint generations, small enough for CI minutes.
+    graph = web_graph(max(200, int(4800 * scale)), seed=seed)
+    report = run_chaos_soak(
+        graph,
+        workdir,
+        schedules=schedules,
+        seed=seed,
+        engine="hashtable",
+        config=LPAConfig(max_iterations=15),
+    )
+    doc = report.as_dict()
+    doc["scale"] = scale
+    doc["seed"] = seed
+    return doc
+
+
+def test_chaos_soak(benchmark, bench_scale, bench_seed, tmp_path):
+    schedules = int(os.environ.get("REPRO_SOAK_SCHEDULES", 25))
+    doc = benchmark.pedantic(
+        _soak,
+        args=(bench_scale, bench_seed, schedules, tmp_path / "soak"),
+        rounds=1,
+        iterations=1,
+    )
+
+    out = Path(os.environ.get("REPRO_SOAK_OUT", "BENCH_chaos_soak.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'seed':>6s} {'mode':<12s} {'fired':>5s} {'corruption':<11s} "
+          f"{'resumed@':>8s} {'identical':>9s}")
+    for r in doc["records"]:
+        s = r["schedule"]
+        print(f"{s['seed']:6d} {s['crash_mode']:<12s} "
+              f"{'yes' if r['crash_fired'] else 'no':>5s} "
+              f"{r['corruption'] or '-':<11s} "
+              f"{str(r['resumed_from']):>8s} "
+              f"{'yes' if r['identical'] else 'NO':>9s}")
+    print(doc["summary"])
+    print(f"report written to {out}")
+
+    assert len(doc["records"]) == schedules
+    # Most schedules must actually exercise a crash — a soak where the
+    # runs all converge before their crash boundary tests nothing.
+    fired = sum(r["crash_fired"] for r in doc["records"])
+    assert fired >= schedules // 2, f"only {fired}/{schedules} crashes fired"
+    # The contract: every resumed run is bit-identical to its reference.
+    divergent = [r for r in doc["records"] if not r["identical"]]
+    assert not divergent, f"{len(divergent)} schedule(s) diverged after resume"
+    assert doc["ok"]

@@ -18,12 +18,20 @@ Quickstart::
     print(result.num_communities(), modularity(g, result.labels))
 """
 
-from repro.core import LPAConfig, LPAResult, ResilienceConfig, SwapPrevention, nu_lpa
+from repro.core import (
+    LPAConfig,
+    LPAResult,
+    ResilienceConfig,
+    RunBudget,
+    SwapPrevention,
+    nu_lpa,
+)
 from repro.graph import CSRGraph, from_edges, load_graph
 from repro.hashing import ProbeStrategy
 from repro.metrics import modularity, normalized_mutual_information
 from repro.observe import Tracer
 from repro.resilience import FaultSpec
+from repro.resilience.validate import ValidationReport, validate_graph
 
 __version__ = "1.0.0"
 
@@ -32,8 +40,11 @@ __all__ = [
     "LPAConfig",
     "LPAResult",
     "ResilienceConfig",
+    "RunBudget",
     "FaultSpec",
     "SwapPrevention",
+    "ValidationReport",
+    "validate_graph",
     "Tracer",
     "ProbeStrategy",
     "CSRGraph",

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import LPAConfig, nu_lpa
+from repro import LPAConfig, RunBudget, nu_lpa
 from repro.core.config import ResilienceConfig
 from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
@@ -49,7 +49,9 @@ def _load(args) -> CSRGraph:
     if args.dataset:
         return generate_standin(args.dataset, scale=args.scale, seed=args.seed)
     if args.input:
-        return load_graph(args.input)
+        # --validate also relaxes the parse-time weight checks, which
+        # default to strict rejection.
+        return load_graph(args.input, validate=getattr(args, "validate", None) or "strict")
     raise SystemExit("provide --input FILE or --dataset NAME")
 
 
@@ -82,6 +84,20 @@ def _resilience_from_args(args) -> ResilienceConfig | None:
     )
 
 
+def _budget_from_args(args) -> RunBudget | None:
+    if (
+        args.deadline is None
+        and args.gpu_budget is None
+        and args.iteration_budget is None
+    ):
+        return None
+    return RunBudget(
+        wall_seconds=args.deadline,
+        gpu_seconds=args.gpu_budget,
+        max_iterations=args.iteration_budget,
+    )
+
+
 def _cmd_detect(args) -> int:
     graph = _load(args)
     config = LPAConfig(
@@ -95,13 +111,19 @@ def _cmd_detect(args) -> int:
     want_profile = args.profile or args.trace_out is not None
     result = nu_lpa(
         graph, config, engine=args.engine, resilience=resilience,
-        profile=want_profile,
+        profile=want_profile, validate=args.validate,
+        budget=_budget_from_args(args),
     )
     q = modularity(graph, result.labels)
     s = summarize_communities(result.labels)
     print(f"graph:       {graph}")
+    if result.validation is not None:
+        print(f"validation:  {result.validation.summary()}")
     if result.resumed_from is not None:
         print(f"resumed:     from iteration {result.resumed_from}")
+    if result.degraded_reason is not None:
+        print(f"degraded:    stopped on {result.degraded_reason} budget; "
+              f"labels are the best-so-far partition")
     print(f"iterations:  {result.num_iterations} "
           f"({'converged' if result.converged else 'not converged'})")
     print(f"communities: {s.num_communities} (largest {s.largest}, "
@@ -167,6 +189,30 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_ckpt_fsck(args) -> int:
+    from repro.resilience.checkpoint import fsck
+
+    entries = fsck(args.directory)
+    if not entries:
+        print(f"{args.directory}: no checkpoints")
+        return 0
+    bad = [e for e in entries if e.status != "ok"]
+    for e in entries:
+        if e.status == "ok":
+            print(f"ok        {e.path.name}  iteration={e.iteration} "
+                  f"digest={e.digest}")
+        else:
+            print(f"{e.status:9s} {e.path.name}  {e.detail}")
+    print(f"{len(entries)} file(s): {len(entries) - len(bad)} ok, "
+          f"{len(bad)} damaged/stale")
+    if args.delete and bad:
+        for e in bad:
+            e.path.unlink(missing_ok=True)
+        print(f"deleted {len(bad)} damaged/stale file(s)")
+        return 0
+    return 1 if bad else 0
+
+
 def _cmd_compare(args) -> int:
     from repro.perf.harness import ALGORITHMS, run_measurement
 
@@ -221,6 +267,23 @@ def main(argv: list[str] | None = None) -> int:
                    help="fault injector RNG seed (default 0)")
     p.add_argument("--fault-max-fires", type=int, default=None,
                    help="total injection budget (default: unlimited)")
+    p.add_argument("--validate", choices=["strict", "repair", "quarantine"],
+                   default=None,
+                   help="validate (and under repair/quarantine, fix) the "
+                        "input graph before the run; strict rejects any "
+                        "defect, repair rewrites defective weights and "
+                        "restores symmetry, quarantine drops offending arcs")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; on breach the run stops at the "
+                        "next iteration boundary with its best-so-far "
+                        "partition instead of failing")
+    p.add_argument("--gpu-budget", type=float, default=None, metavar="SECONDS",
+                   help="modelled GPU-seconds budget (same graceful-"
+                        "degradation contract as --deadline)")
+    p.add_argument("--iteration-budget", type=int, default=None, metavar="N",
+                   help="iteration budget; unlike --max-iterations, a breach "
+                        "marks the result degraded rather than merely "
+                        "unconverged")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("info", help="print graph statistics")
@@ -237,6 +300,18 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compare", help="run the five comparison systems")
     _add_graph_source(p)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("ckpt", help="checkpoint maintenance")
+    ckpt_sub = p.add_subparsers(dest="ckpt_command", required=True)
+    pf = ckpt_sub.add_parser(
+        "fsck",
+        help="verify every checkpoint in a directory (CRC32s, schema, "
+             "stale temp files); exits 1 if any file is damaged",
+    )
+    pf.add_argument("directory", type=Path, help="checkpoint directory")
+    pf.add_argument("--delete", action="store_true",
+                    help="delete damaged checkpoints and stale temp files")
+    pf.set_defaults(func=_cmd_ckpt_fsck)
 
     args = parser.parse_args(argv)
     try:

@@ -15,6 +15,7 @@ Two engines execute the same driver loop:
   path for applications.
 """
 
+from repro.core.budget import RunBudget
 from repro.core.config import LPAConfig, ResilienceConfig, SwapPrevention
 from repro.core.result import LPAResult, IterationStats
 from repro.core.lpa import nu_lpa
@@ -24,6 +25,7 @@ from repro.core.kernels import partition_by_degree
 __all__ = [
     "LPAConfig",
     "ResilienceConfig",
+    "RunBudget",
     "SwapPrevention",
     "LPAResult",
     "IterationStats",

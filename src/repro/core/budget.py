@@ -1,0 +1,131 @@
+"""Run budgets: deadlines with graceful degradation instead of exceptions.
+
+A production service cannot let one pathological graph hold a worker
+hostage: LPA on an adversarial input can oscillate up to its iteration cap,
+and the cap itself may be minutes of modelled GPU time on a paper-scale
+graph.  A :class:`RunBudget` bounds a run three ways — wall-clock seconds,
+modelled GPU seconds (the cost model's currency, so the bound is
+device-portable), and an iteration cap tighter than
+``LPAConfig.max_iterations`` — and, crucially, *breaching a budget is not
+an error*: label propagation improves its partition monotonically enough
+(Traag & Šubelj, arXiv 2209.13338, show LPA quality survives aggressively
+reduced work) that the best-so-far labels are a valid degraded answer.
+The driver returns them with ``result.degraded = True`` and
+``result.degraded_reason`` set, emits a
+:class:`~repro.observe.trace.BudgetEvent`, and records a supervisor fault
+event when a supervisor is attached — operators see the degradation in
+every channel they already watch, and nothing raises.
+
+:class:`BudgetMeter` is the driver-side tracker: the loop charges each
+iteration's kernel counters and wall time to it and asks ``breached()``
+at every boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.gpu.metrics import KernelCounters
+
+__all__ = ["RunBudget", "BudgetMeter"]
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Limits a run may not exceed; ``None`` fields are unlimited.
+
+    Attributes
+    ----------
+    wall_seconds:
+        Host wall-clock deadline for the driver loop.
+    gpu_seconds:
+        Modelled GPU-seconds cap, charged from each iteration's
+        :class:`~repro.gpu.metrics.KernelCounters` through the cost model
+        (:func:`~repro.perf.model.estimate_gpu_seconds`).
+    max_iterations:
+        Iteration cap override; effective only when tighter than
+        ``LPAConfig.max_iterations``.  Unlike hitting the config cap
+        (which warns), stopping here marks the result degraded.
+    """
+
+    wall_seconds: float | None = None
+    gpu_seconds: float | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("wall_seconds", self.wall_seconds),
+            ("gpu_seconds", self.gpu_seconds),
+        ):
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be > 0; got {value}")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1; got {self.max_iterations}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no field constrains anything."""
+        return (
+            self.wall_seconds is None
+            and self.gpu_seconds is None
+            and self.max_iterations is None
+        )
+
+    def with_(self, **changes) -> "RunBudget":
+        """Functional update (``dataclasses.replace`` convenience)."""
+        return replace(self, **changes)
+
+
+class BudgetMeter:
+    """Charges iterations against a :class:`RunBudget` for one run."""
+
+    def __init__(self, budget: RunBudget, device) -> None:
+        self.budget = budget
+        self._device = device
+        self._platform = None
+        self.start = time.perf_counter()
+        #: Modelled GPU seconds charged so far.
+        self.gpu_spent = 0.0
+        #: Iterations charged so far (this run only; a resumed prefix is
+        #: sunk cost that was already paid for by the killed run).
+        self.iterations = 0
+
+    def charge(self, counters: KernelCounters) -> None:
+        """Account one completed iteration."""
+        self.iterations += 1
+        if self.budget.gpu_seconds is None:
+            return
+        if self._platform is None:
+            # Deferred: repro.perf pulls in the baselines, which import the
+            # driver module that instantiates this meter.
+            from repro.observe.profile import platform_for_device
+
+            self._platform = platform_for_device(self._device)
+        from repro.perf.model import estimate_gpu_seconds
+
+        self.gpu_spent += estimate_gpu_seconds(counters, self._platform)
+
+    @property
+    def wall_spent(self) -> float:
+        """Wall-clock seconds since the meter started."""
+        return time.perf_counter() - self.start
+
+    def breached(self) -> str | None:
+        """The first exceeded limit as a reason string, or ``None``.
+
+        Reasons: ``"wall-clock"``, ``"gpu-seconds"``, ``"iterations"`` —
+        stable strings carried on ``result.degraded_reason`` and the
+        budget trace event.
+        """
+        b = self.budget
+        if b.wall_seconds is not None and self.wall_spent >= b.wall_seconds:
+            return "wall-clock"
+        if b.gpu_seconds is not None and self.gpu_spent >= b.gpu_seconds:
+            return "gpu-seconds"
+        if b.max_iterations is not None and self.iterations >= b.max_iterations:
+            return "iterations"
+        return None

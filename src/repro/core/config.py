@@ -188,13 +188,24 @@ class ResilienceConfig:
         checkpointing.
     checkpoint_every:
         Snapshot every this many iterations (k).
+    checkpoint_keep:
+        Retention ring size: keep only the newest N generations on disk
+        (superseded ones are pruned after each save).  ``None`` (default)
+        keeps every generation.
     resume:
-        Continue from the newest checkpoint in ``checkpoint_dir`` if one
-        exists (bit-identical to the uninterrupted run); start fresh
-        otherwise.
+        Continue from the newest *readable* checkpoint in
+        ``checkpoint_dir`` if one exists (bit-identical to the
+        uninterrupted run; corrupt generations are skipped newest-first);
+        start fresh otherwise.
     faults:
         Optional :class:`~repro.resilience.faults.FaultSpec` describing
         faults to inject (testing / chaos engineering).
+    checkpoint_factory:
+        Callable with the :class:`~repro.resilience.checkpoint.\
+CheckpointManager` constructor signature
+        (``factory(directory, every=..., keep=...)``) used to build the
+        run's manager.  ``None`` (default) uses ``CheckpointManager``
+        itself; the chaos harness substitutes a crash-injecting subclass.
     """
 
     max_retries: int = 2
@@ -206,8 +217,10 @@ class ResilienceConfig:
     strict_pl_monotone: bool = False
     checkpoint_dir: str | Path | None = None
     checkpoint_every: int = 1
+    checkpoint_keep: int | None = None
     resume: bool = False
     faults: "FaultSpec | None" = None
+    checkpoint_factory: object | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -222,8 +235,14 @@ class ResilienceConfig:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 1; got {self.checkpoint_every}"
             )
+        if self.checkpoint_keep is not None and self.checkpoint_keep < 1:
+            raise ConfigurationError(
+                f"checkpoint_keep must be >= 1 or None; got {self.checkpoint_keep}"
+            )
         if self.resume and self.checkpoint_dir is None:
             raise ConfigurationError("resume=True requires checkpoint_dir")
+        if self.checkpoint_factory is not None and not callable(self.checkpoint_factory):
+            raise ConfigurationError("checkpoint_factory must be callable or None")
 
     def with_(self, **changes) -> "ResilienceConfig":
         """Functional update (``dataclasses.replace`` convenience)."""

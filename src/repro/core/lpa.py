@@ -20,6 +20,7 @@ import warnings
 
 import numpy as np
 
+from repro.core.budget import BudgetMeter, RunBudget
 from repro.core.config import LPAConfig, ResilienceConfig
 from repro.core.engine_hashtable import HashtableEngine
 from repro.core.engine_vectorized import VectorizedEngine
@@ -27,10 +28,13 @@ from repro.core.pruning import Frontier
 from repro.core.result import IterationStats, LPAResult
 from repro.core.swap_prevention import cross_check_revert
 from repro.errors import CheckpointError, ConfigurationError, ConvergenceWarning
+from repro.gpu.kernel import LaunchStatus
 from repro.graph.csr import CSRGraph
-from repro.observe.trace import IterationEvent, Tracer
+from repro.observe.trace import BudgetEvent, IterationEvent, Tracer
 from repro.resilience.checkpoint import CheckpointManager, CheckpointState, run_digest
+from repro.resilience.report import FaultEvent
 from repro.resilience.supervisor import KernelSupervisor
+from repro.resilience.validate import validate_graph
 from repro.types import VERTEX_DTYPE
 
 __all__ = ["nu_lpa", "make_engine"]
@@ -63,6 +67,8 @@ def nu_lpa(
     resilience: ResilienceConfig | None = None,
     profile: bool = False,
     tracer: Tracer | None = None,
+    validate: str | None = None,
+    budget: RunBudget | None = None,
 ) -> LPAResult:
     """Run ν-LPA community detection on ``graph``.
 
@@ -108,6 +114,21 @@ def nu_lpa(
         launch, wave, iteration, and fault-rung events into (attached as
         ``result.trace``).  A disabled tracer records nothing at no
         measurable cost.
+    validate:
+        Input-validation policy (``"strict"``, ``"repair"``, or
+        ``"quarantine"``; see :mod:`repro.resilience.validate`).  The
+        sweep runs before the driver loop; ``strict`` raises
+        :class:`~repro.errors.GraphValidationError` on any error-severity
+        defect, the other policies run on the cleaned graph.  The
+        :class:`~repro.resilience.validate.ValidationReport` is attached
+        as ``result.validation``.  ``None`` (default) skips validation.
+    budget:
+        Optional :class:`~repro.core.budget.RunBudget`.  On breach the
+        driver stops at the next iteration boundary and returns the
+        best-so-far partition with ``result.degraded = True`` and
+        ``result.degraded_reason`` set (a budget trace event and, for
+        supervised runs, a ``budget-stop`` fault event are recorded) —
+        it does not raise.
 
     Returns
     -------
@@ -116,6 +137,9 @@ def nu_lpa(
         events (for supervised runs).
     """
     config = config or LPAConfig()
+    validation = None
+    if validate is not None:
+        graph, validation = validate_graph(graph, validate)
     eng = make_engine(graph, config, engine)
 
     if profile and tracer is None:
@@ -153,8 +177,11 @@ def nu_lpa(
     if resilience is not None:
         supervisor = KernelSupervisor(eng, graph, config, resilience)
         if resilience.checkpoint_dir is not None:
-            ckpt = CheckpointManager(
-                resilience.checkpoint_dir, every=resilience.checkpoint_every
+            factory = resilience.checkpoint_factory or CheckpointManager
+            ckpt = factory(
+                resilience.checkpoint_dir,
+                every=resilience.checkpoint_every,
+                keep=resilience.checkpoint_keep,
             )
             digest = run_digest(graph, config, engine)
             if resilience.resume:
@@ -176,6 +203,11 @@ def nu_lpa(
                         injector_fires=state.injector_fires,
                         last_pl_fraction=state.last_pl_fraction,
                     )
+
+    meter: BudgetMeter | None = None
+    if budget is not None and not budget.unlimited:
+        meter = BudgetMeter(budget, config.device)
+    degraded_reason: str | None = None
 
     t0 = time.perf_counter()
     if not converged:
@@ -221,10 +253,42 @@ def nu_lpa(
             if not pick_less and n > 0 and outcome.changed / n < config.tolerance:
                 converged = True
 
+            # Budget check at the boundary: a breach stops the run with the
+            # best-so-far partition instead of raising — LPA's partition at
+            # any boundary is a valid (if unpolished) answer.
+            if meter is not None and not converged:
+                meter.charge(outcome.counters)
+                degraded_reason = meter.breached()
+                if degraded_reason is not None:
+                    if tracing:
+                        tracer.emit(BudgetEvent(
+                            iteration=li,
+                            reason=degraded_reason,
+                            wall_spent=meter.wall_spent,
+                            gpu_spent=meter.gpu_spent,
+                        ))
+                    if supervisor is not None:
+                        supervisor.report.append(FaultEvent(
+                            iteration=li,
+                            attempt=0,
+                            fault="RunBudgetBreach",
+                            detail=(
+                                f"budget limit {degraded_reason!r} reached after "
+                                f"{meter.iterations} iteration(s); returning "
+                                f"best-so-far partition"
+                            ),
+                            action="budget-stop",
+                            engine=eng.name,
+                            status=LaunchStatus.COMPLETED,
+                        ))
+
             # Snapshot at the iteration boundary: the state here is exactly
             # what a deterministic re-run would hold entering iteration
-            # li + 1, so a killed run resumes bit-identically.
-            if ckpt is not None and (ckpt.due(li + 1) or converged):
+            # li + 1, so a killed run resumes bit-identically.  A budget
+            # breach also snapshots, so a later resume can finish the work.
+            if ckpt is not None and (
+                ckpt.due(li + 1) or converged or degraded_reason is not None
+            ):
                 ckpt.save(
                     CheckpointState(
                         labels=labels,
@@ -244,11 +308,11 @@ def nu_lpa(
                     )
                 )
 
-            if converged:
+            if converged or degraded_reason is not None:
                 break
 
     wall = time.perf_counter() - t0
-    if not converged and warn_on_no_convergence:
+    if not converged and degraded_reason is None and warn_on_no_convergence:
         warnings.warn(
             f"LPA hit max_iterations={config.max_iterations} without meeting "
             f"tolerance {config.tolerance}",
@@ -264,6 +328,8 @@ def nu_lpa(
         algorithm=f"nu-lpa[{eng.name}]",
         fault_events=list(supervisor.events) if supervisor is not None else [],
         resumed_from=resumed_from,
+        degraded_reason=degraded_reason,
+        validation=validation,
         trace=tracer,
     )
     if profile:

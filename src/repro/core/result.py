@@ -56,6 +56,15 @@ class LPAResult:
     fault_events: list = field(default_factory=list)
     #: Iteration the run was resumed from (``None`` = started fresh).
     resumed_from: int | None = None
+    #: Why the run stopped early with a best-so-far partition (a
+    #: :class:`~repro.core.budget.RunBudget` breach reason: ``wall-clock``,
+    #: ``gpu-seconds``, or ``iterations``); ``None`` when the run completed
+    #: normally.
+    degraded_reason: str | None = None
+    #: :class:`~repro.resilience.validate.ValidationReport` from input
+    #: validation when the run was invoked with ``validate=``; ``None``
+    #: otherwise.
+    validation: object | None = None
     #: :class:`~repro.observe.profile.RunProfile` built when the run was
     #: invoked with ``profile=True``; ``None`` otherwise.
     profile: object | None = None
@@ -83,8 +92,15 @@ class LPAResult:
 
     @property
     def degraded(self) -> bool:
-        """Whether any iteration was completed by the fallback engine."""
-        return any(ev.action == "fallback" for ev in self.fault_events)
+        """Whether the result is a degraded (but valid) answer.
+
+        True when any iteration was completed by the fallback engine, or
+        when a :class:`~repro.core.budget.RunBudget` breach stopped the run
+        with its best-so-far partition (see :attr:`degraded_reason`).
+        """
+        return self.degraded_reason is not None or any(
+            ev.action == "fallback" for ev in self.fault_events
+        )
 
     def num_communities(self) -> int:
         """Distinct labels in the final assignment."""

@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "GraphFormatError",
     "GraphConstructionError",
+    "GraphValidationError",
     "HashtableFullError",
     "KernelLaunchError",
     "KernelTimeoutError",
@@ -39,6 +40,20 @@ class GraphConstructionError(ReproError):
     Examples: negative vertex ids, mismatched ``src``/``dst`` lengths, or a
     requested vertex count smaller than the largest endpoint.
     """
+
+
+class GraphValidationError(ReproError):
+    """A graph failed validation under the ``strict`` policy.
+
+    Raised by :func:`repro.resilience.validate.validate_graph`; carries the
+    machine-readable :class:`~repro.resilience.validate.ValidationReport`
+    listing every issue found in :attr:`report`.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        #: The :class:`~repro.resilience.validate.ValidationReport`.
+        self.report = report
 
 
 class HashtableFullError(ReproError):

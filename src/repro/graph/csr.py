@@ -26,7 +26,58 @@ import numpy as np
 from repro.errors import GraphConstructionError
 from repro.types import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "structural_issues"]
+
+
+def structural_issues(
+    offsets: np.ndarray, targets: np.ndarray, weights: np.ndarray
+) -> list[tuple[str, int, str]]:
+    """Enumerate structural defects of raw CSR arrays.
+
+    Returns ``(code, count, detail)`` triples, one per defect class found
+    (empty list = structurally valid).  Shared by the constructor's
+    ``validate=True`` path and :mod:`repro.resilience.validate`, so the two
+    can never disagree about what "structurally valid" means.
+    """
+    issues: list[tuple[str, int, str]] = []
+    if offsets.ndim != 1 or offsets.shape[0] < 1:
+        issues.append(
+            ("bad-offsets-shape", 1, "offsets must be a 1-D array of length >= 1")
+        )
+        return issues  # every later check indexes offsets
+    if offsets[0] != 0:
+        issues.append(("bad-offsets-origin", 1, f"offsets[0] must be 0; got {int(offsets[0])}"))
+    decreasing = int(np.count_nonzero(np.diff(offsets) < 0))
+    if decreasing:
+        issues.append(
+            ("nonmonotone-offsets", decreasing,
+             f"offsets must be non-decreasing; {decreasing} row(s) decrease")
+        )
+    if targets.ndim != 1:
+        issues.append(("bad-targets-shape", 1, "targets must be a 1-D array"))
+        return issues
+    if offsets[-1] != targets.shape[0]:
+        issues.append(
+            ("offsets-targets-mismatch", 1,
+             f"offsets[-1] ({int(offsets[-1])}) must equal "
+             f"len(targets) ({targets.shape[0]})")
+        )
+    if weights.shape != targets.shape:
+        issues.append(
+            ("weights-targets-mismatch", 1,
+             f"weights length {weights.shape[0] if weights.ndim == 1 else weights.shape} "
+             f"must align with targets ({targets.shape[0]})")
+        )
+    n = offsets.shape[0] - 1
+    if targets.shape[0]:
+        out = int(np.count_nonzero((targets < 0) | (targets >= n)))
+        if out:
+            issues.append(
+                ("out-of-range-target", out,
+                 f"target ids must lie in [0, {n}); "
+                 f"got range [{int(targets.min())}, {int(targets.max())}]")
+            )
+    return issues
 
 
 class CSRGraph:
@@ -80,27 +131,9 @@ class CSRGraph:
     def _validate(
         offsets: np.ndarray, targets: np.ndarray, weights: np.ndarray
     ) -> None:
-        if offsets.ndim != 1 or offsets.shape[0] < 1:
-            raise GraphConstructionError("offsets must be a 1-D array of length >= 1")
-        if offsets[0] != 0:
-            raise GraphConstructionError("offsets[0] must be 0")
-        if np.any(np.diff(offsets) < 0):
-            raise GraphConstructionError("offsets must be non-decreasing")
-        if targets.ndim != 1:
-            raise GraphConstructionError("targets must be a 1-D array")
-        if offsets[-1] != targets.shape[0]:
-            raise GraphConstructionError(
-                f"offsets[-1] ({int(offsets[-1])}) must equal "
-                f"len(targets) ({targets.shape[0]})"
-            )
-        if weights.shape != targets.shape:
-            raise GraphConstructionError("weights must align with targets")
-        n = offsets.shape[0] - 1
-        if targets.shape[0] and (targets.min() < 0 or targets.max() >= n):
-            raise GraphConstructionError(
-                f"target ids must lie in [0, {n}); "
-                f"got range [{int(targets.min())}, {int(targets.max())}]"
-            )
+        issues = structural_issues(offsets, targets, weights)
+        if issues:
+            raise GraphConstructionError(issues[0][2])
 
     # ------------------------------------------------------------------ #
     # Basic shape

@@ -73,6 +73,67 @@ def _truncation_guard(path: str | Path, fh: IO[str]) -> Iterator[None]:
 
 
 # --------------------------------------------------------------------- #
+# Parse-time weight hygiene
+# --------------------------------------------------------------------- #
+
+_WEIGHT_POLICIES = ("strict", "repair", "quarantine")
+
+
+def _weight_hygiene(
+    w: np.ndarray | None,
+    linenos: np.ndarray | None,
+    path: str | Path,
+    policy: str,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Apply a weight-defect policy to freshly parsed edge weights.
+
+    NaN, infinite, fp32-overflowing, and negative weights are defects no
+    reader should let through silently: they poison the label-score
+    accumulators downstream.  Returns ``(weights, keep_mask)`` where
+    ``keep_mask`` is ``None`` unless ``quarantine`` dropped entries.
+
+    ``strict`` raises :class:`GraphFormatError` naming the first offending
+    file line; ``repair`` rewrites in place (NaN → 1.0, overflow/+Inf →
+    fp32 max, negative → 0.0, matching
+    :func:`repro.resilience.validate.repair_weight_values`); ``quarantine``
+    drops the offending entries.
+    """
+    if policy not in _WEIGHT_POLICIES:
+        raise GraphFormatError(
+            f"unknown weight policy {policy!r}; choose from {_WEIGHT_POLICIES}"
+        )
+    if w is None or w.shape[0] == 0:
+        return w, None
+    # Deferred import: repro.resilience.validate imports the graph builders,
+    # which would re-enter this module during package initialisation.
+    from repro.resilience.validate import classify_weights, repair_weight_values
+
+    defects = classify_weights(w)
+    if not defects.total:
+        return w, None
+    if policy == "repair":
+        fixed, _ = repair_weight_values(w, defects)
+        return fixed, None
+    if policy == "quarantine":
+        return w, ~defects.any_mask
+    bad = defects.any_mask
+    idx = int(np.flatnonzero(bad)[0])
+    kind = (
+        "NaN" if defects.nan[idx]
+        else "overflowing/infinite" if defects.overflow[idx]
+        else "negative"
+    )
+    where = (
+        f" on line {int(linenos[idx])}" if linenos is not None else f" at entry {idx}"
+    )
+    more = f" (+{defects.total - 1} more defective weight(s))" if defects.total > 1 else ""
+    raise GraphFormatError(
+        f"{path}: {kind} edge weight {float(w[idx])!r}{where}{more}; "
+        f"pass validate='repair' or 'quarantine' to load anyway"
+    )
+
+
+# --------------------------------------------------------------------- #
 # Edge lists (SNAP style)
 # --------------------------------------------------------------------- #
 
@@ -83,20 +144,25 @@ def read_edgelist(
     comments: str = "#",
     weighted: bool | None = None,
     symmetrize: bool = True,
+    validate: str = "strict",
 ) -> CSRGraph:
     """Read a whitespace-separated edge list.
 
     Lines are ``u v`` or ``u v w``; ``weighted=None`` auto-detects from the
     first data line.  Comment lines starting with ``comments`` (SNAP uses
     ``#``) are skipped.  Ids need not be dense — they are compacted.
+    ``validate`` is the weight-defect policy (``strict``/``repair``/
+    ``quarantine``; see :func:`_weight_hygiene`).
     """
     rows: list[str] = []
+    row_linenos: list[int] = []
     with _open_text(path) as fh, _truncation_guard(path, fh):
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line or line.startswith(comments):
                 continue
             rows.append(line)
+            row_linenos.append(lineno)
     if not rows:
         return from_edges(
             np.empty(0, dtype=VERTEX_DTYPE),
@@ -119,7 +185,14 @@ def read_edgelist(
 
     src = data[:, 0].astype(VERTEX_DTYPE)
     dst = data[:, 1].astype(VERTEX_DTYPE)
-    w = data[:, 2].astype(WEIGHT_DTYPE) if weighted else None
+    w = None
+    if weighted:
+        w, keep = _weight_hygiene(
+            data[:, 2], np.asarray(row_linenos, dtype=np.int64), path, validate
+        )
+        if keep is not None:
+            src, dst, w = src[keep], dst[keep], w[keep]
+        w = w.astype(WEIGHT_DTYPE)
 
     # Compact ids: SNAP graphs frequently have gaps.
     ids = np.unique(np.concatenate([src, dst]))
@@ -147,15 +220,22 @@ def write_edgelist(graph: CSRGraph, path: str | Path, *, weighted: bool = True) 
 # --------------------------------------------------------------------- #
 
 
-def read_matrix_market(path: str | Path, *, symmetrize: bool = True) -> CSRGraph:
+def read_matrix_market(
+    path: str | Path, *, symmetrize: bool = True, validate: str = "strict"
+) -> CSRGraph:
     """Read a SuiteSparse-style ``.mtx`` adjacency matrix.
 
     Supports ``coordinate`` format with ``pattern``/``real``/``integer``
     fields and ``general``/``symmetric`` symmetry.  A ``symmetric`` header
     stores the lower triangle only; the builder restores reverse arcs.
+    ``validate`` is the weight-defect policy (``strict``/``repair``/
+    ``quarantine``; see :func:`_weight_hygiene`).
     """
     with _open_text(path) as fh, _truncation_guard(path, fh):
         header = fh.readline()
+        # First body line: header (1) + size line (1) + 1 = 3, plus one per
+        # comment line skipped below.
+        body_start = 3
         if not header.startswith("%%MatrixMarket"):
             raise GraphFormatError(f"{path}: missing MatrixMarket header")
         tokens = header.lower().split()
@@ -172,6 +252,7 @@ def read_matrix_market(path: str | Path, *, symmetrize: bool = True) -> CSRGraph
         line = fh.readline()
         while line.startswith("%"):
             line = fh.readline()
+            body_start += 1
         try:
             nrows, ncols, nnz = (int(tok) for tok in line.split())
         except ValueError as exc:
@@ -192,7 +273,13 @@ def read_matrix_market(path: str | Path, *, symmetrize: bool = True) -> CSRGraph
 
     src = data[:, 0].astype(VERTEX_DTYPE) - 1  # 1-indexed on disk
     dst = data[:, 1].astype(VERTEX_DTYPE) - 1
-    w = data[:, 2].astype(WEIGHT_DTYPE) if field != "pattern" else None
+    w = None
+    if field != "pattern":
+        linenos = body_start + np.arange(data.shape[0], dtype=np.int64)
+        w, keep = _weight_hygiene(data[:, 2], linenos, path, validate)
+        if keep is not None:
+            src, dst, w = src[keep], dst[keep], w[keep]
+        w = w.astype(WEIGHT_DTYPE)
     return from_edges(src, dst, w, num_vertices=nrows, symmetrize=symmetrize)
 
 
@@ -213,52 +300,69 @@ def write_matrix_market(graph: CSRGraph, path: str | Path) -> None:
 # --------------------------------------------------------------------- #
 
 
-def read_metis(path: str | Path) -> CSRGraph:
+def read_metis(path: str | Path, *, validate: str = "strict") -> CSRGraph:
     """Read a METIS adjacency file (1-indexed; optional edge weights).
 
     Blank lines are significant — they are the adjacency rows of isolated
-    vertices — so only comment lines are dropped.
+    vertices — so only comment lines are dropped.  ``validate`` is the
+    weight-defect policy (``strict``/``repair``/``quarantine``; see
+    :func:`_weight_hygiene`), applied with vertex-line context.
     """
     with _open_text(path) as fh, _truncation_guard(path, fh):
-        lines = [ln.strip() for ln in fh if not ln.startswith("%")]
-    while lines and not lines[-1]:
-        lines.pop()  # trailing newline padding
-    if not lines or not lines[0]:
+        numbered = [
+            (no, ln.strip())
+            for no, ln in enumerate(fh, 1)
+            if not ln.startswith("%")
+        ]
+    while numbered and not numbered[-1][1]:
+        numbered.pop()  # trailing newline padding
+    if not numbered or not numbered[0][1]:
         raise GraphFormatError(f"{path}: empty METIS file")
-    head = lines[0].split()
+    head = numbered[0][1].split()
     if len(head) < 2:
-        raise GraphFormatError(f"{path}: bad METIS header {lines[0]!r}")
+        raise GraphFormatError(f"{path}: bad METIS header {numbered[0][1]!r}")
     n, m = int(head[0]), int(head[1])
     fmt = head[2] if len(head) > 2 else "0"
     has_edge_weights = len(fmt) >= 1 and fmt[-1] == "1"
-    if len(lines) - 1 != n:
+    if len(numbered) - 1 != n:
         raise GraphFormatError(
-            f"{path}: header promises {n} vertex lines, found {len(lines) - 1}"
+            f"{path}: header promises {n} vertex lines, found {len(numbered) - 1}"
         )
 
     srcs: list[np.ndarray] = []
     dsts: list[np.ndarray] = []
     ws: list[np.ndarray] = []
-    for i, line in enumerate(lines[1:]):
+    linenos: list[np.ndarray] = []
+    for i, (lineno, line) in enumerate(numbered[1:]):
         vals = np.fromstring(line, dtype=np.float64, sep=" ")
         if has_edge_weights:
             if vals.shape[0] % 2:
-                raise GraphFormatError(f"{path}: odd token count on line {i + 2}")
+                raise GraphFormatError(f"{path}: odd token count on line {lineno}")
             nbrs = vals[0::2].astype(VERTEX_DTYPE) - 1
-            wts = vals[1::2].astype(WEIGHT_DTYPE)
+            wts = vals[1::2]
         else:
             nbrs = vals.astype(VERTEX_DTYPE) - 1
-            wts = np.ones(nbrs.shape[0], dtype=WEIGHT_DTYPE)
+            wts = np.ones(nbrs.shape[0], dtype=np.float64)
         srcs.append(np.full(nbrs.shape[0], i, dtype=VERTEX_DTYPE))
         dsts.append(nbrs)
         ws.append(wts)
+        linenos.append(np.full(nbrs.shape[0], lineno, dtype=np.int64))
 
     src = np.concatenate(srcs) if srcs else np.empty(0, dtype=VERTEX_DTYPE)
     dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=VERTEX_DTYPE)
-    w = np.concatenate(ws) if ws else np.empty(0, dtype=WEIGHT_DTYPE)
-    graph = from_edges(src, dst, w, num_vertices=n, symmetrize=True)
-    if graph.num_undirected_edges != m:
-        # METIS headers count undirected edges; tolerate mismatch but flag it.
+    w = np.concatenate(ws) if ws else np.empty(0, dtype=np.float64)
+    lines64 = np.concatenate(linenos) if linenos else np.empty(0, dtype=np.int64)
+    w, keep = _weight_hygiene(w, lines64, path, validate)
+    dropped = keep is not None
+    if dropped:
+        src, dst, w = src[keep], dst[keep], w[keep]
+    graph = from_edges(
+        src, dst, w.astype(WEIGHT_DTYPE), num_vertices=n, symmetrize=True
+    )
+    if not dropped and graph.num_undirected_edges != m:
+        # METIS headers count undirected edges; tolerate mismatch but flag
+        # it.  Skipped after quarantine — dropping arcs changes the count
+        # on purpose.
         raise GraphFormatError(
             f"{path}: header edge count {m} != parsed {graph.num_undirected_edges}"
         )
@@ -290,8 +394,14 @@ _SUFFIX_READERS = {
 }
 
 
-def load_graph(path: str | Path) -> CSRGraph:
-    """Load a graph, dispatching on file suffix (``.gz`` transparent)."""
+def load_graph(path: str | Path, *, validate: str = "strict") -> CSRGraph:
+    """Load a graph, dispatching on file suffix (``.gz`` transparent).
+
+    ``validate`` is the parse-time weight-defect policy threaded to every
+    reader (``strict``/``repair``/``quarantine``); the full structural
+    sweep lives in :func:`repro.resilience.validate.validate_graph` and
+    runs via ``nu_lpa(..., validate=...)``.
+    """
     p = Path(path)
     suffix = p.suffixes[-2] if p.suffix == ".gz" and len(p.suffixes) >= 2 else p.suffix
     reader = _SUFFIX_READERS.get(suffix)
@@ -300,4 +410,4 @@ def load_graph(path: str | Path) -> CSRGraph:
             f"cannot infer format of {path!r}; known suffixes: "
             f"{sorted(_SUFFIX_READERS)}"
         )
-    return reader(p)
+    return reader(p, validate=validate)

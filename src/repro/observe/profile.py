@@ -30,7 +30,13 @@ from repro.observe.trace import Tracer
 from repro.perf.model import estimate_gpu_seconds
 from repro.perf.platforms import A100_PLATFORM, GpuPlatform
 
-__all__ = ["IterationProfile", "KernelProfile", "RunProfile", "build_profile"]
+__all__ = [
+    "IterationProfile",
+    "KernelProfile",
+    "RunProfile",
+    "build_profile",
+    "platform_for_device",
+]
 
 #: Histogram bin edges for probes-per-edge (1.0 = collision-free) and
 #: warp-serialised work per edge; samples above the last edge are clipped
@@ -178,11 +184,22 @@ class RunProfile:
 # ---------------------------------------------------------------------- #
 
 
-def _platform_for(device: DeviceSpec, platform: GpuPlatform) -> GpuPlatform:
-    """Platform with its sector size aligned to the counters' device."""
+def platform_for_device(
+    device: DeviceSpec, platform: GpuPlatform = A100_PLATFORM
+) -> GpuPlatform:
+    """Platform with its sector size aligned to the counters' device.
+
+    Public because the driver's :class:`~repro.core.budget.BudgetMeter`
+    needs the same alignment when pricing iterations against a
+    ``gpu_seconds`` budget.
+    """
     if platform.sector_bytes == device.sector_bytes:
         return platform
     return replace(platform, sector_bytes=device.sector_bytes)
+
+
+#: Backwards-compatible private alias (pre-hardening name).
+_platform_for = platform_for_device
 
 
 def _histogram(samples: list[float]) -> dict:

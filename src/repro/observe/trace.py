@@ -24,6 +24,7 @@ __all__ = [
     "WaveEvent",
     "IterationEvent",
     "FaultRungEvent",
+    "BudgetEvent",
     "Tracer",
     "counter_delta",
 ]
@@ -93,6 +94,26 @@ class FaultRungEvent(TraceEvent):
     action: str
 
     kind = "fault_rung"
+
+
+@dataclass(frozen=True)
+class BudgetEvent(TraceEvent):
+    """A :class:`~repro.core.budget.RunBudget` limit stopped the run early.
+
+    Recorded at the iteration boundary where the breach was detected; the
+    run returns its best-so-far partition with ``result.degraded`` set
+    rather than raising.
+    """
+
+    #: Which limit tripped: ``wall-clock`` | ``gpu-seconds`` | ``iterations``.
+    reason: str
+    #: Wall-clock seconds spent by the driver loop when it stopped.
+    wall_spent: float
+    #: Modelled GPU seconds charged to the run when it stopped (0.0 when
+    #: no ``gpu_seconds`` budget was set — uncharged, not free).
+    gpu_spent: float
+
+    kind = "budget_breach"
 
 
 def counter_delta(before: dict, after: dict) -> dict:

@@ -35,6 +35,11 @@ from repro.resilience.invariants import (
     check_pl_monotone,
 )
 from repro.resilience.report import FaultEvent, FaultReport
+from repro.resilience.validate import (
+    ValidationIssue,
+    ValidationReport,
+    validate_graph,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -46,7 +51,16 @@ __all__ = [
     "KernelSupervisor",
     "CheckpointManager",
     "CheckpointState",
+    "FsckEntry",
+    "fsck",
     "run_digest",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_graph",
+    "ChaosSchedule",
+    "SoakRecord",
+    "SoakReport",
+    "run_chaos_soak",
     "check_finite_values",
     "check_label_range",
     "check_pl_monotone",
@@ -56,7 +70,15 @@ _LAZY = {
     "KernelSupervisor": "repro.resilience.supervisor",
     "CheckpointManager": "repro.resilience.checkpoint",
     "CheckpointState": "repro.resilience.checkpoint",
+    "FsckEntry": "repro.resilience.checkpoint",
+    "fsck": "repro.resilience.checkpoint",
     "run_digest": "repro.resilience.checkpoint",
+    # chaos imports the driver (it runs full nu_lpa sessions), so it must
+    # stay lazy for the same reason the supervisor does.
+    "ChaosSchedule": "repro.resilience.chaos",
+    "SoakRecord": "repro.resilience.chaos",
+    "SoakReport": "repro.resilience.chaos",
+    "run_chaos_soak": "repro.resilience.chaos",
 }
 
 

@@ -14,10 +14,21 @@ Format
 One ``ckpt-NNNNNN.npz`` per snapshot inside the checkpoint directory:
 ``labels`` and ``flags`` arrays plus a JSON ``meta`` blob (schema version,
 run digest, iteration, convergence flag, serialized iteration stats,
-supervisor state).  Writes go to a temporary file in the same directory
-followed by an atomic :func:`os.replace`, so a run killed mid-write never
-leaves a partial checkpoint that :meth:`CheckpointManager.latest` could
-pick up.
+supervisor state, and a CRC32 per array).
+
+Durability
+----------
+Writes are crash-consistent: the snapshot goes to a temporary file in the
+same directory, the temp file is fsynced *before* the atomic
+:func:`os.replace`, and the directory is fsynced *after* it — so a power
+loss at any instant leaves either the previous generation or the new one,
+never a zero-length or torn "latest".  :meth:`CheckpointManager.load`
+verifies the per-array CRC32s, so corruption that slips past the npz
+container (bit rot, a torn sector) is detected instead of resumed from;
+:meth:`CheckpointManager.latest` then falls back generation-by-generation
+past corrupt or unreadable files rather than raising.  A ``keep=N``
+retention ring prunes superseded generations after every successful save.
+``repro ckpt fsck`` exposes :func:`fsck` for offline inspection.
 
 The *run digest* binds a checkpoint to the (graph, engine, config) that
 produced it; resuming against anything else raises
@@ -31,6 +42,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -43,10 +56,11 @@ from repro.gpu.metrics import KernelCounters
 from repro.graph.csr import CSRGraph
 from repro.types import FLAG_DTYPE, VERTEX_DTYPE
 
-__all__ = ["CheckpointState", "CheckpointManager", "run_digest"]
+__all__ = ["CheckpointState", "CheckpointManager", "FsckEntry", "fsck", "run_digest"]
 
 #: Bump when the on-disk schema changes incompatibly.
-_SCHEMA_VERSION = 1
+#: v2 adds mandatory per-array CRC32 checksums to the meta blob.
+_SCHEMA_VERSION = 2
 
 _PREFIX = "ckpt-"
 _SUFFIX = ".npz"
@@ -120,17 +134,51 @@ def _stats_from_json(raw: list[dict]) -> list[IterationStats]:
     ]
 
 
-class CheckpointManager:
-    """Writes and restores iteration-boundary snapshots of one run."""
+def _fsync_dir(directory: Path) -> None:
+    """Flush directory metadata (the rename) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; nothing more we can do
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse; the data fsync already happened
+    finally:
+        os.close(fd)
 
-    def __init__(self, directory: str | Path, *, every: int = 1) -> None:
+
+class CheckpointManager:
+    """Writes and restores iteration-boundary snapshots of one run.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created if missing.
+    every:
+        Snapshot every this many iterations.
+    keep:
+        Retention ring size: after each successful save, delete all but the
+        newest ``keep`` generations.  ``None`` (default) keeps everything.
+    """
+
+    def __init__(
+        self, directory: str | Path, *, every: int = 1, keep: int | None = None
+    ) -> None:
         if every < 1:
             raise CheckpointError(f"checkpoint interval must be >= 1; got {every}")
+        if keep is not None and keep < 1:
+            raise CheckpointError(f"checkpoint keep must be >= 1 or None; got {keep}")
         self.directory = Path(directory)
         self.every = every
+        self.keep = keep
         self.directory.mkdir(parents=True, exist_ok=True)
-        #: Paths written by this manager instance, in order.
+        #: Paths written by this manager instance, in order (pruned entries
+        #: included — this is a log of writes, not a directory listing).
         self.written: list[Path] = []
+        #: ``(path, reason)`` of checkpoints :meth:`latest` skipped as
+        #: corrupt or unreadable, newest first.
+        self.skipped: list[tuple[Path, str]] = []
 
     # ------------------------------------------------------------------ #
 
@@ -139,7 +187,13 @@ class CheckpointManager:
         return iteration % self.every == 0
 
     def save(self, state: CheckpointState) -> Path:
-        """Atomically persist ``state``; returns the checkpoint path."""
+        """Crash-consistently persist ``state``; returns the checkpoint path.
+
+        The temp file is fsynced before the atomic rename and the directory
+        is fsynced after it, so a crash at any point leaves either the
+        previous generation or this one — never a torn file under the
+        final name.
+        """
         meta = {
             "version": _SCHEMA_VERSION,
             "iteration": state.iteration,
@@ -148,6 +202,10 @@ class CheckpointManager:
             "injector_fires": state.injector_fires,
             "last_pl_fraction": state.last_pl_fraction,
             "stats": _stats_to_json(state.stats),
+            "crc32": {
+                "labels": zlib.crc32(np.ascontiguousarray(state.labels).tobytes()),
+                "flags": zlib.crc32(np.ascontiguousarray(state.flags).tobytes()),
+            },
         }
         final = self.directory / f"{_PREFIX}{state.iteration:06d}{_SUFFIX}"
         tmp = self.directory / f".tmp-{os.getpid()}-{state.iteration:06d}{_SUFFIX}"
@@ -159,12 +217,26 @@ class CheckpointManager:
                     flags=state.flags,
                     meta=np.array(json.dumps(meta)),
                 )
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, final)
+            _fsync_dir(self.directory)
         except OSError as exc:
             tmp.unlink(missing_ok=True)
             raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
         self.written.append(final)
+        self._prune(protect=final)
         return final
+
+    def _prune(self, protect: Path) -> None:
+        """Enforce the ``keep=N`` retention ring after a successful save."""
+        if self.keep is None:
+            return
+        found = self.checkpoints()
+        for stale in found[: max(0, len(found) - self.keep)]:
+            if stale != protect:
+                stale.unlink(missing_ok=True)
+        _fsync_dir(self.directory)
 
     # ------------------------------------------------------------------ #
 
@@ -173,27 +245,54 @@ class CheckpointManager:
         return sorted(self.directory.glob(f"{_PREFIX}*{_SUFFIX}"))
 
     def latest(self) -> CheckpointState | None:
-        """Load the newest checkpoint, or ``None`` when the dir is empty."""
-        found = self.checkpoints()
-        if not found:
-            return None
-        return self.load(found[-1])
+        """Load the newest *readable* checkpoint, or ``None`` if there is none.
+
+        Corrupt or unreadable generations (torn write that beat the fsync,
+        bit rot caught by the CRC32s, truncation) are skipped newest-first
+        and recorded in :attr:`skipped` — losing one generation of progress
+        beats losing the run.
+        """
+        self.skipped = []
+        for path in reversed(self.checkpoints()):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                self.skipped.append((path, str(exc)))
+        return None
 
     @staticmethod
     def load(path: str | Path) -> CheckpointState:
-        """Load one checkpoint file."""
+        """Load and checksum-verify one checkpoint file."""
         try:
             with np.load(path, allow_pickle=False) as data:
                 labels = data["labels"].astype(VERTEX_DTYPE)
                 flags = data["flags"].astype(FLAG_DTYPE)
                 meta = json.loads(str(data["meta"]))
-        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            EOFError,
+            zipfile.BadZipFile,
+            json.JSONDecodeError,
+        ) as exc:
+            # BadZipFile and EOFError subclass Exception directly, not
+            # OSError — a truncated container raises them from np.load.
             raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
         if meta.get("version") != _SCHEMA_VERSION:
             raise CheckpointError(
                 f"checkpoint {path} has schema version {meta.get('version')}; "
                 f"this build reads version {_SCHEMA_VERSION}"
             )
+        crcs = meta.get("crc32", {})
+        for name, array in (("labels", labels), ("flags", flags)):
+            expected = crcs.get(name)
+            actual = zlib.crc32(np.ascontiguousarray(array).tobytes())
+            if expected is None or int(expected) != actual:
+                raise CheckpointError(
+                    f"checkpoint {path}: CRC32 mismatch on {name!r} "
+                    f"(stored {expected}, computed {actual}) — corrupt snapshot"
+                )
         last_pl = meta.get("last_pl_fraction")
         return CheckpointState(
             labels=labels,
@@ -205,3 +304,51 @@ class CheckpointManager:
             injector_fires=int(meta.get("injector_fires", 0)),
             last_pl_fraction=None if last_pl is None else float(last_pl),
         )
+
+
+# --------------------------------------------------------------------- #
+# Offline inspection (`repro ckpt fsck`)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FsckEntry:
+    """Verdict on one file in a checkpoint directory."""
+
+    path: Path
+    #: ``"ok"`` | ``"corrupt"`` | ``"stale-tmp"``.
+    status: str
+    #: Next iteration encoded in the checkpoint (``None`` unless ``ok``).
+    iteration: int | None = None
+    digest: str = ""
+    detail: str = ""
+
+
+def fsck(directory: str | Path) -> list[FsckEntry]:
+    """Verify every checkpoint (and flag stale temp files) in ``directory``.
+
+    Returns one :class:`FsckEntry` per file, oldest first; raises
+    :class:`CheckpointError` if the directory itself is missing.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise CheckpointError(f"checkpoint directory {directory} does not exist")
+    entries: list[FsckEntry] = []
+    for tmp in sorted(directory.glob(".tmp-*")):
+        entries.append(FsckEntry(
+            path=tmp, status="stale-tmp",
+            detail="partial write left by an interrupted save; safe to delete",
+        ))
+    for path in sorted(directory.glob(f"{_PREFIX}*{_SUFFIX}")):
+        try:
+            state = CheckpointManager.load(path)
+        except CheckpointError as exc:
+            entries.append(FsckEntry(path=path, status="corrupt", detail=str(exc)))
+        else:
+            entries.append(FsckEntry(
+                path=path, status="ok",
+                iteration=state.iteration, digest=state.digest,
+                detail=f"{state.labels.shape[0]} vertices"
+                       f"{', converged' if state.converged else ''}",
+            ))
+    return entries

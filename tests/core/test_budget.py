@@ -1,0 +1,131 @@
+"""Tests for RunBudget / BudgetMeter: graceful degradation, never raising."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetMeter, RunBudget
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.errors import ConfigurationError
+from repro.graph.generators import web_graph
+from repro.observe.trace import Tracer
+
+
+@pytest.fixture
+def graph():
+    return web_graph(600, seed=11)
+
+
+class TestRunBudget:
+    def test_defaults_unlimited(self):
+        assert RunBudget().unlimited
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wall_seconds": 0.0},
+            {"wall_seconds": -1.0},
+            {"gpu_seconds": 0.0},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_nonpositive_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RunBudget(**kwargs)
+
+    def test_with_updates(self):
+        b = RunBudget(max_iterations=3).with_(wall_seconds=1.0)
+        assert b.max_iterations == 3 and b.wall_seconds == 1.0
+
+
+class TestMeter:
+    def test_iteration_breach(self):
+        meter = BudgetMeter(RunBudget(max_iterations=2), LPAConfig().device)
+        from repro.gpu.metrics import KernelCounters
+
+        meter.charge(KernelCounters())
+        assert meter.breached() is None
+        meter.charge(KernelCounters())
+        assert meter.breached() == "iterations"
+
+    def test_wall_clock_breach(self):
+        meter = BudgetMeter(RunBudget(wall_seconds=1e-9), LPAConfig().device)
+        assert meter.breached() == "wall-clock"
+
+
+class TestDriverIntegration:
+    def test_iteration_budget_returns_degraded_best_so_far(self, graph):
+        full = nu_lpa(graph, warn_on_no_convergence=False)
+        capped = nu_lpa(
+            graph, budget=RunBudget(max_iterations=2),
+            warn_on_no_convergence=False,
+        )
+        assert capped.degraded
+        assert capped.degraded_reason == "iterations"
+        assert capped.num_iterations == 2
+        assert not capped.converged
+        # best-so-far labels are a valid partition over all vertices
+        assert capped.labels.shape == full.labels.shape
+        assert capped.num_communities() >= full.num_communities()
+
+    def test_gpu_budget_breach(self, graph):
+        r = nu_lpa(
+            graph, engine="hashtable", budget=RunBudget(gpu_seconds=1e-12),
+            warn_on_no_convergence=False,
+        )
+        assert r.degraded_reason == "gpu-seconds"
+        assert r.num_iterations == 1
+
+    def test_unconstraining_budget_changes_nothing(self, graph):
+        plain = nu_lpa(graph)
+        budgeted = nu_lpa(graph, budget=RunBudget(max_iterations=1000))
+        assert not budgeted.degraded
+        assert budgeted.degraded_reason is None
+        assert np.array_equal(plain.labels, budgeted.labels)
+
+    def test_no_convergence_warning_on_breach(self, graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            r = nu_lpa(graph, budget=RunBudget(max_iterations=1))
+        assert r.degraded
+
+    def test_budget_event_traced(self, graph):
+        tracer = Tracer()
+        r = nu_lpa(
+            graph, budget=RunBudget(max_iterations=1), tracer=tracer,
+            warn_on_no_convergence=False,
+        )
+        events = [e for e in tracer.events if e.kind == "budget_breach"]
+        assert len(events) == 1
+        assert events[0].reason == "iterations"
+
+    def test_supervised_breach_records_fault_event(self, graph):
+        r = nu_lpa(
+            graph, budget=RunBudget(max_iterations=1),
+            resilience=ResilienceConfig(),
+            warn_on_no_convergence=False,
+        )
+        actions = [ev.action for ev in r.fault_events]
+        assert "budget-stop" in actions
+
+    def test_breached_run_checkpoints_and_resumes(self, tmp_path, graph):
+        """A budget-stopped run leaves a checkpoint a later (richer) budget
+        can finish from, matching the never-budgeted run bit for bit."""
+        baseline = nu_lpa(graph, engine="hashtable", warn_on_no_convergence=False)
+        first = nu_lpa(
+            graph, engine="hashtable", budget=RunBudget(max_iterations=2),
+            resilience=ResilienceConfig(checkpoint_dir=tmp_path / "ckpt"),
+            warn_on_no_convergence=False,
+        )
+        assert first.degraded
+        resumed = nu_lpa(
+            graph, engine="hashtable",
+            resilience=ResilienceConfig(
+                checkpoint_dir=tmp_path / "ckpt", resume=True,
+            ),
+            warn_on_no_convergence=False,
+        )
+        assert resumed.resumed_from == 2
+        assert np.array_equal(resumed.labels, baseline.labels)

@@ -1,0 +1,100 @@
+"""Degenerate inputs through the full nu_lpa pipeline, both engines.
+
+The hardening contract is that pathological-but-legal graphs — empty,
+single-vertex, edgeless, a hub past the two-kernel switch degree, weights
+that saturate the fp32 accumulators — run to a sane answer (or a clean
+validation verdict), never crash deep in a kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import nu_lpa
+from repro.graph.build import coo_to_csr, from_edges
+from repro.graph.csr import CSRGraph
+from repro.resilience.validate import FP32_MAX, validate_graph
+from repro.types import WEIGHT_DTYPE
+
+ENGINES = ["vectorized", "hashtable"]
+
+
+def empty_graph():
+    return from_edges(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), num_vertices=0
+    )
+
+
+def edgeless(n):
+    return CSRGraph(
+        np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    )
+
+
+def star(n):
+    """Hub 0 joined to n-1 leaves."""
+    hub = np.zeros(n - 1, dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return from_edges(hub, leaves, num_vertices=n, symmetrize=True)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDegenerate:
+    def test_empty_graph(self, engine):
+        result = nu_lpa(empty_graph(), engine=engine)
+        assert result.converged
+        assert result.labels.shape == (0,)
+        assert result.num_communities() == 0
+
+    def test_single_vertex(self, engine):
+        result = nu_lpa(edgeless(1), engine=engine)
+        assert result.converged
+        assert result.num_communities() == 1
+
+    def test_all_isolated(self, engine):
+        result = nu_lpa(edgeless(64), engine=engine)
+        assert result.converged
+        # no edges: everyone keeps their own label
+        assert result.num_communities() == 64
+
+    def test_star_beyond_switch_degree(self, engine):
+        config = LPAConfig(switch_degree=32)
+        n = 100  # hub degree 99 > 32: must land in the high-degree kernel
+        result = nu_lpa(star(n), config, engine=engine)
+        assert result.labels.shape == (n,)
+        # a star collapses into one community around the hub
+        assert result.num_communities() == 1
+
+    def test_fp32_total_weight_overflow_still_terminates(self, engine):
+        # every individual weight is fp32-legal, but the hub's incident
+        # total saturates the fp32 accumulator
+        n = 40
+        hub = np.zeros(n - 1, dtype=np.int64)
+        leaves = np.arange(1, n, dtype=np.int64)
+        w = np.full(n - 1, FP32_MAX / 4, dtype=WEIGHT_DTYPE)
+        g = from_edges(hub, leaves, w, num_vertices=n, symmetrize=True)
+        _, report = validate_graph(g, "strict")
+        assert "fp32-accumulation-overflow" in report.by_code()
+        result = nu_lpa(g, engine=engine, warn_on_no_convergence=False)
+        assert result.labels.shape == (n,)
+        assert np.all(result.labels >= 0) and np.all(result.labels < n)
+
+    def test_self_loop_only(self, engine):
+        g = coo_to_csr(
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([1.0], dtype=WEIGHT_DTYPE),
+            1,
+        )
+        result = nu_lpa(g, engine=engine)
+        assert result.converged
+        assert result.num_communities() == 1
+
+
+def test_two_vertices_one_edge_merge():
+    g = from_edges(
+        np.array([0], dtype=np.int64), np.array([1], dtype=np.int64),
+        num_vertices=2, symmetrize=True,
+    )
+    result = nu_lpa(g, warn_on_no_convergence=False)
+    assert result.num_communities() == 1

@@ -218,3 +218,85 @@ class TestTruncatedGzip:
     def test_intact_gzip_still_loads(self, big_gz_edgelist):
         g = read_edgelist(big_gz_edgelist)
         assert g.num_vertices == 20_001
+
+
+class TestWeightHygiene:
+    """Parse-time NaN/Inf/negative rejection with line-number context."""
+
+    def write_el(self, tmp_path, body):
+        path = tmp_path / "g.txt"
+        path.write_text(body)
+        return path
+
+    def test_nan_rejected_with_lineno(self, tmp_path):
+        path = self.write_el(tmp_path, "# c\n0 1 1.0\n1 2 nan\n")
+        with pytest.raises(GraphFormatError, match=r"NaN edge weight.*line 3"):
+            read_edgelist(path)
+
+    def test_negative_rejected_with_lineno(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 1.0\n1 2 -2.5\n")
+        with pytest.raises(GraphFormatError, match=r"negative edge weight.*line 2"):
+            read_edgelist(path)
+
+    def test_inf_rejected(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 inf\n")
+        with pytest.raises(GraphFormatError, match="infinite"):
+            read_edgelist(path)
+
+    def test_float64_overflow_rejected(self, tmp_path):
+        # finite in float64 but beyond fp32: silently casting would make inf
+        path = self.write_el(tmp_path, "0 1 1e39\n")
+        with pytest.raises(GraphFormatError, match="overflowing"):
+            read_edgelist(path)
+
+    def test_repair_policy_loads(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 nan\n1 2 -1.0\n2 0 2.0\n")
+        g = read_edgelist(path, validate="repair")
+        assert g.num_undirected_edges == 3
+        assert np.all(np.isfinite(g.weights))
+        assert np.all(g.weights >= 0)
+
+    def test_quarantine_policy_drops(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 nan\n1 2 1.0\n2 0 2.0\n")
+        g = read_edgelist(path, validate="quarantine")
+        assert g.num_undirected_edges == 2
+
+    def test_unweighted_files_unaffected(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1\n1 2\n")
+        assert read_edgelist(path).num_undirected_edges == 2
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 1.0\n")
+        with pytest.raises(GraphFormatError, match="unknown weight policy"):
+            read_edgelist(path, validate="lenient")
+
+    def test_mtx_lineno_accounts_for_comments(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% one comment line\n"
+            "3 3 4\n"
+            "1 2 1.0\n"
+            "2 1 1.0\n"
+            "2 3 nan\n"
+            "3 2 nan\n"
+        )
+        with pytest.raises(GraphFormatError, match=r"line 6"):
+            read_matrix_market(path)
+        g = read_matrix_market(path, validate="repair")
+        assert g.num_undirected_edges == 2
+
+    def test_metis_vertex_line_context(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 3 001\n2 1.0 3 2.0\n1 1.0 3 nan\n1 2.0 2 nan\n")
+        with pytest.raises(GraphFormatError, match=r"line 3"):
+            read_metis(path)
+        g = read_metis(path, validate="quarantine")
+        assert g.num_undirected_edges == 2
+
+    def test_load_graph_threads_policy(self, tmp_path):
+        path = self.write_el(tmp_path, "0 1 nan\n1 2 1.0\n")
+        with pytest.raises(GraphFormatError):
+            load_graph(path)
+        g = load_graph(path, validate="repair")
+        assert g.num_undirected_edges == 2

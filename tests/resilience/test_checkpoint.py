@@ -11,6 +11,7 @@ from repro.graph.generators import web_graph
 from repro.resilience.checkpoint import (
     CheckpointManager,
     CheckpointState,
+    fsck,
     run_digest,
 )
 from repro.resilience.faults import FaultSpec
@@ -98,6 +99,127 @@ class TestFormat:
     def test_due_respects_interval(self, tmp_path):
         mgr = CheckpointManager(tmp_path, every=3)
         assert [i for i in range(1, 10) if mgr.due(i)] == [3, 6, 9]
+
+
+def make_state(iteration, n=4, fill=0):
+    return CheckpointState(
+        labels=np.full(n, fill, dtype=np.int64),
+        flags=np.zeros(n, dtype=np.uint8),
+        iteration=iteration,
+        digest="d",
+    )
+
+
+class TestDurability:
+    def test_crc_mismatch_detected(self, tmp_path):
+        path = CheckpointManager(tmp_path).save(make_state(1, fill=7))
+        blob = bytearray(path.read_bytes())
+        # flip bytes in the middle of the container — lands in array data,
+        # not the zip directory, so np.load still succeeds
+        mid = len(blob) // 2
+        for i in range(mid, mid + 16):
+            blob[i] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC32|unreadable"):
+            CheckpointManager.load(path)
+
+    def test_truncated_file_is_checkpoint_error(self, tmp_path):
+        path = CheckpointManager(tmp_path).save(make_state(1))
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            CheckpointManager.load(path)
+
+    def test_latest_falls_back_past_corrupt_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for it in (1, 2, 3):
+            mgr.save(make_state(it, fill=it))
+        newest = tmp_path / "ckpt-000003.npz"
+        newest.write_bytes(b"torn")
+        latest = mgr.latest()
+        assert latest.iteration == 2
+        assert latest.labels[0] == 2
+        assert [p.name for p, _ in mgr.skipped] == ["ckpt-000003.npz"]
+
+    def test_latest_none_when_every_generation_corrupt(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for it in (1, 2):
+            mgr.save(make_state(it)).write_bytes(b"x")
+        assert mgr.latest() is None
+        assert len(mgr.skipped) == 2
+
+    def test_keep_ring_bounds_directory(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for it in range(1, 7):
+            mgr.save(make_state(it))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-000005.npz", "ckpt-000006.npz"]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_run_respects_keep(self, tmp_path, graph):
+        nu_lpa(
+            graph, LPAConfig(max_iterations=5), engine="vectorized",
+            resilience=ResilienceConfig(
+                checkpoint_dir=tmp_path / "ckpt", checkpoint_keep=2,
+            ),
+            warn_on_no_convergence=False,
+        )
+        assert len(list((tmp_path / "ckpt").glob("ckpt-*.npz"))) <= 2
+
+    def test_resume_survives_corrupt_newest(self, tmp_path, graph):
+        """Acceptance scenario: corrupting the newest checkpoint makes the
+        next resume recover from the previous generation, not raise."""
+        baseline = nu_lpa(graph, engine="hashtable", warn_on_no_convergence=False)
+        nu_lpa(
+            graph, LPAConfig(max_iterations=3), engine="hashtable",
+            resilience=ckpt_config(tmp_path), warn_on_no_convergence=False,
+        )
+        newest = sorted((tmp_path / "ckpt").glob("ckpt-*.npz"))[-1]
+        newest.write_bytes(newest.read_bytes()[:64])
+        resumed = nu_lpa(
+            graph, engine="hashtable",
+            resilience=ckpt_config(tmp_path, resume=True),
+            warn_on_no_convergence=False,
+        )
+        assert resumed.resumed_from == 2
+        assert np.array_equal(resumed.labels, baseline.labels)
+
+
+class TestFsck:
+    def test_reports_ok_corrupt_and_stale(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make_state(1))
+        mgr.save(make_state(2)).write_bytes(b"rot")
+        (tmp_path / ".tmp-12345.npz").write_bytes(b"partial")
+        entries = fsck(tmp_path)
+        statuses = {e.path.name: e.status for e in entries}
+        assert statuses == {
+            ".tmp-12345.npz": "stale-tmp",
+            "ckpt-000001.npz": "ok",
+            "ckpt-000002.npz": "corrupt",
+        }
+        ok = [e for e in entries if e.status == "ok"][0]
+        assert ok.iteration == 1
+        assert ok.digest == "d"
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            fsck(tmp_path / "nope")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(make_state(1))
+        assert main(["ckpt", "fsck", str(tmp_path)]) == 0
+        mgr.save(make_state(2)).write_bytes(b"rot")
+        assert main(["ckpt", "fsck", str(tmp_path)]) == 1
+        assert main(["ckpt", "fsck", str(tmp_path), "--delete"]) == 0
+        assert main(["ckpt", "fsck", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "deleted" in out
 
 
 class TestRunDigest:

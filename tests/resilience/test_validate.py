@@ -1,0 +1,183 @@
+"""Tests for the input-validation sweep: strict/repair/quarantine policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.lpa import nu_lpa
+from repro.errors import ConfigurationError, GraphValidationError
+from repro.graph.build import coo_to_csr, from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import web_graph
+from repro.resilience.validate import (
+    FP32_MAX,
+    classify_weights,
+    repair_weight_values,
+    validate_graph,
+)
+from repro.types import WEIGHT_DTYPE
+
+
+def sym_graph(pairs, weights, n):
+    """Build a CSR graph from (u, v) pairs mirrored both ways."""
+    src = np.array([p[0] for p in pairs] + [p[1] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs] + [p[0] for p in pairs], dtype=np.int64)
+    w = np.array(list(weights) + list(weights), dtype=WEIGHT_DTYPE)
+    return coo_to_csr(src, dst, w, n)
+
+
+@pytest.fixture
+def clean():
+    return web_graph(120, seed=5)
+
+
+class TestCleanGraph:
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_clean_graph_passes_unmodified(self, clean, policy):
+        out, report = validate_graph(clean, policy)
+        assert out is clean
+        assert report.ok
+        assert not report.modified
+        assert report.arcs_in == report.arcs_out == clean.num_edges
+
+    def test_unknown_policy_rejected(self, clean):
+        with pytest.raises(ConfigurationError):
+            validate_graph(clean, "lenient")
+
+
+class TestWeightDefects:
+    def defective(self):
+        # NaN on (0,1), +inf on (1,2), negative on (2,3); (0,3) fine
+        return sym_graph(
+            [(0, 1), (1, 2), (2, 3), (0, 3)],
+            [np.nan, np.inf, -2.0, 1.5],
+            4,
+        )
+
+    def test_strict_raises_with_report(self):
+        with pytest.raises(GraphValidationError) as exc:
+            validate_graph(self.defective(), "strict")
+        by_code = exc.value.report.by_code()
+        assert by_code["nan-weight"] == 2
+        assert by_code["inf-weight"] == 2
+        assert by_code["negative-weight"] == 2
+
+    def test_repair_rewrites_values(self):
+        out, report = validate_graph(self.defective(), "repair")
+        assert report.ok and report.modified
+        assert report.repaired_arcs >= 6
+        assert np.all(np.isfinite(out.weights))
+        assert np.all(out.weights >= 0)
+        # NaN -> 1.0, inf -> fp32 max, negative -> 0.0
+        vals = sorted(set(out.weights.tolist()))
+        assert vals == [0.0, 1.0, 1.5, np.float32(FP32_MAX)]
+
+    def test_quarantine_drops_arcs(self):
+        out, report = validate_graph(self.defective(), "quarantine")
+        assert report.ok
+        assert report.quarantined_arcs == 6
+        assert out.num_edges == 2  # only the (0,3) pair survives
+        assert np.all(np.isfinite(out.weights))
+
+    def test_classify_float64_overflow(self):
+        w = np.array([1.0, 1e39, -1.0, np.nan])
+        d = classify_weights(w)
+        assert d.overflow.tolist() == [False, True, False, False]
+        fixed, n = repair_weight_values(w, d)
+        assert n == 3
+        assert fixed[1] == FP32_MAX
+
+
+class TestStructure:
+    def test_duplicates_merged_under_repair(self):
+        src = np.array([0, 0, 1, 1], dtype=np.int64)
+        dst = np.array([1, 1, 0, 0], dtype=np.int64)
+        w = np.array([2.0, 5.0, 2.0, 5.0], dtype=WEIGHT_DTYPE)
+        g = coo_to_csr(src, dst, w, 2)
+        with pytest.raises(GraphValidationError):
+            validate_graph(g, "strict")
+        out, report = validate_graph(g, "repair")
+        assert report.by_code()["duplicate-edges"] == 2
+        assert out.num_edges == 2
+        assert np.all(out.weights == 5.0)  # merge keeps the max
+
+    def test_asymmetry_repaired_with_reverse_arcs(self):
+        # arc 0->1 has no mate
+        g = CSRGraph(
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([3.0], dtype=WEIGHT_DTYPE),
+        )
+        with pytest.raises(GraphValidationError) as exc:
+            validate_graph(g, "strict")
+        assert "asymmetric-arcs" in exc.value.report.by_code()
+        out, report = validate_graph(g, "repair")
+        assert out.num_edges == 2
+        assert np.array_equal(sorted(out.neighbors(1)), [0])
+        out_q, report_q = validate_graph(g, "quarantine")
+        assert out_q.num_edges == 0
+        assert report_q.quarantined_arcs == 1
+
+    def test_weight_mismatch_pairs_take_max(self):
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([1.0, 9.0], dtype=WEIGHT_DTYPE),
+        )
+        out, report = validate_graph(g, "repair")
+        assert report.by_code()["asymmetric-weights"] == 2
+        assert np.all(out.weights == 9.0)
+
+    def test_directed_skips_symmetry(self):
+        g = CSRGraph(
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        )
+        out, report = validate_graph(g, "strict", undirected=False)
+        assert report.ok
+
+    def test_empty_graph_is_info_not_error(self):
+        g = from_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            num_vertices=0,
+        )
+        out, report = validate_graph(g, "strict")
+        assert report.ok
+        assert "empty-graph" in report.by_code()
+
+    def test_isolated_vertices_reported(self):
+        g = sym_graph([(0, 1)], [1.0], 5)
+        _, report = validate_graph(g, "strict")
+        assert report.by_code()["isolated-vertices"] == 3
+
+    def test_fp32_accumulation_overflow_warned(self):
+        big = FP32_MAX / 2
+        g = sym_graph([(0, 1), (0, 2), (0, 3)], [big, big, big], 4)
+        _, report = validate_graph(g, "strict")
+        assert report.ok  # warning severity does not fail strict
+        assert report.by_code()["fp32-accumulation-overflow"] >= 1
+
+
+class TestNuLpaIntegration:
+    def test_repair_then_converge(self):
+        g = sym_graph(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+            [np.nan, 1.0, -1.0, 1.0, np.inf, 1.0],
+            5,
+        )
+        result = nu_lpa(g, validate="repair")
+        assert result.converged
+        assert result.validation is not None
+        assert result.validation.ok and result.validation.modified
+
+    def test_strict_raises_through_nu_lpa(self):
+        g = sym_graph([(0, 1)], [np.nan], 2)
+        with pytest.raises(GraphValidationError):
+            nu_lpa(g, validate="strict")
+
+    def test_report_round_trips_to_json(self, clean):
+        import json
+
+        _, report = validate_graph(clean, "repair")
+        doc = json.loads(json.dumps(report.as_dict()))
+        assert doc["policy"] == "repair"
+        assert doc["ok"] is True

@@ -152,3 +152,72 @@ class TestDetectResilience:
     def test_fault_free_run_prints_no_fault_line(self, capsys):
         assert main(self.ARGS) == 0
         assert "faults:" not in capsys.readouterr().out
+
+
+class TestDetectHardening:
+    ARGS = ["detect", "--dataset", "asia_osm", "--scale", "0.1"]
+
+    def test_validate_clean_graph(self, capsys):
+        assert main(self.ARGS + ["--validate", "strict"]) == 0
+        assert "validation:" in capsys.readouterr().out
+
+    def test_validate_repairs_defective_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 nan\n1 2 1.0\n2 0 1.0\n")
+        # strict (the default for files) refuses the load
+        assert main(["detect", "--input", str(path)]) == 1
+        assert "NaN edge weight" in capsys.readouterr().err
+        # repair loads, fixes, and reports
+        assert main(["detect", "--input", str(path), "--validate", "repair"]) == 0
+        assert "validation:" in capsys.readouterr().out
+
+    def test_iteration_budget_reports_degraded(self, capsys):
+        assert main(self.ARGS + ["--iteration-budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded:" in out
+        assert "iterations" in out
+
+    def test_deadline_flag_accepted(self, capsys):
+        assert main(self.ARGS + ["--deadline", "3600"]) == 0
+        assert "degraded:" not in capsys.readouterr().out
+
+    def test_bad_validate_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--validate", "lenient"])
+
+
+class TestCkptCommand:
+    def test_fsck_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["ckpt"])
+
+    def test_fsck_roundtrip(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--checkpoint-dir", str(ckpt), "--max-iterations", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["ckpt", "fsck", str(ckpt)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fsck_flags_and_deletes_corruption(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--checkpoint-dir", str(ckpt), "--max-iterations", "2",
+        ])
+        newest = sorted(ckpt.glob("ckpt-*.npz"))[-1]
+        newest.write_bytes(b"rot")
+        (ckpt / ".tmp-999.npz").write_bytes(b"partial")
+        capsys.readouterr()
+        assert main(["ckpt", "fsck", str(ckpt)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "stale-tmp" in out
+        assert main(["ckpt", "fsck", str(ckpt), "--delete"]) == 0
+        assert not (ckpt / ".tmp-999.npz").exists()
+        assert not newest.exists()
+
+    def test_fsck_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["ckpt", "fsck", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
