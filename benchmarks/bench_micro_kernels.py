@@ -54,9 +54,7 @@ def test_bench_groupby(benchmark, workload_graph):
     src = g.source_ids()
     keys = labels[g.targets]
 
-    benchmark(
-        best_labels_groupby, src, keys, g.weights, g.num_vertices, labels
-    )
+    benchmark(best_labels_groupby, src, keys, g.weights, labels)
 
 
 def test_bench_modularity(benchmark, workload_graph):

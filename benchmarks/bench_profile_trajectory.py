@@ -1,11 +1,20 @@
 """P1 — profile trajectory over the Table-1 stand-in suite.
 
-Runs ν-LPA (hashtable engine, ``profile=True``) on all 13 Table-1
-stand-ins and writes one ``repro.observe/bench`` document —
-``BENCH_lpa.json`` by default, overridable via ``REPRO_BENCH_OUT`` — with
-per-graph modelled seconds, paper-scale extrapolations, summed kernel
-counters, and community counts.  Later PRs diff their own run against
-this baseline to catch cost-model or accounting regressions.
+Runs ν-LPA on all 13 Table-1 stand-ins and writes one
+``repro.observe/bench`` document — ``BENCH_lpa.json`` by default,
+overridable via ``--bench-baseline`` or ``REPRO_BENCH_OUT`` — with
+per-graph modelled seconds (hashtable engine, ``profile=True``), measured
+vectorized-engine wall clocks, paper-scale extrapolations, summed kernel
+counters, and community counts.
+
+Two modes:
+
+* **baseline** (default) — write the document; later PRs diff against it;
+* **check** (``--bench-check [PATH]``) — the perf regression gate: load
+  the committed baseline, compare with
+  :func:`repro.perf.baseline.compare_to_baseline` (>10% modelled-seconds
+  or calibration-normalised wall-clock regression fails), and write the
+  fresh document next to it as ``BENCH_current.json`` for CI artifacts.
 
 Every profile is validated against the versioned schema before the
 document is written, so a malformed profile fails the benchmark rather
@@ -16,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.core.config import LPAConfig
@@ -28,7 +38,21 @@ from repro.observe.schema import (
     validate_bench,
     validate_profile,
 )
+from repro.perf.baseline import compare_to_baseline, measure_calibration
 from repro.perf.model import estimate_lpa_result_seconds, extrapolation_ratios
+
+#: Wall-clock repetitions per graph; best-of keeps scheduler noise out.
+_WALL_REPEATS = 3
+
+
+def _vectorized_wall(graph, config: LPAConfig) -> float:
+    """Best-of-``_WALL_REPEATS`` vectorized-engine wall seconds."""
+    best = float("inf")
+    for _ in range(_WALL_REPEATS):
+        t0 = time.perf_counter()
+        nu_lpa(graph, config, engine="vectorized", warn_on_no_convergence=False)
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _profile_suite(scale: float, seed: int) -> dict:
@@ -59,6 +83,7 @@ def _profile_suite(scale: float, seed: int) -> dict:
             "modeled_seconds": profile.modeled_seconds,
             "paper_modeled_seconds": estimate_lpa_result_seconds(result, ratios),
             "modularity": modularity(graph, result.labels),
+            "wall_seconds": _vectorized_wall(graph, config),
             "counters": dict(profile.counters),
         })
     return {
@@ -67,6 +92,7 @@ def _profile_suite(scale: float, seed: int) -> dict:
         "scale": scale,
         "seed": seed,
         "engine": "hashtable",
+        "calibration_seconds": measure_calibration(),
         "device": {
             "name": config.device.name,
             "sector_bytes": config.device.sector_bytes,
@@ -75,7 +101,9 @@ def _profile_suite(scale: float, seed: int) -> dict:
     }
 
 
-def test_profile_trajectory(benchmark, bench_scale, bench_seed):
+def test_profile_trajectory(
+    benchmark, bench_scale, bench_seed, bench_baseline_path, bench_check_path
+):
     doc = benchmark.pedantic(
         _profile_suite,
         args=(bench_scale, bench_seed),
@@ -84,21 +112,41 @@ def test_profile_trajectory(benchmark, bench_scale, bench_seed):
     )
     validate_bench(doc)
 
-    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_lpa.json"))
+    if bench_check_path is not None:
+        baseline_file = Path(bench_check_path)
+        out = baseline_file.with_name("BENCH_current.json")
+    else:
+        out = Path(
+            bench_baseline_path
+            or os.environ.get("REPRO_BENCH_OUT", "BENCH_lpa.json")
+        )
     out.write_text(json.dumps(doc, indent=2) + "\n")
 
     print()
     print(f"{'graph':18s} {'V':>9s} {'E':>10s} {'iters':>5s} {'comms':>8s} "
-          f"{'model ms':>9s} {'paper s':>9s} {'Q':>7s}")
+          f"{'model ms':>9s} {'wall ms':>8s} {'paper s':>9s} {'Q':>7s}")
     for g in doc["graphs"]:
         print(f"{g['name']:18s} {g['num_vertices']:9d} {g['num_edges']:10d} "
               f"{g['iterations']:5d} {g['num_communities']:8d} "
               f"{g['modeled_seconds'] * 1e3:9.3f} "
+              f"{g['wall_seconds'] * 1e3:8.2f} "
               f"{g['paper_modeled_seconds']:9.3f} {g['modularity']:7.4f}")
-    print(f"baseline written to {out}")
+    print(f"document written to {out} "
+          f"(calibration {doc['calibration_seconds'] * 1e3:.2f} ms)")
 
     assert len(doc["graphs"]) == 13
     # Paper-scale extrapolation must dominate the stand-in time: every
     # Table-1 graph is orders of magnitude larger than its stand-in.
     for g in doc["graphs"]:
         assert g["paper_modeled_seconds"] > g["modeled_seconds"]
+
+    if bench_check_path is not None:
+        baseline = validate_bench(json.loads(Path(bench_check_path).read_text()))
+        problems = compare_to_baseline(doc, baseline)
+        for p in problems:
+            print(f"PERF REGRESSION: {p}")
+        assert not problems, (
+            f"{len(problems)} perf regression(s) vs {bench_check_path}; "
+            f"see output above"
+        )
+        print(f"perf gate passed against {bench_check_path}")

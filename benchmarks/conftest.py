@@ -16,6 +16,30 @@ import pytest
 DEFAULT_SCALE = 0.25
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-bench")
+    group.addoption(
+        "--bench-baseline",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write the trajectory bench document to PATH (refreshes the "
+             "committed baseline; default BENCH_lpa.json via REPRO_BENCH_OUT)",
+    )
+    group.addoption(
+        "--bench-check",
+        action="store",
+        nargs="?",
+        const="BENCH_lpa.json",
+        default=None,
+        metavar="PATH",
+        help="regression-gate mode: compare the run against the committed "
+             "baseline at PATH (default BENCH_lpa.json) instead of "
+             "overwriting it; fails on >10%% modelled-seconds or "
+             "calibration-normalised wall-clock regression",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     """Stand-in scale for benchmark runs (env ``REPRO_BENCH_SCALE``)."""
@@ -26,3 +50,15 @@ def bench_scale() -> float:
 def bench_seed() -> int:
     """Seed shared by all benchmark graph generation."""
     return int(os.environ.get("REPRO_BENCH_SEED", 42))
+
+
+@pytest.fixture(scope="session")
+def bench_baseline_path(request) -> str | None:
+    """Target path for refreshing the committed baseline (or ``None``)."""
+    return request.config.getoption("--bench-baseline")
+
+
+@pytest.fixture(scope="session")
+def bench_check_path(request) -> str | None:
+    """Baseline to gate against (``None`` = baseline-writing mode)."""
+    return request.config.getoption("--bench-check")

@@ -100,7 +100,7 @@ def chunked_async_sweep(
 
         fallback = labels[batch]
         best = best_labels_groupby(
-            table_id, keys, values, batch.shape[0], fallback, tie_break=tie_break
+            table_id, keys, values, fallback, tie_break=tie_break
         )
         adopt = best != fallback
         adopters = batch[adopt]

@@ -54,7 +54,7 @@ def gunrock_lpa(
     for _ in range(max_iterations):
         old = labels
         keys = old[dst_nl]
-        best = best_labels_groupby(src_nl, keys, w_nl, n, old)
+        best = best_labels_groupby(src_nl, keys, w_nl, old)
         edges_total += int(src_nl.shape[0])
         changed = int(np.count_nonzero(best != old))
         history.append(changed)

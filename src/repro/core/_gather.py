@@ -3,6 +3,11 @@
 Every engine wave needs "all edges of these vertices" as flat arrays.  The
 construction is the standard CSR expansion: repeat each vertex's offset,
 add a within-segment ramp, and index.  O(total edges), no Python loop.
+
+All scratch comes from an optional :class:`~repro.perf.workspace.
+WorkspaceArena`; with one attached, a steady-state gather performs no heap
+allocation (the returned arrays are views into reused slots, valid until
+the next gather with the same ``prefix``).
 """
 
 from __future__ import annotations
@@ -12,8 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.perf.workspace import WorkspaceArena, iota, take
 
 __all__ = ["EdgeGather", "gather_edges"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -33,19 +41,57 @@ class EdgeGather:
         return int(self.edge_index.shape[0])
 
 
-def gather_edges(graph: CSRGraph, vertices: np.ndarray) -> EdgeGather:
-    """Build the :class:`EdgeGather` for ``vertices`` (wave-local order)."""
-    if vertices.shape[0] == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return EdgeGather(edge_index=empty, table_id=empty, edge_rank=empty)
-    degrees = graph.degrees[vertices].astype(np.int64)
+def gather_edges(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    arena: WorkspaceArena | None = None,
+    *,
+    prefix: str = "g",
+) -> EdgeGather:
+    """Build the :class:`EdgeGather` for ``vertices`` (wave-local order).
+
+    ``prefix`` namespaces the arena slots so two gathers with overlapping
+    lifetimes (the engine's wave gather and the frontier's neighbour
+    gather) never alias each other's buffers.
+    """
+    nv = int(vertices.shape[0])
+    if nv == 0:
+        return EdgeGather(edge_index=_EMPTY, table_id=_EMPTY, edge_rank=_EMPTY)
+    degrees = take(arena, f"{prefix}.deg", nv, np.int64)
+    np.take(graph.degrees, vertices, out=degrees, mode="clip")
     total = int(degrees.sum())
     if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return EdgeGather(edge_index=empty, table_id=empty, edge_rank=empty)
-    seg_start = np.zeros(vertices.shape[0], dtype=np.int64)
+        return EdgeGather(edge_index=_EMPTY, table_id=_EMPTY, edge_rank=_EMPTY)
+    seg_start = take(arena, f"{prefix}.ss", nv, np.int64)
+    seg_start[0] = 0
     np.cumsum(degrees[:-1], out=seg_start[1:])
-    table_id = np.repeat(np.arange(vertices.shape[0], dtype=np.int64), degrees)
-    edge_rank = np.arange(total, dtype=np.int64) - seg_start[table_id]
-    edge_index = graph.offsets[vertices][table_id] + edge_rank
+
+    ramp = iota(arena, total)
+    table_id = take(arena, f"{prefix}.tid", total, np.int64)
+    # Segment ids via boundary-scatter + cumsum (the allocation-free
+    # np.repeat): mark each segment's first edge, then prefix-sum.  With a
+    # zero-degree vertex present boundaries coincide, so fall back to the
+    # duplicate-safe (slower) scattered add.
+    table_id[:] = 0
+    if nv > 1:
+        if int(degrees.min()) > 0:
+            table_id[seg_start[1:]] = 1
+        else:
+            # Zero-degree vertices collapse boundaries (duplicates, and
+            # trailing ones point past the last edge).  Engines retire
+            # degree-0 vertices before gathering, so only direct callers
+            # pay this allocating path.
+            idx = seg_start[1:]
+            np.add.at(table_id, idx[idx < total], 1)
+    np.cumsum(table_id, out=table_id)
+
+    edge_rank = take(arena, f"{prefix}.rank", total, np.int64)
+    np.take(seg_start, table_id, out=edge_rank, mode="clip")
+    np.subtract(ramp, edge_rank, out=edge_rank)
+
+    starts = take(arena, f"{prefix}.off", nv, np.int64)
+    np.take(graph.offsets, vertices, out=starts, mode="clip")
+    edge_index = take(arena, f"{prefix}.ei", total, np.int64)
+    np.take(starts, table_id, out=edge_index, mode="clip")
+    np.add(edge_index, edge_rank, out=edge_index)
     return EdgeGather(edge_index=edge_index, table_id=table_id, edge_rank=edge_rank)

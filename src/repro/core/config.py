@@ -62,6 +62,12 @@ class LPAConfig:
         Hashtable value dtype, fp32 (paper default) or fp64 (Figure 5).
     pruning:
         Vertex pruning: skip vertices none of whose neighbours changed.
+    workspace_arena:
+        Serve every per-wave scratch array from a reusable
+        :class:`~repro.perf.workspace.WorkspaceArena` so steady-state
+        iterations are allocation-free.  Results are bit-identical with
+        the arena off (the differential tests assert it); the switch
+        exists for those tests and for debugging buffer-lifetime issues.
     shared_memory_tables:
         Place the hashtables of sufficiently-low-degree thread-kernel
         vertices in per-SM shared memory instead of the global buffers.
@@ -82,6 +88,7 @@ class LPAConfig:
     probing: ProbeStrategy = ProbeStrategy.QUADRATIC_DOUBLE
     value_dtype: type = VALUE_DTYPE_F32
     pruning: bool = True
+    workspace_arena: bool = True
     shared_memory_tables: bool = False
     device: DeviceSpec = field(default=A100)
     seed: int = 0

@@ -40,6 +40,7 @@ from repro.hashing.parallel_hashtable import (
     segmented_max_key,
 )
 from repro.hashing.probing import ProbeStrategy
+from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.resilience.faults import FaultContext
 
 __all__ = ["MoveOutcome", "HashtableEngine"]
@@ -85,6 +86,10 @@ class HashtableEngine:
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
+        self.arena = WorkspaceArena() if config.workspace_arena else None
+        # Loop-free graphs (the common case; checked once, cached on the
+        # graph) skip the per-wave self-loop filter entirely.
+        self._loop_free = not graph.has_self_loops
         self.tables = PerVertexHashtables(
             graph, value_dtype=config.value_dtype, strategy=config.probing
         )
@@ -128,22 +133,32 @@ class HashtableEngine:
         iteration: int,
     ) -> MoveOutcome:
         """One LPA iteration over the frontier's active vertices."""
+        arena = self.arena
         active = frontier.active_vertices()
         counters = KernelCounters()
-        changed_parts: list[np.ndarray] = []
 
         # Degree-0 vertices can never change label (no neighbours) and own
         # no hashtable slots (their reserved region is 2*0); retire them.
-        zero = active[self.graph.degrees[active] == 0]
-        if zero.shape[0]:
+        # They still count as processed — the frontier flagged them done.
+        na = active.shape[0]
+        adeg = take(arena, "hv.adeg", na, np.int64)
+        np.take(self.graph.degrees, active, out=adeg, mode="clip")
+        zmask = take(arena, "hv.zmask", na, bool)
+        np.equal(adeg, 0, out=zmask)
+        retired = int(np.count_nonzero(zmask))
+        if retired:
+            zero = compact(arena, "hv.zero", zmask, retired, active)
             frontier.mark_processed(zero)
-            active = active[self.graph.degrees[active] > 0]
+            np.logical_not(zmask, out=zmask)
+            active = compact(arena, "hv.act", zmask, na - retired, active)
 
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         partition = partition_by_degree(
-            active, self.graph.degrees, self.config.switch_degree
+            active, self.graph.degrees, self.config.switch_degree, arena=arena
         )
+        changed_buf = take(arena, "hv.changed", partition.total, np.int64)
+        num_changed = 0
         for kind in (KernelKind.THREAD_PER_VERTEX, KernelKind.BLOCK_PER_VERTEX):
             vertices = partition.for_kind(kind)
             if vertices.shape[0] == 0:
@@ -161,9 +176,11 @@ class HashtableEngine:
             for wave_index, (lo, hi) in enumerate(plan):
                 wave = vertices[lo:hi]
                 before = counters.as_dict() if tracing else None
-                changed_parts.append(
-                    self._process_wave(wave, kind, labels, frontier, pick_less, counters)
+                adopters = self._process_wave(
+                    wave, kind, labels, frontier, pick_less, counters
                 )
+                changed_buf[num_changed : num_changed + adopters.shape[0]] = adopters
+                num_changed += adopters.shape[0]
                 if tracing:
                     tracer.emit(WaveEvent(
                         iteration=iteration,
@@ -174,13 +191,13 @@ class HashtableEngine:
                         counters=counter_delta(before, counters.as_dict()),
                     ))
 
-        changed_vertices = (
-            np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)
-        )
-        counters.vertices_processed += partition.total
+        # One per-iteration copy (tiny in steady state): the scratch slot is
+        # recycled next move, but changed_vertices outlives it.
+        changed_vertices = changed_buf[:num_changed].copy()
+        counters.vertices_processed += partition.total + retired
         return MoveOutcome(
-            changed=int(changed_vertices.shape[0]),
-            processed=partition.total,
+            changed=num_changed,
+            processed=partition.total + retired,
             counters=counters,
             changed_vertices=changed_vertices,
         )
@@ -196,29 +213,63 @@ class HashtableEngine:
         pick_less: bool,
         counters: KernelCounters,
     ) -> np.ndarray:
-        """Execute one residency wave; returns the adopting vertices."""
+        """Execute one residency wave; returns the adopting vertices.
+
+        The returned array is an arena view (``hw.adopters``), valid until
+        the next wave; ``move`` copies it into its change log immediately.
+        """
+        arena = self.arena
         device = self.config.device
         frontier.mark_processed(wave)
 
-        gather = gather_edges(self.graph, wave)
-        targets = self.graph.targets[gather.edge_index]
-        weights = self.graph.weights[gather.edge_index]
+        gather = gather_edges(self.graph, wave, arena)
+        ne = gather.num_edges
+        targets = take(arena, "hw.tg", ne, np.int64)
+        np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+        weights = take(arena, "hw.w", ne, self.graph.weights.dtype)
+        np.take(self.graph.weights, gather.edge_index, out=weights, mode="clip")
 
-        # Algorithm 1 line 23: skip self-loops during accumulation.
-        non_loop = targets != wave[gather.table_id]
-        entry_table = gather.table_id[non_loop]
-        entry_key = labels[targets[non_loop]]
-        entry_value = weights[non_loop].astype(self.tables.values.dtype, copy=False)
-        edge_rank = gather.edge_rank[non_loop]
+        # Algorithm 1 line 23: skip self-loops during accumulation.  On a
+        # loop-free graph the filter is an identity copy, so feed the
+        # gather straight through instead.
+        if self._loop_free:
+            m = ne
+            entry_table = gather.table_id
+            edge_rank = gather.edge_rank
+            entry_key = take(arena, "hw.ek", ne, labels.dtype)
+            np.take(labels, targets, out=entry_key, mode="clip")
+            if weights.dtype == self.tables.values.dtype:
+                entry_value = weights
+            else:
+                entry_value = take(arena, "hw.ev", ne, self.tables.values.dtype)
+                np.copyto(entry_value, weights, casting="unsafe")
+        else:
+            owner = take(arena, "hw.owner", ne, np.int64)
+            np.take(wave, gather.table_id, out=owner, mode="clip")
+            non_loop = take(arena, "hw.nl", ne, bool)
+            np.not_equal(targets, owner, out=non_loop)
+            m = int(np.count_nonzero(non_loop))
+            entry_table, tgt_nl, wnl, edge_rank = compact(
+                arena, "hw.nl", non_loop, m,
+                gather.table_id, targets, weights, gather.edge_rank,
+            )
+            entry_key = take(arena, "hw.ek", m, labels.dtype)
+            np.take(labels, tgt_nl, out=entry_key, mode="clip")
+            entry_value = take(arena, "hw.ev", m, self.tables.values.dtype)
+            np.copyto(entry_value, wnl, casting="unsafe")
 
-        base = self.tables.bases[wave]
-        p1 = self.tables.capacities[wave]
-        p2 = self.tables.secondary_primes[wave]
+        w = wave.shape[0]
+        base = take(arena, "hw.base", w, np.int64)
+        np.take(self.tables.bases, wave, out=base, mode="clip")
+        p1 = take(arena, "hw.p1", w, np.int64)
+        np.take(self.tables.capacities, wave, out=p1, mode="clip")
+        p2 = take(arena, "hw.p2", w, np.int64)
+        np.take(self.tables.secondary_primes, wave, out=p2, mode="clip")
 
         if self.fault_hook is not None:
             self.fault_hook(self._fault_context("accumulate", kind, wave, labels, base, p1))
 
-        cleared = segmented_clear(self.tables.keys, self.tables.values, base, p1)
+        cleared = segmented_clear(self.tables.keys, self.tables.values, base, p1, arena)
         acc = parallel_accumulate(
             self.tables.keys,
             self.tables.values,
@@ -230,6 +281,7 @@ class HashtableEngine:
             entry_value,
             self.config.probing,
             shared=kind.uses_atomics,
+            arena=arena,
         )
         warp_serial = self._warp_critical_path(
             kind, wave, entry_table, edge_rank, acc.entry_probes
@@ -238,38 +290,61 @@ class HashtableEngine:
         if self.fault_hook is not None:
             self.fault_hook(self._fault_context("reduce", kind, wave, labels, base, p1))
 
-        fallback = labels[wave]
-        best = segmented_max_key(self.tables.keys, self.tables.values, base, p1, fallback)
+        fallback = take(arena, "hw.fb", w, labels.dtype)
+        np.take(labels, wave, out=fallback, mode="clip")
+        best = segmented_max_key(
+            self.tables.keys,
+            self.tables.values,
+            base,
+            p1,
+            fallback,
+            arena=arena,
+            out=take(arena, "hw.best", w, labels.dtype),
+        )
 
-        adopt = pick_less_filter(fallback, best, pick_less)
-        adopters = wave[adopt]
-        labels[adopters] = best[adopt]  # wave-boundary commit
+        adopt = pick_less_filter(
+            fallback,
+            best,
+            pick_less,
+            out=take(arena, "hw.adopt", w, bool),
+            scratch=take(arena, "hw.plsc", w, bool),
+        )
+        na_w = int(np.count_nonzero(adopt))
+        adopters, new_labels = compact(
+            arena, "hw.adopters", adopt, na_w, wave, best
+        )
+        labels[adopters] = new_labels  # wave-boundary commit
         marked_arcs = frontier.mark_neighbors_unprocessed(adopters)
 
         # Shared-memory tables (ablation A3): qualifying thread-kernel
         # vertices keep their table traffic on-chip.
         smem_entries = smem_probes = 0
-        smem_mask = None
         if (
             self.config.shared_memory_tables
             and kind is KernelKind.THREAD_PER_VERTEX
         ):
-            smem_mask = self.graph.degrees[wave] <= self._smem_degree_limit
+            wdeg = take(arena, "hw.wdeg", w, np.int64)
+            np.take(self.graph.degrees, wave, out=wdeg, mode="clip")
+            smem_mask = take(arena, "hw.smv", w, bool)
+            np.less_equal(wdeg, self._smem_degree_limit, out=smem_mask)
             if smem_mask.any():
-                entry_is_smem = smem_mask[entry_table]
+                entry_is_smem = take(arena, "hw.sme", m, bool)
+                np.take(smem_mask, entry_table, out=entry_is_smem, mode="clip")
                 # Tiny tables are already mostly L2-resident, so moving them
                 # to shared memory only saves the fraction of their traffic
                 # that would have reached the cache hierarchy at cost —
                 # the reason the paper saw "little to no gain".
                 saving = _SMEM_SAVING_FACTOR
                 smem_entries = int(np.count_nonzero(entry_is_smem) * saving)
-                smem_probes = int(acc.entry_probes[entry_is_smem].sum() * saving)
+                smem_probes = int(
+                    acc.entry_probes.sum(where=entry_is_smem) * saving
+                )
 
         self._account(
             counters,
             kind=kind,
             wave=wave,
-            num_entries=int(entry_key.shape[0]),
+            num_entries=m,
             cleared=cleared,
             acc_probes=acc.total_probes,
             warp_serial=warp_serial,
@@ -319,32 +394,65 @@ class HashtableEngine:
         whole adjacency list) and what amplifies clustering-heavy probe
         sequences (one colliding lane stalls its warp every round).
         """
+        arena = self.arena
         device = self.config.device
-        if entry_table.shape[0] == 0:
+        ne = entry_table.shape[0]
+        if ne == 0:
             return 0
-        entry_work = 1 + entry_probes
+        entry_work = take(arena, "wcp.ew", ne, np.int64)
+        np.add(entry_probes, 1, out=entry_work)
 
         if kind is KernelKind.THREAD_PER_VERTEX:
-            # Lane == wave-local vertex index.
-            lane_work = np.zeros(wave.shape[0], dtype=np.int64)
-            np.add.at(lane_work, entry_table, entry_work)
-            num_warps = -(-wave.shape[0] // device.warp_size)
-            warp_max = np.zeros(num_warps, dtype=np.int64)
-            np.maximum.at(
-                warp_max, np.arange(wave.shape[0]) // device.warp_size, lane_work
+            # Lane == wave-local vertex index.  ``entry_table`` is
+            # non-decreasing (gather order), so per-lane totals are
+            # segment sums scattered to each run's lane — equivalent to
+            # ``np.add.at`` but without its transient iterator buffer.
+            nw = wave.shape[0]
+            run_first = take(arena, "wcp.rf", ne, bool)
+            run_first[0] = True
+            np.not_equal(entry_table[1:], entry_table[:-1], out=run_first[1:])
+            num_runs = int(np.count_nonzero(run_first))
+            run_starts = compact(
+                arena, "wcp.rs", run_first, num_runs, iota(arena, ne)
             )
-            return int(warp_max.sum())
+            run_sums = take(arena, "wcp.sum", num_runs, np.int64)
+            np.add.reduceat(entry_work, run_starts, out=run_sums)
+            run_lanes = take(arena, "wcp.rl", num_runs, np.int64)
+            np.take(entry_table, run_starts, out=run_lanes, mode="clip")
+            lane_work = take(arena, "wcp.lw", nw, np.int64)
+            lane_work[:] = 0
+            lane_work[run_lanes] = run_sums
+            return self._warp_max_sum(lane_work, nw)
 
         # Block kernel: the vertex's edges are strided over the block's
         # lanes, so lane work is near-uniform and divergence is small —
         # exactly the point of the block-per-vertex design.
         block_size = device.default_block_size
-        lane_global = entry_table * block_size + (edge_rank % block_size)
-        lane_work = np.zeros(wave.shape[0] * block_size, dtype=np.int64)
+        lane_global = take(arena, "wcp.lg", ne, np.int64)
+        np.remainder(edge_rank, block_size, out=lane_global)
+        scaled = take(arena, "wcp.tb", ne, np.int64)
+        np.multiply(entry_table, block_size, out=scaled)
+        np.add(lane_global, scaled, out=lane_global)
+        num_lanes = wave.shape[0] * block_size
+        lane_work = take(arena, "wcp.lw", num_lanes, np.int64)
+        lane_work[:] = 0
         np.add.at(lane_work, lane_global, entry_work)
-        warp_of_lane = np.arange(lane_work.shape[0]) // device.warp_size
-        warp_max = np.zeros(wave.shape[0] * device.warps_per_block, dtype=np.int64)
-        np.maximum.at(warp_max, warp_of_lane, lane_work)
+        return self._warp_max_sum(lane_work, num_lanes)
+
+    def _warp_max_sum(self, lane_work: np.ndarray, num_lanes: int) -> int:
+        """Σ over warps of the slowest lane's work.
+
+        Lanes are contiguous per warp, so the per-warp max is a ragged
+        ``maximum.reduceat`` over ``warp_size`` chunks (lane work is
+        non-negative, so this matches a zero-initialised scattered max).
+        """
+        arena = self.arena
+        warp_size = self.config.device.warp_size
+        num_warps = -(-num_lanes // warp_size)
+        warp_starts = take(arena, "wcp.ws", num_warps, np.int64)
+        np.multiply(iota(arena, num_warps), warp_size, out=warp_starts)
+        warp_max = take(arena, "wcp.wm", num_warps, np.int64)
+        np.maximum.reduceat(lane_work, warp_starts, out=warp_max)
         return int(warp_max.sum())
 
     # ------------------------------------------------------------------ #
@@ -375,8 +483,10 @@ class HashtableEngine:
         value traffic stays on-chip, and ``p1`` already excludes their
         clear/max-reduce slots.
         """
+        arena = self.arena
         mem = self.memory
-        degrees = self.graph.degrees[wave]
+        degrees = take(arena, "ac.deg", wave.shape[0], np.int64)
+        np.take(self.graph.degrees, wave, out=degrees, mode="clip")
 
         counters.edges_scanned += num_entries
         counters.probes += acc_probes
@@ -394,7 +504,9 @@ class HashtableEngine:
             if kind is KernelKind.BLOCK_PER_VERTEX
             else AccessPattern.SCATTERED
         )
-        counters.sectors_read += 2 * mem.sectors_for_segments(degrees, 4, pattern)
+        counters.sectors_read += 2 * mem.sectors_for_segments(
+            degrees, 4, pattern, arena=arena
+        )
 
         # Per-edge label gather C[j]: scattered in both kernels.
         counters.sectors_read += mem.sectors_for_scattered(num_entries)
@@ -421,12 +533,14 @@ class HashtableEngine:
 
         # Clear writes (keys + values), streamed contiguously per table.
         counters.sectors_written += mem.sectors_for_segments(
-            p1, 4, AccessPattern.COALESCED
-        ) + mem.sectors_for_segments(p1, value_bytes, AccessPattern.COALESCED)
+            p1, 4, AccessPattern.COALESCED, arena=arena
+        ) + mem.sectors_for_segments(
+            p1, value_bytes, AccessPattern.COALESCED, arena=arena
+        )
 
         # Max-reduce over the table slots re-reads them contiguously.
         counters.sectors_read += mem.sectors_for_segments(
-            p1, 4 + value_bytes, AccessPattern.COALESCED
+            p1, 4 + value_bytes, AccessPattern.COALESCED, arena=arena
         )
 
         # Label commits and frontier marking: scattered single writes.

@@ -2,7 +2,7 @@
 
 Identical driver semantics to :class:`~repro.core.engine_hashtable.
 HashtableEngine` — same wave structure, same Pick-Less filter, same pruning
-— but the per-vertex "most weighted label" is computed with a lexsort +
+— but the per-vertex "most weighted label" is computed with a packed sort +
 segmented reduce instead of simulated hashtables, making it the engine of
 choice for applications (an order of magnitude faster in pure NumPy).
 
@@ -15,6 +15,11 @@ invariants rather than exact labels.
 Counters are coarse (edges scanned, waves, adjacency/label traffic): this
 engine exists for speed, not for the cost model — experiments use the
 hashtable engine.
+
+Every scratch array of the per-wave hot path comes from the engine's
+:class:`~repro.perf.workspace.WorkspaceArena` (``config.workspace_arena``);
+steady-state waves therefore allocate nothing, and the arena-off path runs
+the *same* arithmetic on fresh buffers, so the two are bit-identical.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
 from repro.observe.trace import KernelLaunchEvent, WaveEvent, counter_delta
+from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.resilience.faults import FaultContext
 
 __all__ = ["VectorizedEngine", "best_labels_groupby"]
@@ -41,19 +47,95 @@ __all__ = ["VectorizedEngine", "best_labels_groupby"]
 _HASH_MULT = np.int64(2654435761)
 _HASH_MASK = np.int64(2**31 - 1)
 
+#: Ranks must fit 31 bits for the composite-key sort paths below.
+_RANK_LIMIT = np.int64(1) << 31
+#: ``table * 2^31 + rank`` must fit int64, so at most 2^32 tables qualify
+#: for the composite argsort; beyond that we fall back to ``np.lexsort``.
+_COMPOSITE_TABLE_LIMIT = 1 << 32
+
+_INT64_MAX = np.int64(np.iinfo(np.int64).max)
+
+
+def _tie_rank(keys: np.ndarray, tie_break: str, arena, name: str) -> np.ndarray:
+    """Per-entry tie-break rank; smaller rank wins among equal weights."""
+    if tie_break == "hash":
+        rank = take(arena, name, keys.shape[0], np.int64)
+        np.multiply(keys, _HASH_MULT, out=rank)
+        np.bitwise_and(rank, _HASH_MASK, out=rank)
+        return rank
+    if tie_break == "smallest":
+        return keys
+    raise ValueError(f"unknown tie_break {tie_break!r}")
+
+
+def _groupby_order(
+    table_id: np.ndarray,
+    keys: np.ndarray,
+    rank: np.ndarray,
+    num_tables: int,
+    arena,
+) -> np.ndarray:
+    """Permutation sorting entries by ``(table, rank, key)``, stable.
+
+    Ranks are injective per key for both tie-breaks whenever ``key >= 0``
+    ("smallest" is the identity; the Knuth hash is odd, hence invertible
+    mod 2^31), so the key column never actually breaks a tie and a stable
+    ``(table, rank)`` sort yields the same permutation as the full lexsort.
+    That admits two composite-key fast paths:
+
+    1. When ``table``, ``rank``, and the entry index together fit 63 bits,
+       fold all three into one int64, sort it *in place* (every value is
+       unique, so an unstable sort still lands in stable order) and decode
+       the permutation with a bitmask — zero allocations, and ~20x faster
+       than ``np.lexsort``.  Engine waves always take this path.
+    2. Otherwise argsort ``table * 2^31 + rank`` with a stable (radix)
+       sort — one permutation allocation, still ~8x faster than lexsort.
+
+    Anything unpackable (negative keys, oversized ranks or table counts)
+    falls back to the equivalent ``np.lexsort``.  Every branch depends
+    only on the *inputs*, never on the arena, so arena-on and arena-off
+    runs take the same path and stay bit-identical.
+    """
+    n = keys.shape[0]
+    if int(keys.min()) < 0 or int(rank.max()) >= int(_RANK_LIMIT):
+        return np.lexsort((keys, rank, table_id))
+    ibits = max((n - 1).bit_length(), 1)
+    rbits = max(int(rank.max()).bit_length(), 1)
+    tbits = max((num_tables - 1).bit_length(), 1)
+    if tbits + rbits + ibits <= 63:
+        comp = take(arena, "gb.comp", n, np.int64)
+        np.multiply(table_id, np.int64(1) << (rbits + ibits), out=comp)
+        shifted_rank = take(arena, "gb.rsh", n, np.int64)
+        np.multiply(rank, np.int64(1) << ibits, out=shifted_rank)
+        np.add(comp, shifted_rank, out=comp)
+        np.add(comp, iota(arena, n), out=comp)
+        comp.sort()
+        perm = take(arena, "gb.perm", n, np.int64)
+        np.bitwise_and(comp, (np.int64(1) << ibits) - np.int64(1), out=perm)
+        return perm
+    if num_tables <= _COMPOSITE_TABLE_LIMIT:
+        comp = take(arena, "gb.comp", n, np.int64)
+        np.multiply(table_id, _RANK_LIMIT, out=comp)
+        np.add(comp, rank, out=comp)
+        return np.argsort(comp, kind="stable")
+    return np.lexsort((keys, rank, table_id))
+
 
 def best_labels_groupby(
     table_id: np.ndarray,
     keys: np.ndarray,
     values: np.ndarray,
-    num_tables: int,
     fallback: np.ndarray,
     *,
     tie_break: str = "smallest",
+    accum_dtype: np.dtype | type = np.float64,
+    arena: WorkspaceArena | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Most-weighted key per table; empty tables -> fallback.
 
-    ``table_id`` must be non-decreasing (gather order guarantees it).
+    ``table_id`` must be non-decreasing (gather order guarantees it); the
+    table count is ``fallback.shape[0]``.
 
     ``tie_break`` resolves equal-weight maxima:
 
@@ -63,45 +145,94 @@ def best_labels_groupby(
     * ``"hash"`` — lowest multiplicative hash of the label, modelling the
       direction-free pseudo-random order of a real hashtable scan; the
       asynchronous CPU baselines use this.
-    """
-    if keys.shape[0] == 0:
-        return fallback.copy()
-    if tie_break == "hash":
-        rank = (keys * _HASH_MULT) & _HASH_MASK
-    elif tie_break == "smallest":
-        rank = keys
-    else:
-        raise ValueError(f"unknown tie_break {tie_break!r}")
-    # Sort by (table, rank, key) so same-key entries are contiguous and
-    # groups appear in tie-break order within each table.
-    order = np.lexsort((keys, rank, table_id))
-    t = table_id[order]
-    k = keys[order]
-    v = values[order].astype(np.float64)
 
-    group_first = np.ones(k.shape[0], dtype=bool)
-    group_first[1:] = (t[1:] != t[:-1]) | (k[1:] != k[:-1])
-    starts = np.flatnonzero(group_first)
-    sums = np.add.reduceat(v, starts)
-    group_table = t[starts]
-    group_key = k[starts]
+    ``accum_dtype`` is the precision edge weights are cast to and summed
+    in — the vectorized engine passes ``config.value_dtype`` so the
+    Figure-5 fp32/fp64 ablation exercises this engine too (it used to
+    accumulate in float64 unconditionally).  ``arena``/``out`` plug the
+    call into a scratch arena; results are bit-identical without them.
+    """
+    num_tables = fallback.shape[0]
+    if out is None:
+        out = np.empty_like(fallback)
+    np.copyto(out, fallback)
+    n = keys.shape[0]
+    if n == 0:
+        return out
+    accum = np.dtype(accum_dtype)
+    rank = _tie_rank(keys, tie_break, arena, "gb.rank")
+    perm = _groupby_order(table_id, keys, rank, num_tables, arena)
+
+    # Sorted-by-(table, rank, key) copies of the entry columns.  The sort
+    # is table-stable and ``table_id`` is non-decreasing (the contract), so
+    # the permuted table column equals the input — no gather needed.
+    if table_id.dtype == np.int64:
+        t = table_id
+    else:  # direct callers (tests, baselines) may pass narrower ids
+        t = take(arena, "gb.t", n, np.int64)
+        np.copyto(t, table_id, casting="unsafe")
+    k = take(arena, "gb.k", n, keys.dtype)
+    np.take(keys, perm, out=k, mode="clip")
+    if values.dtype == accum:
+        vsrc = values
+    else:
+        vsrc = take(arena, "gb.vcast", n, accum)
+        np.copyto(vsrc, values, casting="unsafe")
+    v = take(arena, "gb.v", n, accum)
+    np.take(vsrc, perm, out=v, mode="clip")
+
+    # Group = contiguous run of equal (table, key); table/rank sorting makes
+    # groups appear in tie-break order within each table.
+    group_first = take(arena, "gb.gf", n, bool)
+    group_first[0] = True
+    np.not_equal(t[1:], t[:-1], out=group_first[1:])
+    key_diff = take(arena, "gb.kd", max(n - 1, 1), bool)[: n - 1]
+    np.not_equal(k[1:], k[:-1], out=key_diff)
+    np.logical_or(group_first[1:], key_diff, out=group_first[1:])
+    num_groups = int(np.count_nonzero(group_first))
+    starts = compact(arena, "gb.starts", group_first, num_groups, iota(arena, n))
+    sums = take(arena, "gb.sums", num_groups, accum)
+    np.add.reduceat(v, starts, out=sums)
+    group_table = take(arena, "gb.gt", num_groups, np.int64)
+    np.take(t, starts, out=group_table, mode="clip")
+    group_key = take(arena, "gb.gk", num_groups, keys.dtype)
+    np.take(k, starts, out=group_key, mode="clip")
 
     # Per-table argmax with ties in rank order: groups are rank-sorted
     # within each table, so the *first* group attaining the table max wins.
-    table_first = np.ones(starts.shape[0], dtype=bool)
-    table_first[1:] = group_table[1:] != group_table[:-1]
-    table_starts = np.flatnonzero(table_first)
-    table_of_groups = np.cumsum(table_first) - 1
+    table_first = take(arena, "gb.tf", num_groups, bool)
+    table_first[0] = True
+    np.not_equal(group_table[1:], group_table[:-1], out=table_first[1:])
+    num_present = int(np.count_nonzero(table_first))
+    table_starts = compact(
+        arena, "gb.ts", table_first, num_present, iota(arena, num_groups)
+    )
+    # cumsum straight off the bool mask would materialise an int64 cast
+    # copy of it; the explicit copyto keeps the cast allocation-free.
+    table_of_groups = take(arena, "gb.tog", num_groups, np.int64)
+    np.copyto(table_of_groups, table_first, casting="unsafe")
+    np.cumsum(table_of_groups, out=table_of_groups)
+    np.subtract(table_of_groups, 1, out=table_of_groups)
 
-    max_per_table = np.maximum.reduceat(sums, table_starts)
-    is_max = sums == max_per_table[table_of_groups]
-    group_pos = np.arange(starts.shape[0], dtype=np.int64)
-    big = np.int64(np.iinfo(np.int64).max)
-    first_max = np.minimum.reduceat(np.where(is_max, group_pos, big), table_starts)
+    max_per_table = take(arena, "gb.mpt", num_present, accum)
+    np.maximum.reduceat(sums, table_starts, out=max_per_table)
+    spread_max = take(arena, "gb.spread", num_groups, accum)
+    np.take(max_per_table, table_of_groups, out=spread_max, mode="clip")
+    is_max = take(arena, "gb.ismax", num_groups, bool)
+    np.equal(sums, spread_max, out=is_max)
 
-    out = fallback.copy()
-    present_tables = group_table[table_starts]
-    out[present_tables] = group_key[first_max]
+    candidate = take(arena, "gb.cand", num_groups, np.int64)
+    np.copyto(candidate, iota(arena, num_groups))
+    np.logical_not(is_max, out=is_max)  # is_max now "not max"
+    candidate[is_max] = _INT64_MAX
+    first_max = take(arena, "gb.fm", num_present, np.int64)
+    np.minimum.reduceat(candidate, table_starts, out=first_max)
+
+    present_tables = take(arena, "gb.pt", num_present, np.int64)
+    np.take(group_table, table_starts, out=present_tables, mode="clip")
+    winners = take(arena, "gb.win", num_present, keys.dtype)
+    np.take(group_key, first_max, out=winners, mode="clip")
+    out[present_tables] = winners
     return out
 
 
@@ -123,6 +254,11 @@ class VectorizedEngine:
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
+        self.arena = WorkspaceArena() if config.workspace_arena else None
+        self._accum_dtype = np.dtype(config.value_dtype)
+        # Loop-free graphs (the common case; checked once, cached on the
+        # graph) skip the per-wave self-loop filter entirely.
+        self._loop_free = not graph.has_self_loops
 
     def move(
         self,
@@ -133,22 +269,32 @@ class VectorizedEngine:
         iteration: int,
     ) -> MoveOutcome:
         """One LPA iteration over the frontier's active vertices."""
+        arena = self.arena
         active = frontier.active_vertices()
         counters = KernelCounters()
-        changed_parts: list[np.ndarray] = []
 
         # Degree-0 vertices can never change label; retire them up front
         # (mirrors the hashtable engine, which has no slots for them).
-        zero = active[self.graph.degrees[active] == 0]
-        if zero.shape[0]:
+        # They still count as processed — the frontier flagged them done.
+        na = active.shape[0]
+        adeg = take(arena, "mv.adeg", na, np.int64)
+        np.take(self.graph.degrees, active, out=adeg, mode="clip")
+        zmask = take(arena, "mv.zmask", na, bool)
+        np.equal(adeg, 0, out=zmask)
+        retired = int(np.count_nonzero(zmask))
+        if retired:
+            zero = compact(arena, "mv.zero", zmask, retired, active)
             frontier.mark_processed(zero)
-            active = active[self.graph.degrees[active] > 0]
+            np.logical_not(zmask, out=zmask)
+            active = compact(arena, "mv.act", zmask, na - retired, active)
 
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         partition = partition_by_degree(
-            active, self.graph.degrees, self.config.switch_degree
+            active, self.graph.degrees, self.config.switch_degree, arena=arena
         )
+        changed_buf = take(arena, "mv.changed", partition.total, np.int64)
+        num_changed = 0
         for kind in (KernelKind.THREAD_PER_VERTEX, KernelKind.BLOCK_PER_VERTEX):
             vertices = partition.for_kind(kind)
             if vertices.shape[0] == 0:
@@ -168,17 +314,44 @@ class VectorizedEngine:
                 before = counters.as_dict() if tracing else None
                 frontier.mark_processed(wave)
 
-                gather = gather_edges(self.graph, wave)
-                targets = self.graph.targets[gather.edge_index]
-                non_loop = targets != wave[gather.table_id]
-                table_id = gather.table_id[non_loop]
-                keys = labels[targets[non_loop]]
-                values = self.graph.weights[gather.edge_index][non_loop]
+                gather = gather_edges(self.graph, wave, arena)
+                ne = gather.num_edges
+                targets = take(arena, "mv.tg", ne, np.int64)
+                np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+                if self._loop_free:
+                    # No self-loops anywhere: the loop filter would be an
+                    # identity copy, so feed the gather straight through.
+                    m = ne
+                    table_id = gather.table_id
+                    tgt_nl = targets
+                    values = take(arena, "mv.val", ne, self.graph.weights.dtype)
+                    np.take(
+                        self.graph.weights, gather.edge_index,
+                        out=values, mode="clip",
+                    )
+                else:
+                    owner = take(arena, "mv.owner", ne, np.int64)
+                    np.take(wave, gather.table_id, out=owner, mode="clip")
+                    non_loop = take(arena, "mv.nl", ne, bool)
+                    np.not_equal(targets, owner, out=non_loop)
+                    m = int(np.count_nonzero(non_loop))
+
+                    wts = take(arena, "mv.w", ne, self.graph.weights.dtype)
+                    np.take(
+                        self.graph.weights, gather.edge_index,
+                        out=wts, mode="clip",
+                    )
+                    table_id, tgt_nl, values = compact(
+                        arena, "mv.nl", non_loop, m,
+                        gather.table_id, targets, wts,
+                    )
+                keys = take(arena, "mv.keys", m, labels.dtype)
+                np.take(labels, tgt_nl, out=keys, mode="clip")
 
                 if self.fault_hook is not None:
-                    # `keys` is a fresh gather (fancy indexing copies), so a
-                    # bit flip here corrupts the wave's working set without
-                    # touching the committed labels.
+                    # `keys` is this wave's working set (a fresh gather), so
+                    # a bit flip here corrupts the wave without touching the
+                    # committed labels.
                     self.fault_hook(
                         FaultContext(
                             phase="reduce",
@@ -191,20 +364,38 @@ class VectorizedEngine:
                         )
                     )
 
-                fallback = labels[wave]
+                w = wave.shape[0]
+                fallback = take(arena, "mv.fb", w, labels.dtype)
+                np.take(labels, wave, out=fallback, mode="clip")
                 best = best_labels_groupby(
-                    table_id, keys, values, wave.shape[0], fallback
+                    table_id,
+                    keys,
+                    values,
+                    fallback,
+                    accum_dtype=self._accum_dtype,
+                    arena=arena,
+                    out=take(arena, "mv.best", w, labels.dtype),
                 )
 
-                adopt = pick_less_filter(fallback, best, pick_less)
-                adopters = wave[adopt]
-                labels[adopters] = best[adopt]
+                adopt = pick_less_filter(
+                    fallback,
+                    best,
+                    pick_less,
+                    out=take(arena, "mv.adopt", w, bool),
+                    scratch=take(arena, "mv.plsc", w, bool),
+                )
+                na_w = int(np.count_nonzero(adopt))
+                adopters, new_labels = compact(
+                    arena, "mv.adopters", adopt, na_w, wave, best
+                )
+                labels[adopters] = new_labels
                 marked = frontier.mark_neighbors_unprocessed(adopters)
+                changed_buf[num_changed : num_changed + na_w] = adopters
+                num_changed += na_w
 
-                counters.edges_scanned += int(keys.shape[0])
-                counters.sectors_read += 2 * int(keys.shape[0])
-                counters.sectors_written += int(adopters.shape[0]) + marked
-                changed_parts.append(adopters)
+                counters.edges_scanned += m
+                counters.sectors_read += 2 * m
+                counters.sectors_written += na_w + marked
                 if tracing:
                     tracer.emit(WaveEvent(
                         iteration=iteration,
@@ -215,13 +406,13 @@ class VectorizedEngine:
                         counters=counter_delta(before, counters.as_dict()),
                     ))
 
-        changed_vertices = (
-            np.concatenate(changed_parts) if changed_parts else np.empty(0, np.int64)
-        )
-        counters.vertices_processed += partition.total
+        # One per-iteration copy (tiny in steady state): the scratch slot is
+        # recycled next move, but changed_vertices outlives it.
+        changed_vertices = changed_buf[:num_changed].copy()
+        counters.vertices_processed += partition.total + retired
         return MoveOutcome(
-            changed=int(changed_vertices.shape[0]),
-            processed=partition.total,
+            changed=num_changed,
+            processed=partition.total + retired,
             counters=counters,
             changed_vertices=changed_vertices,
         )

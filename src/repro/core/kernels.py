@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu.kernel import KernelKind
+from repro.perf.workspace import WorkspaceArena, compact, take
 
 __all__ = ["DegreePartition", "partition_by_degree"]
 
@@ -34,8 +35,15 @@ class DegreePartition:
         return int(self.low.shape[0] + self.high.shape[0])
 
 
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
 def partition_by_degree(
-    vertices: np.ndarray, degrees: np.ndarray, switch_degree: int
+    vertices: np.ndarray,
+    degrees: np.ndarray,
+    switch_degree: int,
+    *,
+    arena: WorkspaceArena | None = None,
 ) -> DegreePartition:
     """Split ``vertices`` by ``degrees[v] < switch_degree``.
 
@@ -43,9 +51,19 @@ def partition_by_degree(
     caller passes ids in order), which fixes the wave composition and makes
     runs reproducible.  ``switch_degree == 0`` sends everything to the
     block kernel; a very large value sends everything to the thread kernel.
+
+    With an arena the two sides are scratch views (``part.`` slots), valid
+    until the caller's next move.
     """
-    if vertices.shape[0] == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return DegreePartition(low=empty, high=empty)
-    low_mask = degrees[vertices] < switch_degree
-    return DegreePartition(low=vertices[low_mask], high=vertices[~low_mask])
+    nv = int(vertices.shape[0])
+    if nv == 0:
+        return DegreePartition(low=_EMPTY, high=_EMPTY)
+    deg = take(arena, "part.deg", nv, np.int64)
+    np.take(degrees, vertices, out=deg, mode="clip")
+    low_mask = take(arena, "part.mask", nv, bool)
+    np.less(deg, switch_degree, out=low_mask)
+    num_low = int(np.count_nonzero(low_mask))
+    low = compact(arena, "part.low", low_mask, num_low, vertices)
+    np.logical_not(low_mask, out=low_mask)
+    high = compact(arena, "part.high", low_mask, nv - num_low, vertices)
+    return DegreePartition(low=low, high=high)

@@ -158,7 +158,9 @@ def nu_lpa(
                 f"initial_labels length {labels.shape[0]} != num_vertices {n}"
             )
 
-    frontier = Frontier(graph, enabled=config.pruning)
+    frontier = Frontier(
+        graph, enabled=config.pruning, arena=getattr(eng, "arena", None)
+    )
     if initial_active is not None:
         active = np.asarray(initial_active, dtype=np.int64)
         if active.shape[0] and (active.min() < 0 or active.max() >= n):
@@ -255,9 +257,13 @@ def nu_lpa(
 
             # Budget check at the boundary: a breach stops the run with the
             # best-so-far partition instead of raising — LPA's partition at
-            # any boundary is a valid (if unpolished) answer.
-            if meter is not None and not converged:
+            # any boundary is a valid (if unpolished) answer.  Every
+            # iteration is charged — including the converging one, whose
+            # work is just as real — but a converged run is complete, so
+            # only unconverged runs can be degraded by a breach.
+            if meter is not None:
                 meter.charge(outcome.counters)
+            if meter is not None and not converged:
                 degraded_reason = meter.breached()
                 if degraded_reason is not None:
                     if tracing:

@@ -5,13 +5,20 @@ changes label it re-marks all its neighbours unprocessed ("a vertex assigns
 its neighbors for processing upon label change").  The paper uses an 8-bit
 flag vector rather than booleans in its C++ code; we keep ``uint8`` so the
 memory model accounts a byte per flag.
+
+The frontier is on the per-iteration hot path (one ``active_vertices`` per
+move, one ``mark_neighbors_unprocessed`` per wave), so it shares the
+engine's :class:`~repro.perf.workspace.WorkspaceArena` when given one —
+its slots use the ``fr.`` prefix so they never alias the engine's.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core._gather import gather_edges
 from repro.graph.csr import CSRGraph
+from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.types import FLAG_DTYPE
 
 __all__ = ["Frontier"]
@@ -20,9 +27,16 @@ __all__ = ["Frontier"]
 class Frontier:
     """Unprocessed-vertex tracking with CSR-vectorised neighbour marking."""
 
-    def __init__(self, graph: CSRGraph, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        enabled: bool = True,
+        arena: WorkspaceArena | None = None,
+    ) -> None:
         self.graph = graph
         self.enabled = enabled
+        self.arena = arena
         self._flags = np.ones(graph.num_vertices, dtype=FLAG_DTYPE)
 
     @property
@@ -34,11 +48,18 @@ class Frontier:
         """Ascending ids of unprocessed vertices.
 
         With pruning disabled every vertex is active every iteration
-        (the flags still track state for statistics).
+        (the flags still track state for statistics).  With an arena the
+        result is a scratch view, valid until the next call.
         """
+        n = self.graph.num_vertices
         if not self.enabled:
-            return np.arange(self.graph.num_vertices, dtype=np.int64)
-        return np.flatnonzero(self._flags).astype(np.int64)
+            return iota(self.arena, n)
+        count = int(np.count_nonzero(self._flags))
+        # Flags hold only 0/1, so a bool reinterpret is a valid mask.
+        return compact(
+            self.arena, "fr.active", self._flags.view(bool), count,
+            iota(self.arena, n),
+        )
 
     def mark_processed(self, vertices: np.ndarray) -> None:
         """Clear the flags of ``vertices``."""
@@ -48,18 +69,13 @@ class Frontier:
         """Set the flags of all neighbours of ``vertices``; returns arcs walked."""
         if vertices.shape[0] == 0:
             return 0
-        offsets = self.graph.offsets
-        degrees = self.graph.degrees[vertices]
-        total = int(degrees.sum())
+        gather = gather_edges(self.graph, vertices, self.arena, prefix="fr")
+        total = gather.num_edges
         if total == 0:
             return 0
-        # Gather the concatenated adjacency slices of `vertices`.
-        starts = offsets[vertices]
-        seg_start_pos = np.zeros(vertices.shape[0], dtype=np.int64)
-        np.cumsum(degrees[:-1], out=seg_start_pos[1:])
-        within = np.arange(total, dtype=np.int64) - np.repeat(seg_start_pos, degrees)
-        edge_idx = np.repeat(starts, degrees) + within
-        self._flags[self.graph.targets[edge_idx]] = 1
+        targets = take(self.arena, "fr.tg", total, np.int64)
+        np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+        self._flags[targets] = 1
         return total
 
     def num_active(self) -> int:

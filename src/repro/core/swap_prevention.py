@@ -22,18 +22,28 @@ __all__ = ["pick_less_filter", "cross_check_revert"]
 
 
 def pick_less_filter(
-    current: np.ndarray, proposed: np.ndarray, pick_less: bool
+    current: np.ndarray,
+    proposed: np.ndarray,
+    pick_less: bool,
+    *,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """Adoption mask of Algorithm 1 line 27.
 
     ``c* != C[i] and (not pick-less or c* <= C[i])`` — with PL active, only
     strictly-smaller labels pass (equality is excluded by the first
     clause).
+
+    ``out`` receives the mask and ``scratch`` (same shape, bool) holds the
+    PL comparison; the engines pass arena views here so the hot path stays
+    allocation-free.  Omit both for the allocating behaviour.
     """
-    changed = proposed != current
+    changed = np.not_equal(proposed, current, out=out)
     if not pick_less:
         return changed
-    return changed & (proposed <= current)
+    le = np.less_equal(proposed, current, out=scratch)
+    return np.logical_and(changed, le, out=changed)
 
 
 def cross_check_revert(

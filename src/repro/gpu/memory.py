@@ -22,6 +22,7 @@ import enum
 import numpy as np
 
 from repro.gpu.device import DeviceSpec
+from repro.perf.workspace import WorkspaceArena, take
 
 __all__ = ["AccessPattern", "MemoryModel"]
 
@@ -64,19 +65,24 @@ class MemoryModel:
 
     def sectors_for_segments(
         self, segment_lengths: np.ndarray, element_bytes: int,
-        pattern: AccessPattern,
+        pattern: AccessPattern, *, arena: WorkspaceArena | None = None,
     ) -> int:
         """Traffic for reading many variable-length segments.
 
         COALESCED: each segment is swept contiguously by a warp (ceil per
         segment — short segments still pay one sector).  SCATTERED: every
-        element is its own sector.
+        element is its own sector.  ``arena`` serves the per-segment
+        scratch of the COALESCED branch (``mem.`` slot).
         """
         if segment_lengths.shape[0] == 0:
             return 0
         if pattern is AccessPattern.COALESCED:
-            per_elem = segment_lengths * np.int64(element_bytes)
-            sectors = -(-per_elem // self.sector_bytes)
+            sectors = take(arena, "mem.sectors", segment_lengths.shape[0], np.int64)
+            np.multiply(segment_lengths, np.int64(element_bytes), out=sectors)
+            # ceil division, in place: -(-x // sector_bytes).
+            np.negative(sectors, out=sectors)
+            np.floor_divide(sectors, self.sector_bytes, out=sectors)
+            np.negative(sectors, out=sectors)
             return int(sectors.sum())
         return int(segment_lengths.sum())
 

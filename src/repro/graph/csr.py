@@ -97,7 +97,7 @@ class CSRGraph:
         pass ``validate=False`` to skip the O(M) checks.
     """
 
-    __slots__ = ("_offsets", "_targets", "_weights", "_degrees")
+    __slots__ = ("_offsets", "_targets", "_weights", "_degrees", "_has_self_loops")
 
     def __init__(
         self,
@@ -122,6 +122,7 @@ class CSRGraph:
         self._weights = weights
         degrees = np.diff(offsets)
         self._degrees = degrees
+        self._has_self_loops: bool | None = None
 
         # Freeze the buffers: algorithms share views of these arrays.
         for arr in (self._offsets, self._targets, self._weights, self._degrees):
@@ -159,6 +160,20 @@ class CSRGraph:
         return np.repeat(
             np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self._degrees
         )
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether any arc points back at its source (computed once, O(M)).
+
+        Both engines branch on this: a loop-free graph — the common case —
+        skips the per-wave self-loop filter (an owner gather, a comparison,
+        and three compress passes over every gathered edge).
+        """
+        if self._has_self_loops is None:
+            self._has_self_loops = bool(
+                np.any(self._targets == self._vertex_ids_of_targets())
+            )
+        return self._has_self_loops
 
     @property
     def offsets(self) -> np.ndarray:

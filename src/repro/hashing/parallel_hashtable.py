@@ -18,6 +18,13 @@ The round structure also yields the exact statistics the cost model needs:
 per-entry probe counts (memory traffic), CAS/add counts (atomic
 contention), and per-warp round counts (lockstep divergence — a warp is as
 slow as its unluckiest lane).
+
+Every function takes an optional :class:`~repro.perf.workspace.
+WorkspaceArena`; with one attached the whole wave runs without heap
+allocation (slot prefixes: ``pa.`` accumulate, ``seg.`` segment indexing,
+``smk.`` max-key).  Results are bit-identical either way — two details are
+load-bearing and argued inline: the reversed-scatter CAS winner and the
+sorted-run conflict count, each of which replaces an ``np.unique``.
 """
 
 from __future__ import annotations
@@ -28,7 +35,8 @@ import numpy as np
 
 from repro.errors import HashtableFullError
 from repro.hashing.hashtable import MAX_RETRIES
-from repro.hashing.probing import ProbeStrategy, probe_advance, probe_slot, probe_start
+from repro.hashing.probing import ProbeStrategy
+from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.types import EMPTY_KEY
 
 __all__ = [
@@ -39,10 +47,17 @@ __all__ = [
     "segment_index_arrays",
 ]
 
+_INT64_MAX = np.int64(np.iinfo(np.int64).max)
+
 
 @dataclass
 class WaveAccumulateResult:
-    """Statistics from one wave of parallel hashtable accumulation."""
+    """Statistics from one wave of parallel hashtable accumulation.
+
+    When the wave ran on an arena, ``entry_probes`` and ``warp_max_probes``
+    are scratch views — valid until the next ``parallel_accumulate`` call
+    on the same arena; copy them to keep them longer.
+    """
 
     #: Total probes across all entries (each slot inspection counts once).
     total_probes: int = 0
@@ -82,6 +97,7 @@ def parallel_accumulate(
     entry_warp: np.ndarray | None = None,
     num_warps: int = 0,
     max_retries: int = MAX_RETRIES,
+    arena: WorkspaceArena | None = None,
 ) -> WaveAccumulateResult:
     """Accumulate all ``(entry_key, entry_value)`` pairs into their tables.
 
@@ -105,6 +121,8 @@ def parallel_accumulate(
     entry_warp, num_warps:
         Optional mapping of entries to simulated warps for divergence
         accounting.
+    arena:
+        Optional scratch arena (``pa.`` slots) for allocation-free rounds.
     """
     n = entry_key.shape[0]
     result = WaveAccumulateResult()
@@ -113,69 +131,141 @@ def parallel_accumulate(
     if n == 0:
         return result
 
-    keys = entry_key.astype(np.int64, copy=False)
-    p1_of = table_p1[entry_table]
-    p2 = table_p2[entry_table]
-    probe_i, probe_di = probe_start(keys, p2, strategy)
+    keys = entry_key if entry_key.dtype == np.int64 else entry_key.astype(np.int64)
+    # Per-entry layout (saves re-indexing the table arrays every round).
+    p1_of = take(arena, "pa.p1of", n, np.int64)
+    np.take(table_p1, entry_table, out=p1_of, mode="clip")
+    p2_of = take(arena, "pa.p2of", n, np.int64)
+    np.take(table_p2, entry_table, out=p2_of, mode="clip")
+    base_of = take(arena, "pa.baseof", n, np.int64)
+    np.take(table_base, entry_table, out=base_of, mode="clip")
 
-    pending = np.arange(n, dtype=np.int64)
-    probes_done = np.zeros(n, dtype=np.int64)
+    # Probe state (Algorithm 2 line 2: i <- k; di <- 1, except pure double
+    # hashing whose step is the per-key constant 1 + (k mod p2)).
+    probe_i = take(arena, "pa.pi", n, np.int64)
+    np.copyto(probe_i, keys)
+    probe_di = take(arena, "pa.pdi", n, np.int64)
+    if strategy is ProbeStrategy.DOUBLE:
+        np.remainder(keys, p2_of, out=probe_di)
+        np.add(probe_di, 1, out=probe_di)
+    else:
+        probe_di[:] = 1
+
+    pending = iota(arena, n)  # read-only; retries compress into ping-pong slots
+    probes_done = take(arena, "pa.done", n, np.int64)
+    probes_done[:] = 0
     if max_retries == MAX_RETRIES:
         # Enough for the completeness fallback to sweep the largest table.
         max_retries = max(MAX_RETRIES, 2 * int(table_p1.max(initial=1)) + 64)
 
+    flip = False
     for round_no in range(1, max_retries + 1):
-        t = entry_table[pending]
-        k = keys[pending]
-        slots = table_base[t] + probe_slot(probe_i[pending], table_p1[t])
+        num_pending = pending.shape[0]
+        k = take(arena, "pa.k", num_pending, np.int64)
+        np.take(keys, pending, out=k, mode="clip")
+        pip = take(arena, "pa.pip", num_pending, np.int64)
+        np.take(probe_i, pending, out=pip, mode="clip")
+        p1p = take(arena, "pa.p1p", num_pending, np.int64)
+        np.take(p1_of, pending, out=p1p, mode="clip")
+        slots = take(arena, "pa.slots", num_pending, np.int64)
+        np.remainder(pip, p1p, out=slots)
+        bp = take(arena, "pa.bp", num_pending, np.int64)
+        np.take(base_of, pending, out=bp, mode="clip")
+        np.add(slots, bp, out=slots)
 
-        result.total_probes += pending.shape[0]
-        probes_done[pending] += 1
+        result.total_probes += num_pending
+        pd = take(arena, "pa.pd", num_pending, np.int64)
+        np.take(probes_done, pending, out=pd, mode="clip")
+        np.add(pd, 1, out=pd)
+        probes_done[pending] = pd
 
-        current = keys_buf[slots]
-        empty = current == EMPTY_KEY
+        current = take(arena, "pa.cur", num_pending, np.int64)
+        np.take(keys_buf, slots, out=current, mode="clip")
+        empty = take(arena, "pa.emp", num_pending, bool)
+        np.equal(current, EMPTY_KEY, out=empty)
+        num_empty = int(np.count_nonzero(empty))
 
-        if empty.any():
+        if num_empty:
             # atomicCAS: among entries probing the same empty slot, the
-            # first in lane order wins and writes its key.
-            empty_idx = np.flatnonzero(empty)
-            uniq_slots, first = np.unique(slots[empty_idx], return_index=True)
-            winners = empty_idx[first]
-            keys_buf[slots[winners]] = k[winners]
+            # first in lane order wins and writes its key.  Scattering the
+            # competitors in *reverse* makes the earliest write land last,
+            # so the final buffer equals the unique-first-winner result
+            # without computing np.unique.
+            se, ke = compact(arena, "pa.se", empty, num_empty, slots, k)
+            keys_buf[se[::-1]] = ke[::-1]
             if shared:
-                result.cas_attempts += int(empty_idx.shape[0])
-            current = keys_buf[slots]  # re-read after CAS commits
+                result.cas_attempts += num_empty
+            np.take(keys_buf, slots, out=current, mode="clip")  # re-read after CAS commits
 
-        success = current == k
-        if success.any():
-            sel = np.flatnonzero(success)
-            np.add.at(values_buf, slots[sel], entry_value[pending[sel]])
+        success = take(arena, "pa.suc", num_pending, bool)
+        np.equal(current, k, out=success)
+        num_success = int(np.count_nonzero(success))
+        if num_success:
+            ev = take(arena, "pa.ev", num_pending, entry_value.dtype)
+            np.take(entry_value, pending, out=ev, mode="clip")
+            ss, sv = compact(arena, "pa.ss", success, num_success, slots, ev)
+            np.add.at(values_buf, ss, sv)
             if shared:
-                result.atomic_adds += int(sel.shape[0])
-                _, mult = np.unique(slots[sel], return_counts=True)
-                result.atomic_conflicts += int((mult - 1).sum())
+                result.atomic_adds += num_success
+                # conflicts = adds - distinct slots; count runs by sorting
+                # the slot scratch in place (ss is dead after the add.at).
+                ss.sort()
+                distinct = 1
+                if num_success > 1:
+                    db = take(arena, "pa.db", num_success - 1, bool)
+                    np.not_equal(ss[1:], ss[:-1], out=db)
+                    distinct += int(np.count_nonzero(db))
+                result.atomic_conflicts += num_success - distinct
 
-        still = ~success
-        if not still.any():
-            result.rounds = round_no
+        result.rounds = round_no
+        num_retry = num_pending - num_success
+        if num_retry == 0:
             break
 
-        retry = pending[still]
-        old_i = probe_i[retry].copy()
-        probe_i[retry], probe_di[retry] = probe_advance(
-            probe_i[retry], probe_di[retry], keys[retry], p2[retry], strategy
+        still = np.logical_not(success, out=success)
+        # Advance the retrying entries (Algorithm 2 lines 17-18), inlined
+        # from probing.probe_advance with in-place arithmetic.  The retry
+        # list ping-pongs between two slots because ``pending`` (last
+        # round's list) is still being read while this one is written.
+        retry, old_i = compact(
+            arena, "pa.pendB" if flip else "pa.pendA", still, num_retry,
+            pending, pip,
         )
+        flip = not flip
+        step = take(arena, "pa.dr", num_retry, np.int64)
+        np.take(probe_di, retry, out=step, mode="clip")
+        new_i = take(arena, "pa.ni", num_retry, np.int64)
+        np.add(old_i, step, out=new_i)
+        if strategy is ProbeStrategy.QUADRATIC:
+            np.multiply(step, 2, out=step)
+        elif strategy is ProbeStrategy.QUADRATIC_DOUBLE:
+            np.multiply(step, 2, out=step)
+            kr = take(arena, "pa.kr", num_retry, np.int64)
+            np.take(keys, retry, out=kr, mode="clip")
+            p2r = take(arena, "pa.p2r", num_retry, np.int64)
+            np.take(p2_of, retry, out=p2r, mode="clip")
+            np.remainder(kr, p2r, out=kr)
+            np.add(step, kr, out=step)
+        # LINEAR and DOUBLE keep their step.
+
         # Completeness guard: with p1 = 2^k - 1 the doubling-based step
         # sequences are periodic (2 has order k mod 2^k - 1) and can orbit a
         # strict subset of slots at high load.  After p1 strategy probes an
         # entry degrades to a step-1 linear sweep (re-forced every round),
         # which provably visits every slot within another p1 rounds
         # (see DESIGN.md).
-        fb = probes_done[retry] >= p1_of[retry]
-        if fb.any():
-            probe_i[retry[fb]] = old_i[fb] + 1
+        pdr = take(arena, "pa.pdr", num_retry, np.int64)
+        np.take(probes_done, retry, out=pdr, mode="clip")
+        p1r = take(arena, "pa.p1r", num_retry, np.int64)
+        np.take(p1_of, retry, out=p1r, mode="clip")
+        fb = take(arena, "pa.fbm", num_retry, bool)
+        np.greater_equal(pdr, p1r, out=fb)
+        np.add(old_i, 1, out=old_i)
+        np.copyto(new_i, old_i, where=fb)
+
+        probe_i[retry] = new_i
+        probe_di[retry] = step
         pending = retry
-        result.rounds = round_no
     else:
         raise HashtableFullError(
             f"{pending.shape[0]} entries unplaced after {max_retries} probe "
@@ -189,22 +279,41 @@ def parallel_accumulate(
 
 
 def segment_index_arrays(
-    table_base: np.ndarray, table_p1: np.ndarray
+    table_base: np.ndarray,
+    table_p1: np.ndarray,
+    arena: WorkspaceArena | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Index machinery for per-table segmented operations.
 
     Returns ``(flat_index, segment_id, segment_starts)`` where
     ``flat_index`` enumerates every live slot of every table
     (``base[t] + [0, p1[t])``), ``segment_id`` labels which table each flat
-    slot belongs to, and ``segment_starts`` are reduceat boundaries.
+    slot belongs to, and ``segment_starts`` are reduceat boundaries.  With
+    an arena all three are scratch views (``seg.`` slots).
     """
-    p1 = table_p1.astype(np.int64, copy=False)
+    nt = table_p1.shape[0]
+    p1 = table_p1 if table_p1.dtype == np.int64 else table_p1.astype(np.int64)
     total = int(p1.sum())
-    seg_id = np.repeat(np.arange(table_p1.shape[0], dtype=np.int64), p1)
-    starts = np.zeros(table_p1.shape[0], dtype=np.int64)
+    starts = take(arena, "seg.starts", nt, np.int64)
+    starts[0] = 0
     np.cumsum(p1[:-1], out=starts[1:])
-    within = np.arange(total, dtype=np.int64) - starts[seg_id]
-    flat = table_base[seg_id] + within
+
+    seg_id = take(arena, "seg.id", total, np.int64)
+    seg_id[:] = 0
+    if nt > 1:
+        if int(p1.min()) > 0:
+            seg_id[starts[1:]] = 1
+        else:  # empty tables collapse boundaries (direct callers only)
+            idx = starts[1:]
+            np.add.at(seg_id, idx[idx < total], 1)
+    np.cumsum(seg_id, out=seg_id)
+
+    flat = take(arena, "seg.flat", total, np.int64)
+    np.take(starts, seg_id, out=flat, mode="clip")
+    np.subtract(iota(arena, total), flat, out=flat)  # within-segment rank
+    within_base = take(arena, "seg.base", total, np.int64)
+    np.take(table_base, seg_id, out=within_base, mode="clip")
+    np.add(flat, within_base, out=flat)
     return flat, seg_id, starts
 
 
@@ -213,11 +322,12 @@ def segmented_clear(
     values_buf: np.ndarray,
     table_base: np.ndarray,
     table_p1: np.ndarray,
+    arena: WorkspaceArena | None = None,
 ) -> int:
     """``hashtableClear`` for every table of a wave; returns slots cleared."""
     if table_base.shape[0] == 0:
         return 0
-    flat, _, _ = segment_index_arrays(table_base, table_p1)
+    flat, _, _ = segment_index_arrays(table_base, table_p1, arena)
     keys_buf[flat] = EMPTY_KEY
     values_buf[flat] = 0
     return int(flat.shape[0])
@@ -229,32 +339,65 @@ def segmented_max_key(
     table_base: np.ndarray,
     table_p1: np.ndarray,
     fallback: np.ndarray,
+    *,
+    arena: WorkspaceArena | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """``hashtableMaxKey`` for every table of a wave.
 
     Returns, per table, the key of the *lowest slot* holding the maximum
     value (strict-LPA's "first label with the highest weight"), or
-    ``fallback[t]`` for tables with no occupied slot.
+    ``fallback[t]`` for tables with no occupied slot.  The comparison runs
+    in float64 regardless of the value dtype, exactly like the division-free
+    max reduction the paper's kernel performs in registers.
     """
-    if table_base.shape[0] == 0:
-        return fallback.copy()
-    flat, seg_id, starts = segment_index_arrays(table_base, table_p1)
-    keys = keys_buf[flat]
-    values = values_buf[flat].astype(np.float64, copy=False)
-    occupied = keys != EMPTY_KEY
+    if out is None:
+        out = np.empty_like(fallback)
+    np.copyto(out, fallback)
+    nt = table_base.shape[0]
+    if nt == 0:
+        return out
+    flat, seg_id, starts = segment_index_arrays(table_base, table_p1, arena)
+    ns = flat.shape[0]
+    keys = take(arena, "smk.k", ns, np.int64)
+    np.take(keys_buf, flat, out=keys, mode="clip")
+    raw = take(arena, "smk.vraw", ns, values_buf.dtype)
+    np.take(values_buf, flat, out=raw, mode="clip")
+    masked = take(arena, "smk.m", ns, np.float64)
+    np.copyto(masked, raw, casting="unsafe")
+    occupied = take(arena, "smk.occ", ns, bool)
+    np.not_equal(keys, EMPTY_KEY, out=occupied)
+    vacant = take(arena, "smk.vac", ns, bool)
+    np.logical_not(occupied, out=vacant)
+    masked[vacant] = -np.inf
 
-    masked = np.where(occupied, values, -np.inf)
-    seg_max = np.maximum.reduceat(masked, starts)
+    seg_max = take(arena, "smk.segmax", nt, np.float64)
+    np.maximum.reduceat(masked, starts, out=seg_max)
 
     # First (lowest-slot) occurrence of the segment max.
-    within = np.arange(flat.shape[0], dtype=np.int64) - starts[seg_id]
-    big = np.int64(np.iinfo(np.int64).max)
-    candidate_pos = np.where(
-        occupied & (masked == seg_max[seg_id]), within, big
-    )
-    first_pos = np.minimum.reduceat(candidate_pos, starts)
+    spread = take(arena, "smk.spread", ns, np.float64)
+    np.take(seg_max, seg_id, out=spread, mode="clip")
+    is_max = take(arena, "smk.ismax", ns, bool)
+    np.equal(masked, spread, out=is_max)
+    np.logical_and(is_max, occupied, out=is_max)
 
-    out = fallback.copy()
-    has_any = first_pos != big
-    out[has_any] = keys_buf[table_base[has_any] + first_pos[has_any]]
+    candidate = take(arena, "smk.cand", ns, np.int64)
+    np.take(starts, seg_id, out=candidate, mode="clip")
+    np.subtract(iota(arena, ns), candidate, out=candidate)  # within rank
+    np.logical_not(is_max, out=is_max)  # now "not a maximal slot"
+    candidate[is_max] = _INT64_MAX
+    first_pos = take(arena, "smk.first", nt, np.int64)
+    np.minimum.reduceat(candidate, starts, out=first_pos)
+
+    has_any = take(arena, "smk.has", nt, bool)
+    np.not_equal(first_pos, _INT64_MAX, out=has_any)
+    num_found = int(np.count_nonzero(has_any))
+    if num_found:
+        found_slot, found_pos = compact(
+            arena, "smk.found", has_any, num_found, table_base, first_pos
+        )
+        np.add(found_slot, found_pos, out=found_slot)
+        found_key = take(arena, "smk.fkey", num_found, np.int64)
+        np.take(keys_buf, found_slot, out=found_key, mode="clip")
+        out[has_any] = found_key
     return out

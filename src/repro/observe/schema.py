@@ -34,7 +34,10 @@ PROFILE_SCHEMA = "repro.observe/profile"
 PROFILE_SCHEMA_VERSION = 1
 
 BENCH_SCHEMA = "repro.observe/bench"
-BENCH_SCHEMA_VERSION = 1
+#: v2 adds the perf-gate fields: per-graph measured ``wall_seconds``
+#: (vectorized engine) and a document-level ``calibration_seconds`` that
+#: normalises wall clocks across machines.
+BENCH_SCHEMA_VERSION = 2
 
 
 def _fail(path: str, message: str):
@@ -153,6 +156,9 @@ def validate_bench(doc: dict) -> dict:
         _fail(f"{path}.scale", f"must be positive, got {scale}")
     _require(doc, path, "seed", int)
     _require(doc, path, "engine", str)
+    calibration = _require(doc, path, "calibration_seconds", numbers.Real)
+    if calibration <= 0:
+        _fail(f"{path}.calibration_seconds", f"must be positive, got {calibration}")
     device = _require(doc, path, "device", dict)
     _require(device, f"{path}.device", "name", str)
     _require(device, f"{path}.device", "sector_bytes", int)
@@ -172,10 +178,12 @@ def validate_bench(doc: dict) -> dict:
             if value < 0:
                 _fail(f"{gpath}.{key}", f"negative value {value}")
         _require(g, gpath, "converged", bool)
-        for key in ("modeled_seconds", "paper_modeled_seconds", "modularity"):
+        for key in (
+            "modeled_seconds", "paper_modeled_seconds", "modularity", "wall_seconds"
+        ):
             _require(g, gpath, key, numbers.Real, allow_none=(key == "paper_modeled_seconds"))
-        secs = g["modeled_seconds"]
-        if secs < 0:
-            _fail(f"{gpath}.modeled_seconds", f"negative time {secs}")
+        for key in ("modeled_seconds", "wall_seconds"):
+            if g[key] < 0:
+                _fail(f"{gpath}.{key}", f"negative time {g[key]}")
         _check_counters(_require(g, gpath, "counters", dict), f"{gpath}.counters")
     return doc

@@ -8,27 +8,16 @@ against the paper's published anchors (3.0 B edges/s ν-LPA throughput on
 it-2004; the 364× / 62× / 2.6× / 37× speedup ratios) and never refitted per
 experiment — so the *shapes* benchmarks report (who wins where, how factors
 move across graphs and configurations) come entirely from measured counts.
+
+Attributes are resolved lazily (PEP 562): ``repro.perf.model`` imports the
+baseline implementations, which import the core engines — and the engines
+themselves import :mod:`repro.perf.workspace` for their scratch arena.
+Importing everything eagerly here would close that cycle; deferring until
+first attribute access keeps ``from repro.perf.workspace import
+WorkspaceArena`` free of the model/baseline stack.
 """
 
-from repro.perf.platforms import (
-    GpuPlatform,
-    CpuPlatform,
-    A100_PLATFORM,
-    XEON_SEQUENTIAL,
-    XEON_MULTICORE,
-)
-from repro.perf.model import (
-    estimate_gpu_seconds,
-    estimate_lpa_result_seconds,
-    estimate_flpa_seconds,
-    estimate_networkit_seconds,
-    estimate_gve_seconds,
-    estimate_gunrock_seconds,
-    estimate_louvain_seconds,
-    extrapolation_ratios,
-)
-from repro.perf.harness import Measurement, run_measurement, repeat_measure
-from repro.perf.report import format_table, format_series, RelativeSeries
+from __future__ import annotations
 
 __all__ = [
     "GpuPlatform",
@@ -50,4 +39,47 @@ __all__ = [
     "format_table",
     "format_series",
     "RelativeSeries",
+    "WorkspaceArena",
+    "measure_calibration",
+    "compare_to_baseline",
 ]
+
+_EXPORTS = {
+    "GpuPlatform": "repro.perf.platforms",
+    "CpuPlatform": "repro.perf.platforms",
+    "A100_PLATFORM": "repro.perf.platforms",
+    "XEON_SEQUENTIAL": "repro.perf.platforms",
+    "XEON_MULTICORE": "repro.perf.platforms",
+    "estimate_gpu_seconds": "repro.perf.model",
+    "estimate_lpa_result_seconds": "repro.perf.model",
+    "estimate_flpa_seconds": "repro.perf.model",
+    "estimate_networkit_seconds": "repro.perf.model",
+    "estimate_gve_seconds": "repro.perf.model",
+    "estimate_gunrock_seconds": "repro.perf.model",
+    "estimate_louvain_seconds": "repro.perf.model",
+    "extrapolation_ratios": "repro.perf.model",
+    "Measurement": "repro.perf.harness",
+    "run_measurement": "repro.perf.harness",
+    "repeat_measure": "repro.perf.harness",
+    "format_table": "repro.perf.report",
+    "format_series": "repro.perf.report",
+    "RelativeSeries": "repro.perf.report",
+    "WorkspaceArena": "repro.perf.workspace",
+    "measure_calibration": "repro.perf.baseline",
+    "compare_to_baseline": "repro.perf.baseline",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,159 @@
+"""Reusable scratch-buffer arena for the per-wave hot path.
+
+Every ν-LPA iteration re-runs the same chain of vectorised kernels —
+gather, compact, sort, segmented reduce — over wave-sized arrays whose
+shapes change a little between waves but whose *roles* never do.  Before
+this module existed each wave re-allocated every one of those arrays from
+the heap; on a converging run that is thousands of multi-megabyte
+``np.empty`` calls that all request the same dozen buffers.
+
+A :class:`WorkspaceArena` keeps one grow-only backing array per
+``(name, dtype)`` slot and hands out zero-copy views of the requested
+length.  In steady state (after the first couple of iterations have grown
+every slot to its high-water mark) a ``take`` is a dictionary lookup plus a
+slice — no heap allocation at all, which is what the tracemalloc gate in
+``tests/core/test_workspace_differential.py`` verifies.
+
+Discipline (enforced by convention, checked by the differential tests):
+
+* a ``take`` returns **uninitialised** memory, exactly like ``np.empty`` —
+  callers must fully overwrite before reading;
+* slot names are unique per call site (dotted prefixes: ``g.`` for
+  gather, ``gb.`` group-by, ``pa.`` parallel accumulate, ``fr.``
+  frontier, ...), so two buffers that are alive at the same time can never
+  alias;
+* a view is valid until the *next* ``take`` of the same slot — returning
+  one across iterations requires a copy.
+
+The module-level :func:`take` / :func:`iota` helpers accept ``arena=None``
+and fall back to fresh allocation, so every hot-path function has a single
+code path whose results are bit-identical with the arena on or off — the
+only thing that changes is where the output buffer comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WorkspaceArena", "take", "iota", "compact"]
+
+#: Minimum backing-buffer capacity; avoids churning on tiny waves.
+_MIN_CAPACITY = 16
+
+
+class WorkspaceArena:
+    """Dtype-tagged, grow-only scratch buffers with zero-copy slicing."""
+
+    __slots__ = ("_buffers", "_iota", "takes", "grows", "grown_bytes")
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+        self._iota: np.ndarray | None = None
+        #: Total ``take`` calls served (steady-state hits + grows).
+        self.takes = 0
+        #: Backing-array (re)allocations performed.
+        self.grows = 0
+        #: Bytes currently held across all backing arrays.
+        self.grown_bytes = 0
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` view of the ``(name, dtype)`` slot.
+
+        Contents are uninitialised (``np.empty`` semantics).  The backing
+        array only ever grows — geometrically, so a slot reaches its
+        high-water mark in O(log size) reallocations and then never
+        allocates again.
+        """
+        dt = np.dtype(dtype)
+        key = (name, dt.str)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape[0] < size:
+            old = 0 if buf is None else buf.shape[0]
+            capacity = max(size, 2 * old, _MIN_CAPACITY)
+            if buf is not None:
+                self.grown_bytes -= buf.nbytes
+            buf = np.empty(capacity, dtype=dt)
+            self._buffers[key] = buf
+            self.grows += 1
+            self.grown_bytes += buf.nbytes
+        self.takes += 1
+        return buf[:size]
+
+    def iota(self, size: int) -> np.ndarray:
+        """A read-only-by-convention view of ``[0, size)`` as int64.
+
+        One shared ramp serves every call site that needs positional
+        indices (``np.arange`` equivalents); callers must never write to
+        it.
+        """
+        if self._iota is None or self._iota.shape[0] < size:
+            capacity = max(size, 2 * (0 if self._iota is None else self._iota.shape[0]),
+                           _MIN_CAPACITY)
+            self._iota = np.arange(capacity, dtype=np.int64)
+            self.grows += 1
+        return self._iota[:size]
+
+    def stats(self) -> dict[str, int]:
+        """Counters for tests and observability."""
+        return {
+            "slots": len(self._buffers),
+            "takes": self.takes,
+            "grows": self.grows,
+            "grown_bytes": self.grown_bytes,
+        }
+
+
+def take(arena: WorkspaceArena | None, name: str, size: int, dtype) -> np.ndarray:
+    """Arena slot when ``arena`` is given, fresh ``np.empty`` otherwise.
+
+    This is the single switch between the allocation-free and the
+    allocating path: the caller's arithmetic is identical either way, so
+    results are bit-for-bit equal by construction.
+    """
+    if arena is None:
+        return np.empty(size, dtype=dtype)
+    return arena.take(name, size, dtype)
+
+
+def iota(arena: WorkspaceArena | None, size: int) -> np.ndarray:
+    """Shared ``[0, size)`` int64 ramp (``np.arange`` when arena-less)."""
+    if arena is None:
+        return np.arange(size, dtype=np.int64)
+    return arena.iota(size)
+
+
+def compact(
+    arena: WorkspaceArena | None,
+    name: str,
+    mask: np.ndarray,
+    count: int,
+    *sources: np.ndarray,
+):
+    """``np.compress(mask, source)`` for each source, without the heap.
+
+    ``np.compress`` — even with ``out=`` — internally materialises the
+    selected-index array (two mask-sized temporaries per call), which is
+    the one NumPy primitive on the hot path that cannot be fed a scratch
+    buffer.  This is the allocation-free equivalent: a running count gives
+    every kept entry its 1-based output position, dropped entries all dump
+    into a sacrificial slot 0, and a full forward scatter writes each
+    source into a ``(count + 1)``-long slot whose tail view is returned.
+
+    ``count`` must equal ``np.count_nonzero(mask)`` (every caller has it
+    already).  Passing several sources shares the single mask scan.  The
+    arithmetic is identical with or without an arena, so results are
+    bit-identical either way.  Returns one view per source (a bare view
+    for a single source); each is valid until the next take of its slot.
+    """
+    n = mask.shape[0]
+    m = take(arena, name + ".m", n, np.int64)
+    np.copyto(m, mask, casting="unsafe")
+    pos = take(arena, name + ".pos", n, np.int64)
+    np.cumsum(m, out=pos)
+    np.multiply(pos, m, out=pos)  # kept -> 1-based rank, dropped -> 0
+    views = []
+    for i, src in enumerate(sources):
+        buf = take(arena, f"{name}.{i}", count + 1, src.dtype)
+        buf[pos] = src
+        views.append(buf[1:])
+    return views[0] if len(views) == 1 else tuple(views)

@@ -64,9 +64,7 @@ def slpa(
         uttered = memory[draw, speaker]
         # Listener adopts the most frequent utterance (edge-weighted;
         # ties to the smallest label, the deterministic convention).
-        memory[t] = best_labels_groupby(
-            listener, uttered, edge_w, n, memory[t - 1]
-        )
+        memory[t] = best_labels_groupby(listener, uttered, edge_w, memory[t - 1])
         pairs_processed += int(speaker.shape[0])
 
     # Post-processing: per-vertex memory histogram, threshold at r.

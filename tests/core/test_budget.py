@@ -76,6 +76,22 @@ class TestDriverIntegration:
         assert r.degraded_reason == "gpu-seconds"
         assert r.num_iterations == 1
 
+    def test_converging_iteration_is_charged(self, graph, monkeypatch):
+        # The iteration that detects convergence still ran its kernels,
+        # so the meter must charge it like any other — one charge per
+        # recorded iteration, the final one included.
+        charges = []
+
+        class RecordingMeter(BudgetMeter):
+            def charge(self, counters):
+                charges.append(counters)
+                super().charge(counters)
+
+        monkeypatch.setattr("repro.core.lpa.BudgetMeter", RecordingMeter)
+        result = nu_lpa(graph, budget=RunBudget(max_iterations=1000))
+        assert result.converged
+        assert len(charges) == result.num_iterations
+
     def test_unconstraining_budget_changes_nothing(self, graph):
         plain = nu_lpa(graph)
         budgeted = nu_lpa(graph, budget=RunBudget(max_iterations=1000))

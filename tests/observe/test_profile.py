@@ -145,10 +145,11 @@ class TestSchemaValidation:
     def test_bench_document_validates(self):
         doc = {
             "schema": "repro.observe/bench",
-            "version": 1,
+            "version": 2,
             "scale": 0.1,
             "seed": 42,
             "engine": "hashtable",
+            "calibration_seconds": 2e-3,
             "device": {"name": "NVIDIA A100", "sector_bytes": 32},
             "graphs": [{
                 "name": "asia_osm",
@@ -160,6 +161,7 @@ class TestSchemaValidation:
                 "modeled_seconds": 1e-4,
                 "paper_modeled_seconds": 2.0,
                 "modularity": 0.7,
+                "wall_seconds": 5e-4,
                 "counters": {
                     k: 0 for k in self._counter_keys()
                 },
@@ -178,14 +180,16 @@ class TestSchemaValidation:
             "modeled_seconds": 1e-4,
             "paper_modeled_seconds": None,
             "modularity": 0.7,
+            "wall_seconds": 5e-4,
             "counters": {k: 0 for k in self._counter_keys()},
         }
         doc = {
             "schema": "repro.observe/bench",
-            "version": 1,
+            "version": 2,
             "scale": 0.1,
             "seed": 42,
             "engine": "hashtable",
+            "calibration_seconds": 2e-3,
             "device": {"name": "NVIDIA A100", "sector_bytes": 32},
             "graphs": [row, dict(row)],
         }

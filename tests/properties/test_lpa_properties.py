@@ -43,7 +43,7 @@ class TestGroupbyProperties:
     @settings(max_examples=80, deadline=None)
     def test_matches_bruteforce(self, data):
         table_id, keys, values, n_tables, fallback = data
-        got = best_labels_groupby(table_id, keys, values, n_tables, fallback)
+        got = best_labels_groupby(table_id, keys, values, fallback)
         for t in range(n_tables):
             sums: dict[int, float] = {}
             for i in range(keys.shape[0]):
@@ -61,7 +61,7 @@ class TestGroupbyProperties:
     def test_hash_tie_break_still_maximal(self, data):
         table_id, keys, values, n_tables, fallback = data
         got = best_labels_groupby(
-            table_id, keys, values, n_tables, fallback, tie_break="hash"
+            table_id, keys, values, fallback, tie_break="hash"
         )
         for t in range(n_tables):
             sums: dict[int, float] = {}
