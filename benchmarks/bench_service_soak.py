@@ -1,0 +1,112 @@
+"""Service soak: seeded kill/restart schedules over the job service.
+
+Runs :func:`repro.service.run_service_soak` across several seeded
+schedules (``REPRO_SERVICE_SOAK_SCHEDULES`` overrides the count), each
+replaying a mixed four-job workload under injected process deaths —
+between job completions and inside checkpoint writes — and asserts that
+every admitted job completes exactly once with labels bit-identical to a
+crash-free reference run.  That differential is the service layer's
+whole contract: under strict-LPA determinism, killing and restarting the
+scheduler must be invisible in the final communities.
+
+Also takes one post-soak :meth:`DetectionService.stats` snapshot from a
+clean run of the same workload, validates it against the service schema,
+and folds it into the report so CI archives the queue/breaker/latency
+counters alongside the soak verdicts.
+
+Writes the machine-readable report to ``BENCH_service_soak.json``
+(override via ``REPRO_SERVICE_SOAK_OUT``) for the CI artifact.  The
+schedule stream derives from ``REPRO_BENCH_SEED``, so a failing schedule
+replays in isolation via ``run_service_soak(..., seed=seed + i)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.observe.schema import validate_service_stats
+from repro.service import (
+    DetectionService,
+    JobSpec,
+    ServiceConfig,
+    run_service_soak,
+)
+
+#: The workload every schedule replays: mixed datasets and engines, big
+#: enough that runs span several checkpoint generations.
+WORKLOAD = [
+    JobSpec.dataset("svc-0", "asia_osm", scale=0.05, max_iterations=12,
+                    engine="vectorized"),
+    JobSpec.dataset("svc-1", "europe_osm", scale=0.05, max_iterations=12,
+                    engine="hashtable"),
+    JobSpec.dataset("svc-2", "kmer_V1r", scale=0.05, max_iterations=12,
+                    engine="vectorized"),
+    JobSpec.dataset("svc-3", "asia_osm", scale=0.08, seed=7,
+                    max_iterations=12, engine="hashtable"),
+]
+
+
+def _soak(seed: int, schedules: int, workdir: Path) -> dict:
+    records = []
+    for i in range(schedules):
+        outcome = run_service_soak(
+            WORKLOAD,
+            journal_dir=workdir / f"journal-{i}",
+            config=ServiceConfig(workers=2),
+            seed=seed + i,
+        )
+        records.append(outcome.as_dict())
+
+    # One clean pass for the stats artifact: the soak exercises recovery,
+    # this exercises the observable surface CI wants to archive.
+    service = DetectionService(ServiceConfig(workers=2), recover=False)
+    for spec in WORKLOAD:
+        service.submit(spec)
+    service.drain()
+    stats = validate_service_stats(service.stats())
+
+    return {
+        "seed": seed,
+        "schedules": schedules,
+        "jobs_per_schedule": len(WORKLOAD),
+        "records": records,
+        "ok": all(r["ok"] for r in records),
+        "stats": stats,
+    }
+
+
+def test_service_soak(benchmark, bench_seed, tmp_path):
+    schedules = int(os.environ.get("REPRO_SERVICE_SOAK_SCHEDULES", 10))
+    doc = benchmark.pedantic(
+        _soak,
+        args=(bench_seed, schedules, tmp_path / "soak"),
+        rounds=1,
+        iterations=1,
+    )
+
+    out = Path(os.environ.get("REPRO_SERVICE_SOAK_OUT",
+                              "BENCH_service_soak.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'seed':>6s} {'crashes':>7s} {'restarts':>8s} "
+          f"{'identical':>9s} {'ok':>3s}")
+    for r in doc["records"]:
+        print(f"{r['seed']:6d} {r['crashes']:7d} {r['restarts']:8d} "
+              f"{r['identical']:9d}/{r['jobs']} "
+              f"{'yes' if r['ok'] else 'NO':>3s}")
+    latency = doc["stats"]["latency"]
+    print(f"clean-run p50/p95 modelled: "
+          f"{latency['p50_modeled_s']:.4f}/{latency['p95_modeled_s']:.4f} s")
+    print(f"report written to {out}")
+
+    assert len(doc["records"]) == schedules
+    # Every schedule must actually exercise a death — a soak whose crashes
+    # all miss tests nothing.
+    assert all(r["crashes"] >= 1 for r in doc["records"])
+    # The contract: nothing lost, nothing duplicated, everything identical.
+    bad = [r for r in doc["records"] if not r["ok"]]
+    assert not bad, f"{len(bad)} schedule(s) lost/duplicated/diverged"
+    assert doc["ok"]

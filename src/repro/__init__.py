@@ -35,6 +35,31 @@ from repro.resilience.validate import ValidationReport, validate_graph
 
 __version__ = "1.0.0"
 
+#: Job-service names resolved lazily (PEP 562): the service pulls in the
+#: full resilience + journal stack, which ``import repro`` must not pay.
+_SERVICE_NAMES = {
+    "DetectionService",
+    "ServiceConfig",
+    "JobSpec",
+    "JobRecord",
+    "JobOutcome",
+    "JobState",
+    "GraphRef",
+}
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_NAMES:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SERVICE_NAMES)
+
+
 __all__ = [
     "nu_lpa",
     "LPAConfig",
@@ -52,5 +77,12 @@ __all__ = [
     "load_graph",
     "modularity",
     "normalized_mutual_information",
+    "DetectionService",
+    "ServiceConfig",
+    "JobSpec",
+    "JobRecord",
+    "JobOutcome",
+    "JobState",
+    "GraphRef",
     "__version__",
 ]

@@ -13,12 +13,24 @@ Commands
 ``compare``
     Run the five comparison systems on one graph and print a Figure-6-style
     row set.
+``serve``
+    Run a batch of detection jobs through the resilient job service
+    (admission control, retries, circuit breakers, degradation ladder,
+    crash-recovering journal) and emit a health-stats JSON.
+
+Exit codes
+----------
+0 success · 1 generic ``ReproError`` / failed jobs · 3 resume misuse
+(``--resume`` without ``--checkpoint-dir``) · 4 nothing to resume ·
+5 every checkpoint generation damaged · 130/143 interrupted by
+SIGINT/SIGTERM (after writing a final checkpoint and flushing the trace).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -26,7 +38,13 @@ import numpy as np
 
 from repro import LPAConfig, RunBudget, nu_lpa
 from repro.core.config import ResilienceConfig
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointNotFoundError,
+    CheckpointResumeError,
+    ReproError,
+    ServiceOverloaded,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import dataset_names, generate_standin
 from repro.graph.generators import (
@@ -98,7 +116,71 @@ def _budget_from_args(args) -> RunBudget | None:
     )
 
 
+class _SignalToken:
+    """Records the first SIGINT/SIGTERM so runs can stop gracefully.
+
+    Used as the ``cancel`` callable of :func:`repro.nu_lpa` (and as the
+    service's stop trigger): the run finishes its current iteration,
+    writes a final checkpoint when checkpointing is on, and the CLI exits
+    with the conventional ``128 + signum`` code.
+    """
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+        #: Optional extra reaction (e.g. ``service.request_stop``).
+        self.on_fire = None
+
+    def __call__(self) -> bool:
+        return self.signum is not None
+
+    def _handler(self, signum, frame) -> None:  # pragma: no cover - trivial
+        self.signum = signum
+        if self.on_fire is not None:
+            self.on_fire()
+
+    def install(self) -> dict[int, object]:
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, self._handler)
+            except (ValueError, OSError):  # non-main thread / platform quirk
+                pass
+        return previous
+
+    @staticmethod
+    def restore(previous: dict[int, object]) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
+def _preflight_resume(args) -> None:
+    """Typed, actionable failures for every ``--resume`` misuse."""
+    if not args.resume:
+        return
+    if args.checkpoint_dir is None:
+        raise CheckpointResumeError(
+            "--resume needs --checkpoint-dir: there is no checkpoint "
+            "directory to resume from"
+        )
+    from repro.resilience.checkpoint import preflight_resume
+
+    preflight_resume(args.checkpoint_dir)
+
+
 def _cmd_detect(args) -> int:
+    _preflight_resume(args)
+    token = _SignalToken()
+    previous = token.install()
+    try:
+        return _detect_body(args, token)
+    finally:
+        _SignalToken.restore(previous)
+
+
+def _detect_body(args, token: _SignalToken) -> int:
     graph = _load(args)
     config = LPAConfig(
         max_iterations=args.max_iterations,
@@ -113,6 +195,7 @@ def _cmd_detect(args) -> int:
         graph, config, engine=args.engine, resilience=resilience,
         profile=want_profile, validate=args.validate,
         budget=_budget_from_args(args),
+        cancel=token,
     )
     q = modularity(graph, result.labels)
     s = summarize_communities(result.labels)
@@ -121,7 +204,18 @@ def _cmd_detect(args) -> int:
         print(f"validation:  {result.validation.summary()}")
     if result.resumed_from is not None:
         print(f"resumed:     from iteration {result.resumed_from}")
-    if result.degraded_reason is not None:
+    if result.degraded_reason == "interrupted":
+        sig_name = (
+            signal.Signals(token.signum).name if token.signum else "signal"
+        )
+        ckpt_note = (
+            f"; final checkpoint in {args.checkpoint_dir}"
+            if args.checkpoint_dir is not None else ""
+        )
+        print(f"interrupted: {sig_name} at iteration boundary "
+              f"{result.num_iterations}; labels are the best-so-far "
+              f"partition{ckpt_note}")
+    elif result.degraded_reason is not None:
         print(f"degraded:    stopped on {result.degraded_reason} budget; "
               f"labels are the best-so-far partition")
     print(f"iterations:  {result.num_iterations} "
@@ -149,6 +243,8 @@ def _cmd_detect(args) -> int:
     if args.output:
         np.savetxt(args.output, result.labels, fmt="%d")
         print(f"labels written to {args.output}")
+    if token.signum is not None:
+        return 128 + int(token.signum)
     return 0
 
 
@@ -211,6 +307,124 @@ def _cmd_ckpt_fsck(args) -> int:
         print(f"deleted {len(bad)} damaged/stale file(s)")
         return 0
     return 1 if bad else 0
+
+
+def _job_spec_from_json(raw: dict, index: int):
+    """One jobs-file entry → JobSpec (shorthand or full ``graph`` ref)."""
+    from repro.errors import ConfigurationError
+    from repro.service.job import GraphRef, JobSpec
+
+    if "graph" in raw:
+        graph = GraphRef.from_dict(raw["graph"])
+    elif "dataset" in raw:
+        graph = GraphRef(
+            kind="dataset", name=str(raw["dataset"]),
+            scale=float(raw.get("scale", 0.25)), seed=int(raw.get("seed", 42)),
+        )
+    elif "file" in raw:
+        graph = GraphRef(kind="file", name=str(raw["file"]))
+    else:
+        raise ConfigurationError(
+            f"jobs file entry #{index}: provide 'dataset', 'file', or a "
+            f"full 'graph' reference"
+        )
+    return JobSpec(
+        job_id=str(raw.get("job_id", f"job-{index}")),
+        graph=graph,
+        engine=str(raw.get("engine", "vectorized")),
+        tenant=str(raw.get("tenant", "default")),
+        priority=int(raw.get("priority", 0)),
+        deadline_s=raw.get("deadline_s"),
+        gpu_budget_s=raw.get("gpu_budget_s"),
+        max_iterations=raw.get("max_iterations"),
+        tolerance=raw.get("tolerance"),
+        validate=raw.get("validate"),
+    )
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.observe.schema import validate_service_stats
+    from repro.observe.trace import Tracer
+    from repro.service.backoff import BackoffPolicy
+    from repro.service.job import JobState
+    from repro.service.service import DetectionService, ServiceConfig
+
+    raw_jobs = json.loads(args.jobs.read_text())
+    if not isinstance(raw_jobs, list):
+        raise ConfigurationError(
+            f"jobs file {args.jobs} must hold a JSON list of job objects"
+        )
+    specs = [_job_spec_from_json(raw, i) for i, raw in enumerate(raw_jobs)]
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        tenant_inflight=args.tenant_inflight,
+        max_attempts=args.max_attempts,
+        backoff=BackoffPolicy(seed=args.seed),
+        breaker_enabled=not args.no_breaker,
+        journal_dir=args.journal,
+        default_deadline_s=args.default_deadline,
+    )
+    tracer = Tracer(enabled=args.trace_out is not None)
+    service = DetectionService(config, tracer=tracer)
+    token = _SignalToken()
+    token.on_fire = service.request_stop
+    previous = token.install()
+    rejected = 0
+    try:
+        for spec in specs:
+            if spec.job_id in service.jobs:
+                continue  # journal recovery already owns this id
+            try:
+                service.submit(spec)
+            except ServiceOverloaded as exc:
+                rejected += 1
+                print(f"rejected {spec.job_id}: {exc.reason} "
+                      f"(retry after ~{exc.retry_after_s:.1f}s)",
+                      file=sys.stderr)
+        service.drain()
+    finally:
+        _SignalToken.restore(previous)
+
+    stats = service.snapshot()
+    validate_service_stats(stats)
+    if args.stats_out is not None:
+        args.stats_out.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"stats written to {args.stats_out}")
+    if args.trace_out is not None:
+        args.trace_out.write_text(
+            json.dumps({"events": tracer.as_dicts()}, indent=2) + "\n"
+        )
+        print(f"trace written to {args.trace_out} ({len(tracer)} events)")
+
+    jobs = stats["jobs"]
+    print(f"jobs:        {jobs['completed']} completed "
+          f"({jobs['degraded']} degraded), {jobs['failed']} failed, "
+          f"{jobs['pending'] + jobs['running']} unfinished, "
+          f"{rejected} rejected")
+    print(f"retries:     {jobs['retries']} (reroutes {jobs['reroutes']})")
+    print(f"rungs:       " + ", ".join(
+        f"{k}={v}" for k, v in stats["rungs"].items()))
+    print(f"breakers:    " + ", ".join(
+        f"{b['engine']}={b['state']}" for b in stats["breakers"]))
+    print(f"latency:     p50 {stats['latency']['p50_modeled_s']:.4f}s "
+          f"p95 {stats['latency']['p95_modeled_s']:.4f}s (modelled)")
+    if token.signum is not None:
+        sig_name = signal.Signals(token.signum).name
+        note = (
+            f"; journal in {args.journal} resumes the rest"
+            if args.journal is not None else ""
+        )
+        print(f"interrupted: {sig_name}{note}")
+        return 128 + int(token.signum)
+    failed = [
+        s.job_id for s in specs
+        if s.job_id in service.jobs
+        and service.result(s.job_id).state is JobState.FAILED
+    ]
+    return 1 if failed else 0
 
 
 def _cmd_compare(args) -> int:
@@ -301,6 +515,40 @@ def main(argv: list[str] | None = None) -> int:
     _add_graph_source(p)
     p.set_defaults(func=_cmd_compare)
 
+    p = sub.add_parser(
+        "serve",
+        help="run a batch of jobs through the resilient job service",
+    )
+    p.add_argument("--jobs", type=Path, required=True, metavar="FILE",
+                   help="JSON list of job objects; each needs 'dataset' "
+                        "(plus optional scale/seed), 'file', or a full "
+                        "'graph' ref, and may set job_id, engine, tenant, "
+                        "priority, deadline_s, gpu_budget_s, "
+                        "max_iterations, tolerance, validate")
+    p.add_argument("--journal", type=Path, default=None, metavar="DIR",
+                   help="durable job journal; a re-run over the same "
+                        "directory recovers finished jobs and resumes "
+                        "unfinished ones bit-identically")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-capacity", type=int, default=64)
+    p.add_argument("--tenant-inflight", type=int, default=None, metavar="N",
+                   help="per-tenant in-flight cap (default: uncapped)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="full-run attempts per job before the degradation "
+                        "ladder (default 3)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="deadline for jobs that do not set one")
+    p.add_argument("--no-breaker", action="store_true",
+                   help="disable the per-engine circuit breakers")
+    p.add_argument("--seed", type=int, default=0,
+                   help="backoff-jitter seed (default 0)")
+    p.add_argument("--stats-out", type=Path, default=None, metavar="FILE",
+                   help="write the schema-validated health stats JSON here")
+    p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                   help="write job/breaker/stats trace events as JSON")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("ckpt", help="checkpoint maintenance")
     ckpt_sub = p.add_subparsers(dest="ckpt_command", required=True)
     pf = ckpt_sub.add_parser(
@@ -316,6 +564,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except CheckpointCorruptError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 5
+    except CheckpointNotFoundError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 4
+    except CheckpointResumeError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1

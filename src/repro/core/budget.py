@@ -79,6 +79,55 @@ class RunBudget:
         """Functional update (``dataclasses.replace`` convenience)."""
         return replace(self, **changes)
 
+    def shrunk(
+        self,
+        *,
+        wall_spent: float = 0.0,
+        gpu_spent: float = 0.0,
+        iterations_spent: int = 0,
+        floor_s: float = 1e-3,
+    ) -> "RunBudget":
+        """The budget that remains after part of it has been consumed.
+
+        This is deadline *propagation*: a retried (or resumed) job does not
+        get a fresh deadline — each attempt runs under what its
+        predecessors left behind.  Limited fields shrink by the matching
+        ``*_spent`` amount; unlimited fields stay unlimited.  Time fields
+        are floored at ``floor_s`` (an exhausted wall/GPU budget must still
+        be a *valid* budget — the very next boundary check then stops the
+        run with its best-so-far labels); the iteration field floors at 1
+        for the same reason.
+        """
+        wall = self.wall_seconds
+        if wall is not None:
+            wall = max(floor_s, wall - wall_spent)
+        gpu = self.gpu_seconds
+        if gpu is not None:
+            gpu = max(floor_s, gpu - gpu_spent)
+        iters = self.max_iterations
+        if iters is not None:
+            iters = max(1, iters - iterations_spent)
+        return RunBudget(wall_seconds=wall, gpu_seconds=gpu, max_iterations=iters)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when shrinking has pinned every limited field at its floor.
+
+        A job whose propagated deadline is exhausted should not start
+        another full attempt; the service's degradation ladder skips
+        straight to its cheapest rung instead.
+        """
+        if self.unlimited:
+            return False
+        checks = []
+        if self.wall_seconds is not None:
+            checks.append(self.wall_seconds <= 1e-3)
+        if self.gpu_seconds is not None:
+            checks.append(self.gpu_seconds <= 1e-3)
+        if self.max_iterations is not None:
+            checks.append(self.max_iterations <= 1)
+        return all(checks)
+
 
 class BudgetMeter:
     """Charges iterations against a :class:`RunBudget` for one run."""

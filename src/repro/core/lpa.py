@@ -30,7 +30,12 @@ from repro.core.swap_prevention import cross_check_revert
 from repro.errors import CheckpointError, ConfigurationError, ConvergenceWarning
 from repro.gpu.kernel import LaunchStatus
 from repro.graph.csr import CSRGraph
-from repro.observe.trace import BudgetEvent, IterationEvent, Tracer
+from repro.observe.trace import (
+    BudgetEvent,
+    ConvergenceEvent,
+    IterationEvent,
+    Tracer,
+)
 from repro.resilience.checkpoint import CheckpointManager, CheckpointState, run_digest
 from repro.resilience.report import FaultEvent
 from repro.resilience.supervisor import KernelSupervisor
@@ -69,6 +74,7 @@ def nu_lpa(
     tracer: Tracer | None = None,
     validate: str | None = None,
     budget: RunBudget | None = None,
+    cancel=None,
 ) -> LPAResult:
     """Run ν-LPA community detection on ``graph``.
 
@@ -129,6 +135,15 @@ def nu_lpa(
         ``result.degraded_reason`` set (a budget trace event and, for
         supervised runs, a ``budget-stop`` fault event are recorded) —
         it does not raise.
+    cancel:
+        Optional zero-argument callable polled at every iteration
+        boundary.  When it returns truthy the run stops cooperatively:
+        a final checkpoint is written (when checkpointing is on), and the
+        best-so-far labels are returned with
+        ``result.degraded_reason = "interrupted"``.  The CLI's
+        SIGINT/SIGTERM handlers use this so a long ``repro detect`` exits
+        with a resumable snapshot instead of an unhandled
+        ``KeyboardInterrupt`` traceback.
 
     Returns
     -------
@@ -288,6 +303,17 @@ def nu_lpa(
                             status=LaunchStatus.COMPLETED,
                         ))
 
+            # Cooperative cancellation (signal handlers, service shutdown):
+            # checked at the boundary like a budget breach, and handled the
+            # same way — final snapshot, best-so-far labels, no exception.
+            if (
+                degraded_reason is None
+                and not converged
+                and cancel is not None
+                and cancel()
+            ):
+                degraded_reason = "interrupted"
+
             # Snapshot at the iteration boundary: the state here is exactly
             # what a deterministic re-run would hold entering iteration
             # li + 1, so a killed run resumes bit-identically.  A budget
@@ -318,13 +344,29 @@ def nu_lpa(
                 break
 
     wall = time.perf_counter() - t0
-    if not converged and degraded_reason is None and warn_on_no_convergence:
-        warnings.warn(
-            f"LPA hit max_iterations={config.max_iterations} without meeting "
-            f"tolerance {config.tolerance}",
-            ConvergenceWarning,
-            stacklevel=2,
+    if not converged and degraded_reason is None:
+        final_fraction = (
+            iterations[-1].changed / n if iterations and n > 0 else 0.0
         )
+        if tracing:
+            tracer.emit(ConvergenceEvent(
+                iteration=len(iterations) - 1 if iterations else 0,
+                iterations=len(iterations),
+                final_fraction=final_fraction,
+                tolerance=config.tolerance,
+            ))
+        if warn_on_no_convergence:
+            warnings.warn(
+                ConvergenceWarning(
+                    f"LPA hit max_iterations={config.max_iterations} without "
+                    f"meeting tolerance {config.tolerance} "
+                    f"(final changed fraction {final_fraction:.4f} after "
+                    f"{len(iterations)} iteration(s))",
+                    iterations=len(iterations),
+                    final_fraction=final_fraction,
+                ),
+                stacklevel=2,
+            )
     result = LPAResult(
         labels=labels,
         iterations=iterations,

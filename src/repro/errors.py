@@ -19,9 +19,15 @@ __all__ = [
     "InvariantViolation",
     "ResilienceExhaustedError",
     "CheckpointError",
+    "CheckpointResumeError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
     "ConfigurationError",
     "DatasetError",
     "SchemaValidationError",
+    "ServiceOverloaded",
+    "DuplicateJobError",
+    "JobNotFoundError",
     "ConvergenceWarning",
 ]
 
@@ -113,6 +119,41 @@ class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or matched to this run."""
 
 
+class CheckpointResumeError(CheckpointError):
+    """A resume was requested in a way that can never succeed.
+
+    The misuse class (e.g. ``--resume`` without ``--checkpoint-dir``):
+    the request itself is malformed, before any directory is even looked
+    at.  Gets its own CLI exit code (3) so scripts can tell "fix the
+    invocation" from "nothing to resume" (4) and "checkpoints damaged"
+    (5).
+    """
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """A resume was requested but the directory holds no checkpoint at all.
+
+    Raised by :func:`repro.resilience.checkpoint.preflight_resume` when the
+    checkpoint directory is missing or contains no ``ckpt-*.npz`` file —
+    distinct from :class:`CheckpointCorruptError` so callers (and the CLI's
+    exit codes) can tell "nothing was ever written" from "everything that
+    was written is damaged".
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Every checkpoint generation in a directory failed verification.
+
+    Carries the per-generation failure reasons in :attr:`reasons` (newest
+    first), mirroring what ``repro ckpt fsck`` would print.
+    """
+
+    def __init__(self, message: str, reasons: list[str] | None = None) -> None:
+        super().__init__(message)
+        #: Why each generation was rejected, newest first.
+        self.reasons = reasons or []
+
+
 class ConfigurationError(ReproError):
     """An :class:`repro.core.config.LPAConfig` field is out of range."""
 
@@ -129,5 +170,65 @@ class SchemaValidationError(ReproError):
     """
 
 
+class ServiceOverloaded(ReproError):
+    """The job service refused a submission (backpressure).
+
+    Raised by :meth:`repro.service.DetectionService.submit` when the bounded
+    admission queue is full (``reason="queue-full"``) or the submitting
+    tenant is at its in-flight cap (``reason="tenant-cap"``).  The
+    :attr:`retry_after_s` hint tells the client how long to wait before
+    resubmitting — derived from the observed modelled job latency and the
+    current queue depth, so it shrinks as the backlog drains.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue-full",
+        retry_after_s: float = 1.0,
+        queue_depth: int = 0,
+    ) -> None:
+        super().__init__(message)
+        #: ``"queue-full"`` or ``"tenant-cap"``.
+        self.reason = reason
+        #: Suggested client wait before resubmitting, in seconds.
+        self.retry_after_s = retry_after_s
+        #: Pending jobs at rejection time.
+        self.queue_depth = queue_depth
+
+
+class DuplicateJobError(ReproError):
+    """A job id was submitted twice.
+
+    Job ids are the service's idempotency key: crash recovery replays the
+    journal by id, so admitting a second job under an existing id could
+    silently drop or double-run work.
+    """
+
+
+class JobNotFoundError(ReproError):
+    """A job id is unknown to the service (never admitted, or evicted)."""
+
+
 class ConvergenceWarning(UserWarning):
-    """LPA hit ``max_iterations`` without meeting the tolerance."""
+    """LPA hit ``max_iterations`` without meeting the tolerance.
+
+    Carries the facts a log line or a service's ``degraded_reason`` needs
+    to say *why* the run stopped: the number of iterations performed and
+    the changed-vertex fraction of the final iteration (``None`` when the
+    warning was constructed without them, e.g. by third-party code).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int | None = None,
+        final_fraction: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Iterations performed before the cap stopped the run.
+        self.iterations = iterations
+        #: Changed-vertex fraction of the last iteration (vs tolerance τ).
+        self.final_fraction = final_fraction

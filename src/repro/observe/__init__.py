@@ -20,9 +20,13 @@ baselines) into that import, creating a cycle back into the engines.
 """
 
 from repro.observe.trace import (
+    BreakerEvent,
+    ConvergenceEvent,
     FaultRungEvent,
     IterationEvent,
+    JobEvent,
     KernelLaunchEvent,
+    ServiceStatsEvent,
     Tracer,
     TraceEvent,
     WaveEvent,
@@ -36,6 +40,10 @@ __all__ = [
     "WaveEvent",
     "IterationEvent",
     "FaultRungEvent",
+    "ConvergenceEvent",
+    "JobEvent",
+    "BreakerEvent",
+    "ServiceStatsEvent",
     "counter_delta",
     "RunProfile",
     "IterationProfile",
@@ -45,8 +53,11 @@ __all__ = [
     "PROFILE_SCHEMA_VERSION",
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
+    "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
+    "validate_service_stats",
 ]
 
 _PROFILE_NAMES = {"RunProfile", "IterationProfile", "KernelProfile", "build_profile"}
@@ -55,8 +66,11 @@ _SCHEMA_NAMES = {
     "PROFILE_SCHEMA_VERSION",
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
+    "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
+    "validate_service_stats",
 }
 
 

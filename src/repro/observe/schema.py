@@ -26,8 +26,11 @@ __all__ = [
     "PROFILE_SCHEMA_VERSION",
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_VERSION",
+    "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
+    "validate_service_stats",
 ]
 
 PROFILE_SCHEMA = "repro.observe/profile"
@@ -38,6 +41,14 @@ BENCH_SCHEMA = "repro.observe/bench"
 #: (vectorized engine) and a document-level ``calibration_seconds`` that
 #: normalises wall clocks across machines.
 BENCH_SCHEMA_VERSION = 2
+
+#: ``repro.observe/service`` — a :class:`~repro.service.service.
+#: DetectionService` health snapshot (``service.stats()`` / ``repro serve
+#: --stats-out``): queue depth and rejections, job-state counts,
+#: degradation-rung counts, breaker states, and modelled-clock latency
+#: percentiles.  The CI service-soak job uploads one of these.
+SERVICE_SCHEMA = "repro.observe/service"
+SERVICE_SCHEMA_VERSION = 1
 
 
 def _fail(path: str, message: str):
@@ -144,6 +155,89 @@ def validate_profile(doc: dict) -> dict:
         _require(rates, f"{path}.rates", name, numbers.Real)
 
     _require(doc, path, "fault_rungs", dict)
+    return doc
+
+
+def validate_service_stats(doc: dict) -> dict:
+    """Validate a ``DetectionService.stats()`` snapshot; returns ``doc``."""
+    path = "service"
+    _check_header(doc, path, SERVICE_SCHEMA, SERVICE_SCHEMA_VERSION)
+    for key in ("clock_s", "wall_seconds"):
+        value = _require(doc, path, key, numbers.Real)
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative time {value}")
+    workers = _require(doc, path, "workers", int)
+    if workers < 1:
+        _fail(f"{path}.workers", f"must be >= 1, got {workers}")
+
+    queue = _require(doc, path, "queue", dict)
+    qpath = f"{path}.queue"
+    for key in ("depth", "capacity", "rejected_queue_full", "rejected_tenant_cap"):
+        value = _require(queue, qpath, key, int)
+        if value < 0:
+            _fail(f"{qpath}.{key}", f"negative count {value}")
+    if queue["depth"] > queue["capacity"]:
+        _fail(f"{qpath}.depth",
+              f"depth {queue['depth']} exceeds capacity {queue['capacity']}")
+    tenants = _require(queue, qpath, "tenants", dict)
+    for tenant, load in tenants.items():
+        if isinstance(load, bool) or not isinstance(load, int) or load < 0:
+            _fail(f"{qpath}.tenants.{tenant}", f"expected count, got {load!r}")
+
+    jobs = _require(doc, path, "jobs", dict)
+    jpath = f"{path}.jobs"
+    for key in (
+        "submitted", "rejected", "recovered", "retries", "reroutes",
+        "pending", "running", "completed", "failed", "degraded",
+    ):
+        value = _require(jobs, jpath, key, int)
+        if value < 0:
+            _fail(f"{jpath}.{key}", f"negative count {value}")
+    if jobs["degraded"] > jobs["completed"]:
+        _fail(f"{jpath}.degraded",
+              f"degraded {jobs['degraded']} exceeds completed "
+              f"{jobs['completed']}")
+
+    from repro.service.job import RUNGS
+
+    rungs = _require(doc, path, "rungs", dict)
+    for rung in RUNGS:
+        value = _require(rungs, f"{path}.rungs", rung, int)
+        if value < 0:
+            _fail(f"{path}.rungs.{rung}", f"negative count {value}")
+
+    breakers = _require(doc, path, "breakers", list)
+    for i, b in enumerate(breakers):
+        bpath = f"{path}.breakers[{i}]"
+        _require(b, bpath, "engine", str)
+        state = _require(b, bpath, "state", str)
+        if state not in ("closed", "open", "half-open"):
+            _fail(f"{bpath}.state", f"unknown breaker state {state!r}")
+        rate = _require(b, bpath, "failure_rate", numbers.Real)
+        if not 0.0 <= rate <= 1.0:
+            _fail(f"{bpath}.failure_rate", f"rate {rate} outside [0, 1]")
+        for key in ("calls_in_window", "opened_count"):
+            value = _require(b, bpath, key, int)
+            if value < 0:
+                _fail(f"{bpath}.{key}", f"negative count {value}")
+
+    latency = _require(doc, path, "latency", dict)
+    lpath = f"{path}.latency"
+    count = _require(latency, lpath, "count", int)
+    if count < 0:
+        _fail(f"{lpath}.count", f"negative count {count}")
+    for key in ("p50_modeled_s", "p95_modeled_s", "p50_wall_s", "p95_wall_s"):
+        value = _require(latency, lpath, key, numbers.Real)
+        if value < 0:
+            _fail(f"{lpath}.{key}", f"negative time {value}")
+    if latency["p95_modeled_s"] < latency["p50_modeled_s"]:
+        _fail(f"{lpath}.p95_modeled_s", "p95 below p50")
+
+    totals = _require(doc, path, "totals", dict)
+    for key in ("modeled_seconds", "wall_spent_s"):
+        value = _require(totals, f"{path}.totals", key, numbers.Real)
+        if value < 0:
+            _fail(f"{path}.totals.{key}", f"negative time {value}")
     return doc
 
 

@@ -25,6 +25,10 @@ __all__ = [
     "IterationEvent",
     "FaultRungEvent",
     "BudgetEvent",
+    "ConvergenceEvent",
+    "JobEvent",
+    "BreakerEvent",
+    "ServiceStatsEvent",
     "Tracer",
     "counter_delta",
 ]
@@ -114,6 +118,92 @@ class BudgetEvent(TraceEvent):
     gpu_spent: float
 
     kind = "budget_breach"
+
+
+@dataclass(frozen=True)
+class ConvergenceEvent(TraceEvent):
+    """The run ended without meeting τ (the trace twin of
+    :class:`~repro.errors.ConvergenceWarning`).
+
+    Emitted at the final iteration boundary when ``max_iterations`` was
+    exhausted, so service logs and ``degraded_reason`` strings can report
+    *why* a job stopped without re-deriving it from the iteration list.
+    """
+
+    #: Iterations performed (== the config's cap when this event fires).
+    iterations: int
+    #: Changed-vertex fraction of the final iteration.
+    final_fraction: float
+    #: The tolerance τ the run failed to meet.
+    tolerance: float
+
+    kind = "no_convergence"
+
+
+@dataclass(frozen=True)
+class JobEvent(TraceEvent):
+    """One job-service lifecycle transition.
+
+    Service events reuse the ``iteration`` base field for the job's
+    *attempt* index (0-based), which plays the same role at the job level
+    that the LPA iteration plays inside a run.
+    """
+
+    job_id: str
+    #: ``admitted`` | ``started`` | ``retrying`` | ``rerouted`` |
+    #: ``completed`` | ``degraded`` | ``failed`` | ``recovered`` |
+    #: ``interrupted``.
+    state: str
+    #: Degradation-ladder rung that produced (or will produce) the labels:
+    #: ``full`` | ``fallback-engine`` | ``coarsened`` |
+    #: ``checkpoint-labels`` (empty while not yet known).
+    rung: str = ""
+    detail: str = ""
+
+    kind = "job"
+
+
+@dataclass(frozen=True)
+class BreakerEvent(TraceEvent):
+    """A per-engine circuit breaker changed state.
+
+    ``iteration`` carries the completed-job count at transition time (the
+    service's discrete clock tick).
+    """
+
+    engine: str
+    #: ``closed->open`` | ``open->half-open`` | ``half-open->closed`` |
+    #: ``half-open->open``.
+    transition: str
+    #: Failure rate over the sliding window when the transition happened.
+    failure_rate: float
+
+    kind = "breaker"
+
+
+@dataclass(frozen=True)
+class ServiceStatsEvent(TraceEvent):
+    """A periodic health snapshot of the job service.
+
+    ``iteration`` carries the snapshot sequence number.  The full
+    machine-readable snapshot is the schema-validated document from
+    :meth:`repro.service.DetectionService.stats`; this event carries the
+    headline numbers so a trace alone can reconstruct the service's
+    trajectory.
+    """
+
+    queue_depth: int
+    running: int
+    completed: int
+    failed: int
+    degraded: int
+    #: Modelled-clock p50/p95 job latency (seconds; 0.0 with no data).
+    p50_latency_s: float
+    p95_latency_s: float
+    #: ``engine:state`` pairs, e.g. ``("hashtable:open", "vectorized:closed")``.
+    breaker_states: tuple[str, ...] = ()
+
+    kind = "service_stats"
 
 
 def counter_delta(before: dict, after: dict) -> dict:

@@ -51,12 +51,23 @@ import numpy as np
 
 from repro.core.config import LPAConfig
 from repro.core.result import IterationStats
-from repro.errors import CheckpointError
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointNotFoundError,
+)
 from repro.gpu.metrics import KernelCounters
 from repro.graph.csr import CSRGraph
 from repro.types import FLAG_DTYPE, VERTEX_DTYPE
 
-__all__ = ["CheckpointState", "CheckpointManager", "FsckEntry", "fsck", "run_digest"]
+__all__ = [
+    "CheckpointState",
+    "CheckpointManager",
+    "FsckEntry",
+    "fsck",
+    "preflight_resume",
+    "run_digest",
+]
 
 #: Bump when the on-disk schema changes incompatibly.
 #: v2 adds mandatory per-array CRC32 checksums to the meta blob.
@@ -304,6 +315,49 @@ class CheckpointManager:
             injector_fires=int(meta.get("injector_fires", 0)),
             last_pl_fraction=None if last_pl is None else float(last_pl),
         )
+
+
+def preflight_resume(directory: str | Path) -> CheckpointState:
+    """Verify an explicit resume request *can* succeed before starting.
+
+    ``nu_lpa``'s resume path is deliberately lenient — ``latest()`` falls
+    back past corrupt generations and silently starts fresh when nothing
+    is on disk, because a crash-recovering caller (the chaos harness, the
+    job service) prefers recomputing to dying.  But when a *user* types
+    ``--resume``, a silent fresh start hides a real problem.  This helper
+    gives that case sharp edges:
+
+    * missing directory or no ``ckpt-*.npz`` files at all →
+      :class:`~repro.errors.CheckpointNotFoundError`;
+    * files exist but every generation fails verification →
+      :class:`~repro.errors.CheckpointCorruptError` carrying the
+      per-generation reasons (newest first).
+
+    Returns the newest readable :class:`CheckpointState` on success.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise CheckpointNotFoundError(
+            f"cannot resume: checkpoint directory {directory} does not exist"
+        )
+    found = sorted(directory.glob(f"{_PREFIX}*{_SUFFIX}"))
+    if not found:
+        raise CheckpointNotFoundError(
+            f"cannot resume: no checkpoint in {directory} "
+            f"(expected {_PREFIX}NNNNNN{_SUFFIX} files)"
+        )
+    reasons: list[str] = []
+    for path in reversed(found):
+        try:
+            return CheckpointManager.load(path)
+        except CheckpointError as exc:
+            reasons.append(f"{path.name}: {exc}")
+    raise CheckpointCorruptError(
+        f"cannot resume: all {len(found)} checkpoint generation(s) in "
+        f"{directory} are damaged (newest: {reasons[0]}); "
+        f"run `repro ckpt fsck {directory}` to inspect",
+        reasons=reasons,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,113 @@
+"""Retry policy: capped exponential backoff with deterministic jitter.
+
+Two decisions live here, both of which a fleet operator must be able to
+reason about exactly:
+
+* **whether** a failed attempt is worth retrying — only device-fault
+  classes the supervisor itself considers transient (its ``retry`` /
+  ``regrow`` rungs handle the same set) and an exhausted degradation
+  ladder.  Input problems (validation, format, configuration) are
+  permanent: retrying them burns deadline on a guaranteed repeat failure;
+* **when** to retry — ``base * factor**attempt`` capped at ``cap_s``,
+  plus *deterministic* proportional jitter derived from
+  ``(seed, job_id, attempt)``.  Deterministic jitter keeps the whole
+  service replayable (the kill/restart soak depends on it) while still
+  decorrelating retry storms across jobs, which is all jitter is for.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    HashtableFullError,
+    InvariantViolation,
+    KernelLaunchError,
+    KernelTimeoutError,
+    ResilienceExhaustedError,
+    TransientKernelError,
+)
+
+__all__ = ["RETRYABLE_FAULTS", "BackoffPolicy", "is_retryable"]
+
+#: Exception classes a job-level retry may clear: the supervisor's own
+#: transient set plus an exhausted ladder (the next attempt re-rolls the
+#: injector stream and may draw a survivable schedule).
+RETRYABLE_FAULTS = (
+    HashtableFullError,
+    KernelTimeoutError,
+    TransientKernelError,
+    KernelLaunchError,
+    InvariantViolation,
+    ResilienceExhaustedError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a job-level retry can plausibly change the outcome.
+
+    Validation errors, format errors, configuration errors — anything that
+    is a property of the *input* rather than of the device — are never
+    retryable; the same bytes produce the same rejection.  Unknown
+    exception classes default to non-retryable for the same reason.
+    """
+    return isinstance(exc, RETRYABLE_FAULTS)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``delay(job_id, attempt)`` returns the raw (pre-jitter) delay —
+    monotonically non-decreasing in ``attempt`` and never above ``cap_s``.
+    ``jittered_delay`` adds the deterministic jitter: up to
+    ``jitter * delay`` extra, derived from ``(seed, job_id, attempt)``
+    so the same job retries on the same schedule in every replay.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 2.0
+    #: Proportional jitter amplitude in [0, 1]: the jittered delay lies in
+    #: ``[delay, delay * (1 + jitter))``.
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ConfigurationError(f"base_s must be >= 0; got {self.base_s}")
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1; got {self.factor}")
+        if self.cap_s < self.base_s:
+            raise ConfigurationError(
+                f"cap_s ({self.cap_s}) must be >= base_s ({self.base_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1]; got {self.jitter}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Raw delay before attempt ``attempt`` (0-based), jitter excluded."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0; got {attempt}")
+        # Guard the exponent: factor**attempt overflows float64 around
+        # attempt ~ 1024 for factor 2; the cap makes the true value moot.
+        if self.base_s == 0.0:
+            return 0.0
+        exponent = min(attempt, 64)
+        return min(self.base_s * self.factor**exponent, self.cap_s)
+
+    def jittered_delay(self, job_id: str, attempt: int) -> float:
+        """Delay with the deterministic per-(job, attempt) jitter applied."""
+        delay = self.delay(attempt)
+        if delay == 0.0 or self.jitter == 0.0:
+            return delay
+        rng = np.random.default_rng(
+            [self.seed & 0x7FFFFFFF, zlib.crc32(job_id.encode()), attempt]
+        )
+        return delay * (1.0 + self.jitter * float(rng.random()))

@@ -1,0 +1,173 @@
+"""Per-engine circuit breakers (closed → open → half-open → closed).
+
+A persistently failing engine makes every job routed at it pay the full
+retry + degradation-ladder latency before the fallback finally answers.
+The breaker converts that per-job cost into a per-*window* cost: once the
+failure rate over the sliding outcome window crosses the threshold, the
+breaker opens and the service routes jobs straight to the healthy engine —
+no doomed attempt, no retry storm.  After ``cooldown_s`` of service clock
+the breaker half-opens and admits a bounded number of probe jobs; a clean
+probe closes it, a failed probe re-opens it for another cooldown.
+
+Time here is the *service clock* (modelled seconds advanced by completed
+work), not the host's wall clock, so breaker behaviour is deterministic
+and replayable — the same property the checkpoint layer relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BreakerConfig", "BreakerOpen", "CircuitBreaker"]
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class BreakerOpen(Exception):
+    """Internal routing signal: the engine's breaker refused the call.
+
+    Never escapes the service — callers reroute to the healthy engine or
+    descend the degradation ladder.  Not a ``ReproError`` on purpose, so a
+    bug that *does* leak it fails loudly instead of being swallowed by a
+    broad ``except ReproError``.
+    """
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of one engine's breaker (see docs/service.md)."""
+
+    #: Sliding window length, in recorded call outcomes.
+    window: int = 8
+    #: Minimum outcomes in the window before the rate is trusted.
+    min_calls: int = 4
+    #: Open when ``failures / len(window) >= failure_threshold``.
+    failure_threshold: float = 0.5
+    #: Service-clock seconds an open breaker waits before half-opening.
+    cooldown_s: float = 5.0
+    #: Probe calls admitted while half-open.
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1; got {self.window}")
+        if not 1 <= self.min_calls <= self.window:
+            raise ConfigurationError(
+                f"min_calls must be in [1, window={self.window}]; "
+                f"got {self.min_calls}"
+            )
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1]; "
+                f"got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ConfigurationError(
+                f"cooldown_s must be >= 0; got {self.cooldown_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1; got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """State machine guarding one engine.
+
+    The owner drives it with two calls: :meth:`allow` before routing a job
+    at the engine, and :meth:`record` with the outcome afterwards.  State
+    transitions are returned (and exposed via ``transitions``) so the
+    service can mirror them into the trace.
+    """
+
+    def __init__(self, engine: str, config: BreakerConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        #: Times the breaker tripped closed→open or half-open→open.
+        self.opened_count = 0
+        #: ``(clock_s, transition, failure_rate)`` log, oldest first.
+        self.transitions: list[tuple[float, str, float]] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the current window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    @property
+    def calls_in_window(self) -> int:
+        return len(self._outcomes)
+
+    def allow(self, now_s: float) -> bool:
+        """Whether a job may be routed at this engine right now.
+
+        An open breaker half-opens automatically once the cooldown has
+        elapsed on the service clock; a half-open breaker admits at most
+        ``half_open_probes`` concurrent probes.
+        """
+        if self.state == OPEN:
+            if now_s - self._opened_at >= self.config.cooldown_s:
+                self._transition(now_s, HALF_OPEN)
+            else:
+                return False
+        if self.state == HALF_OPEN:
+            if self._probes_in_flight >= self.config.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+        return True
+
+    def record(self, success: bool, now_s: float) -> None:
+        """Record one call outcome and advance the state machine."""
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if success:
+                self._outcomes.clear()
+                self._outcomes.append(True)
+                self._transition(now_s, CLOSED)
+            else:
+                self.opened_count += 1
+                self._opened_at = now_s
+                self._transition(now_s, OPEN)
+            return
+        self._outcomes.append(success)
+        if (
+            self.state == CLOSED
+            and len(self._outcomes) >= self.config.min_calls
+            and self.failure_rate >= self.config.failure_threshold
+        ):
+            self.opened_count += 1
+            self._opened_at = now_s
+            self._transition(now_s, OPEN)
+
+    # ------------------------------------------------------------------ #
+
+    def _transition(self, now_s: float, new_state: str) -> None:
+        old = self.state
+        self.state = new_state
+        if new_state != HALF_OPEN:
+            self._probes_in_flight = 0
+        self.transitions.append(
+            (now_s, f"{old}->{new_state}", self.failure_rate)
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready health snapshot of this breaker."""
+        return {
+            "engine": self.engine,
+            "state": self.state,
+            "failure_rate": self.failure_rate,
+            "calls_in_window": self.calls_in_window,
+            "opened_count": self.opened_count,
+        }

@@ -1,0 +1,213 @@
+"""Crash-consistent job journal: the service's durable source of truth.
+
+Every job-state transition the service must not forget — admitted,
+running, completed, failed — is persisted as one JSON file per job under
+``<journal>/jobs/``, written with the same fsync + atomic-rename protocol
+the checkpoint layer uses (temp file fsynced before ``os.replace``, parent
+directory fsynced after), so a crash at any instant leaves either the
+previous record or the new one, never a torn file.  Completed labels go to
+``<journal>/labels/<job>.npz`` with a CRC32 recorded in the job file, so a
+restarted service can *prove* it still has the answer instead of
+re-running the job (that is the "no duplicated work" half of the recovery
+contract; replaying pending/running specs from their journal records is
+the "no lost work" half).
+
+Per-job checkpoint directories live under ``<journal>/ckpt/<job>/`` and
+are managed by the normal :mod:`repro.resilience.checkpoint` machinery —
+the journal only hands out the paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import _fsync_dir
+from repro.service.job import JobOutcome, JobRecord, JobSpec, JobState
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["ServiceJournal"]
+
+_VERSION = 1
+
+
+def _safe_name(job_id: str) -> str:
+    """Filesystem-safe, collision-free file stem for a job id."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in job_id)
+    return f"{safe[:80]}-{zlib.crc32(job_id.encode()):08x}"
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """fsync + atomic-rename write (the checkpoint layer's durability)."""
+    tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise CheckpointError(f"cannot write journal record {path}: {exc}") from exc
+
+
+class ServiceJournal:
+    """Durable per-job state under one journal directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.jobs_dir = self.directory / "jobs"
+        self.labels_dir = self.directory / "labels"
+        self.ckpt_root = self.directory / "ckpt"
+        for d in (self.jobs_dir, self.labels_dir, self.ckpt_root):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{_safe_name(job_id)}.json"
+
+    def labels_path(self, job_id: str) -> Path:
+        return self.labels_dir / f"{_safe_name(job_id)}.npz"
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """Per-job checkpoint directory (created on demand by the manager)."""
+        return self.ckpt_root / _safe_name(job_id)
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, record: JobRecord) -> None:
+        """Persist one job's current state (atomic, durable)."""
+        doc: dict = {
+            "version": _VERSION,
+            "spec": record.spec.as_dict(),
+            "state": record.state.value,
+            "seq": record.seq,
+            "attempts": record.attempts,
+            "wall_spent_s": record.wall_spent_s,
+            "gpu_spent_s": record.gpu_spent_s,
+            "admitted_clock_s": record.admitted_clock_s,
+            "finished_clock_s": record.finished_clock_s,
+            "outcome": None,
+            "labels_crc32": None,
+        }
+        if record.outcome is not None:
+            out = record.outcome
+            doc["outcome"] = {
+                "rung": out.rung,
+                "converged": out.converged,
+                "iterations": out.iterations,
+                "degraded_reason": out.degraded_reason,
+                "stop_detail": out.stop_detail,
+                "error": out.error,
+                "modeled_seconds": out.modeled_seconds,
+                "wall_seconds": out.wall_seconds,
+            }
+            if out.labels is not None:
+                doc["labels_crc32"] = self._write_labels(
+                    record.job_id, out.labels
+                )
+        _atomic_write(
+            self.job_path(record.job_id),
+            (json.dumps(doc, indent=2) + "\n").encode(),
+        )
+
+    def _write_labels(self, job_id: str, labels: np.ndarray) -> int:
+        path = self.labels_path(job_id)
+        crc = zlib.crc32(np.ascontiguousarray(labels).tobytes())
+        tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, labels=labels)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write labels {path}: {exc}") from exc
+        return crc
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, path: Path) -> JobRecord | None:
+        """Rehydrate one job record; ``None`` for unreadable files.
+
+        Unreadable journal records are skipped (and reported by the
+        caller) rather than fatal: one torn record must not block
+        recovery of every other job.
+        """
+        try:
+            doc = json.loads(path.read_text())
+            if doc.get("version") != _VERSION:
+                return None
+            spec = JobSpec.from_dict(doc["spec"])
+            record = JobRecord(
+                spec=spec,
+                state=JobState(doc["state"]),
+                seq=int(doc["seq"]),
+                attempts=int(doc["attempts"]),
+                wall_spent_s=float(doc["wall_spent_s"]),
+                gpu_spent_s=float(doc["gpu_spent_s"]),
+                admitted_clock_s=float(doc["admitted_clock_s"]),
+                finished_clock_s=float(doc["finished_clock_s"]),
+                recovered=True,
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        raw_outcome = doc.get("outcome")
+        if raw_outcome is not None:
+            labels = None
+            if doc.get("labels_crc32") is not None:
+                labels = self._load_labels(
+                    record.job_id, int(doc["labels_crc32"])
+                )
+                if labels is None and record.state is JobState.COMPLETED:
+                    # The completion record survived but its labels did
+                    # not: demote to pending so the job re-runs (the
+                    # deterministic re-run reproduces the same labels).
+                    record.state = JobState.PENDING
+                    record.outcome = None
+                    return record
+            record.outcome = JobOutcome(
+                labels=labels,
+                rung=str(raw_outcome["rung"]),
+                converged=bool(raw_outcome["converged"]),
+                iterations=int(raw_outcome["iterations"]),
+                degraded_reason=raw_outcome["degraded_reason"],
+                stop_detail=str(raw_outcome["stop_detail"] or ""),
+                error=str(raw_outcome["error"] or ""),
+                modeled_seconds=float(raw_outcome["modeled_seconds"]),
+                wall_seconds=float(raw_outcome["wall_seconds"]),
+            )
+        return record
+
+    def _load_labels(self, job_id: str, expected_crc: int) -> np.ndarray | None:
+        path = self.labels_path(job_id)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                labels = data["labels"].astype(VERTEX_DTYPE)
+        except Exception:
+            return None
+        if zlib.crc32(np.ascontiguousarray(labels).tobytes()) != expected_crc:
+            return None
+        return labels
+
+    def load_all(self) -> tuple[list[JobRecord], list[Path]]:
+        """All readable records (by seq order) plus the skipped paths."""
+        records: list[JobRecord] = []
+        skipped: list[Path] = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = self.load(path)
+            if record is None:
+                skipped.append(path)
+            else:
+                records.append(record)
+        records.sort(key=lambda r: r.seq)
+        return records, skipped

@@ -1,0 +1,123 @@
+"""Bounded priority admission queue with per-tenant in-flight caps.
+
+Admission control is the service's first line of defence: a queue that
+grows without bound converts overload into unbounded latency for
+*everyone*, while a bounded queue converts it into fast, typed
+:class:`~repro.errors.ServiceOverloaded` rejections that tell each client
+exactly when to come back (``retry_after_s``).  The per-tenant cap stops a
+single noisy tenant from occupying the whole queue — the classic
+multi-tenant fairness failure.
+
+Ordering is (priority, admission sequence): strictly smaller ``priority``
+runs first, ties run in submission order.  The sequence number survives
+journal replay, so a recovered service drains in the original order.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ServiceOverloaded
+
+from repro.service.job import JobRecord
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded priority queue of :class:`~repro.service.job.JobRecord`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum *pending* jobs; a push past this raises
+        :class:`~repro.errors.ServiceOverloaded` (``reason="queue-full"``).
+    tenant_inflight:
+        Per-tenant cap on pending + running jobs; ``None`` disables the
+        cap.  Exceeding it raises ``ServiceOverloaded``
+        (``reason="tenant-cap"``) even while the queue itself has room.
+    """
+
+    def __init__(
+        self, capacity: int = 64, tenant_inflight: int | None = None
+    ) -> None:
+        self.capacity = capacity
+        self.tenant_inflight = tenant_inflight
+        self._heap: list[tuple[int, int, JobRecord]] = []
+        #: pending + running count per tenant (the in-flight gauge).
+        self._tenant_inflight_now: dict[str, int] = {}
+        self.rejected_queue_full = 0
+        self.rejected_tenant_cap = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Pending jobs right now."""
+        return len(self._heap)
+
+    def tenant_load(self, tenant: str) -> int:
+        """Pending + running jobs of one tenant."""
+        return self._tenant_inflight_now.get(tenant, 0)
+
+    def tenant_loads(self) -> dict[str, int]:
+        """In-flight count per tenant (zero-entry tenants dropped)."""
+        return {t: n for t, n in self._tenant_inflight_now.items() if n > 0}
+
+    # ------------------------------------------------------------------ #
+
+    def push(self, record: JobRecord, *, retry_after_s: float = 1.0) -> None:
+        """Admit one job or raise :class:`ServiceOverloaded`.
+
+        ``retry_after_s`` is the hint carried on the rejection; the
+        service derives it from observed job latency and backlog depth.
+        """
+        tenant = record.spec.tenant
+        if (
+            self.tenant_inflight is not None
+            and self.tenant_load(tenant) >= self.tenant_inflight
+        ):
+            self.rejected_tenant_cap += 1
+            raise ServiceOverloaded(
+                f"tenant {tenant!r} is at its in-flight cap "
+                f"({self.tenant_inflight}); retry in ~{retry_after_s:.2f}s",
+                reason="tenant-cap",
+                retry_after_s=retry_after_s,
+                queue_depth=self.depth,
+            )
+        if self.depth >= self.capacity:
+            self.rejected_queue_full += 1
+            raise ServiceOverloaded(
+                f"admission queue is full ({self.capacity} pending); "
+                f"retry in ~{retry_after_s:.2f}s",
+                reason="queue-full",
+                retry_after_s=retry_after_s,
+                queue_depth=self.depth,
+            )
+        heapq.heappush(
+            self._heap, (record.spec.priority, record.seq, record)
+        )
+        self._tenant_inflight_now[tenant] = self.tenant_load(tenant) + 1
+
+    def pop(self) -> JobRecord:
+        """Remove and return the front job (still counted in-flight).
+
+        The tenant's in-flight slot is only released by :meth:`release`
+        when the job *finishes* — popping just moves it from pending to
+        running.
+        """
+        if not self._heap:
+            raise IndexError("pop from an empty admission queue")
+        return heapq.heappop(self._heap)[2]
+
+    def release(self, record: JobRecord) -> None:
+        """Free the tenant in-flight slot of a finished job."""
+        tenant = record.spec.tenant
+        current = self.tenant_load(tenant)
+        if current <= 1:
+            self._tenant_inflight_now.pop(tenant, None)
+        else:
+            self._tenant_inflight_now[tenant] = current - 1

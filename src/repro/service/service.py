@@ -1,0 +1,887 @@
+"""The detection service: a resilient multi-run job layer over ``nu_lpa``.
+
+Every robustness mechanism built so far — supervisor ladder, checkpoints,
+budgets, validation — protects *one* run.  :class:`DetectionService`
+manages a fleet of them with production failure semantics:
+
+* **admission control + backpressure** — a bounded priority queue with
+  per-tenant in-flight caps; a full queue rejects with a typed
+  :class:`~repro.errors.ServiceOverloaded` carrying a retry-after hint;
+* **retries** — capped exponential backoff with deterministic seeded
+  jitter, only for fault classes a retry can clear (never validation);
+* **per-engine circuit breakers** — a persistently failing engine trips
+  its breaker and jobs route to the healthy engine without paying the
+  failure latency every time;
+* **a degradation ladder per job** — full run → fallback engine →
+  coarsened-graph approximation → best-so-far checkpoint labels, each
+  rung recorded in the outcome's ``degraded_reason`` and the trace;
+* **deadline propagation** — a job's :class:`~repro.core.budget.RunBudget`
+  shrinks across retries, so attempt N runs under what attempts 1..N-1
+  left behind;
+* **crash recovery** — job state journals through the checkpoint layer's
+  durability protocol; a restarted service re-admits pending/running jobs
+  (resuming partial runs bit-identically) and *proves* completed labels
+  via CRC instead of recomputing them.
+
+Execution is deterministic and cooperative: ``drain()`` marks up to
+``workers`` jobs running (so a crash observes a realistic in-flight set)
+and executes them in admission order on the caller's thread.  The service
+clock is *modelled* GPU seconds, which keeps breaker cooldowns and latency
+percentiles replayable — the same determinism contract the checkpoint and
+chaos layers are built on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.budget import RunBudget
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DuplicateJobError,
+    JobNotFoundError,
+    ReproError,
+    ServiceOverloaded,
+)
+from repro.observe.trace import (
+    BreakerEvent,
+    JobEvent,
+    ServiceStatsEvent,
+    Tracer,
+)
+from repro.service.backoff import BackoffPolicy, is_retryable
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.job import (
+    GraphRef,
+    JobOutcome,
+    JobRecord,
+    JobSpec,
+    JobState,
+    RUNGS,
+)
+from repro.service.journal import ServiceJournal
+from repro.service.queue import AdmissionQueue
+
+__all__ = ["ServiceConfig", "DetectionService"]
+
+_ENGINES = ("vectorized", "hashtable")
+
+
+def _alternate(engine: str) -> str:
+    return "vectorized" if engine == "hashtable" else "hashtable"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning of one :class:`DetectionService` (see docs/service.md).
+
+    Attributes
+    ----------
+    workers:
+        Logical worker slots; bounds how many jobs are in flight at once.
+    queue_capacity:
+        Bounded admission queue size (pending jobs).
+    tenant_inflight:
+        Per-tenant pending+running cap (``None`` disables).
+    max_attempts:
+        Full-run attempts per job before descending the ladder.
+    backoff:
+        Retry :class:`~repro.service.backoff.BackoffPolicy`.  The default
+        has ``base_s=0`` — delays are *recorded* but nothing sleeps, which
+        is right for tests and simulation; give a real base to actually
+        pace retries.
+    breaker:
+        Per-engine :class:`~repro.service.breaker.BreakerConfig`.
+    breaker_enabled:
+        Master switch (the differential test runs both ways).
+    lpa:
+        Base :class:`~repro.core.config.LPAConfig`; per-job
+        ``max_iterations`` / ``tolerance`` overrides apply on top.
+    resilience:
+        Template :class:`~repro.core.config.ResilienceConfig` for
+        supervised runs; per-job checkpoint paths and per-engine fault
+        specs are filled in by the service.  ``None`` runs unsupervised
+        (no supervisor, no checkpoints) unless a journal is configured.
+    engine_faults:
+        Optional per-engine fault injection (chaos / breaker testing):
+        ``{"hashtable": FaultSpec(...)}`` faults only that engine.
+    journal_dir:
+        Durable job journal root; ``None`` disables journaling *and*
+        crash recovery.
+    checkpoint_every / checkpoint_keep:
+        Per-job checkpoint cadence and retention inside the journal.
+    coarsen_target_fraction:
+        Ladder rung 3: coarsen the graph to roughly this fraction of its
+        vertices before the approximate run.
+    default_deadline_s:
+        Deadline applied to jobs that do not set one (``None`` = none).
+    retry_after_base_s:
+        Fallback retry-after hint before any latency data exists.
+    checkpoint_factory:
+        Factory with the ``CheckpointManager`` constructor signature used
+        for per-job checkpointing (the kill/restart soak injects a
+        crashing one).  ``None`` uses the real manager.
+    chaos_hook:
+        Optional callable ``hook(point, record)`` invoked at deterministic
+        execution points (``"job-finished"``); the soak harness raises
+        :class:`~repro.resilience.chaos.InjectedCrash` from it.
+    """
+
+    workers: int = 2
+    queue_capacity: int = 64
+    tenant_inflight: int | None = None
+    max_attempts: int = 3
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    breaker_enabled: bool = True
+    lpa: LPAConfig = field(default_factory=LPAConfig)
+    resilience: ResilienceConfig | None = None
+    engine_faults: dict | None = None
+    journal_dir: str | Path | None = None
+    checkpoint_every: int = 1
+    checkpoint_keep: int | None = 3
+    coarsen_target_fraction: float = 0.125
+    default_deadline_s: float | None = None
+    retry_after_base_s: float = 1.0
+    checkpoint_factory: object | None = None
+    chaos_hook: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1; got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1; got {self.queue_capacity}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1; got {self.max_attempts}"
+            )
+        if not 0.0 < self.coarsen_target_fraction <= 1.0:
+            raise ConfigurationError(
+                f"coarsen_target_fraction must be in (0, 1]; "
+                f"got {self.coarsen_target_fraction}"
+            )
+        if self.engine_faults:
+            unknown = set(self.engine_faults) - set(_ENGINES)
+            if unknown:
+                raise ConfigurationError(
+                    f"engine_faults names unknown engines {sorted(unknown)}"
+                )
+
+    def with_(self, **changes) -> "ServiceConfig":
+        """Functional update (``dataclasses.replace`` convenience)."""
+        return replace(self, **changes)
+
+
+class DetectionService:
+    """A long-running community-detection job service.
+
+    Typical use::
+
+        service = DetectionService(ServiceConfig(journal_dir="jobs/"))
+        service.submit(JobSpec.dataset("j1", "asia_osm", scale=0.1))
+        service.drain()
+        labels = service.result("j1").outcome.labels
+
+    A service constructed over a journal directory that already holds
+    state *recovers* it: completed jobs keep their (CRC-verified) labels,
+    pending and in-flight jobs are re-admitted in their original order and
+    resume from their per-job checkpoints bit-identically.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        tracer: Tracer | None = None,
+        recover: bool = True,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        # Tracer has __len__, so an empty (but enabled) tracer is falsy —
+        # test identity, not truthiness.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity,
+            tenant_inflight=self.config.tenant_inflight,
+        )
+        self.breakers = {
+            name: CircuitBreaker(name, self.config.breaker) for name in _ENGINES
+        }
+        self.journal: ServiceJournal | None = None
+        if self.config.journal_dir is not None:
+            self.journal = ServiceJournal(self.config.journal_dir)
+        #: Every job this service knows, admitted or recovered, by id.
+        self.jobs: dict[str, JobRecord] = {}
+        self._running: deque[JobRecord] = deque()
+        self._memory_graphs: dict[str, object] = {}
+        self._seq = 0
+        self._snapshot_seq = 0
+        #: Service clock: modelled GPU seconds of completed work.
+        self.clock_s = 0.0
+        self._wall_start = time.perf_counter()
+        #: Set via :meth:`request_stop` (signal handlers); drain() exits
+        #: between jobs and the in-flight run stops at its next boundary.
+        self.stop_requested = False
+        self.counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "retries": 0,
+            "reroutes": 0,
+            "recovered": 0,
+        }
+        self.rung_counts = {rung: 0 for rung in RUNGS}
+        if self.journal is not None and recover:
+            self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, spec: JobSpec) -> str:
+        """Admit one job or raise (``ServiceOverloaded`` on backpressure).
+
+        Returns the job id.  Raises
+        :class:`~repro.errors.DuplicateJobError` for an id the service
+        already knows — ids are the idempotency key crash recovery is
+        built on.
+        """
+        self.counters["submitted"] += 1
+        if spec.job_id in self.jobs:
+            raise DuplicateJobError(
+                f"job id {spec.job_id!r} was already submitted "
+                f"(state: {self.jobs[spec.job_id].state.value})"
+            )
+        if spec.deadline_s is None and self.config.default_deadline_s is not None:
+            spec = replace(spec, deadline_s=self.config.default_deadline_s)
+        record = JobRecord(spec=spec, seq=self._seq, admitted_clock_s=self.clock_s)
+        try:
+            self.queue.push(record, retry_after_s=self.retry_after_hint())
+        except ServiceOverloaded:
+            self.counters["rejected"] += 1
+            raise
+        self._seq += 1
+        self.jobs[spec.job_id] = record
+        if self.journal is not None:
+            self.journal.record(record)
+        self._emit_job(record, "admitted")
+        return spec.job_id
+
+    def submit_graph(self, graph, job_id: str, **kwargs) -> str:
+        """Submit an in-memory graph (not crash-recoverable; see GraphRef)."""
+        self._memory_graphs[job_id] = graph
+        return self.submit(
+            JobSpec(job_id=job_id, graph=GraphRef(kind="memory", name=job_id), **kwargs)
+        )
+
+    def retry_after_hint(self) -> float:
+        """Backpressure hint: expected seconds until a queue slot frees.
+
+        Observed mean modelled job latency times the backlog per worker;
+        falls back to ``retry_after_base_s`` before any job has finished.
+        """
+        finished = [
+            r.latency_s for r in self.jobs.values()
+            if r.state is JobState.COMPLETED and r.latency_s > 0
+        ]
+        per_job = (
+            float(np.mean(finished)) if finished
+            else self.config.retry_after_base_s
+        )
+        backlog = self.queue.depth + len(self._running) + 1
+        return max(
+            self.config.retry_after_base_s,
+            per_job * backlog / self.config.workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> JobRecord | None:
+        """Run the next scheduled job to completion; ``None`` when idle."""
+        self._fill_workers()
+        if not self._running:
+            return None
+        record = self._running.popleft()
+        self._execute(record)
+        return record
+
+    def drain(self, max_jobs: int | None = None) -> int:
+        """Run jobs until the queue is empty (or ``max_jobs`` done).
+
+        Returns the number of jobs executed.  Honours
+        :meth:`request_stop` between jobs.
+        """
+        done = 0
+        while not self.stop_requested:
+            if max_jobs is not None and done >= max_jobs:
+                break
+            record = self.step()
+            if record is None:
+                break
+            done += 1
+        return done
+
+    def request_stop(self) -> None:
+        """Ask the service to stop: drain() exits between jobs, and the
+        currently running job checkpoints and returns at its next
+        iteration boundary (its journal entry stays ``running``, so a
+        restarted service resumes it)."""
+        self.stop_requested = True
+
+    def result(self, job_id: str) -> JobRecord:
+        """The record of one job; raises ``JobNotFoundError`` if unknown."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise JobNotFoundError(f"unknown job id {job_id!r}")
+        return record
+
+    def _fill_workers(self) -> None:
+        """Move pending jobs into the running set, up to ``workers``."""
+        while len(self._running) < self.config.workers and self.queue.depth > 0:
+            record = self.queue.pop()
+            record.state = JobState.RUNNING
+            if self.journal is not None:
+                self.journal.record(record)
+            self._running.append(record)
+            self._emit_job(record, "started")
+
+    # ------------------------------------------------------------------ #
+    # The per-job degradation ladder
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, record: JobRecord) -> None:
+        spec = record.spec
+        try:
+            graph = spec.graph.load(self._memory_graphs_for(spec))
+        except ReproError as exc:
+            self._finish_failed(record, f"graph load failed: {exc}")
+            return
+
+        outcome = self._ladder(record, graph)
+        if outcome is None:
+            if self.stop_requested:
+                # Interrupted mid-job: stays RUNNING in the journal so a
+                # restart resumes it from its checkpoints.
+                record.state = JobState.RUNNING
+                if self.journal is not None:
+                    self.journal.record(record)
+                self._emit_job(record, "interrupted")
+                self._running.appendleft(record)
+                return
+            self._finish_failed(
+                record, "every degradation rung failed; see trace for rungs"
+            )
+            return
+        self._finish_completed(record, outcome)
+
+    def _ladder(self, record: JobRecord, graph) -> JobOutcome | None:
+        """Descend the ladder until some rung produces labels."""
+        spec = record.spec
+        requested = spec.engine
+
+        # Rung 1: full run on the requested engine (breaker permitting),
+        # with job-level retries.
+        if self._breaker_allows(requested):
+            outcome = self._full_rung(record, graph, requested)
+            if outcome is not None or self.stop_requested:
+                return outcome
+            if record.last_error is not None and not is_retryable(record.last_error):
+                # Permanent input problem (validation, format, config):
+                # every rung would reject the same bytes the same way.
+                return None
+        else:
+            self._emit_job(
+                record, "rerouted", rung="fallback-engine",
+                detail=f"breaker open for {requested!r}",
+            )
+            self.counters["reroutes"] += 1
+
+        # A spent deadline skips straight to the cheapest rung: both the
+        # alternate engine and the coarsened run still cost real work.
+        budget = record.remaining_budget()
+        if budget is not None and budget.exhausted:
+            return self._checkpoint_rung(record, graph)
+
+        # Rung 2: one shot on the alternate engine, no injected faults.
+        alt = _alternate(requested)
+        if self._breaker_allows(alt):
+            outcome = self._attempt(
+                record, graph, alt, supervised=False,
+                rung="fallback-engine",
+                reason=f"breaker:{requested}->{alt}"
+                if not self._breaker_allows(requested, peek=True)
+                else f"fallback:{requested}->{alt}",
+            )
+            if outcome is not None or self.stop_requested:
+                return outcome
+
+        # Rung 3: coarsened-graph approximation.
+        outcome = self._coarsened_rung(record, graph)
+        if outcome is not None:
+            return outcome
+
+        # Rung 4: best-so-far checkpoint labels.
+        return self._checkpoint_rung(record, graph)
+
+    def _full_rung(self, record, graph, engine: str) -> JobOutcome | None:
+        """Rung 1: supervised full runs with retry + backoff."""
+        while record.attempts < self.config.max_attempts:
+            budget = record.remaining_budget()
+            if budget is not None and budget.exhausted:
+                self._emit_job(
+                    record, "degraded", rung="checkpoint-labels",
+                    detail="propagated deadline exhausted before attempt",
+                )
+                return None
+            attempt = record.attempts
+            record.attempts += 1
+            outcome = self._attempt(
+                record, graph, engine, supervised=True, rung="full",
+                reason=None,
+            )
+            if outcome is not None or self.stop_requested:
+                return outcome
+            if record.last_error is not None and not is_retryable(record.last_error):
+                return None  # permanent: the ladder cannot help either,
+                # but the caller will fail the job via _finish_failed.
+            delay = self.config.backoff.jittered_delay(record.job_id, attempt)
+            record.backoffs.append(delay)
+            record.wall_spent_s += delay
+            self.counters["retries"] += 1
+            self._emit_job(
+                record, "retrying",
+                detail=f"attempt {attempt + 1} failed "
+                       f"({type(record.last_error).__name__}); "
+                       f"backoff {delay:.3f}s",
+            )
+            if delay > 0:
+                time.sleep(delay)
+            if not self._breaker_allows(engine):
+                return None  # breaker tripped mid-retry: descend.
+        return None
+
+    def _attempt(
+        self, record, graph, engine: str, *, supervised: bool,
+        rung: str, reason: str | None,
+    ) -> JobOutcome | None:
+        """One run attempt on one engine; returns None on failure."""
+        spec = record.spec
+        cfg = self._job_config(spec)
+        resilience = self._resilience_for(spec, engine) if supervised else None
+        budget = record.remaining_budget()
+        t0 = time.perf_counter()
+        try:
+            result = nu_lpa(
+                graph, cfg, engine=engine,
+                warn_on_no_convergence=False,
+                resilience=resilience,
+                validate=spec.validate,
+                budget=budget,
+                cancel=(lambda: self.stop_requested),
+            )
+        except CheckpointError:
+            # A stale per-job checkpoint (e.g. the breaker rerouted this
+            # job to a different engine than a pre-crash attempt used):
+            # scrub it and rerun fresh — determinism makes that safe.
+            self._scrub_job_checkpoints(spec.job_id)
+            try:
+                result = nu_lpa(
+                    graph, cfg, engine=engine,
+                    warn_on_no_convergence=False,
+                    resilience=self._resilience_for(spec, engine)
+                    if supervised else None,
+                    validate=spec.validate,
+                    budget=budget,
+                    cancel=(lambda: self.stop_requested),
+                )
+            except ReproError as exc:
+                return self._attempt_failed(record, engine, exc, t0)
+        except ReproError as exc:
+            return self._attempt_failed(record, engine, exc, t0)
+
+        wall = time.perf_counter() - t0
+        gpu = self._price(result, cfg)
+        record.wall_spent_s += wall
+        record.gpu_spent_s += gpu
+        record.last_error = None
+        self.clock_s += gpu
+
+        if result.degraded_reason == "interrupted":
+            return None  # handled by _execute via stop_requested
+
+        # Engine health signal: a clean run closes the loop; a run that
+        # needed the supervisor's per-iteration fallback is distress.
+        distressed = any(ev.action == "fallback" for ev in result.fault_events)
+        self._breaker_record(engine, success=not distressed)
+
+        degraded_reason = result.degraded_reason
+        if reason is not None:
+            degraded_reason = (
+                reason if degraded_reason is None
+                else f"{reason};{degraded_reason}"
+            )
+        elif distressed:
+            degraded_reason = degraded_reason or "engine-fallback-iterations"
+
+        stop_detail = ""
+        if not result.converged and result.degraded_reason is None:
+            n = graph.num_vertices
+            frac = result.iterations[-1].changed / n if result.iterations and n else 0.0
+            stop_detail = (
+                f"max-iterations ({result.num_iterations} iterations, "
+                f"final changed fraction {frac:.4f} >= tol {cfg.tolerance})"
+            )
+
+        return JobOutcome(
+            labels=result.labels,
+            rung=rung,
+            converged=result.converged,
+            iterations=result.num_iterations,
+            degraded_reason=degraded_reason,
+            stop_detail=stop_detail,
+            modeled_seconds=gpu,
+            wall_seconds=wall,
+        )
+
+    def _attempt_failed(self, record, engine, exc, t0) -> None:
+        record.wall_spent_s += time.perf_counter() - t0
+        record.last_error = exc
+        self._breaker_record(engine, success=False)
+        return None
+
+    def _coarsened_rung(self, record, graph) -> JobOutcome | None:
+        """Rung 3: approximate answer from the coarsened graph."""
+        if graph.num_vertices == 0:
+            return None
+        from repro.graph.coarsen import coarsen
+
+        spec = record.spec
+        cfg = self._job_config(spec)
+        target = max(32, int(graph.num_vertices * self.config.coarsen_target_fraction))
+        t0 = time.perf_counter()
+        try:
+            hierarchy = coarsen(graph, target_vertices=target)
+            coarse = nu_lpa(
+                hierarchy.coarsest, cfg, engine="vectorized",
+                warn_on_no_convergence=False,
+                budget=record.remaining_budget(),
+                cancel=(lambda: self.stop_requested),
+            )
+        except ReproError as exc:
+            record.wall_spent_s += time.perf_counter() - t0
+            record.last_error = exc
+            return None
+        wall = time.perf_counter() - t0
+        gpu = self._price(coarse, cfg)
+        record.wall_spent_s += wall
+        record.gpu_spent_s += gpu
+        self.clock_s += gpu
+        if coarse.degraded_reason == "interrupted":
+            return None
+        labels = coarse.labels[hierarchy.mapping]
+        self._emit_job(
+            record, "degraded", rung="coarsened",
+            detail=f"approximated on {hierarchy.coarsest.num_vertices} "
+                   f"super-vertices (reduction {hierarchy.reduction:.1f}x)",
+        )
+        return JobOutcome(
+            labels=labels,
+            rung="coarsened",
+            converged=coarse.converged,
+            iterations=coarse.num_iterations,
+            degraded_reason="coarsened-approximation",
+            modeled_seconds=gpu,
+            wall_seconds=wall,
+        )
+
+    def _checkpoint_rung(self, record, graph) -> JobOutcome | None:
+        """Rung 4: the best-so-far labels a failed attempt left behind."""
+        if self.journal is None:
+            return None
+        from repro.resilience.checkpoint import CheckpointManager
+
+        ckpt_dir = self.journal.checkpoint_dir(record.job_id)
+        if not ckpt_dir.is_dir():
+            return None
+        state = CheckpointManager(ckpt_dir).latest()
+        if state is None or state.labels.shape[0] != graph.num_vertices:
+            return None
+        self._emit_job(
+            record, "degraded", rung="checkpoint-labels",
+            detail=f"best-so-far snapshot at iteration {state.iteration}",
+        )
+        return JobOutcome(
+            labels=state.labels,
+            rung="checkpoint-labels",
+            converged=state.converged,
+            iterations=state.iteration,
+            degraded_reason="checkpoint-labels",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+
+    def _finish_completed(self, record: JobRecord, outcome: JobOutcome) -> None:
+        record.state = JobState.COMPLETED
+        record.outcome = outcome
+        record.finished_clock_s = self.clock_s
+        self.rung_counts[outcome.rung] = self.rung_counts.get(outcome.rung, 0) + 1
+        self.queue.release(record)
+        if self.journal is not None:
+            self.journal.record(record)
+        self._emit_job(
+            record,
+            "completed" if not outcome.degraded else "degraded",
+            rung=outcome.rung,
+            detail=outcome.degraded_reason or outcome.stop_detail or "",
+        )
+        self._chaos("job-finished", record)
+
+    def _finish_failed(self, record: JobRecord, error: str) -> None:
+        record.state = JobState.FAILED
+        record.outcome = JobOutcome(labels=None, rung="full", error=error)
+        record.finished_clock_s = self.clock_s
+        self.queue.release(record)
+        if self.journal is not None:
+            self.journal.record(record)
+        self._emit_job(record, "failed", detail=error)
+        self._chaos("job-finished", record)
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        """Replay the journal: completed jobs keep their labels, unfinished
+        jobs re-enter the queue in their original order."""
+        records, skipped = self.journal.load_all()
+        # Journaled jobs were already admitted once; capacity must never
+        # drop them on replay, so widen the queue if the journal is bigger.
+        unfinished = sum(
+            1 for r in records
+            if r.state in (JobState.PENDING, JobState.RUNNING)
+        )
+        self.queue.capacity = max(self.queue.capacity, unfinished)
+        saved_cap = self.queue.tenant_inflight
+        self.queue.tenant_inflight = None  # same reasoning for tenant caps
+        for record in records:
+            self.jobs[record.job_id] = record
+            self._seq = max(self._seq, record.seq + 1)
+            if record.state in (JobState.COMPLETED, JobState.FAILED):
+                if record.outcome is not None and record.outcome.rung in self.rung_counts:
+                    if record.state is JobState.COMPLETED:
+                        self.rung_counts[record.outcome.rung] += 1
+                continue
+            if not record.spec.graph.recoverable:
+                self._finish_failed(
+                    record,
+                    "in-memory graph died with the crashed process; resubmit",
+                )
+                continue
+            record.state = JobState.PENDING
+            self.counters["recovered"] += 1
+            self.queue.push(record, retry_after_s=self.config.retry_after_base_s)
+            self._emit_job(
+                record, "recovered",
+                detail=f"re-admitted after restart (attempts so far: "
+                       f"{record.attempts})",
+            )
+        self.queue.tenant_inflight = saved_cap
+        for path in skipped:
+            self._emit_job_raw(
+                job_id=path.stem, state="failed",
+                detail=f"unreadable journal record {path.name} skipped",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Health / stats
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Schema-validated health snapshot (``repro.observe/service``)."""
+        by_state = {state: 0 for state in JobState}
+        for record in self.jobs.values():
+            by_state[record.state] += 1
+        completed = [
+            r for r in self.jobs.values() if r.state is JobState.COMPLETED
+        ]
+        degraded = sum(
+            1 for r in completed
+            if r.outcome is not None and r.outcome.degraded
+        )
+        lat_model = np.asarray([r.latency_s for r in completed], dtype=np.float64)
+        lat_wall = np.asarray([r.wall_spent_s for r in completed], dtype=np.float64)
+
+        def pct(arr: np.ndarray, q: float) -> float:
+            return float(np.percentile(arr, q)) if arr.size else 0.0
+
+        return {
+            "schema": "repro.observe/service",
+            "version": 1,
+            "clock_s": self.clock_s,
+            "wall_seconds": time.perf_counter() - self._wall_start,
+            "workers": self.config.workers,
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.capacity,
+                "tenants": self.queue.tenant_loads(),
+                "rejected_queue_full": self.queue.rejected_queue_full,
+                "rejected_tenant_cap": self.queue.rejected_tenant_cap,
+            },
+            "jobs": {
+                "submitted": self.counters["submitted"],
+                "rejected": self.counters["rejected"],
+                "recovered": self.counters["recovered"],
+                "retries": self.counters["retries"],
+                "reroutes": self.counters["reroutes"],
+                "pending": by_state[JobState.PENDING],
+                "running": by_state[JobState.RUNNING],
+                "completed": by_state[JobState.COMPLETED],
+                "failed": by_state[JobState.FAILED],
+                "degraded": degraded,
+            },
+            "rungs": dict(self.rung_counts),
+            "breakers": [b.snapshot() for b in self.breakers.values()],
+            "latency": {
+                "count": int(lat_model.size),
+                "p50_modeled_s": pct(lat_model, 50),
+                "p95_modeled_s": pct(lat_model, 95),
+                "p50_wall_s": pct(lat_wall, 50),
+                "p95_wall_s": pct(lat_wall, 95),
+            },
+            "totals": {
+                "modeled_seconds": self.clock_s,
+                "wall_spent_s": float(
+                    sum(r.wall_spent_s for r in self.jobs.values())
+                ),
+            },
+        }
+
+    def snapshot(self) -> dict:
+        """Emit a :class:`ServiceStatsEvent` and return the full stats."""
+        doc = self.stats()
+        self._snapshot_seq += 1
+        self.tracer.emit(ServiceStatsEvent(
+            iteration=self._snapshot_seq,
+            queue_depth=doc["queue"]["depth"],
+            running=doc["jobs"]["running"],
+            completed=doc["jobs"]["completed"],
+            failed=doc["jobs"]["failed"],
+            degraded=doc["jobs"]["degraded"],
+            p50_latency_s=doc["latency"]["p50_modeled_s"],
+            p95_latency_s=doc["latency"]["p95_modeled_s"],
+            breaker_states=tuple(
+                f"{b['engine']}:{b['state']}" for b in doc["breakers"]
+            ),
+        ))
+        return doc
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _memory_graphs_for(self, spec: JobSpec) -> dict:
+        return self._memory_graphs
+
+    def _job_config(self, spec: JobSpec) -> LPAConfig:
+        cfg = self.config.lpa
+        changes = {}
+        if spec.max_iterations is not None:
+            changes["max_iterations"] = spec.max_iterations
+        if spec.tolerance is not None:
+            changes["tolerance"] = spec.tolerance
+        return cfg.with_(**changes) if changes else cfg
+
+    def _resilience_for(self, spec: JobSpec, engine: str) -> ResilienceConfig | None:
+        template = self.config.resilience or ResilienceConfig()
+        faults = (self.config.engine_faults or {}).get(engine)
+        if self.journal is None:
+            if faults is None and self.config.resilience is None:
+                return None
+            return template.with_(faults=faults)
+        return template.with_(
+            faults=faults,
+            checkpoint_dir=self.journal.checkpoint_dir(spec.job_id),
+            checkpoint_every=self.config.checkpoint_every,
+            checkpoint_keep=self.config.checkpoint_keep,
+            resume=True,
+            checkpoint_factory=self.config.checkpoint_factory,
+        )
+
+    def _price(self, result, cfg: LPAConfig) -> float:
+        from repro.observe.profile import platform_for_device
+        from repro.perf.model import estimate_gpu_seconds
+
+        return estimate_gpu_seconds(
+            result.total_counters, platform_for_device(cfg.device)
+        )
+
+    def _scrub_job_checkpoints(self, job_id: str) -> None:
+        if self.journal is None:
+            return
+        ckpt_dir = self.journal.checkpoint_dir(job_id)
+        if ckpt_dir.is_dir():
+            for path in ckpt_dir.glob("*"):
+                path.unlink(missing_ok=True)
+
+    def _breaker_allows(self, engine: str, *, peek: bool = False) -> bool:
+        if not self.config.breaker_enabled:
+            return True
+        breaker = self.breakers[engine]
+        if peek:
+            return breaker.state != "open"
+        before = len(breaker.transitions)
+        allowed = breaker.allow(self.clock_s)
+        self._mirror_breaker(breaker, before)
+        return allowed
+
+    def _breaker_record(self, engine: str, *, success: bool) -> None:
+        if not self.config.breaker_enabled:
+            return
+        breaker = self.breakers[engine]
+        before = len(breaker.transitions)
+        breaker.record(success, self.clock_s)
+        self._mirror_breaker(breaker, before)
+
+    def _mirror_breaker(self, breaker: CircuitBreaker, before: int) -> None:
+        for clock, transition, rate in breaker.transitions[before:]:
+            self.tracer.emit(BreakerEvent(
+                iteration=sum(
+                    1 for r in self.jobs.values()
+                    if r.state in (JobState.COMPLETED, JobState.FAILED)
+                ),
+                engine=breaker.engine,
+                transition=transition,
+                failure_rate=rate,
+            ))
+
+    def _emit_job(self, record: JobRecord, state: str, *, rung: str = "",
+                  detail: str = "") -> None:
+        self.tracer.emit(JobEvent(
+            iteration=record.attempts,
+            job_id=record.job_id,
+            state=state,
+            rung=rung,
+            detail=detail,
+        ))
+
+    def _emit_job_raw(self, *, job_id: str, state: str, detail: str) -> None:
+        self.tracer.emit(JobEvent(
+            iteration=0, job_id=job_id, state=state, detail=detail,
+        ))
+
+    def _chaos(self, point: str, record: JobRecord) -> None:
+        hook = self.config.chaos_hook
+        if hook is not None:
+            hook(point, record)

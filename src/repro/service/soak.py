@@ -1,0 +1,269 @@
+"""Kill/restart soak harness for the detection service.
+
+The recovery contract the service sells is strong: *kill the process at
+any instant, restart it over the same journal, and every admitted job
+still completes exactly once with bit-identical labels* — no lost jobs,
+no duplicated completions, no drifted results.  This harness proves it
+the same way the chaos layer proves single-run recovery:
+
+1. run a reference service to completion with no crashes and record each
+   job's final labels;
+2. replay the same workload under a seeded schedule of injected process
+   deaths — between jobs (via the service's ``chaos_hook``) and *inside*
+   checkpoint writes (via :class:`CrashingCheckpointManager`) — restarting
+   a fresh service over the surviving journal after each death;
+3. assert every job completed exactly once, with labels equal bit-for-bit
+   to the reference.
+
+Crashes surface as :class:`~repro.resilience.chaos.InjectedCrash`, which
+deliberately is *not* a ``ReproError`` — anything in the service that
+swallowed it broadly would invalidate the soak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.resilience.chaos import (
+    CrashingCheckpointManager,
+    CrashPoint,
+    InjectedCrash,
+)
+from repro.service.job import JobSpec, JobState
+from repro.service.service import DetectionService, ServiceConfig
+
+__all__ = ["ServiceSoakOutcome", "run_service_soak"]
+
+#: Hard cap on restarts per schedule: a bug that makes recovery loop
+#: forever must fail the soak, not hang it.
+_MAX_RESTARTS = 64
+
+
+@dataclass
+class ServiceSoakOutcome:
+    """Result of one seeded kill/restart schedule."""
+
+    seed: int
+    jobs: int
+    crashes: int
+    restarts: int
+    #: Jobs whose recovered labels matched the reference bit-for-bit.
+    identical: int
+    lost: list[str] = field(default_factory=list)
+    duplicated: list[str] = field(default_factory=list)
+    mismatched: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.identical == self.jobs
+            and not self.lost
+            and not self.duplicated
+            and not self.mismatched
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "identical": self.identical,
+            "lost": list(self.lost),
+            "duplicated": list(self.duplicated),
+            "mismatched": list(self.mismatched),
+            "ok": self.ok,
+        }
+
+
+def _reference_labels(
+    specs: list[JobSpec], config: ServiceConfig
+) -> dict[str, np.ndarray]:
+    """Crash-free run of the workload; the ground truth to compare against."""
+    service = DetectionService(config, recover=False)
+    for spec in specs:
+        service.submit(spec)
+    service.drain()
+    out: dict[str, np.ndarray] = {}
+    for spec in specs:
+        record = service.result(spec.job_id)
+        if record.state is not JobState.COMPLETED or record.outcome is None:
+            raise ConfigurationError(
+                f"soak workload job {spec.job_id!r} does not complete even "
+                f"without crashes ({record.state.value}); fix the workload"
+            )
+        out[spec.job_id] = record.outcome.labels.copy()
+    return out
+
+
+def run_service_soak(
+    specs: list[JobSpec],
+    *,
+    journal_dir: str | Path,
+    config: ServiceConfig | None = None,
+    seed: int = 0,
+    crash_between_jobs: int = 2,
+    crash_in_checkpoint: int = 1,
+) -> ServiceSoakOutcome:
+    """Run one seeded kill/restart schedule over ``specs``.
+
+    Parameters
+    ----------
+    specs:
+        The workload.  Every spec must use a *recoverable* graph ref
+        (``dataset`` or ``file``) — that is the soak's whole point.
+    journal_dir:
+        Journal root for the chaos run (must start empty).
+    config:
+        Service tuning shared by the reference and chaos runs; the harness
+        fills in ``journal_dir`` / ``chaos_hook`` / ``checkpoint_factory``
+        itself.
+    seed:
+        Seeds the schedule: which jobs die between completions, which die
+        mid-checkpoint, and at which checkpoint iteration.
+    crash_between_jobs / crash_in_checkpoint:
+        How many deaths of each kind to schedule (clamped to the job
+        count).
+    """
+    base = (config or ServiceConfig()).with_(
+        journal_dir=None, chaos_hook=None, checkpoint_factory=None
+    )
+    for spec in specs:
+        if not spec.graph.recoverable:
+            raise ConfigurationError(
+                f"soak job {spec.job_id!r} uses an in-memory graph; "
+                f"only recoverable graph refs can survive a kill"
+            )
+    reference = _reference_labels(specs, base)
+
+    rng = np.random.default_rng([seed & 0x7FFFFFFF, len(specs)])
+    n = len(specs)
+    between = set(
+        rng.choice(n, size=min(crash_between_jobs, n), replace=False).tolist()
+    ) if crash_between_jobs > 0 and n > 0 else set()
+    in_ckpt = set(
+        rng.choice(n, size=min(crash_in_checkpoint, n), replace=False).tolist()
+    ) if crash_in_checkpoint > 0 and n > 0 else set()
+    ckpt_iteration = int(rng.integers(1, 4))
+
+    journal_dir = Path(journal_dir)
+    crashes = 0
+    restarts = 0
+    submitted: set[str] = set()
+    completions: dict[str, int] = {}
+
+    # Mutable schedule state shared by the hooks across restarts: each
+    # scheduled death fires exactly once.
+    pending_between = set(between)
+    pending_ckpt = set(in_ckpt)
+
+    def chaos_hook(point: str, record) -> None:
+        if point != "job-finished":
+            return
+        # Duplicate-work detector: a completion observed here is real
+        # executed work (recovery replays of already-completed jobs load
+        # journaled labels and never come through this hook again).
+        if record.state is JobState.COMPLETED:
+            completions[record.job_id] = completions.get(record.job_id, 0) + 1
+        idx = _spec_index(specs, record.job_id)
+        if idx in pending_between:
+            pending_between.discard(idx)
+            raise InjectedCrash(
+                f"scheduled process death after job {record.job_id!r}"
+            )
+
+    class _Factory:
+        """Checkpoint factory that arms a crash for scheduled jobs only."""
+
+        def __init__(self) -> None:
+            self._armed: set[str] = set()
+
+        def __call__(self, directory, *, every=1, keep=None):
+            directory = Path(directory)
+            job_key = directory.name
+            for idx in list(pending_ckpt):
+                if directory.name.startswith(_safe_prefix(specs[idx].job_id)):
+                    if job_key not in self._armed:
+                        self._armed.add(job_key)
+                        pending_ckpt.discard(idx)
+                        return CrashingCheckpointManager(
+                            directory, every=every, keep=keep,
+                            crash=CrashPoint(
+                                iteration=ckpt_iteration, mode="after-write"
+                            ),
+                        )
+            from repro.resilience.checkpoint import CheckpointManager
+
+            return CheckpointManager(directory, every=every, keep=keep)
+
+    chaos_config = base.with_(
+        journal_dir=journal_dir,
+        chaos_hook=chaos_hook,
+        checkpoint_factory=_Factory(),
+    )
+
+    service = DetectionService(chaos_config)
+    while True:
+        try:
+            for spec in specs:
+                if spec.job_id not in submitted and spec.job_id not in service.jobs:
+                    service.submit(spec)
+                    submitted.add(spec.job_id)
+            service.drain()
+            break
+        except InjectedCrash:
+            crashes += 1
+            restarts += 1
+            if restarts > _MAX_RESTARTS:
+                raise ConfigurationError(
+                    f"service soak exceeded {_MAX_RESTARTS} restarts; "
+                    f"recovery is looping"
+                ) from None
+            # The "process" dies: drop the instance, restart on the journal.
+            service = DetectionService(chaos_config)
+
+    lost: list[str] = []
+    mismatched: list[str] = []
+    identical = 0
+    for spec in specs:
+        try:
+            record = service.result(spec.job_id)
+        except Exception:
+            lost.append(spec.job_id)
+            continue
+        if record.state is not JobState.COMPLETED or record.outcome is None:
+            lost.append(spec.job_id)
+            continue
+        if np.array_equal(record.outcome.labels, reference[spec.job_id]):
+            identical += 1
+        else:
+            mismatched.append(spec.job_id)
+    duplicated = sorted(j for j, c in completions.items() if c > 1)
+
+    return ServiceSoakOutcome(
+        seed=seed,
+        jobs=len(specs),
+        crashes=crashes,
+        restarts=restarts,
+        identical=identical,
+        lost=lost,
+        duplicated=duplicated,
+        mismatched=mismatched,
+    )
+
+
+def _spec_index(specs: list[JobSpec], job_id: str) -> int:
+    for i, spec in enumerate(specs):
+        if spec.job_id == job_id:
+            return i
+    return -1
+
+
+def _safe_prefix(job_id: str) -> str:
+    from repro.service.journal import _safe_name
+
+    return _safe_name(job_id)

@@ -1,0 +1,86 @@
+"""ConvergenceWarning diagnostics and their trace round-trip."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import LPAConfig, Tracer, nu_lpa
+from repro.errors import ConvergenceWarning
+from repro.graph.datasets import generate_standin
+
+
+@pytest.fixture(scope="module")
+def slow_graph():
+    # Road networks propagate labels slowly: 2 iterations never meet τ.
+    return generate_standin("asia_osm", scale=0.1, seed=42)
+
+
+def _run_unconverged(graph, tracer=None, warn=True):
+    config = LPAConfig(max_iterations=2, tolerance=0.001)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = nu_lpa(graph, config, tracer=tracer,
+                        warn_on_no_convergence=warn)
+    conv = [w for w in caught if issubclass(w.category, ConvergenceWarning)]
+    return result, conv
+
+
+class TestWarningFields:
+    def test_warning_carries_iterations_and_final_fraction(self, slow_graph):
+        result, conv = _run_unconverged(slow_graph)
+        assert len(conv) == 1
+        warning = conv[0].message
+        assert warning.iterations == result.num_iterations == 2
+        expected = result.iterations[-1].changed / slow_graph.num_vertices
+        assert warning.final_fraction == pytest.approx(expected)
+        assert warning.final_fraction > 0.001  # genuinely unconverged
+
+    def test_warning_message_names_the_numbers(self, slow_graph):
+        _, conv = _run_unconverged(slow_graph)
+        text = str(conv[0].message)
+        assert "max_iterations=2" in text
+        assert "fraction" in text
+
+    def test_converged_run_warns_nothing(self):
+        graph = generate_standin("asia_osm", scale=0.05, seed=42)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            nu_lpa(graph, LPAConfig(max_iterations=50, tolerance=0.5))
+        assert not [
+            w for w in caught if issubclass(w.category, ConvergenceWarning)
+        ]
+
+
+class TestTraceRoundTrip:
+    def test_fields_round_trip_through_the_trace(self, slow_graph, tmp_path):
+        """Regression: the warning's diagnostics must survive
+        trace → JSON → reload exactly."""
+        tracer = Tracer()
+        result, conv = _run_unconverged(slow_graph, tracer=tracer)
+        events = tracer.of_kind("no_convergence")
+        assert len(events) == 1
+        event = events[0]
+        warning = conv[0].message
+        assert event.iterations == warning.iterations
+        assert event.final_fraction == warning.final_fraction
+        assert event.tolerance == 0.001
+
+        # Through JSON and back, bit-exact.
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(tracer.as_dicts()))
+        reloaded = [
+            e for e in json.loads(path.read_text())
+            if e["kind"] == "no_convergence"
+        ]
+        assert len(reloaded) == 1
+        assert reloaded[0]["iterations"] == warning.iterations
+        assert reloaded[0]["final_fraction"] == warning.final_fraction
+
+    def test_event_emitted_even_when_warning_suppressed(self, slow_graph):
+        """Batch runs pass warn_on_no_convergence=False but still deserve
+        the trace record."""
+        tracer = Tracer()
+        _, conv = _run_unconverged(slow_graph, tracer=tracer, warn=False)
+        assert conv == []
+        assert len(tracer.of_kind("no_convergence")) == 1

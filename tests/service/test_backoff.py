@@ -1,0 +1,126 @@
+"""Property-based tests for the retry/backoff policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    GraphValidationError,
+    HashtableFullError,
+    KernelTimeoutError,
+    ResilienceExhaustedError,
+    SchemaValidationError,
+    TransientKernelError,
+)
+from repro.service.backoff import RETRYABLE_FAULTS, BackoffPolicy, is_retryable
+
+job_ids = st.text(min_size=1, max_size=40)
+attempts = st.integers(0, 200)
+
+
+class TestRetryability:
+    @pytest.mark.parametrize("exc_type", RETRYABLE_FAULTS)
+    def test_transient_fault_classes_retry(self, exc_type):
+        assert is_retryable(exc_type("boom"))
+
+    @pytest.mark.parametrize("exc_type", [
+        GraphValidationError,
+        GraphFormatError,
+        ConfigurationError,
+        SchemaValidationError,
+        ValueError,
+        RuntimeError,
+    ])
+    def test_input_and_unknown_errors_never_retry(self, exc_type):
+        """Validation/config/unknown errors are permanent: same bytes,
+        same rejection — retrying burns deadline for nothing."""
+        assert not is_retryable(exc_type("bad input"))
+
+
+class TestBackoffProperties:
+    @given(job_id=job_ids, attempt=attempts)
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_is_deterministic_per_job_and_attempt(self, job_id, attempt):
+        """The same (job_id, attempt) always retries on the same schedule —
+        the kill/restart soak's bit-identical replay depends on it."""
+        policy = BackoffPolicy(seed=7)
+        assert policy.jittered_delay(job_id, attempt) == policy.jittered_delay(
+            job_id, attempt
+        )
+
+    @given(attempt=st.integers(0, 199))
+    @settings(max_examples=100, deadline=None)
+    def test_raw_delays_monotone_and_capped(self, attempt):
+        policy = BackoffPolicy(base_s=0.05, factor=2.0, cap_s=2.0)
+        d0 = policy.delay(attempt)
+        d1 = policy.delay(attempt + 1)
+        assert 0.0 <= d0 <= d1 <= policy.cap_s
+
+    @given(job_id=job_ids, attempt=attempts)
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_bounded_and_non_negative(self, job_id, attempt):
+        policy = BackoffPolicy(base_s=0.01, cap_s=1.0, jitter=0.5, seed=3)
+        raw = policy.delay(attempt)
+        jittered = policy.jittered_delay(job_id, attempt)
+        assert raw <= jittered <= raw * (1.0 + policy.jitter) + 1e-12
+
+    @given(
+        job_a=job_ids, job_b=job_ids, attempt=st.integers(0, 50)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_decorrelates_jobs(self, job_a, job_b, attempt):
+        """Different jobs draw different jitter (with overwhelming
+        probability) — that decorrelation is jitter's whole purpose."""
+        policy = BackoffPolicy(base_s=0.05, jitter=1.0, seed=0)
+        if job_a == job_b:
+            assert policy.jittered_delay(job_a, attempt) == policy.jittered_delay(
+                job_b, attempt
+            )
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_base_never_sleeps(self, seed):
+        policy = BackoffPolicy(base_s=0.0, cap_s=0.0, seed=seed)
+        assert policy.jittered_delay("job", 5) == 0.0
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = BackoffPolicy(base_s=0.05, factor=2.0, cap_s=2.0)
+        assert policy.delay(10_000) == policy.cap_s
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_s=1.0, cap_s=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay(-1)
+
+
+class TestValidationNeverRetried:
+    def test_service_fails_validation_error_without_retry(self, tmp_path):
+        """A job whose graph fails strict validation must fail on attempt 1:
+        no retries, no ladder descent to a fallback engine."""
+        import numpy as np
+
+        from repro.graph.csr import CSRGraph
+        from repro.service import DetectionService, ServiceConfig, JobState
+        from repro.types import VERTEX_DTYPE
+
+        # Asymmetric graph: strict validation rejects it.
+        offsets = np.array([0, 1, 1], dtype=np.int64)
+        targets = np.array([1], dtype=VERTEX_DTYPE)
+        weights = np.ones(1, dtype=np.float32)
+        bad = CSRGraph(offsets=offsets, targets=targets, weights=weights)
+
+        service = DetectionService(ServiceConfig(workers=1, max_attempts=3))
+        service.submit_graph(bad, "bad-job", validate="strict")
+        service.drain()
+        record = service.result("bad-job")
+        assert record.state is JobState.FAILED
+        assert record.attempts == 1
+        assert record.backoffs == []

@@ -1,0 +1,209 @@
+"""Circuit-breaker state machine and the service-level differential test."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.faults import FaultSpec
+from repro.service import (
+    BreakerConfig,
+    CircuitBreaker,
+    DetectionService,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+)
+
+
+def _trip(breaker, clock=0.0, failures=None):
+    failures = failures if failures is not None else breaker.config.min_calls
+    for _ in range(failures):
+        assert breaker.allow(clock)
+        breaker.record(False, clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker("hashtable")
+        assert b.state == "closed"
+        assert b.allow(0.0)
+
+    def test_opens_at_failure_threshold(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=4, min_calls=3, failure_threshold=0.5, cooldown_s=10.0,
+        ))
+        b.record(True, 0.0)
+        b.record(False, 0.0)
+        assert b.state == "closed"  # 2 calls < min_calls
+        b.record(False, 0.0)
+        assert b.state == "open"    # 2/3 failures >= 0.5
+        assert not b.allow(1.0)
+        assert b.opened_count == 1
+
+    def test_below_threshold_stays_closed(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=8, min_calls=4, failure_threshold=0.5,
+        ))
+        for _ in range(6):
+            b.record(True, 0.0)
+        b.record(False, 0.0)
+        b.record(False, 0.0)
+        assert b.state == "closed"  # 2/8 < 0.5
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=4, min_calls=2, failure_threshold=0.5, cooldown_s=5.0,
+        ))
+        _trip(b)
+        assert not b.allow(4.9)             # still cooling down
+        assert b.allow(5.0)                 # probe admitted
+        assert b.state == "half-open"
+        assert not b.allow(5.0)             # only one probe at a time
+        b.record(True, 5.1)
+        assert b.state == "closed"
+        assert b.allow(5.1)
+
+    def test_half_open_reopens_on_failed_probe(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=4, min_calls=2, failure_threshold=0.5, cooldown_s=5.0,
+        ))
+        _trip(b, clock=0.0)
+        assert b.allow(5.0)
+        b.record(False, 5.0)
+        assert b.state == "open"
+        assert b.opened_count == 2
+        assert not b.allow(9.9)             # new cooldown from the reopen
+        assert b.allow(10.0)
+
+    def test_window_slides(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=4, min_calls=4, failure_threshold=0.75,
+        ))
+        for _ in range(2):
+            b.record(False, 0.0)
+        for _ in range(4):
+            b.record(True, 0.0)
+        # The two failures slid out of the window.
+        assert b.failure_rate == 0.0
+        assert b.state == "closed"
+
+    def test_transitions_logged_for_the_trace(self):
+        b = CircuitBreaker("hashtable", BreakerConfig(
+            window=4, min_calls=2, failure_threshold=0.5, cooldown_s=1.0,
+        ))
+        _trip(b, clock=0.5)
+        b.allow(2.0)
+        b.record(True, 2.0)
+        names = [t[1] for t in b.transitions]
+        assert names == ["closed->open", "open->half-open", "half-open->closed"]
+
+    def test_snapshot_shape(self):
+        snap = CircuitBreaker("vectorized").snapshot()
+        assert snap == {
+            "engine": "vectorized",
+            "state": "closed",
+            "failure_rate": 0.0,
+            "calls_in_window": 0,
+            "opened_count": 0,
+        }
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(window=0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(min_calls=9, window=8)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(cooldown_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(half_open_probes=0)
+
+
+def _run_fleet(breaker_enabled: bool, jobs: int = 8):
+    """One service run: every job asks for the persistently-faulted
+    hashtable engine; vectorized stays clean."""
+    config = ServiceConfig(
+        workers=1,
+        breaker_enabled=breaker_enabled,
+        breaker=BreakerConfig(
+            window=4, min_calls=2, failure_threshold=0.5, cooldown_s=1e9,
+        ),
+        engine_faults={
+            "hashtable": FaultSpec(kinds=("overflow",), rate=1.0, seed=7),
+        },
+    )
+    service = DetectionService(config)
+    for i in range(jobs):
+        service.submit(JobSpec.dataset(
+            f"j{i}", "asia_osm", scale=0.05,
+            engine="hashtable", max_iterations=8,
+        ))
+    t0 = time.perf_counter()
+    service.drain()
+    wall = time.perf_counter() - t0
+    return service, wall
+
+
+class TestBreakerDifferential:
+    """Acceptance: with the breaker on, the faulted fleet finishes in
+    strictly less total (modelled + wall) time, and every affected job
+    still returns labels."""
+
+    def test_breaker_saves_time_and_loses_no_job(self):
+        jobs = 8
+        service_off, wall_off = _run_fleet(False, jobs)
+        service_on, wall_on = _run_fleet(True, jobs)
+
+        for service in (service_off, service_on):
+            for i in range(jobs):
+                record = service.result(f"j{i}")
+                assert record.state is JobState.COMPLETED
+                assert record.outcome.labels is not None
+
+        total_off = service_off.clock_s + wall_off
+        total_on = service_on.clock_s + wall_on
+        assert total_on < total_off
+
+        # The hashtable breaker actually tripped and rerouted jobs.
+        assert service_on.breakers["hashtable"].state == "open"
+        assert service_on.counters["reroutes"] > 0
+        assert service_on.stats()["rungs"]["fallback-engine"] > 0
+        # Without the breaker nothing reroutes.
+        assert service_off.counters["reroutes"] == 0
+
+    def test_rerouted_jobs_marked_degraded_with_reason(self):
+        service, _ = _run_fleet(True, 6)
+        rerouted = [
+            service.result(f"j{i}") for i in range(6)
+            if service.result(f"j{i}").outcome.rung == "fallback-engine"
+        ]
+        assert rerouted
+        for record in rerouted:
+            assert record.outcome.degraded
+            assert "breaker:hashtable->vectorized" in record.outcome.degraded_reason
+
+    def test_breaker_trips_emit_trace_events(self):
+        from repro.observe.trace import Tracer
+
+        config = ServiceConfig(
+            workers=1,
+            breaker=BreakerConfig(
+                window=4, min_calls=2, failure_threshold=0.5, cooldown_s=1e9,
+            ),
+            engine_faults={
+                "hashtable": FaultSpec(kinds=("overflow",), rate=1.0, seed=7),
+            },
+        )
+        tracer = Tracer()
+        service = DetectionService(config, tracer=tracer)
+        for i in range(4):
+            service.submit(JobSpec.dataset(
+                f"j{i}", "asia_osm", scale=0.05,
+                engine="hashtable", max_iterations=6,
+            ))
+        service.drain()
+        trips = tracer.of_kind("breaker")
+        assert any(e.transition == "closed->open" for e in trips)
+        assert all(e.engine == "hashtable" for e in trips)

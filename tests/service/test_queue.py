@@ -1,0 +1,147 @@
+"""Admission control, backpressure, and the saturation acceptance test."""
+
+import pytest
+
+from repro.errors import ServiceOverloaded
+from repro.service import (
+    AdmissionQueue,
+    DetectionService,
+    GraphRef,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+)
+from repro.service.job import JobRecord
+
+
+def _record(job_id, *, tenant="default", priority=0, seq=0):
+    return JobRecord(
+        spec=JobSpec(
+            job_id=job_id,
+            graph=GraphRef(kind="dataset", name="asia_osm"),
+            tenant=tenant,
+            priority=priority,
+        ),
+        seq=seq,
+    )
+
+
+class TestAdmissionQueue:
+    def test_fifo_within_priority(self):
+        q = AdmissionQueue(capacity=8)
+        for i in range(3):
+            q.push(_record(f"j{i}", seq=i))
+        assert [q.pop().job_id for _ in range(3)] == ["j0", "j1", "j2"]
+
+    def test_priority_orders_first(self):
+        q = AdmissionQueue(capacity=8)
+        q.push(_record("late", priority=5, seq=0))
+        q.push(_record("urgent", priority=-1, seq=1))
+        assert q.pop().job_id == "urgent"
+
+    def test_queue_full_is_typed_with_retry_hint(self):
+        q = AdmissionQueue(capacity=2)
+        q.push(_record("a", seq=0))
+        q.push(_record("b", seq=1))
+        with pytest.raises(ServiceOverloaded) as exc_info:
+            q.push(_record("c", seq=2), retry_after_s=3.5)
+        exc = exc_info.value
+        assert exc.reason == "queue-full"
+        assert exc.retry_after_s == 3.5
+        assert exc.queue_depth == 2
+        assert q.rejected_queue_full == 1
+
+    def test_tenant_cap_rejects_while_queue_has_room(self):
+        q = AdmissionQueue(capacity=8, tenant_inflight=2)
+        q.push(_record("a", tenant="noisy", seq=0))
+        q.push(_record("b", tenant="noisy", seq=1))
+        with pytest.raises(ServiceOverloaded) as exc_info:
+            q.push(_record("c", tenant="noisy", seq=2))
+        assert exc_info.value.reason == "tenant-cap"
+        # A different tenant is unaffected.
+        q.push(_record("d", tenant="quiet", seq=3))
+        assert q.rejected_tenant_cap == 1
+
+    def test_pop_keeps_inflight_slot_until_release(self):
+        q = AdmissionQueue(capacity=8, tenant_inflight=1)
+        q.push(_record("a", tenant="t", seq=0))
+        record = q.pop()
+        # Still running: the tenant slot is held.
+        with pytest.raises(ServiceOverloaded):
+            q.push(_record("b", tenant="t", seq=1))
+        q.release(record)
+        q.push(_record("b", tenant="t", seq=2))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AdmissionQueue().pop()
+
+
+class TestSaturation:
+    """Acceptance: saturate a small service; excess submissions get typed
+    rejections and every admitted job completes within its propagated
+    deadline."""
+
+    def test_overload_rejects_typed_and_admitted_jobs_meet_deadlines(self):
+        deadline = 30.0
+        service = DetectionService(ServiceConfig(
+            workers=1, queue_capacity=3, default_deadline_s=deadline,
+        ))
+        admitted, rejections = [], []
+        for i in range(10):
+            spec = JobSpec.dataset(
+                f"j{i}", "asia_osm", scale=0.05, max_iterations=8,
+            )
+            try:
+                service.submit(spec)
+                admitted.append(spec.job_id)
+            except ServiceOverloaded as exc:
+                rejections.append(exc)
+
+        assert len(admitted) == 3
+        assert len(rejections) == 7
+        for exc in rejections:
+            assert exc.reason == "queue-full"
+            assert exc.retry_after_s > 0
+
+        service.drain()
+        for job_id in admitted:
+            record = service.result(job_id)
+            assert record.state is JobState.COMPLETED
+            # Within the propagated deadline: total wall spent across all
+            # attempts stayed under the job's budget.
+            assert record.wall_spent_s < deadline
+            assert record.spec.deadline_s == deadline
+
+        stats = service.stats()
+        assert stats["queue"]["rejected_queue_full"] == 7
+        assert stats["jobs"]["rejected"] == 7
+        assert stats["jobs"]["completed"] == 3
+
+    def test_tenant_cap_saturation_is_per_tenant(self):
+        service = DetectionService(ServiceConfig(
+            workers=1, queue_capacity=16, tenant_inflight=2,
+        ))
+        outcomes = {"noisy": 0, "quiet": 0}
+        for i in range(6):
+            try:
+                service.submit(JobSpec.dataset(
+                    f"noisy-{i}", "asia_osm", scale=0.02, tenant="noisy",
+                ))
+                outcomes["noisy"] += 1
+            except ServiceOverloaded as exc:
+                assert exc.reason == "tenant-cap"
+        service.submit(JobSpec.dataset(
+            "quiet-0", "asia_osm", scale=0.02, tenant="quiet",
+        ))
+        outcomes["quiet"] += 1
+        assert outcomes == {"noisy": 2, "quiet": 1}
+
+    def test_retry_after_grows_with_backlog(self):
+        service = DetectionService(ServiceConfig(
+            workers=1, queue_capacity=64, retry_after_base_s=0.5,
+        ))
+        empty_hint = service.retry_after_hint()
+        for i in range(8):
+            service.submit(JobSpec.dataset(f"j{i}", "asia_osm", scale=0.02))
+        assert service.retry_after_hint() >= empty_hint

@@ -221,3 +221,229 @@ class TestCkptCommand:
     def test_fsck_missing_directory_errors(self, tmp_path, capsys):
         assert main(["ckpt", "fsck", str(tmp_path / "nope")]) == 1
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestResumeEdgeCases:
+    """Each --resume misuse gets a one-line typed error and its own exit
+    code: 3 (no --checkpoint-dir), 4 (nothing to resume), 5 (all
+    generations damaged)."""
+
+    ARGS = ["detect", "--dataset", "asia_osm", "--scale", "0.05"]
+
+    def test_resume_without_checkpoint_dir_exits_3(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 3
+        err = capsys.readouterr().err
+        assert "--checkpoint-dir" in err
+        assert err.count("\n") == 1  # one line, not a traceback
+
+    def test_resume_empty_directory_exits_4(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(self.ARGS + [
+            "--resume", "--checkpoint-dir", str(empty),
+        ]) == 4
+        err = capsys.readouterr().err
+        assert "no checkpoint" in err
+        assert err.count("\n") == 1
+
+    def test_resume_missing_directory_exits_4(self, tmp_path, capsys):
+        assert main(self.ARGS + [
+            "--resume", "--checkpoint-dir", str(tmp_path / "nope"),
+        ]) == 4
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_all_generations_damaged_exits_5(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(self.ARGS + [
+            "--checkpoint-dir", str(ckpt), "--max-iterations", "3",
+        ]) == 0
+        for path in ckpt.glob("ckpt-*.npz"):
+            path.write_bytes(b"rot")
+        capsys.readouterr()
+        assert main(self.ARGS + [
+            "--resume", "--checkpoint-dir", str(ckpt),
+        ]) == 5
+        err = capsys.readouterr().err
+        assert "damaged" in err
+        assert "ckpt fsck" in err  # actionable next step
+        assert err.count("\n") == 1
+
+    def test_valid_resume_still_works(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(self.ARGS + [
+            "--checkpoint-dir", str(ckpt), "--max-iterations", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + [
+            "--resume", "--checkpoint-dir", str(ckpt),
+        ]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+
+class TestSignalHandling:
+    """SIGINT/SIGTERM stop the run at the next iteration boundary, write a
+    final checkpoint, flush the trace, and exit 128+signum."""
+
+    def _interrupt_during_run(self, monkeypatch, signum):
+        import signal as signal_module
+
+        import repro.cli as cli_module
+
+        real = cli_module.nu_lpa
+        fired = {"done": False}
+
+        def wrapper(*args, **kwargs):
+            if not fired["done"]:
+                fired["done"] = True
+                signal_module.raise_signal(signum)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cli_module, "nu_lpa", wrapper)
+
+    def test_sigint_detect_exits_130_with_checkpoint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import signal as signal_module
+
+        self._interrupt_during_run(monkeypatch, signal_module.SIGINT)
+        ckpt = tmp_path / "ckpt"
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--checkpoint-dir", str(ckpt), "--trace-out", str(trace),
+        ])
+        assert rc == 130
+        out = capsys.readouterr().out
+        assert "interrupted" in out and "SIGINT" in out
+        assert list(ckpt.glob("ckpt-*.npz"))  # final checkpoint written
+        assert trace.exists()                 # trace flushed
+
+    def test_sigterm_detect_exits_143(self, tmp_path, capsys, monkeypatch):
+        import signal as signal_module
+
+        self._interrupt_during_run(monkeypatch, signal_module.SIGTERM)
+        rc = main(["detect", "--dataset", "asia_osm", "--scale", "0.1"])
+        assert rc == 143
+        assert "SIGTERM" in capsys.readouterr().out
+
+    def test_handlers_restored_after_run(self, capsys):
+        import signal as signal_module
+
+        before_int = signal_module.getsignal(signal_module.SIGINT)
+        before_term = signal_module.getsignal(signal_module.SIGTERM)
+        assert main(["detect", "--dataset", "asia_osm", "--scale", "0.05"]) == 0
+        assert signal_module.getsignal(signal_module.SIGINT) is before_int
+        assert signal_module.getsignal(signal_module.SIGTERM) is before_term
+
+
+class TestServeCommand:
+    def _jobs_file(self, tmp_path, jobs):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        return path
+
+    def test_serve_batch_writes_validated_stats(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.schema import validate_service_stats
+
+        jobs = self._jobs_file(tmp_path, [
+            {"job_id": "a", "dataset": "asia_osm", "scale": 0.05,
+             "max_iterations": 10},
+            {"job_id": "b", "dataset": "europe_osm", "scale": 0.05,
+             "engine": "hashtable", "max_iterations": 10},
+        ])
+        stats_path = tmp_path / "stats.json"
+        rc = main([
+            "serve", "--jobs", str(jobs), "--stats-out", str(stats_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 completed" in out
+        doc = json.loads(stats_path.read_text())
+        validate_service_stats(doc)
+        assert doc["jobs"]["completed"] == 2
+
+    def test_serve_trace_records_job_events(self, tmp_path, capsys):
+        import json
+
+        jobs = self._jobs_file(tmp_path, [
+            {"job_id": "a", "dataset": "asia_osm", "scale": 0.05},
+        ])
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "serve", "--jobs", str(jobs), "--trace-out", str(trace_path),
+        ]) == 0
+        kinds = {e["kind"] for e in json.loads(trace_path.read_text())["events"]}
+        assert "job" in kinds
+        assert "service_stats" in kinds
+
+    def test_serve_journal_recovers_on_rerun(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"job_id": "a", "dataset": "asia_osm", "scale": 0.05,
+             "max_iterations": 10},
+        ])
+        journal = tmp_path / "journal"
+        assert main(["serve", "--jobs", str(jobs),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # Second run over the same journal: recovered, nothing re-runs.
+        assert main(["serve", "--jobs", str(jobs),
+                     "--journal", str(journal)]) == 0
+        assert "1 completed" in capsys.readouterr().out
+
+    def test_serve_overload_reports_rejections(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"job_id": f"j{i}", "dataset": "asia_osm", "scale": 0.02,
+             "max_iterations": 5}
+            for i in range(6)
+        ])
+        rc = main([
+            "serve", "--jobs", str(jobs), "--queue-capacity", "2",
+            "--workers", "1",
+        ])
+        assert rc == 0  # admitted jobs all completed
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err
+        assert "queue-full" in captured.err
+
+    def test_serve_bad_jobs_file_errors(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [{"job_id": "a"}])  # no graph
+        assert main(["serve", "--jobs", str(jobs)]) == 1
+        assert "dataset" in capsys.readouterr().err
+
+    def test_serve_sigint_exits_130_and_journal_resumes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import signal as signal_module
+
+        import repro.service.service as service_module
+
+        real = service_module.nu_lpa
+        fired = {"done": False}
+
+        def wrapper(*args, **kwargs):
+            if not fired["done"]:
+                fired["done"] = True
+                signal_module.raise_signal(signal_module.SIGINT)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "nu_lpa", wrapper)
+        jobs = self._jobs_file(tmp_path, [
+            {"job_id": f"j{i}", "dataset": "asia_osm", "scale": 0.1,
+             "max_iterations": 10}
+            for i in range(3)
+        ])
+        journal = tmp_path / "journal"
+        rc = main(["serve", "--jobs", str(jobs), "--journal", str(journal),
+                   "--workers", "1"])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().out
+
+        monkeypatch.setattr(service_module, "nu_lpa", real)
+        # The journal finishes the remainder on the next invocation.
+        assert main(["serve", "--jobs", str(jobs),
+                     "--journal", str(journal)]) == 0
+        assert "3 completed" in capsys.readouterr().out
