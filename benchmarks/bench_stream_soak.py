@@ -1,0 +1,158 @@
+"""Streaming-pipeline soak + throughput benchmark.
+
+Two measurements over the same workload family:
+
+1. **Chaos soak** — :func:`repro.stream.run_stream_soak` across seeded
+   kill/restart schedules (producer deaths before/mid/after a WAL append,
+   service deaths at the processor's pre-epoch / mid-epoch-apply /
+   post-epoch points).  Every stream must recover bit-identically to a
+   never-crashed reference and the incremental-vs-scratch modularity gap
+   must stay within :data:`repro.stream.soak.GAP_BOUND`.
+2. **Throughput** — one crash-free stream timed end to end: deltas
+   applied per second, epochs per second, the mean warm-start frontier
+   fraction (from the :class:`~repro.observe.trace.EpochEvent` stream),
+   and the wall-clock speedup of warm-started incremental detection over
+   re-running from scratch every epoch.
+
+Writes the schema-validated report to ``BENCH_stream_soak.json``
+(override via ``REPRO_STREAM_SOAK_OUT``; seed count via
+``REPRO_STREAM_SOAK_SEEDS``) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lpa import nu_lpa
+from repro.graph.datasets import generate_standin
+from repro.observe.schema import (
+    STREAM_SOAK_SCHEMA,
+    STREAM_SOAK_SCHEMA_VERSION,
+    validate_stream_soak,
+)
+from repro.observe.trace import Tracer
+from repro.stream import (
+    DeltaLog,
+    StreamProcessor,
+    random_delta_batches,
+    run_stream_soak,
+)
+
+DATASET = "com-Orkut"
+SCALE = 0.03
+#: Throughput runs on a larger stand-in: at soak scale the per-batch
+#: churn touches over half the graph, which hides the warm-start win.
+THROUGHPUT_SCALE = 0.2
+BATCHES = 6
+BATCH_SIZE = 5
+HOPS = 1
+
+
+def _throughput(seed: int, workdir: Path) -> dict:
+    """Time one crash-free stream; returns the ``rates`` section."""
+    rng = np.random.default_rng([seed, BATCHES])
+    base = generate_standin(DATASET, scale=THROUGHPUT_SCALE, seed=seed)
+    batches = random_delta_batches(
+        base, rng, num_batches=BATCHES, batch_size=BATCH_SIZE,
+        grow_every=max(2, BATCHES // 2),
+    )
+    log = DeltaLog(workdir / "wal")
+    for batch in batches:
+        log.append(batch)
+    tracer = Tracer()
+    processor = StreamProcessor(
+        base, log, workdir / "epochs", hops=HOPS, tracer=tracer,
+    )
+    processor.recover()
+    t0 = time.perf_counter()
+    epochs = processor.run_to_head()
+    incremental_s = max(time.perf_counter() - t0, 1e-9)
+
+    events = [e for e in tracer if e.kind == "epoch"]
+    deltas = sum(e.added + e.removed + e.updated for e in events)
+    frontier_mean = (
+        float(np.mean([e.frontier_fraction for e in events])) if events else 0.0
+    )
+
+    # From-scratch comparison: re-detect the *final* graph once per epoch,
+    # which is what a pipeline without warm starts would have to do.
+    t0 = time.perf_counter()
+    for _ in range(max(epochs, 1)):
+        nu_lpa(processor.graph, processor.config, warn_on_no_convergence=False)
+    scratch_s = max(time.perf_counter() - t0, 1e-9)
+
+    return {
+        "deltas_per_second": deltas / incremental_s,
+        "epochs_per_second": epochs / incremental_s,
+        "frontier_fraction_mean": frontier_mean,
+        "speedup_vs_scratch": scratch_s / incremental_s,
+    }
+
+
+def _report(seed: int, num_seeds: int, workdir: Path) -> dict:
+    soak = run_stream_soak(
+        workdir / "soak",
+        num_seeds=num_seeds,
+        dataset=DATASET,
+        scale=SCALE,
+        num_batches=BATCHES,
+        batch_size=BATCH_SIZE,
+        hops=HOPS,
+    )
+    rates = _throughput(seed, workdir / "throughput")
+    return validate_stream_soak({
+        "schema": STREAM_SOAK_SCHEMA,
+        "version": STREAM_SOAK_SCHEMA_VERSION,
+        "dataset": DATASET,
+        "scale": SCALE,
+        "num_seeds": num_seeds,
+        "batches_per_seed": BATCHES,
+        "batch_size": BATCH_SIZE,
+        "hops": HOPS,
+        "rates": rates,
+        "soak": soak.as_dict(),
+    })
+
+
+def test_stream_soak(benchmark, bench_seed, tmp_path):
+    num_seeds = int(os.environ.get("REPRO_STREAM_SOAK_SEEDS", 20))
+    doc = benchmark.pedantic(
+        _report,
+        args=(bench_seed, num_seeds, tmp_path / "stream"),
+        rounds=1,
+        iterations=1,
+    )
+
+    out = Path(os.environ.get("REPRO_STREAM_SOAK_OUT",
+                              "BENCH_stream_soak.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'seed':>6s} {'producer':>8s} {'torn':>4s} {'service':>7s} "
+          f"{'gap':>8s} {'ok':>3s}")
+    for s in doc["soak"]["seeds"]:
+        print(f"{s['seed']:6d} {s['producer_deaths']:8d} "
+              f"{s['torn_tails']:4d} {s['service_deaths']:7d} "
+              f"{s['modularity_gap']:8.4f} "
+              f"{'yes' if s['ok'] else 'NO':>3s}")
+    rates = doc["rates"]
+    print(f"throughput: {rates['deltas_per_second']:.0f} deltas/s, "
+          f"{rates['epochs_per_second']:.1f} epochs/s, "
+          f"frontier {rates['frontier_fraction_mean']:.3f}, "
+          f"speedup vs scratch {rates['speedup_vs_scratch']:.1f}x")
+    print(f"report written to {out}")
+
+    assert doc["soak"]["num_seeds"] == num_seeds
+    # A soak whose deaths all miss tests nothing.
+    assert all(
+        s["producer_deaths"] + s["service_deaths"] >= 1
+        for s in doc["soak"]["seeds"]
+    )
+    bad = [s for s in doc["soak"]["seeds"] if not s["ok"]]
+    assert not bad, f"{len(bad)} stream(s) diverged after kill/restart"
+    assert doc["soak"]["ok"]

@@ -309,6 +309,51 @@ def _cmd_ckpt_fsck(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_stream_fsck(args) -> int:
+    from repro.stream import fsck_log
+
+    entries = fsck_log(args.directory)
+    if not entries:
+        print(f"{args.directory}: no segments")
+        return 0
+    bad = [e for e in entries if e.status == "corrupt"]
+    for e in entries:
+        if e.status == "ok":
+            print(f"ok        {e.path.name}  frames={e.frames} "
+                  f"seq={e.first_seq}..{e.last_seq}")
+        else:
+            print(f"{e.status:9s} {e.path.name}  frames={e.frames}  {e.detail}")
+    torn = sum(1 for e in entries if e.status == "torn-tail")
+    print(f"{len(entries)} segment(s): {len(entries) - len(bad) - torn} ok, "
+          f"{torn} torn tail (recoverable), {len(bad)} corrupt")
+    return 1 if bad else 0
+
+
+def _cmd_stream_status(args) -> int:
+    from repro.stream import DeltaLog
+    from repro.stream.epoch import EpochJournal
+
+    log = DeltaLog(args.directory)
+    if log.repairs:
+        for repair in log.repairs:
+            print(f"repaired  {repair}")
+    print(f"log head: seq {log.head_seq} "
+          f"({len(log.segments())} segment(s))")
+    if args.epochs is not None:
+        journal = EpochJournal(args.epochs)
+        state = journal.latest()
+        if state is None:
+            print("epochs: none journaled")
+        else:
+            print(f"epoch {state.epoch}: {state.num_vertices} vertices, "
+                  f"{state.num_edges} arcs"
+                  + (f", modularity gap {state.modularity_gap:.4f}"
+                     if state.modularity_gap is not None else ""))
+        lag = max(0, log.head_seq - (state.epoch if state else 0))
+        print(f"lag: {lag} batch(es)")
+    return 0
+
+
 def _job_spec_from_json(raw: dict, index: int):
     """One jobs-file entry → JobSpec (shorthand or full ``graph`` ref)."""
     from repro.errors import ConfigurationError
@@ -560,6 +605,26 @@ def main(argv: list[str] | None = None) -> int:
     pf.add_argument("--delete", action="store_true",
                     help="delete damaged checkpoints and stale temp files")
     pf.set_defaults(func=_cmd_ckpt_fsck)
+
+    p = sub.add_parser("stream", help="delta-log stream maintenance")
+    stream_sub = p.add_subparsers(dest="stream_command", required=True)
+    pf = stream_sub.add_parser(
+        "fsck",
+        help="verify every WAL segment in a delta-log directory without "
+             "modifying it; exits 1 if acknowledged batches are corrupt "
+             "(a torn tail on the final segment is recoverable)",
+    )
+    pf.add_argument("directory", type=Path, help="delta log directory")
+    pf.set_defaults(func=_cmd_stream_fsck)
+    pf = stream_sub.add_parser(
+        "status",
+        help="open a delta log (truncating any torn tail) and report its "
+             "head; with --epochs also report the newest epoch and lag",
+    )
+    pf.add_argument("directory", type=Path, help="delta log directory")
+    pf.add_argument("--epochs", type=Path, default=None, metavar="DIR",
+                    help="epoch journal directory of the stream's consumer")
+    pf.set_defaults(func=_cmd_stream_status)
 
     args = parser.parse_args(argv)
     try:

@@ -31,6 +31,8 @@ def affected_vertices(
     The frontier seed for incremental re-detection: endpoints of changed
     edges plus enough context for labels to re-equilibrate locally.
     """
+    if hops < 0:
+        raise ConfigurationError(f"hops must be >= 0; got {hops}")
     touched = np.unique(np.asarray(touched, dtype=np.int64))
     if touched.shape[0] and (
         touched.min() < 0 or touched.max() >= graph.num_vertices
@@ -85,6 +87,25 @@ def nu_lpa_incremental(
         raise ConfigurationError(
             f"previous_labels length {previous_labels.shape[0]} != "
             f"num_vertices {graph.num_vertices}"
+        )
+    if hops < 0:
+        raise ConfigurationError(f"hops must be >= 0; got {hops}")
+    touched = np.unique(np.asarray(touched, dtype=np.int64))
+    if touched.shape[0] == 0:
+        # Nothing changed: the previous labels are already the fixed point.
+        # Returning them directly skips engine construction entirely — an
+        # empty delta batch must cost O(1), not a full wave.
+        if engine not in ("vectorized", "hashtable"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose from "
+                f"['hashtable', 'vectorized']"
+            )
+        return LPAResult(
+            labels=previous_labels.copy(),
+            iterations=[],
+            converged=True,
+            config=config or LPAConfig(),
+            algorithm=f"nu-lpa-incremental[{engine}]",
         )
     seed_vertices = affected_vertices(graph, touched, hops=hops)
 

@@ -25,6 +25,9 @@ __all__ = [
     "ConfigurationError",
     "DatasetError",
     "SchemaValidationError",
+    "StreamError",
+    "DeltaLogCorruptError",
+    "DeltaValidationError",
     "ServiceOverloaded",
     "DuplicateJobError",
     "JobNotFoundError",
@@ -168,6 +171,42 @@ class SchemaValidationError(ReproError):
     Raised by :mod:`repro.observe.schema`; the message names the offending
     field path (e.g. ``bench.graphs[3].counters.probes``).
     """
+
+
+class StreamError(ReproError):
+    """A streaming-graph pipeline operation failed (log, epoch, or replay)."""
+
+
+class DeltaLogCorruptError(StreamError):
+    """A delta-log segment is damaged beyond its recoverable torn tail.
+
+    A torn *tail* — the last frames of the newest segment, killed mid-
+    append before the fsync — is expected and silently truncated on open.
+    This error means something stronger: a CRC-invalid frame in the middle
+    of the committed record stream, where truncation would silently drop
+    acknowledged batches.  Carries the per-segment findings in
+    :attr:`reasons`, mirroring ``repro stream fsck``.
+    """
+
+    def __init__(self, message: str, reasons: list[str] | None = None) -> None:
+        super().__init__(message)
+        #: Per-segment damage descriptions, in segment order.
+        self.reasons = reasons or []
+
+
+class DeltaValidationError(StreamError):
+    """A delta batch failed validation under the ``strict`` policy.
+
+    Carries the machine-readable
+    :class:`~repro.stream.delta.DeltaValidationReport` in :attr:`report`,
+    the same contract :class:`GraphValidationError` keeps for whole-graph
+    sweeps.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        #: The :class:`~repro.stream.delta.DeltaValidationReport`.
+        self.report = report
 
 
 class ServiceOverloaded(ReproError):

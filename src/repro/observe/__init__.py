@@ -22,6 +22,7 @@ baselines) into that import, creating a cycle back into the engines.
 from repro.observe.trace import (
     BreakerEvent,
     ConvergenceEvent,
+    EpochEvent,
     FaultRungEvent,
     IterationEvent,
     JobEvent,
@@ -44,6 +45,7 @@ __all__ = [
     "JobEvent",
     "BreakerEvent",
     "ServiceStatsEvent",
+    "EpochEvent",
     "counter_delta",
     "RunProfile",
     "IterationProfile",
@@ -55,9 +57,12 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "SERVICE_SCHEMA",
     "SERVICE_SCHEMA_VERSION",
+    "STREAM_SOAK_SCHEMA",
+    "STREAM_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
+    "validate_stream_soak",
 ]
 
 _PROFILE_NAMES = {"RunProfile", "IterationProfile", "KernelProfile", "build_profile"}
@@ -68,9 +73,12 @@ _SCHEMA_NAMES = {
     "BENCH_SCHEMA_VERSION",
     "SERVICE_SCHEMA",
     "SERVICE_SCHEMA_VERSION",
+    "STREAM_SOAK_SCHEMA",
+    "STREAM_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
+    "validate_stream_soak",
 }
 
 

@@ -28,9 +28,12 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "SERVICE_SCHEMA",
     "SERVICE_SCHEMA_VERSION",
+    "STREAM_SOAK_SCHEMA",
+    "STREAM_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
+    "validate_stream_soak",
 ]
 
 PROFILE_SCHEMA = "repro.observe/profile"
@@ -49,6 +52,15 @@ BENCH_SCHEMA_VERSION = 2
 #: percentiles.  The CI service-soak job uploads one of these.
 SERVICE_SCHEMA = "repro.observe/service"
 SERVICE_SCHEMA_VERSION = 1
+
+#: ``repro.observe/stream-soak`` — the streaming-pipeline report written
+#: by ``benchmarks/bench_stream_soak.py``: per-seed kill/restart soak
+#: verdicts (:func:`repro.stream.run_stream_soak`) plus throughput
+#: (deltas applied per second), the mean warm-start frontier fraction,
+#: and the incremental-vs-from-scratch speedup.  The CI stream-soak job
+#: uploads one of these.
+STREAM_SOAK_SCHEMA = "repro.observe/stream-soak"
+STREAM_SOAK_SCHEMA_VERSION = 1
 
 
 def _fail(path: str, message: str):
@@ -238,6 +250,56 @@ def validate_service_stats(doc: dict) -> dict:
         value = _require(totals, f"{path}.totals", key, numbers.Real)
         if value < 0:
             _fail(f"{path}.totals.{key}", f"negative time {value}")
+    return doc
+
+
+def validate_stream_soak(doc: dict) -> dict:
+    """Validate a ``BENCH_stream_soak.json`` document; returns ``doc``."""
+    path = "stream_soak"
+    _check_header(doc, path, STREAM_SOAK_SCHEMA, STREAM_SOAK_SCHEMA_VERSION)
+    _require(doc, path, "dataset", str)
+    scale = _require(doc, path, "scale", numbers.Real)
+    if scale <= 0:
+        _fail(f"{path}.scale", f"must be positive, got {scale}")
+    for key in ("num_seeds", "batches_per_seed", "batch_size", "hops"):
+        value = _require(doc, path, key, int)
+        if value < 0 or (key != "hops" and value == 0):
+            _fail(f"{path}.{key}", f"must be positive, got {value}")
+
+    rates = _require(doc, path, "rates", dict)
+    rpath = f"{path}.rates"
+    for key in ("deltas_per_second", "epochs_per_second", "speedup_vs_scratch"):
+        value = _require(rates, rpath, key, numbers.Real)
+        if value <= 0:
+            _fail(f"{rpath}.{key}", f"must be positive, got {value}")
+    frontier = _require(rates, rpath, "frontier_fraction_mean", numbers.Real)
+    if not 0.0 <= frontier <= 1.0:
+        _fail(f"{rpath}.frontier_fraction_mean",
+              f"fraction {frontier} outside [0, 1]")
+
+    soak = _require(doc, path, "soak", dict)
+    spath = f"{path}.soak"
+    _require(soak, spath, "ok", bool)
+    for key in ("num_seeds", "total_deaths"):
+        value = _require(soak, spath, key, int)
+        if value < 0:
+            _fail(f"{spath}.{key}", f"negative count {value}")
+    seeds = _require(soak, spath, "seeds", list)
+    if len(seeds) != soak["num_seeds"]:
+        _fail(f"{spath}.seeds",
+              f"{len(seeds)} entries for num_seeds {soak['num_seeds']}")
+    for i, s in enumerate(seeds):
+        epath = f"{spath}.seeds[{i}]"
+        for key in (
+            "seed", "batches", "epochs", "producer_deaths", "torn_tails",
+            "service_deaths", "restarts",
+        ):
+            _require(s, epath, key, int)
+        for key in ("labels_identical", "graph_identical", "ok"):
+            _require(s, epath, key, bool)
+        gap = _require(s, epath, "modularity_gap", numbers.Real)
+        if gap < 0:
+            _fail(f"{epath}.modularity_gap", f"negative gap {gap}")
     return doc
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "JobEvent",
     "BreakerEvent",
     "ServiceStatsEvent",
+    "EpochEvent",
     "Tracer",
     "counter_delta",
 ]
@@ -204,6 +205,37 @@ class ServiceStatsEvent(TraceEvent):
     breaker_states: tuple[str, ...] = ()
 
     kind = "service_stats"
+
+
+@dataclass(frozen=True)
+class EpochEvent(TraceEvent):
+    """One streaming epoch: a delta batch applied and labels re-detected.
+
+    ``iteration`` carries the epoch number (== the sequence number of the
+    batch that produced it; epoch 0 is the initial full detection).
+    """
+
+    #: Applied op counts by kind (quarantined ops excluded).
+    added: int
+    removed: int
+    updated: int
+    #: Ops dropped to the dead-letter file by this batch.
+    quarantined: int
+    #: Vertices incident to applied ops.
+    touched: int
+    #: Warm-start frontier size (``touched`` plus its hops-neighbourhood).
+    frontier: int
+    #: ``frontier / num_vertices`` (0.0 on an empty graph).
+    frontier_fraction: float
+    #: Graph shape at this epoch.
+    num_vertices: int
+    num_edges: int
+    #: LPA iterations the incremental re-detection needed.
+    lpa_iterations: int = 0
+    #: |Q_incremental - Q_scratch| when the differential check ran.
+    modularity_gap: float | None = None
+
+    kind = "epoch"
 
 
 def counter_delta(before: dict, after: dict) -> dict:

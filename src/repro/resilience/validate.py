@@ -56,6 +56,7 @@ __all__ = [
     "ValidationIssue",
     "ValidationReport",
     "WeightDefects",
+    "check_policy",
     "classify_weights",
     "repair_weight_values",
     "validate_graph",
@@ -233,11 +234,19 @@ def repair_weight_values(
 # --------------------------------------------------------------------- #
 
 
-def _check_policy(policy: str) -> None:
+def check_policy(policy: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``policy`` is one of
+    :data:`POLICIES`.  Shared with the delta-batch validation in
+    :mod:`repro.stream.delta`, which applies the same three policies to
+    streamed mutations."""
     if policy not in POLICIES:
         raise ConfigurationError(
             f"unknown validation policy {policy!r}; choose from {POLICIES}"
         )
+
+
+#: Backwards-compatible private alias.
+_check_policy = check_policy
 
 
 _UNRECOVERABLE = {

@@ -127,6 +127,22 @@ class JobSpec:
     validate:
         Input-validation policy forwarded to ``nu_lpa`` (``"strict"`` /
         ``"repair"`` / ``"quarantine"``; ``None`` skips validation).
+    kind:
+        ``"detect"`` (default) is a one-shot detection; ``"subscription"``
+        follows a durable delta log (:mod:`repro.stream`): the job
+        completes when every acknowledged batch has become an epoch, and
+        a restarted service replays the log past the last journaled
+        epoch and resumes bit-identically.
+    stream_dir:
+        Delta-log directory of a subscription job (required for
+        ``kind="subscription"``); the graph ref is the stream's *base*
+        (epoch-0) graph.
+    hops:
+        Subscription warm-start frontier radius (forwarded to
+        ``nu_lpa_incremental``).
+    delta_policy:
+        Subscription delta-validation policy (``strict`` / ``repair`` /
+        ``quarantine``).
     """
 
     job_id: str
@@ -139,6 +155,10 @@ class JobSpec:
     max_iterations: int | None = None
     tolerance: float | None = None
     validate: str | None = None
+    kind: str = "detect"
+    stream_dir: str | None = None
+    hops: int = 1
+    delta_policy: str = "strict"
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -155,6 +175,23 @@ class JobSpec:
         if self.gpu_budget_s is not None and self.gpu_budget_s <= 0:
             raise ConfigurationError(
                 f"gpu_budget_s must be > 0; got {self.gpu_budget_s}"
+            )
+        if self.kind not in ("detect", "subscription"):
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; "
+                f"choose detect or subscription"
+            )
+        if self.kind == "subscription" and not self.stream_dir:
+            raise ConfigurationError(
+                "subscription jobs require stream_dir (the delta log "
+                "directory)"
+            )
+        if self.hops < 0:
+            raise ConfigurationError(f"hops must be >= 0; got {self.hops}")
+        if self.delta_policy not in ("strict", "repair", "quarantine"):
+            raise ConfigurationError(
+                f"unknown delta_policy {self.delta_policy!r}; "
+                f"choose strict, repair, or quarantine"
             )
 
     @classmethod
@@ -180,10 +217,15 @@ class JobSpec:
             "max_iterations": self.max_iterations,
             "tolerance": self.tolerance,
             "validate": self.validate,
+            "kind": self.kind,
+            "stream_dir": self.stream_dir,
+            "hops": self.hops,
+            "delta_policy": self.delta_policy,
         }
 
     @classmethod
     def from_dict(cls, raw: dict) -> "JobSpec":
+        # Stream fields default for records journaled before they existed.
         return cls(
             job_id=str(raw["job_id"]),
             graph=GraphRef.from_dict(raw["graph"]),
@@ -195,6 +237,10 @@ class JobSpec:
             max_iterations=raw["max_iterations"],
             tolerance=raw["tolerance"],
             validate=raw["validate"],
+            kind=str(raw.get("kind", "detect")),
+            stream_dir=raw.get("stream_dir"),
+            hops=int(raw.get("hops", 1)),
+            delta_policy=str(raw.get("delta_policy", "strict")),
         )
 
 

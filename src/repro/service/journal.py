@@ -65,6 +65,7 @@ class ServiceJournal:
         self.jobs_dir = self.directory / "jobs"
         self.labels_dir = self.directory / "labels"
         self.ckpt_root = self.directory / "ckpt"
+        self.stream_root = self.directory / "streams"
         for d in (self.jobs_dir, self.labels_dir, self.ckpt_root):
             d.mkdir(parents=True, exist_ok=True)
 
@@ -79,6 +80,11 @@ class ServiceJournal:
     def checkpoint_dir(self, job_id: str) -> Path:
         """Per-job checkpoint directory (created on demand by the manager)."""
         return self.ckpt_root / _safe_name(job_id)
+
+    def stream_dir(self, job_id: str) -> Path:
+        """Per-subscription epoch-journal directory (created on demand by
+        the :class:`~repro.stream.epoch.EpochJournal`)."""
+        return self.stream_root / _safe_name(job_id)
 
     # ------------------------------------------------------------------ #
 

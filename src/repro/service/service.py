@@ -131,8 +131,14 @@ class ServiceConfig:
         crashing one).  ``None`` uses the real manager.
     chaos_hook:
         Optional callable ``hook(point, record)`` invoked at deterministic
-        execution points (``"job-finished"``); the soak harness raises
+        execution points (``"job-finished"``, and for subscription jobs
+        the stream processor's ``"pre-epoch"`` / ``"mid-epoch-apply"`` /
+        ``"post-epoch"``); the soak harnesses raise
         :class:`~repro.resilience.chaos.InjectedCrash` from it.
+    stream_differential_every:
+        For subscription jobs: every this many epochs, re-detect from
+        scratch and record the modularity gap in the epoch trace
+        (0 disables — the default; the differential is a test/bench tool).
     """
 
     workers: int = 2
@@ -153,6 +159,7 @@ class ServiceConfig:
     retry_after_base_s: float = 1.0
     checkpoint_factory: object | None = None
     chaos_hook: object | None = None
+    stream_differential_every: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -367,6 +374,10 @@ class DetectionService:
             self._finish_failed(record, f"graph load failed: {exc}")
             return
 
+        if spec.kind == "subscription":
+            self._execute_subscription(record, graph)
+            return
+
         outcome = self._ladder(record, graph)
         if outcome is None:
             if self.stop_requested:
@@ -383,6 +394,120 @@ class DetectionService:
             )
             return
         self._finish_completed(record, outcome)
+
+    def _execute_subscription(self, record: JobRecord, graph) -> None:
+        """Run one subscription job: replay its delta log into epochs.
+
+        The job completes when every acknowledged batch has become an
+        epoch.  A killed service leaves the record ``running`` in the
+        journal; on restart :meth:`_recover` re-admits it and the
+        processor's own recovery replays the delta log past the last
+        journaled epoch, resuming bit-identically (determinism of both
+        application and detection).  New batches appended after
+        completion are picked up by :meth:`advance_subscription`.
+        """
+        from repro.stream.processor import StreamProcessor
+
+        spec = record.spec
+        cfg = self._job_config(spec)
+        if self.journal is not None:
+            epoch_dir = self.journal.stream_dir(spec.job_id)
+        else:
+            epoch_dir = Path(spec.stream_dir) / "epochs"
+        t0 = time.perf_counter()
+        processor = None
+        try:
+            # Construction opens (and fscks) the delta log, so it belongs
+            # inside the failure boundary too.
+            processor = StreamProcessor(
+                graph,
+                spec.stream_dir,
+                epoch_dir,
+                config=cfg,
+                engine=spec.engine,
+                hops=spec.hops,
+                policy=spec.delta_policy,
+                tracer=self.tracer,
+                differential_every=self.config.stream_differential_every,
+                chaos=(lambda point: self._chaos(point, record)),
+                price=(lambda result: self._price(result, cfg)),
+            )
+            processor.recover()
+            while not self.stop_requested:
+                if processor.step() is None:
+                    break
+        except ReproError as exc:
+            spent = processor.gpu_seconds if processor is not None else 0.0
+            record.wall_spent_s += time.perf_counter() - t0
+            record.gpu_spent_s += spent
+            self.clock_s += spent
+            self._finish_failed(record, f"subscription failed: {exc}")
+            return
+        wall = time.perf_counter() - t0
+        record.wall_spent_s += wall
+        record.gpu_spent_s += processor.gpu_seconds
+        self.clock_s += processor.gpu_seconds
+        if self.stop_requested and processor.lag:
+            record.state = JobState.RUNNING
+            if self.journal is not None:
+                self.journal.record(record)
+            self._emit_job(
+                record, "interrupted",
+                detail=f"subscription paused at epoch {processor.epoch} "
+                       f"(lag {processor.lag})",
+            )
+            self._running.appendleft(record)
+            return
+        self._finish_completed(record, JobOutcome(
+            labels=processor.labels,
+            rung="full",
+            converged=True,
+            iterations=processor.epoch,
+            stop_detail=f"subscription caught up at epoch {processor.epoch} "
+                        f"(log head {processor.log.head_seq})",
+            modeled_seconds=processor.gpu_seconds,
+            wall_seconds=wall,
+        ))
+
+    def advance_subscription(self, job_id: str) -> bool:
+        """Re-admit a completed subscription whose log has new batches.
+
+        Returns ``True`` when the job was re-queued (call :meth:`drain`
+        to process the new epochs), ``False`` when it is already caught
+        up or not yet finished.
+        """
+        record = self.result(job_id)
+        if record.spec.kind != "subscription":
+            raise ConfigurationError(
+                f"job {job_id!r} is not a subscription (kind="
+                f"{record.spec.kind!r})"
+            )
+        if record.state is not JobState.COMPLETED:
+            return False
+        from repro.stream.log import DeltaLog
+
+        if self.journal is not None:
+            epoch_dir = self.journal.stream_dir(job_id)
+        else:
+            epoch_dir = Path(record.spec.stream_dir) / "epochs"
+        from repro.stream.epoch import EpochJournal
+
+        state = EpochJournal(epoch_dir).latest()
+        head = DeltaLog(record.spec.stream_dir).head_seq
+        if state is not None and state.epoch >= head:
+            return False
+        record.state = JobState.PENDING
+        record.outcome = None
+        record.admitted_clock_s = self.clock_s
+        self.queue.push(record, retry_after_s=self.retry_after_hint())
+        if self.journal is not None:
+            self.journal.record(record)
+        self._emit_job(
+            record, "admitted",
+            detail=f"subscription advanced (epoch "
+                   f"{0 if state is None else state.epoch} -> head {head})",
+        )
+        return True
 
     def _ladder(self, record: JobRecord, graph) -> JobOutcome | None:
         """Descend the ladder until some rung produces labels."""

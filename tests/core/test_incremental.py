@@ -126,3 +126,69 @@ class TestRak:
         ring = watts_strogatz(64, 2, 0.0, seed=1)
         r = rak(ring, seed=0)
         assert r.converged
+
+
+class TestAffectedVerticesEdgeCases:
+    def _two_paths(self):
+        # Two disjoint 3-vertex paths: 0-1-2 and 3-4-5.
+        return from_edges([0, 1, 3, 4], [1, 2, 4, 5], num_vertices=6,
+                          symmetrize=True)
+
+    def test_frontier_never_crosses_components(self):
+        g = self._two_paths()
+        out = affected_vertices(g, np.array([0]), hops=5)
+        assert set(out.tolist()) == {0, 1, 2}
+
+    def test_multi_hop_union_across_components(self):
+        g = self._two_paths()
+        out = affected_vertices(g, np.array([0, 3]), hops=2)
+        assert set(out.tolist()) == {0, 1, 2, 3, 4, 5}
+
+    def test_self_loop_does_not_inflate_frontier(self):
+        g = from_edges([0, 0], [0, 1], num_vertices=3, symmetrize=True)
+        out = affected_vertices(g, np.array([0]), hops=2)
+        assert set(out.tolist()) == {0, 1}
+        assert len(out) == len(set(out.tolist()))  # no duplicates
+
+    def test_negative_touched_rejected(self, triangle):
+        with pytest.raises(ConfigurationError):
+            affected_vertices(triangle, np.array([-1]))
+
+    def test_negative_hops_rejected(self, triangle):
+        with pytest.raises(ConfigurationError):
+            affected_vertices(triangle, np.array([0]), hops=-1)
+
+    def test_empty_touched_empty_frontier(self, triangle):
+        out = affected_vertices(triangle, np.array([], dtype=np.int64), hops=3)
+        assert out.shape[0] == 0
+
+
+class TestIncrementalFastPath:
+    def test_empty_touched_returns_previous_labels(self, two_cliques):
+        labels = nu_lpa(two_cliques).labels
+        result = nu_lpa_incremental(
+            two_cliques, labels, np.array([], dtype=np.int64)
+        )
+        assert result.converged
+        assert result.iterations == []
+        assert np.array_equal(result.labels, labels)
+        assert result.labels is not labels  # a copy, not an alias
+        assert result.algorithm == "nu-lpa-incremental[vectorized]"
+
+    def test_empty_touched_still_validates_engine(self, two_cliques):
+        labels = nu_lpa(two_cliques).labels
+        with pytest.raises(ConfigurationError):
+            nu_lpa_incremental(
+                two_cliques, labels, np.array([], dtype=np.int64),
+                engine="cuda",
+            )
+
+    def test_negative_hops_rejected(self, two_cliques):
+        labels = nu_lpa(two_cliques).labels
+        with pytest.raises(ConfigurationError):
+            nu_lpa_incremental(two_cliques, labels, np.array([0]), hops=-1)
+
+    def test_out_of_range_touched_rejected(self, two_cliques):
+        labels = nu_lpa(two_cliques).labels
+        with pytest.raises(ConfigurationError):
+            nu_lpa_incremental(two_cliques, labels, np.array([99]))

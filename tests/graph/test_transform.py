@@ -7,6 +7,9 @@ from repro.errors import GraphConstructionError
 from repro.graph.build import from_edges
 from repro.graph.properties import is_symmetric
 from repro.graph.transform import (
+    add_edges,
+    remove_edges,
+    update_weights,
     community_subgraph,
     induced_subgraph,
     largest_component,
@@ -100,3 +103,96 @@ class TestCommunitySubgraph:
     def test_missing_community_rejected(self, triangle):
         with pytest.raises(GraphConstructionError):
             community_subgraph(triangle, np.zeros(3, dtype=int), 7)
+
+
+class TestAddEdges:
+    def test_inserts_both_directions(self, triangle):
+        g = add_edges(triangle, [0], [3], num_vertices=4)
+        assert g.num_vertices == 4
+        assert 3 in g.neighbors(0).tolist()
+        assert 0 in g.neighbors(3).tolist()
+        assert is_symmetric(g)
+
+    def test_reinsert_existing_is_idempotent(self, weighted_triangle):
+        before = weighted_triangle
+        after = add_edges(before, [0], [1], [0.5])  # existing weight higher
+        assert after.num_edges == before.num_edges
+        assert is_symmetric(after)
+
+    def test_duplicate_within_call_coalesces(self, triangle):
+        g = add_edges(triangle, [0, 3, 3], [3, 0, 0], [1.0, 2.0, 3.0],
+                      num_vertices=4)
+        # one undirected edge -> exactly two arcs, combine="max" keeps 3.0
+        assert g.num_edges == triangle.num_edges + 2
+        idx = g.neighbors(0).tolist().index(3)
+        assert g.weights[g.offsets[0] + idx] == 3.0
+
+    def test_growth_without_edges(self, triangle):
+        g = add_edges(triangle, [], [], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.num_edges == triangle.num_edges
+        assert g.neighbors(4).shape[0] == 0
+
+    def test_shrinking_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            add_edges(triangle, [0], [1], num_vertices=2)
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            add_edges(triangle, [0], [7])
+
+    def test_nonfinite_weight_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            add_edges(triangle, [0], [3], [float("nan")], num_vertices=4)
+
+
+class TestRemoveEdges:
+    def test_removes_both_directions(self, triangle):
+        g = remove_edges(triangle, [0], [1])
+        assert 1 not in g.neighbors(0).tolist()
+        assert 0 not in g.neighbors(1).tolist()
+        assert g.num_edges == triangle.num_edges - 2
+        assert is_symmetric(g)
+
+    def test_missing_edge_raises_by_default(self, path6):
+        with pytest.raises(GraphConstructionError):
+            remove_edges(path6, [0], [5])  # path ends are not adjacent
+
+    def test_duplicate_within_call_coalesces(self, triangle):
+        # Existence is checked against the input graph, so naming the same
+        # edge twice in one call removes it once (sequential double-removal
+        # is the stream layer's job to reject).
+        g = remove_edges(triangle, [0, 0], [1, 1])
+        assert g.num_edges == triangle.num_edges - 2
+
+    def test_missing_ignore_skips(self, triangle):
+        g = remove_edges(triangle, [0, 0], [1, 1], missing="ignore")
+        assert g.num_edges == triangle.num_edges - 2
+
+    def test_bad_missing_mode_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            remove_edges(triangle, [0], [1], missing="maybe")
+
+
+class TestUpdateWeights:
+    def test_updates_both_directions(self, weighted_triangle):
+        g = update_weights(weighted_triangle, [0], [1], [9.0])
+        i01 = g.neighbors(0).tolist().index(1)
+        i10 = g.neighbors(1).tolist().index(0)
+        assert g.weights[g.offsets[0] + i01] == 9.0
+        assert g.weights[g.offsets[1] + i10] == 9.0
+        assert g.num_edges == weighted_triangle.num_edges
+
+    def test_duplicate_update_last_wins(self, weighted_triangle):
+        g = update_weights(weighted_triangle, [0, 0], [1, 1], [5.0, 7.0])
+        idx = g.neighbors(0).tolist().index(1)
+        assert g.weights[g.offsets[0] + idx] == 7.0
+
+    def test_missing_edge_raises_by_default(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            update_weights(triangle, [0], [7], [1.0])
+
+    def test_structure_untouched(self, weighted_triangle):
+        g = update_weights(weighted_triangle, [1], [2], [4.0])
+        assert np.array_equal(g.offsets, weighted_triangle.offsets)
+        assert np.array_equal(g.targets, weighted_triangle.targets)

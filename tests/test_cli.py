@@ -447,3 +447,70 @@ class TestServeCommand:
         assert main(["serve", "--jobs", str(jobs),
                      "--journal", str(journal)]) == 0
         assert "3 completed" in capsys.readouterr().out
+
+
+class TestStreamCommand:
+    def _log(self, tmp_path):
+        from repro.stream import DeltaLog
+        from repro.stream.delta import DeltaBatch, DeltaOp
+
+        log = DeltaLog(tmp_path / "wal")
+        for i in range(3):
+            log.append(DeltaBatch(
+                ops=(DeltaOp("add", 0, i + 1, weight=1.0),),
+                num_vertices=i + 2,
+            ))
+        return log
+
+    def test_stream_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["stream"])
+
+    def test_fsck_clean_log(self, tmp_path, capsys):
+        self._log(tmp_path)
+        assert main(["stream", "fsck", str(tmp_path / "wal")]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "0 corrupt" in out
+
+    def test_fsck_reports_torn_tail_without_repairing(self, tmp_path, capsys):
+        log = self._log(tmp_path)
+        seg = log.segments()[-1]
+        with open(seg, "ab") as fh:
+            fh.write(b"DLG1torn")
+        size = seg.stat().st_size
+        assert main(["stream", "fsck", str(tmp_path / "wal")]) == 0
+        assert "torn-tail" in capsys.readouterr().out
+        assert seg.stat().st_size == size  # fsck never modifies
+
+    def test_fsck_corruption_exits_nonzero(self, tmp_path, capsys):
+        log = self._log(tmp_path)
+        seg = log.segments()[0]
+        data = bytearray(seg.read_bytes())
+        data[30] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        assert main(["stream", "fsck", str(tmp_path / "wal")]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_fsck_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["stream", "fsck", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_status_reports_head_and_lag(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.stream.epoch import EpochJournal, EpochState
+
+        self._log(tmp_path)
+        journal = EpochJournal(tmp_path / "epochs")
+        journal.save(EpochState(
+            epoch=2, labels=np.zeros(5, dtype=np.int64),
+            num_vertices=5, num_edges=4,
+        ))
+        assert main([
+            "stream", "status", str(tmp_path / "wal"),
+            "--epochs", str(tmp_path / "epochs"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seq 3" in out
+        assert "epoch 2" in out
+        assert "lag: 1" in out
