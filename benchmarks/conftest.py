@@ -38,6 +38,18 @@ def pytest_addoption(parser):
              "overwriting it; fails on >10%% modelled-seconds or "
              "calibration-normalised wall-clock regression",
     )
+    group.addoption(
+        "--query-check",
+        action="store",
+        nargs="?",
+        const="BENCH_query.json",
+        default=None,
+        metavar="PATH",
+        help="regression-gate mode for the query bench: compare membership "
+             "p99 against the committed baseline at PATH (default "
+             "BENCH_query.json) instead of overwriting it; fails when the "
+             "SLO is missed or latency regresses past the headroom factor",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -62,3 +74,9 @@ def bench_baseline_path(request) -> str | None:
 def bench_check_path(request) -> str | None:
     """Baseline to gate against (``None`` = baseline-writing mode)."""
     return request.config.getoption("--bench-check")
+
+
+@pytest.fixture(scope="session")
+def query_check_path(request) -> str | None:
+    """Query-bench baseline to gate against (``None`` = writing mode)."""
+    return request.config.getoption("--query-check")

@@ -16,7 +16,15 @@ Commands
 ``serve``
     Run a batch of detection jobs through the resilient job service
     (admission control, retries, circuit breakers, degradation ladder,
-    crash-recovering journal) and emit a health-stats JSON.
+    crash-recovering journal) and emit a health-stats JSON.  With
+    ``--snapshot-dir`` every completed job (and every streaming epoch)
+    publishes a versioned, CRC-checked label snapshot for the read path;
+    ``--wave-batching`` coalesces compatible queued jobs into shared
+    waves on the modelled GPU clock.
+``query``
+    Serve reads from a snapshot directory published by ``serve``:
+    membership of a vertex, roster of a community, community sizes, and
+    version-over-version churn diffs.
 
 Exit codes
 ----------
@@ -384,6 +392,10 @@ def _job_spec_from_json(raw: dict, index: int):
         max_iterations=raw.get("max_iterations"),
         tolerance=raw.get("tolerance"),
         validate=raw.get("validate"),
+        kind=str(raw.get("kind", "detect")),
+        stream_dir=raw.get("stream_dir"),
+        hops=int(raw.get("hops", 1)),
+        delta_policy=str(raw.get("delta_policy", "strict")),
     )
 
 
@@ -411,6 +423,10 @@ def _cmd_serve(args) -> int:
         breaker_enabled=not args.no_breaker,
         journal_dir=args.journal,
         default_deadline_s=args.default_deadline,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_keep=args.snapshot_keep,
+        wave_batching=args.wave_batching,
+        batch_max_jobs=args.batch_max_jobs,
     )
     tracer = Tracer(enabled=args.trace_out is not None)
     service = DetectionService(config, tracer=tracer)
@@ -456,6 +472,18 @@ def _cmd_serve(args) -> int:
         f"{b['engine']}={b['state']}" for b in stats["breakers"]))
     print(f"latency:     p50 {stats['latency']['p50_modeled_s']:.4f}s "
           f"p95 {stats['latency']['p95_modeled_s']:.4f}s (modelled)")
+    batching = stats["batching"]
+    if batching["enabled"]:
+        print(f"batching:    {batching['batched_jobs']} jobs in "
+              f"{batching['batches']} wave(s), "
+              f"{batching['launch_seconds_saved']:.4f}s launch overhead "
+              f"saved")
+    if args.snapshot_dir is not None:
+        served = sum(
+            1 for s in specs if service.read_catalog.versions(s.job_id)
+        )
+        print(f"snapshots:   {served} job(s) published under "
+              f"{args.snapshot_dir}")
     if token.signum is not None:
         sig_name = signal.Signals(token.signum).name
         note = (
@@ -470,6 +498,74 @@ def _cmd_serve(args) -> int:
         and service.result(s.job_id).state is JobState.FAILED
     ]
     return 1 if failed else 0
+
+
+def _cmd_query(args) -> int:
+    from repro.service.read import QueryEngine, SnapshotCatalog, read_header
+
+    catalog = SnapshotCatalog(args.snapshots)
+    if args.versions:
+        paths = catalog.versions(args.job)
+        if not paths:
+            print(f"{args.job}: no snapshots under {args.snapshots}",
+                  file=sys.stderr)
+            return 1
+        for path in paths:
+            try:
+                h = read_header(path)
+            except ReproError as exc:
+                print(f"damaged   {path.name}  {exc}")
+                continue
+            epoch = "" if h["epoch"] is None else f" epoch={h['epoch']}"
+            print(f"v{h['snapshot_version']:<4d} {h['source']:5s}{epoch}  "
+                  f"{h['num_vertices']:,} vertices, "
+                  f"{h['num_communities']:,} communities  {path.name}")
+        return 0
+
+    engine = QueryEngine(catalog)
+    try:
+        snap = engine.snapshot_for(args.job)
+        epoch = "" if snap.epoch is None else f" epoch={snap.epoch}"
+        print(f"serving:     v{snap.snapshot_version} ({snap.source}{epoch}) "
+              f"{snap.num_vertices:,} vertices, "
+              f"{snap.num_communities:,} communities")
+        if catalog.skipped:
+            print(f"skipped:     {len(catalog.skipped)} damaged newer "
+                  f"version(s)", file=sys.stderr)
+        if args.membership is not None:
+            for vertex in args.membership:
+                print(f"membership({vertex}) = "
+                      f"{engine.membership(args.job, vertex)}")
+        if args.roster is not None:
+            members = engine.roster(args.job, args.roster)
+            shown = ", ".join(str(v) for v in members[: args.top])
+            more = ("" if members.shape[0] <= args.top
+                    else f", ... ({members.shape[0] - args.top} more)")
+            print(f"roster({args.roster}) = [{shown}{more}] "
+                  f"size={members.shape[0]}")
+        if args.sizes:
+            ids, sizes = engine.community_sizes(args.job)
+            order = np.argsort(sizes)[::-1][: args.top]
+            print(f"communities: {ids.shape[0]:,} "
+                  f"(largest {int(sizes.max()) if sizes.size else 0})")
+            for c in order:
+                print(f"  community {int(ids[c]):>10d}  "
+                      f"size {int(sizes[c]):,}")
+        if args.diff or args.diff_versions is not None:
+            if args.diff_versions is None:
+                d = engine.diff(args.job)
+            else:
+                d = engine.diff(
+                    args.job, from_version=args.diff_versions[0],
+                    to_version=args.diff_versions[1],
+                )
+            print(f"diff v{d.from_version} -> v{d.to_version}: "
+                  f"{d.changed.shape[0]:,} relabeled, "
+                  f"{d.grown.shape[0]:,} grown "
+                  f"({d.fraction:.2%} churn)")
+    finally:
+        engine.close()
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -569,7 +665,9 @@ def main(argv: list[str] | None = None) -> int:
                         "(plus optional scale/seed), 'file', or a full "
                         "'graph' ref, and may set job_id, engine, tenant, "
                         "priority, deadline_s, gpu_budget_s, "
-                        "max_iterations, tolerance, validate")
+                        "max_iterations, tolerance, validate, and (for "
+                        "kind='subscription') stream_dir, hops, "
+                        "delta_policy")
     p.add_argument("--journal", type=Path, default=None, metavar="DIR",
                    help="durable job journal; a re-run over the same "
                         "directory recovers finished jobs and resumes "
@@ -592,7 +690,47 @@ def main(argv: list[str] | None = None) -> int:
                    help="write the schema-validated health stats JSON here")
     p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
                    help="write job/breaker/stats trace events as JSON")
+    p.add_argument("--snapshot-dir", type=Path, default=None, metavar="DIR",
+                   help="publish a versioned, CRC-checked label snapshot "
+                        "for every completed job and streaming epoch; "
+                        "'repro query' serves reads from this directory")
+    p.add_argument("--snapshot-keep", type=int, default=None, metavar="N",
+                   help="retain only the newest N snapshot versions per "
+                        "job (default: keep all)")
+    p.add_argument("--wave-batching", action="store_true",
+                   help="coalesce compatible queued jobs into shared "
+                        "waves, amortising modelled kernel-launch overhead "
+                        "(per-job labels stay bit-identical)")
+    p.add_argument("--batch-max-jobs", type=int, default=8, metavar="N",
+                   help="cap on jobs sharing one wave (default 8)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="serve membership/roster/diff reads from published snapshots",
+    )
+    p.add_argument("--snapshots", type=Path, required=True, metavar="DIR",
+                   help="snapshot directory written by 'serve "
+                        "--snapshot-dir'")
+    p.add_argument("--job", required=True, metavar="JOB_ID",
+                   help="job (or subscription) whose labels to serve")
+    p.add_argument("--membership", type=int, action="append", default=None,
+                   metavar="VERTEX",
+                   help="print the community of VERTEX (repeatable)")
+    p.add_argument("--roster", type=int, default=None, metavar="COMMUNITY",
+                   help="print the members of COMMUNITY")
+    p.add_argument("--sizes", action="store_true",
+                   help="print the largest communities by size")
+    p.add_argument("--diff", action="store_true",
+                   help="churn between the two newest readable versions")
+    p.add_argument("--diff-versions", type=int, nargs=2, default=None,
+                   metavar=("FROM", "TO"),
+                   help="churn between two explicit snapshot versions")
+    p.add_argument("--versions", action="store_true",
+                   help="list every published snapshot version and exit")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="row cap for --sizes/--roster output (default 10)")
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("ckpt", help="checkpoint maintenance")
     ckpt_sub = p.add_subparsers(dest="ckpt_command", required=True)

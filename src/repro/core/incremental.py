@@ -23,14 +23,7 @@ from repro.types import VERTEX_DTYPE
 __all__ = ["affected_vertices", "nu_lpa_incremental"]
 
 
-def affected_vertices(
-    graph: CSRGraph, touched: np.ndarray, *, hops: int = 1
-) -> np.ndarray:
-    """``touched`` plus its ``hops``-neighbourhood on ``graph``.
-
-    The frontier seed for incremental re-detection: endpoints of changed
-    edges plus enough context for labels to re-equilibrate locally.
-    """
+def _validate_touched(graph: CSRGraph, touched: np.ndarray, hops: int) -> np.ndarray:
     if hops < 0:
         raise ConfigurationError(f"hops must be >= 0; got {hops}")
     touched = np.unique(np.asarray(touched, dtype=np.int64))
@@ -38,6 +31,60 @@ def affected_vertices(
         touched.min() < 0 or touched.max() >= graph.num_vertices
     ):
         raise ConfigurationError("touched vertex id out of range")
+    return touched
+
+
+def affected_vertices(
+    graph: CSRGraph, touched: np.ndarray, *, hops: int = 1
+) -> np.ndarray:
+    """``touched`` plus its ``hops``-neighbourhood on ``graph``.
+
+    The frontier seed for incremental re-detection: endpoints of changed
+    edges plus enough context for labels to re-equilibrate locally.
+
+    The expansion is a vectorised BFS over the CSR arrays: each hop
+    gathers the frontier rows' adjacency slices in one fancy-index
+    operation, masks out already-seen vertices against a boolean visited
+    array, and dedupes with :func:`numpy.unique` — no per-vertex Python
+    loop on the subscription hot path.
+    """
+    touched = _validate_touched(graph, touched, hops)
+    n = graph.num_vertices
+    if touched.shape[0] == 0 or hops == 0:
+        return touched
+    offsets = graph.offsets
+    targets = graph.targets
+    degrees = graph.degrees
+    seen = np.zeros(n, dtype=bool)
+    seen[touched] = True
+    current = touched
+    for _ in range(hops):
+        counts = degrees[current]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather the concatenated adjacency slices of the frontier:
+        # arc index = row start repeated per-degree, plus the within-row
+        # offset (a global iota minus each run's start).
+        run_starts = np.repeat(
+            np.cumsum(counts) - counts, counts.astype(np.intp)
+        )
+        within = np.arange(total, dtype=np.int64) - run_starts
+        nbrs = targets[np.repeat(offsets[current], counts.astype(np.intp)) + within]
+        fresh = np.unique(nbrs[~seen[nbrs]])
+        if fresh.shape[0] == 0:
+            break
+        seen[fresh] = True
+        current = fresh
+    return np.flatnonzero(seen).astype(np.int64)
+
+
+def _affected_vertices_reference(
+    graph: CSRGraph, touched: np.ndarray, *, hops: int = 1
+) -> np.ndarray:
+    """Pure-Python BFS oracle for the differential test of
+    :func:`affected_vertices` (the pre-vectorisation implementation)."""
+    touched = _validate_touched(graph, touched, hops)
     current = touched
     seen = set(touched.tolist())
     for _ in range(hops):

@@ -28,6 +28,9 @@ __all__ = [
     "StreamError",
     "DeltaLogCorruptError",
     "DeltaValidationError",
+    "SnapshotError",
+    "SnapshotCorruptError",
+    "SnapshotNotFoundError",
     "ServiceOverloaded",
     "DuplicateJobError",
     "JobNotFoundError",
@@ -207,6 +210,30 @@ class DeltaValidationError(StreamError):
         super().__init__(message)
         #: The :class:`~repro.stream.delta.DeltaValidationReport`.
         self.report = report
+
+
+class SnapshotError(ReproError):
+    """A query snapshot could not be written, read, or verified."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file failed its structural or CRC verification.
+
+    Raised by :meth:`repro.service.read.Snapshot.open` /
+    :meth:`~repro.service.read.Snapshot.verify`; the catalog's
+    :meth:`~repro.service.read.SnapshotCatalog.latest` catches it and
+    falls back generation-by-generation past the damage, recording each
+    skipped file.
+    """
+
+
+class SnapshotNotFoundError(SnapshotError):
+    """A job has no readable snapshot in the catalog.
+
+    Distinct from :class:`SnapshotCorruptError` so callers can tell
+    "nothing was ever published" from "everything published is damaged"
+    (the message says which of the two happened).
+    """
 
 
 class ServiceOverloaded(ReproError):

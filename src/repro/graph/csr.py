@@ -205,9 +205,11 @@ class CSRGraph:
         Computed as a segmented sum over the CSR rows; float64 accumulator
         to keep modularity arithmetic stable on large graphs.
         """
-        out = np.zeros(self.num_vertices, dtype=np.float64)
-        np.add.at(out, self.source_ids(), self._weights.astype(np.float64))
-        return out
+        return np.bincount(
+            self.source_ids(),
+            weights=self._weights.astype(np.float64),
+            minlength=self.num_vertices,
+        )
 
     def total_weight(self) -> float:
         """:math:`m = \\sum_{ij} w_{ij} / 2`, total undirected edge weight."""

@@ -7,8 +7,8 @@
 
 where :math:`\\sigma_c` is twice-counted intra-community weight and
 :math:`\\Sigma_c` the total weight incident to community *c*.  The
-implementation is a pair of scatter-adds over the CSR arcs — O(M) with no
-Python loop — using float64 accumulators regardless of the graph's edge
+implementation is a pair of weighted bincounts over the CSR arcs — O(M)
+with no Python loop — using float64 accumulators regardless of the edge
 dtype (fp32 sums over 1e8 edges lose digits that modularity comparisons at
 the 0.1% level care about).
 """
@@ -42,12 +42,12 @@ def community_weights(
     w = graph.weights.astype(np.float64)
 
     n_comms = int(labels.max()) + 1 if labels.shape[0] else 0
-    intra = np.zeros(n_comms, dtype=np.float64)
+    # bincount is a single C pass accumulating float64 in input order —
+    # the same summation order np.add.at performs, so the results are
+    # bit-identical (tests/metrics pins this), at a fraction of the cost.
     same = labels[src] == labels[dst]
-    np.add.at(intra, labels[src[same]], w[same])
-
-    total = np.zeros(n_comms, dtype=np.float64)
-    np.add.at(total, labels[src], w)
+    intra = np.bincount(labels[src[same]], weights=w[same], minlength=n_comms)
+    total = np.bincount(labels[src], weights=w, minlength=n_comms)
 
     m = float(w.sum() / 2.0)
     return intra, total, m
@@ -108,8 +108,9 @@ def delta_modularity(
         # Size for the target too: moving to a brand-new (empty) community
         # is legal and has Sigma_c = 0.
         n_comms = max(int(labels.max()), c, d) + 1
-        community_totals = np.zeros(n_comms, dtype=np.float64)
-        np.add.at(community_totals, labels, weighted_degrees)
+        community_totals = np.bincount(
+            labels, weights=weighted_degrees, minlength=n_comms
+        )
     sigma_c = float(community_totals[c]) if c < community_totals.shape[0] else 0.0
     sigma_d = float(community_totals[d])
 

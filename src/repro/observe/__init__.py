@@ -27,9 +27,12 @@ from repro.observe.trace import (
     IterationEvent,
     JobEvent,
     KernelLaunchEvent,
+    QueryEvent,
+    QueryStatsEvent,
     ServiceStatsEvent,
     Tracer,
     TraceEvent,
+    WaveBatchEvent,
     WaveEvent,
     counter_delta,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "BreakerEvent",
     "ServiceStatsEvent",
     "EpochEvent",
+    "WaveBatchEvent",
+    "QueryEvent",
+    "QueryStatsEvent",
     "counter_delta",
     "RunProfile",
     "IterationProfile",
@@ -59,10 +65,13 @@ __all__ = [
     "SERVICE_SCHEMA_VERSION",
     "STREAM_SOAK_SCHEMA",
     "STREAM_SOAK_SCHEMA_VERSION",
+    "QUERY_BENCH_SCHEMA",
+    "QUERY_BENCH_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
+    "validate_query_bench",
 ]
 
 _PROFILE_NAMES = {"RunProfile", "IterationProfile", "KernelProfile", "build_profile"}
@@ -75,10 +84,13 @@ _SCHEMA_NAMES = {
     "SERVICE_SCHEMA_VERSION",
     "STREAM_SOAK_SCHEMA",
     "STREAM_SOAK_SCHEMA_VERSION",
+    "QUERY_BENCH_SCHEMA",
+    "QUERY_BENCH_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
+    "validate_query_bench",
 }
 
 

@@ -30,10 +30,13 @@ __all__ = [
     "SERVICE_SCHEMA_VERSION",
     "STREAM_SOAK_SCHEMA",
     "STREAM_SOAK_SCHEMA_VERSION",
+    "QUERY_BENCH_SCHEMA",
+    "QUERY_BENCH_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
+    "validate_query_bench",
 ]
 
 PROFILE_SCHEMA = "repro.observe/profile"
@@ -51,7 +54,9 @@ BENCH_SCHEMA_VERSION = 2
 #: degradation-rung counts, breaker states, and modelled-clock latency
 #: percentiles.  The CI service-soak job uploads one of these.
 SERVICE_SCHEMA = "repro.observe/service"
-SERVICE_SCHEMA_VERSION = 1
+#: v2 adds the required ``batching`` section (wave-batching counters:
+#: batches formed, jobs coalesced, launch-overhead seconds amortised).
+SERVICE_SCHEMA_VERSION = 2
 
 #: ``repro.observe/stream-soak`` — the streaming-pipeline report written
 #: by ``benchmarks/bench_stream_soak.py``: per-seed kill/restart soak
@@ -61,6 +66,15 @@ SERVICE_SCHEMA_VERSION = 1
 #: uploads one of these.
 STREAM_SOAK_SCHEMA = "repro.observe/stream-soak"
 STREAM_SOAK_SCHEMA_VERSION = 1
+
+#: ``repro.observe/query-bench`` — the read-path latency report written
+#: by ``benchmarks/bench_query.py``: per-graph p50/p99 latencies of the
+#: zipfian membership/roster/diff load, the membership p99 SLO verdict,
+#: and the O(1) flatness check across two graph sizes.  ``BENCH_query.
+#: json`` at the repo root is the committed baseline the CI query-bench
+#: job gates against.
+QUERY_BENCH_SCHEMA = "repro.observe/query-bench"
+QUERY_BENCH_SCHEMA_VERSION = 1
 
 
 def _fail(path: str, message: str):
@@ -250,6 +264,21 @@ def validate_service_stats(doc: dict) -> dict:
         value = _require(totals, f"{path}.totals", key, numbers.Real)
         if value < 0:
             _fail(f"{path}.totals.{key}", f"negative time {value}")
+
+    batching = _require(doc, path, "batching", dict)
+    bpath = f"{path}.batching"
+    _require(batching, bpath, "enabled", bool)
+    for key in ("batches", "batched_jobs"):
+        value = _require(batching, bpath, key, int)
+        if value < 0:
+            _fail(f"{bpath}.{key}", f"negative count {value}")
+    saved = _require(batching, bpath, "launch_seconds_saved", numbers.Real)
+    if saved < 0:
+        _fail(f"{bpath}.launch_seconds_saved", f"negative time {saved}")
+    if batching["batched_jobs"] < 2 * batching["batches"]:
+        _fail(f"{bpath}.batched_jobs",
+              f"{batching['batched_jobs']} jobs across "
+              f"{batching['batches']} batches (a batch has >= 2 jobs)")
     return doc
 
 
@@ -300,6 +329,98 @@ def validate_stream_soak(doc: dict) -> dict:
         gap = _require(s, epath, "modularity_gap", numbers.Real)
         if gap < 0:
             _fail(f"{epath}.modularity_gap", f"negative gap {gap}")
+    return doc
+
+
+def validate_query_bench(doc: dict) -> dict:
+    """Validate a ``BENCH_query.json`` document; returns ``doc``."""
+    path = "query_bench"
+    _check_header(doc, path, QUERY_BENCH_SCHEMA, QUERY_BENCH_SCHEMA_VERSION)
+    _require(doc, path, "seed", int)
+    lookups = _require(doc, path, "lookups", int)
+    if lookups <= 0:
+        _fail(f"{path}.lookups", f"must be positive, got {lookups}")
+    readers = _require(doc, path, "readers", int)
+    if readers < 1:
+        _fail(f"{path}.readers", f"must be >= 1, got {readers}")
+    zipf_s = _require(doc, path, "zipf_s", numbers.Real)
+    if zipf_s <= 1.0:
+        _fail(f"{path}.zipf_s", f"zipf exponent must be > 1, got {zipf_s}")
+
+    mix = _require(doc, path, "op_mix", dict)
+    total_mix = 0.0
+    for op in ("membership", "roster", "diff"):
+        frac = _require(mix, f"{path}.op_mix", op, numbers.Real)
+        if not 0.0 <= frac <= 1.0:
+            _fail(f"{path}.op_mix.{op}", f"fraction {frac} outside [0, 1]")
+        total_mix += frac
+    if abs(total_mix - 1.0) > 1e-9:
+        _fail(f"{path}.op_mix", f"fractions sum to {total_mix}, want 1.0")
+
+    graphs = _require(doc, path, "graphs", list)
+    if len(graphs) < 2:
+        _fail(f"{path}.graphs", "need at least two graph sizes (O(1) check)")
+    seen = set()
+    op_count_total = 0
+    for i, g in enumerate(graphs):
+        gpath = f"{path}.graphs[{i}]"
+        name = _require(g, gpath, "name", str)
+        if name in seen:
+            _fail(f"{gpath}.name", f"duplicate graph {name!r}")
+        seen.add(name)
+        for key in ("num_vertices", "num_communities", "snapshot_bytes",
+                    "versions"):
+            value = _require(g, gpath, key, int)
+            if value < 0:
+                _fail(f"{gpath}.{key}", f"negative value {value}")
+        ops = _require(g, gpath, "ops", dict)
+        for op in ("membership", "roster", "diff"):
+            o = _require(ops, f"{gpath}.ops", op, dict)
+            opath = f"{gpath}.ops.{op}"
+            count = _require(o, opath, "count", int)
+            if count < 0:
+                _fail(f"{opath}.count", f"negative count {count}")
+            op_count_total += count
+            for key in ("p50_us", "p99_us", "mean_us"):
+                value = _require(o, opath, key, numbers.Real)
+                if value < 0:
+                    _fail(f"{opath}.{key}", f"negative latency {value}")
+            if o["p99_us"] < o["p50_us"]:
+                _fail(f"{opath}.p99_us", "p99 below p50")
+    if op_count_total != lookups:
+        _fail(f"{path}.lookups",
+              f"{lookups} declared but per-op counts sum to {op_count_total}")
+
+    slo = _require(doc, path, "slo", dict)
+    spath = f"{path}.slo"
+    budget = _require(slo, spath, "membership_p99_us", numbers.Real)
+    if budget <= 0:
+        _fail(f"{spath}.membership_p99_us", f"must be positive, got {budget}")
+    worst = _require(slo, spath, "worst_membership_p99_us", numbers.Real)
+    if worst < 0:
+        _fail(f"{spath}.worst_membership_p99_us", f"negative latency {worst}")
+    met = _require(slo, spath, "met", bool)
+    if met != (worst <= budget):
+        _fail(f"{spath}.met",
+              f"verdict {met} inconsistent with worst p99 {worst} vs "
+              f"budget {budget}")
+
+    flat = _require(doc, path, "flatness", dict)
+    fpath = f"{path}.flatness"
+    _require(flat, fpath, "small_graph", str)
+    _require(flat, fpath, "large_graph", str)
+    ratio = _require(flat, fpath, "vertex_ratio", numbers.Real)
+    if ratio < 10.0:
+        _fail(f"{fpath}.vertex_ratio",
+              f"graph sizes must be >= 10x apart, got {ratio}")
+    p50_ratio = _require(flat, fpath, "membership_p50_ratio", numbers.Real)
+    if p50_ratio <= 0:
+        _fail(f"{fpath}.membership_p50_ratio",
+              f"must be positive, got {p50_ratio}")
+    bound = _require(flat, fpath, "bound", numbers.Real)
+    if bound <= 1.0:
+        _fail(f"{fpath}.bound", f"must exceed 1.0, got {bound}")
+    _require(flat, fpath, "met", bool)
     return doc
 
 

@@ -30,6 +30,9 @@ __all__ = [
     "BreakerEvent",
     "ServiceStatsEvent",
     "EpochEvent",
+    "WaveBatchEvent",
+    "QueryEvent",
+    "QueryStatsEvent",
     "Tracer",
     "counter_delta",
 ]
@@ -236,6 +239,75 @@ class EpochEvent(TraceEvent):
     modularity_gap: float | None = None
 
     kind = "epoch"
+
+
+@dataclass(frozen=True)
+class WaveBatchEvent(TraceEvent):
+    """One shared execution wave of compatible service jobs.
+
+    ``iteration`` carries the batch sequence number.  Per-job attribution
+    is preserved: ``job_ids`` and ``per_job_saved_s`` are parallel tuples,
+    so a trace can reconstruct exactly which job was credited what share
+    of the amortised launch overhead.
+    """
+
+    #: Jobs coalesced into this wave, in execution order.
+    job_ids: tuple[str, ...]
+    #: Kernel launches the jobs would have paid run sequentially.
+    launches_sequential: int
+    #: Kernel launches after coalescing (per iteration slot, the widest
+    #: member launches; the others ride along).
+    launches_batched: int
+    #: Modelled launch-overhead seconds amortised away, total…
+    saved_seconds: float
+    #: …and attributed per job (parallel to ``job_ids``).
+    per_job_saved_s: tuple[float, ...] = ()
+
+    kind = "wave_batch"
+
+
+@dataclass(frozen=True)
+class QueryEvent(TraceEvent):
+    """One read-path query served from a published snapshot.
+
+    ``iteration`` carries the engine's running op count.  Only emitted
+    while a tracer is enabled — the serving hot path stays untraced by
+    default.
+    """
+
+    job_id: str
+    #: ``membership`` | ``roster`` | ``community_sizes`` | ``diff``.
+    op: str
+    #: The queried key: vertex id, community label, or target version
+    #: (-1 for keyless ops).
+    key: int
+    #: Elements in the answer (1 for membership, |C| for roster, ...).
+    result_size: int
+    #: Snapshot version that served the answer.
+    snapshot_version: int
+
+    kind = "query"
+
+
+@dataclass(frozen=True)
+class QueryStatsEvent(TraceEvent):
+    """Periodic read-path health snapshot (op counters by kind).
+
+    ``iteration`` carries the snapshot sequence number, mirroring
+    :class:`ServiceStatsEvent` on the write side.
+    """
+
+    membership: int
+    roster: int
+    community_sizes: int
+    diff: int
+    refresh: int
+    #: Jobs with an open served snapshot.
+    served_jobs: int
+    #: Corrupt snapshot files the catalog skipped over so far.
+    skipped_snapshots: int
+
+    kind = "query_stats"
 
 
 def counter_delta(before: dict, after: dict) -> dict:

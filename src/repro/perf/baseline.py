@@ -22,7 +22,11 @@ import time
 
 import numpy as np
 
-__all__ = ["measure_calibration", "compare_to_baseline"]
+__all__ = [
+    "measure_calibration",
+    "compare_to_baseline",
+    "compare_query_to_baseline",
+]
 
 #: Size of the calibration micro-workload (entries); large enough to be
 #: memory-bound like a real wave, small enough to run in milliseconds.
@@ -119,4 +123,66 @@ def compare_to_baseline(
                 f"(calibration-normalised: "
                 f"{base_wall / base_cal:.2f} -> {cur_wall / cur_cal:.2f})"
             )
+    return problems
+
+
+def compare_query_to_baseline(
+    current: dict,
+    baseline: dict,
+    *,
+    headroom: float = 4.0,
+) -> list[str]:
+    """Regressions of a query-bench run vs its baseline; empty = pass.
+
+    Query latencies are raw wall clock, so cross-machine comparison needs
+    slack: a graph's membership/roster p99 only fails when it exceeds
+    *both* the absolute SLO budget and ``headroom`` times the baseline p99
+    for the same (graph, op).  The SLO and flatness booleans of the
+    current run are hard gates regardless of the baseline.
+    """
+    problems: list[str] = []
+    for key in ("seed", "zipf_s", "op_mix"):
+        if current.get(key) != baseline.get(key):
+            problems.append(
+                f"baseline mismatch: {key} differs "
+                f"(current {current.get(key)!r}, baseline {baseline.get(key)!r}); "
+                f"refresh the baseline before gating"
+            )
+    if problems:
+        return problems
+
+    if not current["slo"]["met"]:
+        problems.append(
+            f"membership p99 SLO missed: "
+            f"{current['slo']['worst_membership_p99_us']:.2f}us over the "
+            f"{current['slo']['membership_p99_us']:.2f}us budget"
+        )
+    if not current["flatness"]["met"]:
+        problems.append(
+            f"flatness missed: membership p50 ratio "
+            f"{current['flatness']['membership_p50_ratio']:.2f} exceeds "
+            f"bound {current['flatness']['bound']:.2f}"
+        )
+
+    budget = current["slo"]["membership_p99_us"]
+    base_rows = {g["name"]: g for g in baseline["graphs"]}
+    for g in current["graphs"]:
+        ref = base_rows.get(g["name"])
+        if ref is None:
+            problems.append(f"{g['name']}: missing from baseline")
+            continue
+        for op in ("membership", "roster"):
+            cur_p99 = g["ops"][op]["p99_us"]
+            base_p99 = ref["ops"][op]["p99_us"]
+            ceiling = max(budget, base_p99 * headroom)
+            if cur_p99 > ceiling:
+                problems.append(
+                    f"{g['name']}/{op}: p99 regressed "
+                    f"{base_p99:.2f}us -> {cur_p99:.2f}us "
+                    f"(ceiling {ceiling:.2f}us = max(SLO, {headroom:.0f}x "
+                    f"baseline))"
+                )
+    missing = set(base_rows) - {g["name"] for g in current["graphs"]}
+    for name in sorted(missing):
+        problems.append(f"{name}: present in baseline but not in current run")
     return problems

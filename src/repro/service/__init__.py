@@ -11,6 +11,10 @@ Public surface::
         BreakerConfig, CircuitBreaker,         # circuit breakers
         ServiceJournal,                        # durability
         run_service_soak, ServiceSoakOutcome,  # kill/restart soak
+        SnapshotCatalog, Snapshot,             # query read path
+        QueryEngine, SnapshotDiff, diff_snapshots,
+        batch_key, amortize_launches,          # wave batching
+        BatchSavings,
     )
 
 Modules import lazily (PEP 562) so ``import repro`` stays light.
@@ -36,6 +40,16 @@ _EXPORTS = {
     "ServiceJournal": "repro.service.journal",
     "run_service_soak": "repro.service.soak",
     "ServiceSoakOutcome": "repro.service.soak",
+    "SnapshotCatalog": "repro.service.read",
+    "Snapshot": "repro.service.read",
+    "QueryEngine": "repro.service.read",
+    "SnapshotDiff": "repro.service.read",
+    "diff_snapshots": "repro.service.read",
+    "write_snapshot": "repro.service.read",
+    "read_header": "repro.service.read",
+    "batch_key": "repro.service.batch",
+    "amortize_launches": "repro.service.batch",
+    "BatchSavings": "repro.service.batch",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -1,0 +1,120 @@
+"""Wave batching: compatible jobs share kernel launches on the GPU clock.
+
+The perf model charges every run ``launches × launch_overhead`` — for
+small multi-tenant jobs the launch term dominates, exactly the overhead a
+real serving stack amortises by batching compatible work into shared
+kernel launches.  This module is the *accounting* half of that: given the
+per-iteration launch counts of the jobs coalesced into one wave, it
+computes how much modelled launch overhead the shared schedule saves and
+attributes the saving to each job.
+
+The model: jobs in a batch execute their iterations in lockstep.  At
+iteration slot *i*, a sequential schedule pays one launch set per job
+(``sum_j l_ij`` launches); the batched schedule launches each kernel once
+with the widest member's grid and the other jobs ride along
+(``max_j l_ij`` launches).  Jobs with fewer iterations simply drop out of
+later slots.  Each job's share of a slot's batched launches is
+proportional to its own launch count in that slot, so per-job attribution
+sums exactly to the batched total and a job that contributed nothing to a
+slot is charged nothing.
+
+Label results are untouched — batching is a scheduling/pricing concern;
+each job still runs the exact same deterministic detection, which is how
+the service keeps its bit-identical-to-unbatched guarantee.
+
+Batch *compatibility* is a config-class key: same engine, same LPA
+overrides, same validation policy, one-shot ``detect`` kind.  Jobs that
+would run different kernel sequences cannot share launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.job import JobSpec
+
+__all__ = ["batch_key", "amortize_launches", "BatchSavings"]
+
+
+def batch_key(spec: JobSpec) -> tuple | None:
+    """The compatibility class of one job, or ``None`` if unbatchable.
+
+    Only one-shot ``detect`` jobs batch (a subscription's epoch loop has
+    its own cadence); members must agree on engine and on every knob that
+    changes the kernel sequence.
+    """
+    if spec.kind != "detect":
+        return None
+    return (
+        spec.engine,
+        spec.max_iterations,
+        spec.tolerance,
+        spec.validate,
+    )
+
+
+@dataclass(frozen=True)
+class BatchSavings:
+    """Amortisation result for one batch."""
+
+    #: Total launches a sequential schedule would pay.
+    launches_sequential: int
+    #: Total launches of the shared (batched) schedule.
+    launches_batched: int
+    #: Modelled seconds saved, total and attributed per job (same order
+    #: as the input).
+    saved_seconds: float
+    per_job_saved_s: tuple[float, ...]
+
+    @property
+    def launches_saved(self) -> int:
+        return self.launches_sequential - self.launches_batched
+
+
+def amortize_launches(
+    per_job_iteration_launches: list[tuple[int, ...]],
+    launch_overhead: float,
+) -> BatchSavings:
+    """Launch-overhead savings of batching jobs with the given schedules.
+
+    Parameters
+    ----------
+    per_job_iteration_launches:
+        For each job, its per-iteration kernel launch counts (job *j*'s
+        iteration *i* launched ``l[j][i]`` kernels).
+    launch_overhead:
+        The platform's modelled seconds per kernel launch.
+
+    Attribution at slot *i*: job *j* is charged
+    ``batched_i × l_ij / sum_j l_ij`` launches, so per-job savings sum to
+    the slot's total saving and every job's saving is non-negative (a
+    job's share of the batched cost never exceeds its sequential cost,
+    because ``batched_i <= sum_j l_ij``).
+    """
+    jobs = len(per_job_iteration_launches)
+    if jobs == 0:
+        return BatchSavings(0, 0, 0.0, ())
+    depth = max(len(l) for l in per_job_iteration_launches)
+    sequential = 0
+    batched = 0
+    saved = [0.0] * jobs
+    for i in range(depth):
+        slot = [
+            l[i] if i < len(l) else 0
+            for l in per_job_iteration_launches
+        ]
+        slot_seq = sum(slot)
+        slot_max = max(slot)
+        sequential += slot_seq
+        batched += slot_max
+        if slot_seq == 0:
+            continue
+        for j, l_ij in enumerate(slot):
+            share = slot_max * (l_ij / slot_seq)
+            saved[j] += (l_ij - share) * launch_overhead
+    return BatchSavings(
+        launches_sequential=sequential,
+        launches_batched=batched,
+        saved_seconds=(sequential - batched) * launch_overhead,
+        per_job_saved_s=tuple(saved),
+    )

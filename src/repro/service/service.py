@@ -56,8 +56,10 @@ from repro.observe.trace import (
     JobEvent,
     ServiceStatsEvent,
     Tracer,
+    WaveBatchEvent,
 )
 from repro.service.backoff import BackoffPolicy, is_retryable
+from repro.service.batch import amortize_launches, batch_key
 from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.job import (
     GraphRef,
@@ -139,6 +141,27 @@ class ServiceConfig:
         For subscription jobs: every this many epochs, re-detect from
         scratch and record the modularity gap in the epoch trace
         (0 disables — the default; the differential is a test/bench tool).
+    snapshot_dir:
+        Root of the query :class:`~repro.service.read.SnapshotCatalog`.
+        When set, every completed detect job publishes its labels as a
+        versioned snapshot (``source="job"``) and every subscription
+        epoch publishes one too (``source="epoch"``), atomically — the
+        read path (:class:`~repro.service.read.QueryEngine`, ``repro
+        query``) serves from here.  ``None`` disables publishing.
+    snapshot_keep:
+        Per-job snapshot retention ring (``None`` keeps every version).
+    wave_batching:
+        Coalesce compatible in-flight ``detect`` jobs (same engine /
+        config class, see :func:`~repro.service.batch.batch_key`) into
+        shared execution waves on the modelled GPU clock, amortising
+        kernel-launch overhead across the batch.  Labels are bit-identical
+        to unbatched runs — batching only changes scheduling/pricing; the
+        per-job share of the saved launch overhead is attributed in each
+        outcome and traced via
+        :class:`~repro.observe.trace.WaveBatchEvent`.
+    batch_max_jobs:
+        Upper bound on jobs per shared wave (also bounded by ``workers``:
+        only concurrently scheduled jobs can share a wave).
     """
 
     workers: int = 2
@@ -160,8 +183,16 @@ class ServiceConfig:
     checkpoint_factory: object | None = None
     chaos_hook: object | None = None
     stream_differential_every: int = 0
+    snapshot_dir: str | Path | None = None
+    snapshot_keep: int | None = None
+    wave_batching: bool = False
+    batch_max_jobs: int = 8
 
     def __post_init__(self) -> None:
+        if self.batch_max_jobs < 2:
+            raise ConfigurationError(
+                f"batch_max_jobs must be >= 2; got {self.batch_max_jobs}"
+            )
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1; got {self.workers}")
         if self.queue_capacity < 1:
@@ -226,6 +257,13 @@ class DetectionService:
         self.journal: ServiceJournal | None = None
         if self.config.journal_dir is not None:
             self.journal = ServiceJournal(self.config.journal_dir)
+        self.read_catalog = None
+        if self.config.snapshot_dir is not None:
+            from repro.service.read import SnapshotCatalog
+
+            self.read_catalog = SnapshotCatalog(
+                self.config.snapshot_dir, keep=self.config.snapshot_keep
+            )
         #: Every job this service knows, admitted or recovered, by id.
         self.jobs: dict[str, JobRecord] = {}
         self._running: deque[JobRecord] = deque()
@@ -244,7 +282,18 @@ class DetectionService:
             "retries": 0,
             "reroutes": 0,
             "recovered": 0,
+            "batches": 0,
+            "batched_jobs": 0,
         }
+        #: Running (sum, count) of completed-job modelled latencies so
+        #: :meth:`retry_after_hint` — called on *every* submit — is O(1)
+        #: instead of rescanning the whole job table.
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        #: Modelled launch-overhead seconds amortised away by wave batching.
+        self.launch_seconds_saved = 0.0
+        #: Jobs the most recent :meth:`step` executed (batch size).
+        self.last_step_jobs = 0
         self.rung_counts = {rung: 0 for rung in RUNGS}
         if self.journal is not None and recover:
             self._recover()
@@ -295,12 +344,9 @@ class DetectionService:
         Observed mean modelled job latency times the backlog per worker;
         falls back to ``retry_after_base_s`` before any job has finished.
         """
-        finished = [
-            r.latency_s for r in self.jobs.values()
-            if r.state is JobState.COMPLETED and r.latency_s > 0
-        ]
         per_job = (
-            float(np.mean(finished)) if finished
+            self._latency_sum / self._latency_count
+            if self._latency_count
             else self.config.retry_after_base_s
         )
         backlog = self.queue.depth + len(self._running) + 1
@@ -314,13 +360,23 @@ class DetectionService:
     # ------------------------------------------------------------------ #
 
     def step(self) -> JobRecord | None:
-        """Run the next scheduled job to completion; ``None`` when idle."""
+        """Run the next scheduled job to completion; ``None`` when idle.
+
+        With :attr:`ServiceConfig.wave_batching` enabled, one step may
+        execute a whole shared wave of compatible in-flight jobs (see
+        :attr:`last_step_jobs` for how many it was).
+        """
         self._fill_workers()
         if not self._running:
+            self.last_step_jobs = 0
             return None
-        record = self._running.popleft()
-        self._execute(record)
-        return record
+        batch = self._claim_batch()
+        self.last_step_jobs = len(batch)
+        if len(batch) > 1:
+            self._execute_wave(batch)
+        else:
+            self._execute(batch[0])
+        return batch[0]
 
     def drain(self, max_jobs: int | None = None) -> int:
         """Run jobs until the queue is empty (or ``max_jobs`` done).
@@ -335,7 +391,7 @@ class DetectionService:
             record = self.step()
             if record is None:
                 break
-            done += 1
+            done += self.last_step_jobs
         return done
 
     def request_stop(self) -> None:
@@ -361,6 +417,88 @@ class DetectionService:
                 self.journal.record(record)
             self._running.append(record)
             self._emit_job(record, "started")
+
+    # ------------------------------------------------------------------ #
+    # Wave batching
+    # ------------------------------------------------------------------ #
+
+    def _claim_batch(self) -> list[JobRecord]:
+        """Pop the next job plus every compatible in-flight companion.
+
+        Compatibility is :func:`~repro.service.batch.batch_key` equality;
+        non-members keep their relative order in the running set.  With
+        batching disabled this is just ``popleft``.
+        """
+        record = self._running.popleft()
+        if not self.config.wave_batching:
+            return [record]
+        key = batch_key(record.spec)
+        if key is None:
+            return [record]
+        batch = [record]
+        passed_over: deque[JobRecord] = deque()
+        while self._running and len(batch) < self.config.batch_max_jobs:
+            candidate = self._running.popleft()
+            if batch_key(candidate.spec) == key:
+                batch.append(candidate)
+            else:
+                passed_over.append(candidate)
+        passed_over.extend(self._running)
+        self._running = passed_over
+        return batch
+
+    def _execute_wave(self, batch: list[JobRecord]) -> None:
+        """Execute one shared wave, then amortise its launch overhead.
+
+        Each member runs through the normal :meth:`_execute` path — same
+        engine calls, same labels, same journal protocol as an unbatched
+        run — so batching can never change *what* a job computes, only
+        what the modelled clock charges it.
+        """
+        for record in batch:
+            self._execute(record)
+        self._amortize_wave(batch)
+
+    def _amortize_wave(self, batch: list[JobRecord]) -> None:
+        eligible = [
+            r for r in batch
+            if r.state is JobState.COMPLETED
+            and r.outcome is not None
+            and r.outcome.rung == "full"
+            and r.outcome.iteration_launches
+        ]
+        if len(eligible) < 2:
+            return
+        from repro.observe.profile import platform_for_device
+
+        platform = platform_for_device(self.config.lpa.device)
+        savings = amortize_launches(
+            [r.outcome.iteration_launches for r in eligible],
+            platform.launch_overhead,
+        )
+        if savings.saved_seconds <= 0.0:
+            return
+        # Re-price: the batch retires together at the amortised clock.
+        self.clock_s -= savings.saved_seconds
+        for record, saved in zip(eligible, savings.per_job_saved_s):
+            self._untrack_latency(record.latency_s)
+            record.outcome.modeled_seconds -= saved
+            record.gpu_spent_s -= saved
+            record.finished_clock_s = self.clock_s
+            self._track_latency(record.latency_s)
+            if self.journal is not None:
+                self.journal.record(record)
+        self.counters["batches"] += 1
+        self.counters["batched_jobs"] += len(eligible)
+        self.launch_seconds_saved += savings.saved_seconds
+        self.tracer.emit(WaveBatchEvent(
+            iteration=self.counters["batches"],
+            job_ids=tuple(r.job_id for r in eligible),
+            launches_sequential=savings.launches_sequential,
+            launches_batched=savings.launches_batched,
+            saved_seconds=savings.saved_seconds,
+            per_job_saved_s=savings.per_job_saved_s,
+        ))
 
     # ------------------------------------------------------------------ #
     # The per-job degradation ladder
@@ -431,6 +569,14 @@ class DetectionService:
                 differential_every=self.config.stream_differential_every,
                 chaos=(lambda point: self._chaos(point, record)),
                 price=(lambda result: self._price(result, cfg)),
+                publish=(
+                    None if self.read_catalog is None
+                    else (lambda state, job_id=spec.job_id:
+                          self.read_catalog.publish(
+                              job_id, state.labels,
+                              source="epoch", epoch=state.epoch,
+                          ))
+                ),
             )
             processor.recover()
             while not self.stop_requested:
@@ -676,6 +822,9 @@ class DetectionService:
             stop_detail=stop_detail,
             modeled_seconds=gpu,
             wall_seconds=wall,
+            iteration_launches=tuple(
+                int(it.counters.launches) for it in result.iterations
+            ),
         )
 
     def _attempt_failed(self, record, engine, exc, t0) -> None:
@@ -761,10 +910,22 @@ class DetectionService:
         record.state = JobState.COMPLETED
         record.outcome = outcome
         record.finished_clock_s = self.clock_s
+        self._track_latency(record.latency_s)
         self.rung_counts[outcome.rung] = self.rung_counts.get(outcome.rung, 0) + 1
         self.queue.release(record)
         if self.journal is not None:
             self.journal.record(record)
+        # Publish *after* the journal write: a crash mid-publish leaves the
+        # catalog serving the previous CRC-verified version while the job
+        # itself is durably completed (the recovery republish heals it).
+        if (
+            self.read_catalog is not None
+            and outcome.labels is not None
+            and record.spec.kind == "detect"
+        ):
+            self.read_catalog.publish(
+                record.job_id, outcome.labels, source="job"
+            )
         self._emit_job(
             record,
             "completed" if not outcome.degraded else "degraded",
@@ -804,6 +965,21 @@ class DetectionService:
             self.jobs[record.job_id] = record
             self._seq = max(self._seq, record.seq + 1)
             if record.state in (JobState.COMPLETED, JobState.FAILED):
+                if record.state is JobState.COMPLETED:
+                    self._track_latency(record.latency_s)
+                    # Heal a crash between journal write and publish; the
+                    # catalog dedupes, so an already-published job is a
+                    # no-op and versions stay stable across restarts.
+                    if (
+                        self.read_catalog is not None
+                        and record.outcome is not None
+                        and record.outcome.labels is not None
+                        and record.spec.kind == "detect"
+                    ):
+                        self.read_catalog.publish(
+                            record.job_id, record.outcome.labels,
+                            source="job",
+                        )
                 if record.outcome is not None and record.outcome.rung in self.rung_counts:
                     if record.state is JobState.COMPLETED:
                         self.rung_counts[record.outcome.rung] += 1
@@ -853,7 +1029,7 @@ class DetectionService:
 
         return {
             "schema": "repro.observe/service",
-            "version": 1,
+            "version": 2,
             "clock_s": self.clock_s,
             "wall_seconds": time.perf_counter() - self._wall_start,
             "workers": self.config.workers,
@@ -877,6 +1053,12 @@ class DetectionService:
                 "degraded": degraded,
             },
             "rungs": dict(self.rung_counts),
+            "batching": {
+                "enabled": self.config.wave_batching,
+                "batches": self.counters["batches"],
+                "batched_jobs": self.counters["batched_jobs"],
+                "launch_seconds_saved": self.launch_seconds_saved,
+            },
             "breakers": [b.snapshot() for b in self.breakers.values()],
             "latency": {
                 "count": int(lat_model.size),
@@ -1005,6 +1187,18 @@ class DetectionService:
         self.tracer.emit(JobEvent(
             iteration=0, job_id=job_id, state=state, detail=detail,
         ))
+
+    def _track_latency(self, latency_s: float) -> None:
+        """Fold one completed job's latency into the running mean."""
+        if latency_s > 0:
+            self._latency_sum += latency_s
+            self._latency_count += 1
+
+    def _untrack_latency(self, latency_s: float) -> None:
+        """Remove a latency contribution (wave batching re-prices jobs)."""
+        if latency_s > 0:
+            self._latency_sum -= latency_s
+            self._latency_count -= 1
 
     def _chaos(self, point: str, record: JobRecord) -> None:
         hook = self.config.chaos_hook

@@ -79,6 +79,12 @@ class StreamProcessor:
     price:
         Optional ``price(result) -> float`` charging modelled GPU seconds
         for each detection run (the job service passes its own meter).
+    publish:
+        Optional ``publish(state)`` called with each
+        :class:`~repro.stream.epoch.EpochState` *after* its journal write
+        — the job service hooks the query snapshot catalog here.  Called
+        from :meth:`recover` too (recovery republish), so it must be
+        idempotent (the catalog dedupes on content).
     keep:
         Epoch journal retention ring (``None`` keeps everything).
     """
@@ -98,6 +104,7 @@ class StreamProcessor:
         differential_every: int = 0,
         chaos: Callable[[str], None] | None = None,
         price: Callable[[object], float] | None = None,
+        publish: Callable[[EpochState], None] | None = None,
         keep: int | None = 8,
     ) -> None:
         if differential_every < 0:
@@ -124,6 +131,7 @@ class StreamProcessor:
         self.differential_every = differential_every
         self.chaos = chaos
         self.price = price
+        self.publish = publish
 
         #: Current epoch (-1 until :meth:`recover` runs; 0 after the
         #: initial full detection).
@@ -158,12 +166,14 @@ class StreamProcessor:
             self.graph = self.base_graph
             self.labels = result.labels
             self.epoch = 0
-            self.journal.save(EpochState(
+            state = EpochState(
                 epoch=0,
                 labels=self.labels,
                 num_vertices=self.graph.num_vertices,
                 num_edges=self.graph.num_edges,
-            ))
+            )
+            self.journal.save(state)
+            self._publish(state)
             return 0
         if state.epoch > self.log.head_seq:
             raise StreamError(
@@ -191,6 +201,10 @@ class StreamProcessor:
         self.labels = state.labels
         self.epoch = state.epoch
         self.last_gap = state.modularity_gap
+        # Republish the restored epoch: heals a crash that landed between
+        # the journal write and the publish (dedupe makes it a no-op when
+        # the snapshot already exists).
+        self._publish(state)
         return self.epoch
 
     # ------------------------------------------------------------------ #
@@ -244,6 +258,7 @@ class StreamProcessor:
             modularity_gap=gap,
         )
         self.journal.save(state)
+        self._publish(state)
         self.graph = graph
         self.labels = result.labels
         self.epoch = seq
@@ -302,3 +317,7 @@ class StreamProcessor:
     def _chaos(self, point: str) -> None:
         if self.chaos is not None:
             self.chaos(point)
+
+    def _publish(self, state: EpochState) -> None:
+        if self.publish is not None:
+            self.publish(state)

@@ -100,3 +100,87 @@ class TestDeltaModularity:
             weighted_degrees=k, community_totals=totals,
         )
         assert a == pytest.approx(b)
+
+
+class TestBincountBitIdentity:
+    """The np.add.at → np.bincount rewrite must be *bit*-identical.
+
+    Both accumulate float64 in input order through one serial C loop, so
+    every intermediate rounding step matches — not just the final values
+    to within tolerance.  These tests pin that across edge dtypes.
+    """
+
+    def _add_at_community_weights(self, graph, labels):
+        labels = np.asarray(labels)
+        src = graph.source_ids()
+        dst = graph.targets
+        w = graph.weights.astype(np.float64)
+        n_comms = int(labels.max()) + 1 if labels.shape[0] else 0
+        intra = np.zeros(n_comms)
+        total = np.zeros(n_comms)
+        same = labels[src] == labels[dst]
+        np.add.at(intra, labels[src[same]], w[same])
+        np.add.at(total, labels[src], w)
+        return intra, total, float(w.sum() / 2.0)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_community_weights_bit_identical(self, dtype, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 200, 900
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        # Awkward magnitudes so float64 rounding actually has teeth.
+        w = (rng.random(m) * 1e6 + rng.random(m)).astype(dtype)
+        graph = from_edges(src, dst, w, num_vertices=n, symmetrize=True)
+        labels = rng.integers(0, 17, size=n)
+
+        intra, total, mw = community_weights(graph, labels)
+        ref_intra, ref_total, ref_mw = self._add_at_community_weights(
+            graph, labels
+        )
+        assert np.array_equal(intra, ref_intra)  # exact, not approx
+        assert np.array_equal(total, ref_total)
+        assert mw == ref_mw
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_weighted_degrees_bit_identical(self, dtype):
+        rng = np.random.default_rng(5)
+        n, m = 150, 700
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        w = (rng.random(m) * 1e5).astype(dtype)
+        graph = from_edges(src, dst, w, num_vertices=n, symmetrize=True)
+
+        ref = np.zeros(n)
+        np.add.at(ref, graph.source_ids(), graph.weights.astype(np.float64))
+        assert np.array_equal(graph.weighted_degrees(), ref)
+
+    def test_delta_modularity_totals_bit_identical(self):
+        rng = np.random.default_rng(9)
+        n, m = 120, 500
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        w = rng.random(m).astype(np.float32) * 1e4
+        graph = from_edges(src, dst, w, num_vertices=n, symmetrize=True)
+        labels = rng.integers(0, 9, size=n)
+        k = graph.weighted_degrees()
+
+        ref_totals = np.zeros(int(labels.max()) + 1)
+        np.add.at(ref_totals, labels, k)
+        for vertex in (0, 7, 63):
+            target = int((labels[vertex] + 1) % 9)
+            with_internal = delta_modularity(graph, labels, vertex, target)
+            with_reference = delta_modularity(
+                graph, labels, vertex, target,
+                weighted_degrees=k, community_totals=ref_totals,
+            )
+            assert with_internal == with_reference  # exact equality
+
+    def test_empty_labels_edge_case(self):
+        graph = from_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            num_vertices=0,
+        )
+        intra, total, m = community_weights(graph, np.empty(0, dtype=np.int64))
+        assert intra.shape == (0,) and total.shape == (0,) and m == 0.0

@@ -1,0 +1,163 @@
+"""The query-bench document schema and its baseline regression gate."""
+
+import pytest
+
+from repro.errors import SchemaValidationError
+from repro.observe.schema import (
+    QUERY_BENCH_SCHEMA,
+    QUERY_BENCH_SCHEMA_VERSION,
+    validate_query_bench,
+)
+from repro.perf.baseline import compare_query_to_baseline
+
+
+def _ops(membership, roster, diff):
+    return {
+        "membership": {"count": membership, "p50_us": 1.0, "p99_us": 3.0,
+                       "mean_us": 1.2},
+        "roster": {"count": roster, "p50_us": 4.0, "p99_us": 20.0,
+                   "mean_us": 5.0},
+        "diff": {"count": diff, "p50_us": 900.0, "p99_us": 2000.0,
+                 "mean_us": 1000.0},
+    }
+
+
+def _doc(**overrides):
+    doc = {
+        "schema": QUERY_BENCH_SCHEMA,
+        "version": QUERY_BENCH_SCHEMA_VERSION,
+        "seed": 42,
+        "lookups": 1000,
+        "readers": 4,
+        "zipf_s": 1.1,
+        "op_mix": {"membership": 0.9, "roster": 0.09, "diff": 0.01},
+        "graphs": [
+            {
+                "name": "small", "num_vertices": 1000,
+                "num_communities": 20, "snapshot_bytes": 50_000,
+                "versions": 2, "ops": _ops(450, 45, 5),
+            },
+            {
+                "name": "large", "num_vertices": 10_000,
+                "num_communities": 200, "snapshot_bytes": 500_000,
+                "versions": 2, "ops": _ops(450, 45, 5),
+            },
+        ],
+        "slo": {
+            "membership_p99_us": 250.0,
+            "worst_membership_p99_us": 3.0,
+            "met": True,
+        },
+        "flatness": {
+            "small_graph": "small", "large_graph": "large",
+            "vertex_ratio": 10.0, "membership_p50_ratio": 1.0,
+            "bound": 3.0, "met": True,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestQueryBenchSchema:
+    def test_valid_document_passes(self):
+        assert validate_query_bench(_doc()) is not None
+
+    def test_wrong_schema_name_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(_doc(schema="repro.observe/other"))
+
+    def test_op_counts_must_sum_to_lookups(self):
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(_doc(lookups=1001))
+
+    def test_op_mix_must_sum_to_one(self):
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(_doc(op_mix={
+                "membership": 0.9, "roster": 0.2, "diff": 0.01,
+            }))
+
+    def test_single_graph_rejected(self):
+        doc = _doc()
+        doc["graphs"] = doc["graphs"][:1]
+        doc["lookups"] = 500
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(doc)
+
+    def test_duplicate_graph_name_rejected(self):
+        doc = _doc()
+        doc["graphs"][1]["name"] = "small"
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(doc)
+
+    def test_p99_below_p50_rejected(self):
+        doc = _doc()
+        doc["graphs"][0]["ops"]["membership"]["p99_us"] = 0.5
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(doc)
+
+    def test_inconsistent_slo_met_rejected(self):
+        doc = _doc()
+        doc["slo"]["worst_membership_p99_us"] = 999.0  # over budget
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(doc)
+
+    def test_flatness_ratio_below_ten_rejected(self):
+        doc = _doc()
+        doc["flatness"]["vertex_ratio"] = 5.0
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(doc)
+
+    def test_zipf_s_must_exceed_one(self):
+        with pytest.raises(SchemaValidationError):
+            validate_query_bench(_doc(zipf_s=1.0))
+
+
+class TestCompareQueryToBaseline:
+    def test_identical_documents_pass(self):
+        assert compare_query_to_baseline(_doc(), _doc()) == []
+
+    def test_seed_mismatch_refuses_to_gate(self):
+        problems = compare_query_to_baseline(_doc(seed=7), _doc())
+        assert len(problems) == 1
+        assert "baseline mismatch" in problems[0]
+
+    def test_missed_slo_is_a_hard_gate(self):
+        current = _doc()
+        current["slo"]["worst_membership_p99_us"] = 400.0
+        current["slo"]["met"] = False
+        problems = compare_query_to_baseline(current, _doc())
+        assert any("SLO missed" in p for p in problems)
+
+    def test_missed_flatness_is_a_hard_gate(self):
+        current = _doc()
+        current["flatness"]["membership_p50_ratio"] = 5.0
+        current["flatness"]["met"] = False
+        problems = compare_query_to_baseline(current, _doc())
+        assert any("flatness missed" in p for p in problems)
+
+    def test_p99_within_headroom_passes(self):
+        # Under the absolute SLO budget: machine variance, not a problem.
+        current = _doc()
+        current["graphs"][0]["ops"]["membership"]["p99_us"] = 11.0
+        assert compare_query_to_baseline(current, _doc()) == []
+
+    def test_p99_beyond_slo_and_headroom_fails(self):
+        current = _doc()
+        current["graphs"][0]["ops"]["roster"]["p99_us"] = 9000.0
+        problems = compare_query_to_baseline(current, _doc())
+        assert any("small/roster" in p and "regressed" in p
+                   for p in problems)
+
+    def test_diff_latency_is_not_gated(self):
+        # Diffs CRC two whole snapshots; their latency is size-bound and
+        # intentionally outside the serving gate.
+        current = _doc()
+        current["graphs"][0]["ops"]["diff"]["p99_us"] = 1e9
+        assert compare_query_to_baseline(current, _doc()) == []
+
+    def test_missing_graph_reported_both_ways(self):
+        current = _doc()
+        current["graphs"][1]["name"] = "renamed"
+        problems = compare_query_to_baseline(current, _doc())
+        assert any("renamed: missing from baseline" in p for p in problems)
+        assert any("large: present in baseline" in p for p in problems)

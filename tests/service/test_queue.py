@@ -145,3 +145,60 @@ class TestSaturation:
         for i in range(8):
             service.submit(JobSpec.dataset(f"j{i}", "asia_osm", scale=0.02))
         assert service.retry_after_hint() >= empty_hint
+
+    def test_retry_after_uses_mean_completed_latency(self):
+        # Regression for the hint formula after the running-mean rewrite:
+        # the hint must still equal mean(latency) * backlog / workers.
+        service = DetectionService(ServiceConfig(
+            workers=2, queue_capacity=64, retry_after_base_s=0.001,
+        ))
+        for i in range(4):
+            service.submit(JobSpec.dataset(f"j{i}", "asia_osm", scale=0.02))
+        service.drain()
+        completed = [service.result(f"j{i}") for i in range(4)]
+        mean = sum(r.latency_s for r in completed) / 4
+        # backlog = depth(0) + running(0) + 1
+        expected = max(0.001, mean * 1 / 2)
+        assert service.retry_after_hint() == pytest.approx(expected)
+
+    def test_retry_after_hint_is_constant_time_in_completed_jobs(self):
+        # The hint runs on *every* submit; it must not rescan the job
+        # table (the old implementation iterated all completed jobs).
+        service = DetectionService(ServiceConfig(
+            workers=2, queue_capacity=256, retry_after_base_s=0.5,
+        ))
+        for i in range(6):
+            service.submit(JobSpec.dataset(f"j{i}", "asia_osm", scale=0.02))
+        service.drain()
+        baseline = service.retry_after_hint()
+
+        class ScanCountingDict(dict):
+            scans = 0
+
+            def values(self):
+                ScanCountingDict.scans += 1
+                return super().values()
+
+            def __iter__(self):
+                ScanCountingDict.scans += 1
+                return super().__iter__()
+
+        service.jobs = ScanCountingDict(service.jobs)
+        hint = service.retry_after_hint()
+        assert hint == pytest.approx(baseline)
+        assert ScanCountingDict.scans == 0
+
+    def test_retry_after_hint_survives_recovery(self, tmp_path):
+        # The running (sum, count) must be rebuilt on journal replay so a
+        # restarted service hints from the same data, not from the base.
+        config = ServiceConfig(
+            workers=2, queue_capacity=64, retry_after_base_s=0.001,
+            journal_dir=tmp_path / "jobs",
+        )
+        service = DetectionService(config)
+        for i in range(4):
+            service.submit(JobSpec.dataset(f"j{i}", "asia_osm", scale=0.02))
+        service.drain()
+        before = service.retry_after_hint()
+        restarted = DetectionService(config)
+        assert restarted.retry_after_hint() == pytest.approx(before)

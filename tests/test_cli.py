@@ -514,3 +514,117 @@ class TestStreamCommand:
         assert "seq 3" in out
         assert "epoch 2" in out
         assert "lag: 1" in out
+
+
+class TestQueryCommand:
+    def _published(self, tmp_path):
+        import numpy as np
+
+        from repro.service.read import SnapshotCatalog
+
+        catalog = SnapshotCatalog(tmp_path / "snaps")
+        labels = np.arange(60, dtype=np.int64) % 4
+        catalog.publish("jq", labels)
+        churned = labels.copy()
+        churned[:6] = 2
+        catalog.publish("jq", churned)
+        return tmp_path / "snaps"
+
+    def test_membership_roster_and_sizes(self, tmp_path, capsys):
+        snaps = self._published(tmp_path)
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "jq",
+            "--membership", "0", "--membership", "7",
+            "--roster", "3", "--sizes", "--top", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving:     v2" in out
+        assert "membership(0) = 2" in out
+        assert "membership(7) = 3" in out
+        assert "roster(3)" in out
+        assert "communities: 4" in out
+
+    def test_diff_default_and_explicit(self, tmp_path, capsys):
+        snaps = self._published(tmp_path)
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "jq", "--diff",
+        ]) == 0
+        assert "diff v1 -> v2" in capsys.readouterr().out
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "jq",
+            "--diff-versions", "1", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "diff v1 -> v2" in out
+        assert "relabeled" in out
+
+    def test_versions_listing(self, tmp_path, capsys):
+        snaps = self._published(tmp_path)
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "jq", "--versions",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "v2" in out
+
+    def test_missing_job_is_typed_error(self, tmp_path, capsys):
+        snaps = self._published(tmp_path)
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "ghost", "--sizes",
+        ]) == 1
+        assert "no published snapshot" in capsys.readouterr().err
+
+    def test_serve_publishes_for_query(self, tmp_path, capsys):
+        import json
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"job_id": f"j{i}", "dataset": "asia_osm", "scale": 0.02,
+             "seed": 7} for i in range(3)
+        ]))
+        snaps = tmp_path / "snaps"
+        assert main([
+            "serve", "--jobs", str(jobs), "--workers", "3",
+            "--wave-batching", "--snapshot-dir", str(snaps),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wave(s)" in out
+        assert "3 job(s) published" in out
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "j1",
+            "--membership", "0",
+        ]) == 0
+        assert "membership(0)" in capsys.readouterr().out
+
+    def test_serve_jobs_file_subscription(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        from repro.graph.datasets import generate_standin
+        from repro.stream import DeltaLog, random_delta_batches
+
+        base = generate_standin("com-Orkut", scale=0.03, seed=11)
+        log = DeltaLog(tmp_path / "wal")
+        for batch in random_delta_batches(
+            base, np.random.default_rng(11), num_batches=2, batch_size=5,
+        ):
+            log.append(batch)
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([{
+            "job_id": "live", "kind": "subscription",
+            "stream_dir": str(tmp_path / "wal"),
+            "graph": {"kind": "dataset", "name": "com-Orkut",
+                      "scale": 0.03, "seed": 11},
+        }]))
+        snaps = tmp_path / "snaps"
+        assert main([
+            "serve", "--jobs", str(jobs), "--snapshot-dir", str(snaps),
+        ]) == 0
+        capsys.readouterr()
+        # Epochs 0..2 published on the read path, newest served.
+        assert main([
+            "query", "--snapshots", str(snaps), "--job", "live",
+            "--versions",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch=0" in out and "epoch=2" in out
