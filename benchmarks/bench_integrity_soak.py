@@ -1,0 +1,96 @@
+"""R2 — integrity soak: live SDC + at-rest bit rot, never a silent wrong answer.
+
+Runs :func:`repro.integrity.run_integrity_soak` — 20 deterministic
+corruption schedules by default (``REPRO_INTEGRITY_SEEDS`` overrides),
+each attacking one run three ways: valid-but-wrong ``"sdc"`` device
+faults under the full :class:`~repro.integrity.config.IntegrityConfig`
+guard stack, a single-bit flip in a committed checkpoint generation, and
+a single-bit flip in the newest published RPSNAP01 snapshot — then
+asserts every corruption was **detected and recovered** (final labels
+bit-identical to the fault-free reference; damaged stores flagged by
+fsck / served around) or provably harmless.  Zero silent wrong answers
+is the whole contract of the integrity subsystem.
+
+Writes the machine-readable
+:class:`~repro.integrity.soak.IntegritySoakReport` to
+``BENCH_integrity_soak.json`` (override via ``REPRO_INTEGRITY_OUT``) for
+the CI artifact; the document validates against
+``repro.observe/integrity-soak``.  Graph size scales with
+``REPRO_BENCH_SCALE``; schedule *i* derives from
+``default_rng([REPRO_BENCH_SEED, i])``, so a failing schedule replays in
+isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.config import LPAConfig
+from repro.graph.generators import web_graph
+from repro.integrity import run_integrity_soak
+from repro.observe.schema import validate_integrity_soak
+
+
+def _soak(scale: float, seed: int, seeds: int, workdir: Path) -> dict:
+    # ~750 vertices at the default 0.25 scale: several checkpoint
+    # generations and snapshot versions per schedule, CI-minute sized.
+    graph = web_graph(max(150, int(3000 * scale)), seed=seed)
+    report = run_integrity_soak(
+        graph,
+        workdir,
+        seeds=seeds,
+        seed=seed,
+        engine="hashtable",
+        config=LPAConfig(max_iterations=15),
+    )
+    doc = report.as_dict()
+    doc["scale"] = scale
+    doc["seed"] = seed
+    return doc
+
+
+def test_integrity_soak(benchmark, bench_scale, bench_seed, tmp_path):
+    seeds = int(os.environ.get("REPRO_INTEGRITY_SEEDS", 20))
+    doc = benchmark.pedantic(
+        _soak,
+        args=(bench_scale, bench_seed, seeds, tmp_path / "soak"),
+        rounds=1,
+        iterations=1,
+    )
+    validate_integrity_soak(doc)
+
+    out = Path(os.environ.get("REPRO_INTEGRITY_OUT", "BENCH_integrity_soak.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'seed':>6s} {'live-det':>8s} {'live-id':>7s} {'ckpt':>9s} "
+          f"{'snap':>9s} {'silent':>6s}")
+    for r in doc["records"]:
+
+        def leg(d):
+            return ("det" if d["detected"] else "pad") + (
+                "/ok" if d["identical"] else "/BAD"
+            )
+
+        print(f"{r['seed']:6d} {r['live']['detections']:8d} "
+              f"{'yes' if r['live']['identical'] else 'NO':>7s} "
+              f"{leg(r['checkpoint']):>9s} {leg(r['snapshot']):>9s} "
+              f"{r['silent']:6d}")
+    print(doc["summary"])
+    print(f"report written to {out}")
+
+    assert len(doc["records"]) == seeds
+    # The soak must exercise detection, not just pad flips: across all
+    # schedules a majority of corruptions must have been caught.
+    detected = sum(
+        r["live"]["detections"] + r["checkpoint"]["detected"]
+        + r["snapshot"]["detected"] for r in doc["records"]
+    )
+    assert detected >= seeds, f"only {detected} detections across {seeds} seeds"
+    # The contract: zero silent wrong answers, every leg recovered.
+    assert doc["silent"] == 0, doc["summary"]
+    wrong = [r for r in doc["records"] if not r["ok"]]
+    assert not wrong, f"{len(wrong)} schedule(s) published a wrong answer"
+    assert doc["ok"]

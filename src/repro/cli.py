@@ -25,6 +25,11 @@ Commands
     Serve reads from a snapshot directory published by ``serve``:
     membership of a vertex, roster of a community, community sizes, and
     version-over-version churn diffs.
+``fsck``
+    Unified at-rest integrity audit: walk a directory tree, find every
+    durable store (checkpoints, service journal, delta WALs, epoch
+    journals, snapshot catalogs), verify all of them, and report one
+    machine-readable verdict.
 
 Exit codes
 ----------
@@ -32,6 +37,12 @@ Exit codes
 (``--resume`` without ``--checkpoint-dir``) · 4 nothing to resume ·
 5 every checkpoint generation damaged · 130/143 interrupted by
 SIGINT/SIGTERM (after writing a final checkpoint and flushing the trace).
+
+The fsck family (``fsck --all``, ``ckpt fsck``, ``stream fsck``) shares
+one contract: **0** every store clean (recoverable findings — a torn WAL
+tail, a stale temp file — don't count as damage) · **1** at least one
+damaged entry · **2** the audited directory is missing or unreadable.
+All three support ``--json`` for the machine-readable report.
 """
 
 from __future__ import annotations
@@ -100,13 +111,24 @@ def _resilience_from_args(args) -> ResilienceConfig | None:
             seed=args.fault_seed,
             max_fires=args.fault_max_fires,
         )
-    if faults is None and args.checkpoint_dir is None and not args.resume:
+    integrity = None
+    if getattr(args, "integrity", False):
+        from repro.integrity import IntegrityConfig
+
+        integrity = IntegrityConfig()
+    if (
+        faults is None
+        and integrity is None
+        and args.checkpoint_dir is None
+        and not args.resume
+    ):
         return None
     return ResilienceConfig(
         faults=faults,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        integrity=integrity,
     )
 
 
@@ -238,6 +260,13 @@ def _detect_body(args, token: _SignalToken) -> int:
         summary = ", ".join(f"{k}={v}" for k, v in sorted(by_action.items()))
         print(f"faults:      {len(result.fault_events)} events ({summary})"
               f"{' [degraded]' if result.degraded else ''}")
+    if result.integrity is not None:
+        g = result.integrity
+        print(f"integrity:   {g['scrubs']} scrub(s) "
+              f"({g['scrub_repairs']} repaired), "
+              f"{g['shadow_replays']} shadow replay(s), "
+              f"{g['spot_audits']} spot audit(s), "
+              f"{g['violations']} violation(s), {g['rewinds']} rewind(s)")
     if args.profile:
         print(result.profile.summary())
     if args.trace_out is not None:
@@ -293,48 +322,132 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+#: Fsck entry statuses that count as damage under the unified contract
+#: (0 clean / 1 damaged / 2 unreadable directory); ``torn-tail`` and
+#: ``stale-tmp`` are recoverable findings, not damage.
+_FSCK_DAMAGED = ("corrupt", "unreadable")
+
+
+def _fsck_json(kind: str, directory, entries, extra=None) -> dict:
+    damaged = sum(1 for e in entries if e["status"] in _FSCK_DAMAGED)
+    doc = {
+        "schema": "repro.integrity/fsck",
+        "version": 1,
+        "kind": kind,
+        "path": str(directory),
+        "ok": damaged == 0,
+        "damaged": damaged,
+        "findings": entries,
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
 def _cmd_ckpt_fsck(args) -> int:
+    from repro.errors import CheckpointError
     from repro.resilience.checkpoint import fsck
 
-    entries = fsck(args.directory)
-    if not entries:
-        print(f"{args.directory}: no checkpoints")
-        return 0
-    bad = [e for e in entries if e.status != "ok"]
-    for e in entries:
-        if e.status == "ok":
-            print(f"ok        {e.path.name}  iteration={e.iteration} "
-                  f"digest={e.digest}")
+    try:
+        entries = fsck(args.directory)
+    except CheckpointError as exc:
+        if args.json:
+            print(json.dumps({
+                "schema": "repro.integrity/fsck", "version": 1,
+                "kind": "checkpoint", "path": str(args.directory),
+                "ok": False, "error": str(exc),
+            }, indent=2))
         else:
-            print(f"{e.status:9s} {e.path.name}  {e.detail}")
-    print(f"{len(entries)} file(s): {len(entries) - len(bad)} ok, "
-          f"{len(bad)} damaged/stale")
-    if args.delete and bad:
-        for e in bad:
+            print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    bad = [e for e in entries if e.status in _FSCK_DAMAGED]
+    stale = [e for e in entries if e.status == "stale-tmp"]
+    if args.json:
+        print(json.dumps(_fsck_json(
+            "checkpoint", args.directory,
+            [{"path": str(e.path), "status": e.status, "detail": e.detail}
+             for e in entries],
+        ), indent=2))
+    elif not entries:
+        print(f"{args.directory}: no checkpoints")
+    else:
+        for e in entries:
+            if e.status == "ok":
+                print(f"ok        {e.path.name}  iteration={e.iteration} "
+                      f"digest={e.digest}")
+            else:
+                print(f"{e.status:9s} {e.path.name}  {e.detail}")
+        print(f"{len(entries)} file(s): "
+              f"{len(entries) - len(bad) - len(stale)} ok, "
+              f"{len(stale)} stale (recoverable), {len(bad)} damaged")
+    if args.delete and (bad or stale):
+        for e in bad + stale:
             e.path.unlink(missing_ok=True)
-        print(f"deleted {len(bad)} damaged/stale file(s)")
+        if not args.json:
+            print(f"deleted {len(bad) + len(stale)} damaged/stale file(s)")
         return 0
     return 1 if bad else 0
 
 
 def _cmd_stream_fsck(args) -> int:
+    from repro.errors import StreamError
     from repro.stream import fsck_log
 
-    entries = fsck_log(args.directory)
-    if not entries:
-        print(f"{args.directory}: no segments")
-        return 0
-    bad = [e for e in entries if e.status == "corrupt"]
-    for e in entries:
-        if e.status == "ok":
-            print(f"ok        {e.path.name}  frames={e.frames} "
-                  f"seq={e.first_seq}..{e.last_seq}")
+    try:
+        entries = fsck_log(args.directory)
+    except StreamError as exc:
+        if args.json:
+            print(json.dumps({
+                "schema": "repro.integrity/fsck", "version": 1,
+                "kind": "wal", "path": str(args.directory),
+                "ok": False, "error": str(exc),
+            }, indent=2))
         else:
-            print(f"{e.status:9s} {e.path.name}  frames={e.frames}  {e.detail}")
-    torn = sum(1 for e in entries if e.status == "torn-tail")
-    print(f"{len(entries)} segment(s): {len(entries) - len(bad) - torn} ok, "
-          f"{torn} torn tail (recoverable), {len(bad)} corrupt")
+            print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    bad = [e for e in entries if e.status in _FSCK_DAMAGED]
+    if args.json:
+        print(json.dumps(_fsck_json(
+            "wal", args.directory,
+            [{"path": str(e.path), "status": e.status, "detail": e.detail}
+             for e in entries],
+        ), indent=2))
+    elif not entries:
+        print(f"{args.directory}: no segments")
+    else:
+        for e in entries:
+            if e.status == "ok":
+                print(f"ok        {e.path.name}  frames={e.frames} "
+                      f"seq={e.first_seq}..{e.last_seq}")
+            else:
+                print(f"{e.status:9s} {e.path.name}  frames={e.frames}  "
+                      f"{e.detail}")
+        torn = sum(1 for e in entries if e.status == "torn-tail")
+        print(f"{len(entries)} segment(s): {len(entries) - len(bad) - torn} "
+              f"ok, {torn} torn tail (recoverable), {len(bad)} corrupt")
     return 1 if bad else 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.integrity import fsck_all
+
+    report = fsck_all(args.directory)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return report.exit_code
+    if report.error:
+        print(f"repro: error: {report.error}", file=sys.stderr)
+        return report.exit_code
+    for store in report.stores:
+        print(f"{store.kind:17s} {store.path}: {len(store.findings)} "
+              f"entrie(s), {store.damaged} damaged")
+        for f in store.findings:
+            if f.status != "ok":
+                print(f"  {f.status:9s} {f.path}  {f.detail}")
+    print(f"{len(report.stores)} store(s), "
+          f"{sum(len(s.findings) for s in report.stores)} entrie(s), "
+          f"{report.damaged} damaged")
+    return report.exit_code
 
 
 def _cmd_stream_status(args) -> int:
@@ -639,6 +752,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="iteration budget; unlike --max-iterations, a breach "
                         "marks the result degraded rather than merely "
                         "unconverged")
+    p.add_argument("--integrity", action="store_true",
+                   help="enable the ABFT corruption guards (CSR scrub "
+                        "checksums, label-conservation audits, hashtable "
+                        "spot-audits, shadow replay, ECC model); detections "
+                        "recover through the resilience ladder")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("info", help="print graph statistics")
@@ -737,11 +855,14 @@ def main(argv: list[str] | None = None) -> int:
     pf = ckpt_sub.add_parser(
         "fsck",
         help="verify every checkpoint in a directory (CRC32s, schema, "
-             "stale temp files); exits 1 if any file is damaged",
+             "stale temp files); exits 0 clean / 1 damaged / 2 unreadable "
+             "directory (stale temp files are recoverable)",
     )
     pf.add_argument("directory", type=Path, help="checkpoint directory")
     pf.add_argument("--delete", action="store_true",
                     help="delete damaged checkpoints and stale temp files")
+    pf.add_argument("--json", action="store_true",
+                    help="print the machine-readable report")
     pf.set_defaults(func=_cmd_ckpt_fsck)
 
     p = sub.add_parser("stream", help="delta-log stream maintenance")
@@ -749,10 +870,12 @@ def main(argv: list[str] | None = None) -> int:
     pf = stream_sub.add_parser(
         "fsck",
         help="verify every WAL segment in a delta-log directory without "
-             "modifying it; exits 1 if acknowledged batches are corrupt "
-             "(a torn tail on the final segment is recoverable)",
+             "modifying it; exits 0 clean / 1 damaged / 2 unreadable "
+             "directory (a torn tail on the final segment is recoverable)",
     )
     pf.add_argument("directory", type=Path, help="delta log directory")
+    pf.add_argument("--json", action="store_true",
+                    help="print the machine-readable report")
     pf.set_defaults(func=_cmd_stream_fsck)
     pf = stream_sub.add_parser(
         "status",
@@ -763,6 +886,22 @@ def main(argv: list[str] | None = None) -> int:
     pf.add_argument("--epochs", type=Path, default=None, metavar="DIR",
                     help="epoch journal directory of the stream's consumer")
     pf.set_defaults(func=_cmd_stream_status)
+
+    p = sub.add_parser(
+        "fsck",
+        help="unified at-rest integrity audit: walk a directory tree, "
+             "verify every durable store found (checkpoints, service "
+             "journal, delta WALs, epoch journals, snapshot catalogs); "
+             "exits 0 clean / 1 damaged / 2 unreadable directory",
+    )
+    p.add_argument("--all", action="store_true",
+                   help="audit every store kind found under the tree "
+                        "(the default and only mode; the flag documents "
+                        "intent in scripts)")
+    p.add_argument("directory", type=Path, help="root directory to audit")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable IntegrityReport")
+    p.set_defaults(func=_cmd_fsck)
 
     args = parser.parse_args(argv)
     try:

@@ -21,6 +21,7 @@ from repro.hashing.probing import ProbeStrategy
 from repro.types import VALUE_DTYPE_F32, VALUE_DTYPE_F64
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see resilience/)
+    from repro.integrity.config import IntegrityConfig
     from repro.resilience.faults import FaultSpec
 
 __all__ = ["LPAConfig", "ResilienceConfig", "SwapPrevention"]
@@ -213,6 +214,11 @@ CheckpointManager` constructor signature
         (``factory(directory, every=..., keep=...)``) used to build the
         run's manager.  ``None`` (default) uses ``CheckpointManager``
         itself; the chaos harness substitutes a crash-injecting subclass.
+    integrity:
+        Optional :class:`~repro.integrity.config.IntegrityConfig` enabling
+        the ABFT corruption guards (CSR scrub checksums, label-conservation
+        audits, hashtable spot-audits, shadow replay, ECC model).  ``None``
+        (default) keeps the hot path untouched.
     """
 
     max_retries: int = 2
@@ -228,6 +234,7 @@ CheckpointManager` constructor signature
     resume: bool = False
     faults: "FaultSpec | None" = None
     checkpoint_factory: object | None = None
+    integrity: "IntegrityConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

@@ -27,12 +27,19 @@ from repro.core.engine_vectorized import VectorizedEngine
 from repro.core.pruning import Frontier
 from repro.core.result import IterationStats, LPAResult
 from repro.core.swap_prevention import cross_check_revert
-from repro.errors import CheckpointError, ConfigurationError, ConvergenceWarning
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    ConvergenceWarning,
+    CorruptionDetectedError,
+)
 from repro.gpu.kernel import LaunchStatus
 from repro.graph.csr import CSRGraph
+from repro.integrity.guard import IntegrityGuard
 from repro.observe.trace import (
     BudgetEvent,
     ConvergenceEvent,
+    IntegrityEvent,
     IterationEvent,
     Tracer,
 )
@@ -226,9 +233,21 @@ def nu_lpa(
         meter = BudgetMeter(budget, config.device)
     degraded_reason: str | None = None
 
+    guard: IntegrityGuard | None = None
+    if (
+        supervisor is not None
+        and resilience.integrity is not None
+        and resilience.integrity.enabled
+    ):
+        guard = IntegrityGuard(graph, config, resilience.integrity, tracer=tracer)
+        supervisor.guard = guard
+
     t0 = time.perf_counter()
+    li = start_iteration
     if not converged:
-        for li in range(start_iteration, config.max_iterations):
+        # A while (not a range) so the integrity guard can *rewind* ``li``
+        # to a restored checkpoint when boundary corruption is detected.
+        while not converged and li < config.max_iterations:
             pick_less = config.pick_less_active(li)
             cross_check = config.cross_check_active(li)
 
@@ -243,6 +262,14 @@ def nu_lpa(
             reverted = 0
             if cross_check and previous is not None:
                 reverted = cross_check_revert(labels, previous, outcome.changed_vertices)
+
+            if guard is not None:
+                # Record the committed label CRC for the boundary audit and
+                # fold the accumulated audit/scrub/replay cost into this
+                # iteration's counters, so profiles and the budget meter
+                # price integrity as real modelled work.
+                guard.note_move(labels)
+                outcome.counters = outcome.counters + guard.drain()
 
             if tracing:
                 tracer.emit(IterationEvent(
@@ -314,6 +341,48 @@ def nu_lpa(
             ):
                 degraded_reason = "interrupted"
 
+            # Boundary integrity audit — *before* the checkpoint save, so a
+            # corrupted state is never made durable.  The supervisor ladder
+            # cannot replay a whole boundary; the repair rung here is a
+            # rewind to the newest verified checkpoint (bounded by
+            # ``max_rewinds``), after which the loop redoes the lost work.
+            if guard is not None:
+                try:
+                    guard.at_boundary(labels, iteration=li)
+                except CorruptionDetectedError:
+                    state = ckpt.latest() if ckpt is not None else None
+                    if (
+                        state is not None
+                        and state.digest == digest
+                        and guard.rewinds < guard.config.max_rewinds
+                    ):
+                        labels[:] = state.labels
+                        frontier.flags[:] = state.flags
+                        iterations = list(state.stats)
+                        converged = state.converged
+                        degraded_reason = None
+                        li = state.iteration
+                        if supervisor is not None:
+                            supervisor.restore_state(
+                                injector_fires=state.injector_fires,
+                                last_pl_fraction=state.last_pl_fraction,
+                            )
+                        guard.note_rewind(labels)
+                        if tracing:
+                            tracer.emit(IntegrityEvent(
+                                iteration=li,
+                                check="boundary",
+                                action="rewind",
+                                detail=(
+                                    f"restored verified checkpoint at "
+                                    f"iteration {li} "
+                                    f"(rewind {guard.rewinds}/"
+                                    f"{guard.config.max_rewinds})"
+                                ),
+                            ))
+                        continue
+                    raise
+
             # Snapshot at the iteration boundary: the state here is exactly
             # what a deterministic re-run would hold entering iteration
             # li + 1, so a killed run resumes bit-identically.  A budget
@@ -342,6 +411,7 @@ def nu_lpa(
 
             if converged or degraded_reason is not None:
                 break
+            li += 1
 
     wall = time.perf_counter() - t0
     if not converged and degraded_reason is None:
@@ -379,6 +449,7 @@ def nu_lpa(
         degraded_reason=degraded_reason,
         validation=validation,
         trace=tracer,
+        integrity=guard.stats() if guard is not None else None,
     )
     if profile:
         # Deferred import: repro.observe.profile pulls in the perf stack

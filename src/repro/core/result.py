@@ -71,6 +71,11 @@ class LPAResult:
     #: The :class:`~repro.observe.trace.Tracer` that recorded the run
     #: (``None`` for untraced runs).
     trace: object | None = None
+    #: Cumulative ABFT audit statistics from the
+    #: :class:`~repro.integrity.guard.IntegrityGuard` (scrubs, repairs,
+    #: shadow replays, violations, rewinds, ECC counters); ``None`` when
+    #: the run had no integrity config.
+    integrity: dict | None = None
 
     @property
     def num_iterations(self) -> int:

@@ -16,7 +16,10 @@ __all__ = [
     "KernelLaunchError",
     "KernelTimeoutError",
     "TransientKernelError",
+    "EccError",
     "InvariantViolation",
+    "IntegrityError",
+    "CorruptionDetectedError",
     "ResilienceExhaustedError",
     "CheckpointError",
     "CheckpointResumeError",
@@ -99,12 +102,43 @@ class TransientKernelError(ReproError):
     """
 
 
+class EccError(TransientKernelError):
+    """A SEC-DED scrub found an uncorrectable (double-bit) memory error.
+
+    Single-bit upsets are corrected in place and only counted; a double-bit
+    error within one ECC word is *detected but uncorrectable* — the device
+    poisons the page and the kernel must be replayed from clean state.  The
+    supervisor treats this like any transient fault: restore the pre-move
+    snapshot and retry (the scrub model redraws its upsets per attempt).
+    """
+
+
 class InvariantViolation(ReproError):
     """A post-kernel invariant check failed (suspected silent corruption).
 
     Raised by :mod:`repro.resilience.invariants` when a supervised move
     produces labels outside ``[0, |V|)`` or non-finite hashtable values.
     The supervisor restores the pre-move snapshot and retries.
+    """
+
+
+class IntegrityError(InvariantViolation):
+    """An ABFT integrity guard detected corruption a cheap invariant missed.
+
+    Raised by :class:`repro.integrity.guard.IntegrityGuard` when a CSR
+    checksum, label-conservation audit, hashtable spot-audit, or shadow
+    replay disagrees with the primary computation.  Subclasses
+    :class:`InvariantViolation` so the existing supervisor ladder
+    (retry → regrow → fallback → abort) applies unchanged.
+    """
+
+
+class CorruptionDetectedError(IntegrityError):
+    """Corruption detected at an iteration boundary, outside any one move.
+
+    The supervisor ladder cannot help here — the committed label state
+    itself is suspect — so the driver rewinds to the last good checkpoint
+    (when one exists and the rewind budget allows) before re-raising.
     """
 
 

@@ -35,6 +35,13 @@ class DeviceSpec:
     sector_bytes: int = 32
     #: Default thread-block size used by the block-per-vertex kernel.
     default_block_size: int = 256
+    #: Whether DRAM is ECC-protected (SEC-DED per :attr:`ecc_word_bytes`
+    #: word).  Data-center GPUs like the A100 ship with ECC on; consumer
+    #: parts model ``False`` — every upset is then potentially silent.
+    ecc_enabled: bool = True
+    #: ECC codeword payload width, bytes.  SEC-DED corrects 1 flipped bit
+    #: per word, detects 2, and misses ≥3 (silent corruption).
+    ecc_word_bytes: int = 8
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.num_sms <= 0:
@@ -43,6 +50,10 @@ class DeviceSpec:
             raise KernelLaunchError(
                 f"block size {self.default_block_size} must be a multiple of "
                 f"the warp size {self.warp_size}"
+            )
+        if self.ecc_word_bytes <= 0:
+            raise KernelLaunchError(
+                f"ecc_word_bytes must be positive, got {self.ecc_word_bytes}"
             )
 
     @property
@@ -79,6 +90,8 @@ class DeviceSpec:
             global_bandwidth=self.global_bandwidth * factor,
             sector_bytes=self.sector_bytes,
             default_block_size=self.default_block_size,
+            ecc_enabled=self.ecc_enabled,
+            ecc_word_bytes=self.ecc_word_bytes,
         )
 
 

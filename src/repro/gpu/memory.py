@@ -63,6 +63,30 @@ class MemoryModel:
             return 1
         return max(1, self.sector_bytes // element_bytes)
 
+    def ecc_words(self, num_bytes: int) -> int:
+        """ECC codewords covering ``num_bytes`` of DRAM."""
+        if num_bytes <= 0:
+            return 0
+        return -(-num_bytes // self.device.ecc_word_bytes)
+
+    def secded_classify(self, bits_in_word: int) -> str:
+        """What SEC-DED does with ``bits_in_word`` upset bits in one word.
+
+        Returns ``"clean"`` (0 bits), ``"corrected"`` (1 bit, ECC on),
+        ``"detected"`` (2 bits — uncorrectable, the device raises), or
+        ``"silent"`` (≥3 bits alias to a valid codeword, or ECC is off
+        entirely — the corruption propagates undetected).
+        """
+        if bits_in_word <= 0:
+            return "clean"
+        if not self.device.ecc_enabled:
+            return "silent"
+        if bits_in_word == 1:
+            return "corrected"
+        if bits_in_word == 2:
+            return "detected"
+        return "silent"
+
     def sectors_for_segments(
         self, segment_lengths: np.ndarray, element_bytes: int,
         pattern: AccessPattern, *, arena: WorkspaceArena | None = None,

@@ -1,0 +1,76 @@
+"""Configuration for the ABFT integrity guards.
+
+Attached to :class:`repro.core.config.ResilienceConfig` as its
+``integrity`` field; ``None`` (the default) keeps the hot path exactly as
+it was — every guard site is a single ``is not None`` test, mirroring the
+tracer's disabled-path contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IntegrityConfig"]
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Which ABFT guards run, and how often.
+
+    The intervals trade detection latency against modelled cost: every
+    guarded move charges its audit traffic to the run's kernel counters,
+    so the profile and the budget meter see integrity as real work.
+    """
+
+    #: Master switch; ``False`` behaves exactly like ``integrity=None``.
+    enabled: bool = True
+    #: Verify the CSR running checksums (and run the ECC scrub pass) every
+    #: this many iterations.
+    scrub_interval: int = 4
+    #: Shadow-replay (dual modular redundancy) interval: re-run the move on
+    #: a hook-free twin engine and compare labels bit-exactly.  ``None``
+    #: disables replay; ``1`` verifies every move (the soak setting).
+    verify_interval: int | None = 4
+    #: Label-conservation audits: per-move label-set containment plus
+    #: boundary label-set / community-count trajectory monotonicity.
+    label_audit: bool = True
+    #: Hashtable slots spot-checked per guarded move (0 disables).
+    spot_audit_slots: int = 64
+    #: Checkpoint rewinds the driver may perform before giving up and
+    #: re-raising the :class:`~repro.errors.CorruptionDetectedError`.
+    max_rewinds: int = 2
+    #: Raw DRAM upset probability per bit per scrub pass for the SEC-DED
+    #: model (0.0 = no modelled upsets; realistic fleet numbers are tiny).
+    ecc_ber: float = 0.0
+    #: Seed of the deterministic ECC upset stream (also salts the
+    #: spot-audit sampling).
+    ecc_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scrub_interval < 1:
+            raise ConfigurationError(
+                f"scrub_interval must be >= 1; got {self.scrub_interval}"
+            )
+        if self.verify_interval is not None and self.verify_interval < 1:
+            raise ConfigurationError(
+                f"verify_interval must be >= 1 or None; got {self.verify_interval}"
+            )
+        if self.spot_audit_slots < 0:
+            raise ConfigurationError(
+                f"spot_audit_slots must be >= 0; got {self.spot_audit_slots}"
+            )
+        if self.max_rewinds < 0:
+            raise ConfigurationError(
+                f"max_rewinds must be >= 0; got {self.max_rewinds}"
+            )
+        if not 0.0 <= self.ecc_ber <= 1.0:
+            raise ConfigurationError(
+                f"ecc_ber must be in [0, 1]; got {self.ecc_ber}"
+            )
+
+    def with_(self, **overrides) -> "IntegrityConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,95 @@
+"""SEC-DED ECC accounting for the simulated device.
+
+Data-center GPUs protect DRAM with single-error-correct, double-error-
+detect codes over (typically) 64-bit payload words.  The model here draws
+a deterministic Poisson number of raw bit upsets per scrub pass, bins them
+into ECC words, and classifies each word with
+:meth:`repro.gpu.memory.MemoryModel.secded_classify`:
+
+* 1 upset bit  → corrected in hardware, counted;
+* 2 upset bits → detected but uncorrectable — the guard raises
+  :class:`~repro.errors.EccError` and the supervisor replays the move;
+* ≥3 upset bits (or ECC disabled) → *silent*: the model counts it, and
+  only the ABFT guards can catch whatever it broke.
+
+Determinism: the upset stream is seeded ``[seed, pass_index]`` with a
+monotone pass counter, so a retried move redraws — a transient double-bit
+hit doesn't wedge the retry ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EccError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import MemoryModel
+
+__all__ = ["SecDedModel"]
+
+
+class SecDedModel:
+    """Deterministic SEC-DED upset model for one device."""
+
+    def __init__(self, device: DeviceSpec, *, ber: float = 0.0, seed: int = 0) -> None:
+        self.device = device
+        self.mem = MemoryModel(device)
+        #: Raw upset probability per bit per scrub pass.
+        self.ber = ber
+        self.seed = seed
+        #: Scrub passes performed (also the per-pass RNG salt).
+        self.passes = 0
+        #: Cumulative single-bit corrections.
+        self.corrected = 0
+        #: Cumulative double-bit detections (each raised an ``EccError``).
+        self.detected = 0
+        #: Cumulative words corrupted beyond SEC-DED's reach.
+        self.silent = 0
+
+    def scrub(self, num_bytes: int, *, raise_on_detect: bool = True) -> tuple[int, int, int]:
+        """One scrub pass over ``num_bytes``; returns (corrected, detected,
+        silent) word counts for this pass.
+
+        Raises :class:`~repro.errors.EccError` when a double-bit error is
+        found and ``raise_on_detect`` — after updating the counters, so the
+        caller's event record stays accurate.
+        """
+        self.passes += 1
+        if self.ber <= 0.0 or num_bytes <= 0:
+            return (0, 0, 0)
+        rng = np.random.default_rng([self.seed, self.passes])
+        upsets = int(rng.poisson(self.ber * num_bytes * 8))
+        if upsets == 0:
+            return (0, 0, 0)
+        words = self.mem.ecc_words(num_bytes)
+        hit_words, bits = np.unique(
+            rng.integers(words, size=upsets), return_counts=True
+        )
+        corrected = detected = silent = 0
+        for count in bits:
+            verdict = self.mem.secded_classify(int(count))
+            if verdict == "corrected":
+                corrected += 1
+            elif verdict == "detected":
+                detected += 1
+            elif verdict == "silent":
+                silent += 1
+        self.corrected += corrected
+        self.detected += detected
+        self.silent += silent
+        if detected and raise_on_detect:
+            raise EccError(
+                f"SEC-DED scrub pass {self.passes} found {detected} "
+                f"uncorrectable double-bit error(s) in {hit_words.shape[0]} "
+                f"upset word(s) over {num_bytes} bytes"
+            )
+        return (corrected, detected, silent)
+
+    def as_dict(self) -> dict:
+        """Cumulative counters, JSON-ready."""
+        return {
+            "passes": self.passes,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "silent": self.silent,
+        }

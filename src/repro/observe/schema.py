@@ -32,11 +32,14 @@ __all__ = [
     "STREAM_SOAK_SCHEMA_VERSION",
     "QUERY_BENCH_SCHEMA",
     "QUERY_BENCH_SCHEMA_VERSION",
+    "INTEGRITY_SOAK_SCHEMA",
+    "INTEGRITY_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
     "validate_query_bench",
+    "validate_integrity_soak",
 ]
 
 PROFILE_SCHEMA = "repro.observe/profile"
@@ -75,6 +78,15 @@ STREAM_SOAK_SCHEMA_VERSION = 1
 #: job gates against.
 QUERY_BENCH_SCHEMA = "repro.observe/query-bench"
 QUERY_BENCH_SCHEMA_VERSION = 1
+
+#: ``repro.observe/integrity-soak`` — the corruption-soak report written
+#: by ``benchmarks/bench_integrity_soak.py``: per-seed verdicts for the
+#: three corruption legs (live SDC injection under the ABFT guard stack,
+#: checkpoint bit rot, snapshot bit rot) from
+#: :func:`repro.integrity.run_integrity_soak`.  The CI integrity-soak job
+#: uploads one of these; ``silent`` must be 0.
+INTEGRITY_SOAK_SCHEMA = "repro.observe/integrity-soak"
+INTEGRITY_SOAK_SCHEMA_VERSION = 1
 
 
 def _fail(path: str, message: str):
@@ -329,6 +341,40 @@ def validate_stream_soak(doc: dict) -> dict:
         gap = _require(s, epath, "modularity_gap", numbers.Real)
         if gap < 0:
             _fail(f"{epath}.modularity_gap", f"negative gap {gap}")
+    return doc
+
+
+def validate_integrity_soak(doc: dict) -> dict:
+    """Validate a ``BENCH_integrity_soak.json`` document; returns ``doc``."""
+    path = "integrity_soak"
+    _check_header(doc, path, INTEGRITY_SOAK_SCHEMA, INTEGRITY_SOAK_SCHEMA_VERSION)
+    _require(doc, path, "engine", str)
+    for key in ("num_vertices", "num_edges"):
+        value = _require(doc, path, key, int)
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative count {value}")
+    _require(doc, path, "ok", bool)
+    silent = _require(doc, path, "silent", int)
+    if silent < 0:
+        _fail(f"{path}.silent", f"negative count {silent}")
+    _require(doc, path, "summary", str)
+    records = _require(doc, path, "records", list)
+    for i, r in enumerate(records):
+        rpath = f"{path}.records[{i}]"
+        _require(r, rpath, "seed", int)
+        _require(r, rpath, "ok", bool)
+        if _require(r, rpath, "silent", int) < 0:
+            _fail(f"{rpath}.silent", "negative count")
+        live = _require(r, rpath, "live", dict)
+        if _require(live, f"{rpath}.live", "detections", int) < 0:
+            _fail(f"{rpath}.live.detections", "negative count")
+        _require(live, f"{rpath}.live", "identical", bool)
+        for leg in ("checkpoint", "snapshot"):
+            sub = _require(r, rpath, leg, dict)
+            _require(sub, f"{rpath}.{leg}", "flip", str)
+            _require(sub, f"{rpath}.{leg}", "detected", bool)
+            _require(sub, f"{rpath}.{leg}", "identical", bool)
+        _require(r, rpath, "guard", dict)
     return doc
 
 

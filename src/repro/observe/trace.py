@@ -33,6 +33,10 @@ __all__ = [
     "WaveBatchEvent",
     "QueryEvent",
     "QueryStatsEvent",
+    "ScrubEvent",
+    "IntegrityEvent",
+    "EccEvent",
+    "SnapshotSkipEvent",
     "Tracer",
     "counter_delta",
 ]
@@ -308,6 +312,81 @@ class QueryStatsEvent(TraceEvent):
     skipped_snapshots: int
 
     kind = "query_stats"
+
+
+@dataclass(frozen=True)
+class ScrubEvent(TraceEvent):
+    """One ABFT scrub pass over the immutable CSR arrays.
+
+    Emitted every time the :class:`~repro.integrity.guard.IntegrityGuard`
+    walks the offsets/targets/weights checksums, clean or not, so a trace
+    shows the amortised scrub cadence alongside its modelled cost.
+    """
+
+    #: Arrays whose running checksum no longer matched (empty = clean).
+    mismatched: tuple[str, ...]
+    #: Arrays re-materialised in place from the golden copies.
+    repaired: tuple[str, ...]
+    #: Bytes the scrub sweep read (charged to the perf model).
+    scrubbed_bytes: int
+    #: Modelled GPU seconds the sweep cost.
+    modeled_seconds: float
+
+    kind = "scrub"
+
+
+@dataclass(frozen=True)
+class IntegrityEvent(TraceEvent):
+    """An ABFT guard verdict: a detected corruption or a repair action.
+
+    ``check`` names the guard that fired (``csr-checksum`` |
+    ``label-conservation`` | ``community-trajectory`` | ``label-crc`` |
+    ``spot-audit`` | ``shadow-replay``); ``action`` says what happened
+    next (``detected`` | ``repaired`` | ``rewind`` | ``verified``).
+    """
+
+    check: str
+    action: str
+    detail: str = ""
+
+    kind = "integrity"
+
+
+@dataclass(frozen=True)
+class EccEvent(TraceEvent):
+    """SEC-DED activity observed by one scrub pass.
+
+    Single-bit upsets are corrected silently by the hardware model and
+    only counted here; a non-zero ``detected`` means a double-bit error
+    was found and an :class:`~repro.errors.EccError` was raised.
+    """
+
+    #: Single-bit errors corrected in place this pass.
+    corrected: int
+    #: Uncorrectable (double-bit) errors found this pass.
+    detected: int
+    #: Cumulative corrected count for the run.
+    corrected_total: int
+
+    kind = "ecc"
+
+
+@dataclass(frozen=True)
+class SnapshotSkipEvent(TraceEvent):
+    """The snapshot catalog skipped a damaged version file.
+
+    ``iteration`` carries the skipped snapshot's version number.  Emitted
+    by :meth:`repro.service.read.SnapshotCatalog.latest` as it falls back
+    generation-by-generation, so operators watching the trace stream see
+    at-rest corruption the moment the read path routes around it.
+    """
+
+    job_id: str
+    #: File name of the damaged snapshot (not the full path).
+    path: str
+    reason: str
+
+    kind = "snapshot_skip"
 
 
 def counter_delta(before: dict, after: dict) -> dict:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tokenize
 import zipfile
 import zlib
 from dataclasses import dataclass, field
@@ -284,11 +285,15 @@ class CheckpointManager:
             KeyError,
             ValueError,
             EOFError,
+            SyntaxError,
+            tokenize.TokenError,
             zipfile.BadZipFile,
             json.JSONDecodeError,
         ) as exc:
             # BadZipFile and EOFError subclass Exception directly, not
             # OSError — a truncated container raises them from np.load.
+            # A bit flip inside an npy member's own header escapes numpy's
+            # parser as SyntaxError (ast.literal_eval) or tokenize.TokenError.
             raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
         if meta.get("version") != _SCHEMA_VERSION:
             raise CheckpointError(

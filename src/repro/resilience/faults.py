@@ -27,6 +27,13 @@ Fault classes
 ``timeout``
     The driver watchdog kills the kernel
     (:class:`~repro.errors.KernelTimeoutError`).
+``sdc``
+    Post-ECC silent data corruption: writes *valid-range but wrong*
+    values — a label replaced by a different live label, a hashtable key
+    overwritten with another plausible label, a value doubled — so every
+    cheap invariant (label range, finiteness) still passes.  Models the
+    ≥3-bit upsets and addressing faults that slip past SEC-DED; only the
+    ABFT guards in :mod:`repro.integrity` can catch it.
 
 Determinism: whether an attempt fires, the fault class chosen, and the
 corrupted slots are all derived from ``(seed, iteration, attempt)`` — a
@@ -53,7 +60,7 @@ from repro.types import EMPTY_KEY
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultContext", "FaultInjector"]
 
 #: The injectable fault classes, in canonical order.
-FAULT_KINDS = ("overflow", "bitflip", "cas-storm", "timeout")
+FAULT_KINDS = ("overflow", "bitflip", "cas-storm", "timeout", "sdc")
 
 
 @dataclass(frozen=True)
@@ -74,7 +81,8 @@ class FaultSpec:
     #: far above any realistic vertex count, so a corrupt key that wins the
     #: max-reduce is guaranteed to violate the label-range invariant.
     key_bit: int = 41
-    #: Buffers a ``bitflip`` may target: ``"keys"`` and/or ``"values"``.
+    #: Buffers a ``bitflip``/``sdc`` may target: ``"keys"``, ``"values"``,
+    #: and/or (``sdc`` only) ``"labels"``.
     targets: tuple[str, ...] = ("keys",)
 
     def __post_init__(self) -> None:
@@ -91,7 +99,7 @@ class FaultSpec:
             raise ConfigurationError(
                 f"probe_depth must be >= 1; got {self.probe_depth}"
             )
-        bad_targets = set(self.targets) - {"keys", "values"}
+        bad_targets = set(self.targets) - {"keys", "values", "labels"}
         if bad_targets:
             raise ConfigurationError(
                 f"unknown bitflip targets {sorted(bad_targets)}"
@@ -167,7 +175,7 @@ class FaultInjector:
         kind = self._armed
         if kind is None:
             return
-        if kind == "bitflip" and ctx.phase != "reduce":
+        if kind in ("bitflip", "sdc") and ctx.phase != "reduce":
             return  # wait until the buffers hold this wave's entries
         rng = self._rng
         self._armed = None
@@ -189,9 +197,60 @@ class FaultInjector:
                 f"{self.spec.probe_depth} ({ctx.engine} engine, "
                 f"{ctx.kernel.value} kernel)"
             )
+        if kind == "sdc":
+            self._write_sdc(ctx, rng)
+            return
         self._flip_bits(ctx, rng)
 
     # ------------------------------------------------------------------ #
+
+    def _write_sdc(self, ctx: FaultContext, rng: np.random.Generator | None) -> None:
+        """Write valid-range-but-wrong data: the corruption no cheap
+        invariant can see.
+
+        Unlike :meth:`_flip_bits` (whose high-bit key flips violate the
+        label-range check on purpose), every value written here is
+        plausible — a live label, a finite positive weight — so the range
+        and finiteness invariants pass and only an ABFT audit or shadow
+        replay can tell the move went wrong.
+        """
+        if rng is None:
+            return
+        n = ctx.labels.shape[0]
+        if n == 0:
+            return
+        targets = self.spec.targets
+
+        if "labels" in targets:
+            victim = int(rng.integers(n))
+            current = ctx.labels[victim]
+            wrong = ctx.labels[int(rng.integers(n))]
+            if wrong == current:
+                different = np.flatnonzero(ctx.labels != current)
+                if different.shape[0]:
+                    wrong = ctx.labels[different[int(rng.integers(different.shape[0]))]]
+            ctx.labels[victim] = wrong
+
+        if ctx.keys is None:
+            return
+        if ctx.base is not None and ctx.p1 is not None:
+            flat = _live_slots(ctx.base, ctx.p1)
+            occupied = flat[ctx.keys[flat] != EMPTY_KEY]
+        else:
+            occupied = np.arange(ctx.keys.shape[0], dtype=np.int64)
+        if occupied.shape[0] == 0:
+            return
+        slot = int(occupied[int(rng.integers(occupied.shape[0]))])
+
+        if "keys" in targets:
+            wrong = np.int64(ctx.labels[int(rng.integers(n))])
+            if wrong == ctx.keys[slot]:
+                wrong = np.int64((int(wrong) + 1) % n)  # in range, maybe dead
+            ctx.keys[slot] = wrong
+        if "values" in targets and ctx.values is not None:
+            # Double the accumulated weight: finite, positive, plausible —
+            # but enough to swing the max-reduce toward the wrong label.
+            ctx.values[slot] = ctx.values[slot] * 2 + 1
 
     def _flip_bits(self, ctx: FaultContext, rng: np.random.Generator | None) -> None:
         """Corrupt a sector-aligned run of slots in the wave's buffers."""

@@ -88,6 +88,9 @@ class KernelSupervisor:
         self._fallback: VectorizedEngine | None = None
         #: Changed fraction of the last completed Pick-Less round.
         self.last_pl_fraction: float | None = None
+        #: Optional :class:`~repro.integrity.guard.IntegrityGuard` run on
+        #: every accepted move (wired by the driver; ``None`` = no ABFT).
+        self.guard = None
 
     # ------------------------------------------------------------------ #
 
@@ -130,6 +133,17 @@ class KernelSupervisor:
                     labels, frontier, pick_less=pick_less, iteration=iteration
                 )
                 self._validate(labels, self.engine, pick_less, iteration)
+                if self.guard is not None:
+                    # ABFT audits run inside the try block so a detection
+                    # (IntegrityError/EccError) restores the snapshot and
+                    # descends the same ladder as any device fault.
+                    self.guard.validate_move(
+                        labels, self.engine,
+                        snapshot_labels=snapshot_labels,
+                        snapshot_flags=snapshot_flags,
+                        pick_less=pick_less,
+                        iteration=iteration,
+                    )
             except SUPERVISED_FAULTS as exc:
                 restore()
                 if self.injector is not None:

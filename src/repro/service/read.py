@@ -48,7 +48,12 @@ from repro.errors import (
     SnapshotError,
     SnapshotNotFoundError,
 )
-from repro.observe.trace import QueryEvent, QueryStatsEvent, Tracer
+from repro.observe.trace import (
+    QueryEvent,
+    QueryStatsEvent,
+    SnapshotSkipEvent,
+    Tracer,
+)
 from repro.resilience.checkpoint import _fsync_dir
 from repro.service.journal import _safe_name
 
@@ -66,8 +71,11 @@ __all__ = [
 MAGIC = b"RPSNAP01"
 
 #: Bump when the snapshot layout changes incompatibly.
+#: v2: a CRC32 of the JSON header follows the header-length word, so a
+#: bit-flip anywhere in the header (not just the array sections) is
+#: detected at open time.
 FORMAT = "repro.service/snapshot"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: Array sections are aligned to this many bytes (mmap-friendly).
 _ALIGN = 64
@@ -160,13 +168,15 @@ def write_snapshot(
         "arrays": meta_arrays,
     }
     header_bytes = json.dumps(header).encode()
-    data_start = _align(len(MAGIC) + 4 + len(header_bytes))
+    # Layout: MAGIC + u32 header_len + u32 header_crc32 + header + sections.
+    data_start = _align(len(MAGIC) + 8 + len(header_bytes))
 
     tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
     try:
         with open(tmp, "wb") as fh:
             fh.write(MAGIC)
             fh.write(struct.pack("<I", len(header_bytes)))
+            fh.write(struct.pack("<I", zlib.crc32(header_bytes)))
             fh.write(header_bytes)
             for name in _ARRAY_NAMES:
                 fh.write(b"\0" * (data_start + meta_arrays[name]["offset"] - fh.tell()))
@@ -221,13 +231,13 @@ class Snapshot:
         path = Path(path)
         header = read_header(path)
         size = path.stat().st_size
-        # data_start is derived, not stored: align(magic + u32 + header).
+        # data_start is derived, not stored: align(magic + 2×u32 + header).
         # Re-deriving it from the *parsed* header would be fragile (JSON
         # round-trips are not byte-stable), so re-read the raw length.
         with open(path, "rb") as fh:
             fh.seek(len(MAGIC))
             (header_len,) = struct.unpack("<I", fh.read(4))
-        data_start = _align(len(MAGIC) + 4 + header_len)
+        data_start = _align(len(MAGIC) + 8 + header_len)
         arrays: dict[str, np.ndarray] = {}
         for name in _ARRAY_NAMES:
             meta = header["arrays"].get(name)
@@ -334,7 +344,11 @@ class Snapshot:
 
 
 def read_header(path: str | Path) -> dict:
-    """Parse and structurally check one snapshot header (no CRC pass)."""
+    """Parse and structurally check one snapshot header.
+
+    The header's own CRC32 (format v2) is always verified — only the
+    array sections have a skippable CRC pass.
+    """
     path = Path(path)
     try:
         with open(path, "rb") as fh:
@@ -343,15 +357,20 @@ def read_header(path: str | Path) -> dict:
                 raise SnapshotCorruptError(
                     f"snapshot {path}: bad magic {magic!r} (want {MAGIC!r})"
                 )
-            raw_len = fh.read(4)
-            if len(raw_len) != 4:
+            raw_words = fh.read(8)
+            if len(raw_words) != 8:
                 raise SnapshotCorruptError(f"snapshot {path}: truncated header")
-            (header_len,) = struct.unpack("<I", raw_len)
+            header_len, header_crc = struct.unpack("<II", raw_words)
             raw = fh.read(header_len)
             if len(raw) != header_len:
                 raise SnapshotCorruptError(f"snapshot {path}: truncated header")
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if zlib.crc32(raw) != header_crc:
+        raise SnapshotCorruptError(
+            f"snapshot {path}: header CRC {zlib.crc32(raw)} != recorded "
+            f"{header_crc}"
+        )
     try:
         header = json.loads(raw)
     except json.JSONDecodeError as exc:
@@ -434,12 +453,21 @@ class SnapshotCatalog:
     corrupt ``v7`` still burns the number; the next publish is ``v8``).
     """
 
-    def __init__(self, root: str | Path, *, keep: int | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        keep: int | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         if keep is not None and keep < 1:
             raise SnapshotError(f"keep must be >= 1 or None; got {keep}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        #: Emits a :class:`~repro.observe.trace.SnapshotSkipEvent` whenever
+        #: :meth:`latest` steps past a damaged version file.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: ``(path, reason)`` of snapshots :meth:`latest` skipped.
         self.skipped: list[tuple[Path, str]] = []
 
@@ -539,6 +567,13 @@ class SnapshotCatalog:
                 return Snapshot.open(path, verify=verify)
             except SnapshotError as exc:
                 self.skipped.append((path, str(exc)))
+                if self.tracer.enabled:
+                    self.tracer.emit(SnapshotSkipEvent(
+                        iteration=self.version_of(path),
+                        job_id=job_id,
+                        path=path.name,
+                        reason=str(exc),
+                    ))
         if self.skipped:
             raise SnapshotNotFoundError(
                 f"job {job_id!r}: all {len(self.skipped)} published "
@@ -586,11 +621,14 @@ class QueryEngine:
         *,
         tracer: Tracer | None = None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.catalog = (
             catalog if isinstance(catalog, SnapshotCatalog)
-            else SnapshotCatalog(catalog)
+            else SnapshotCatalog(catalog, tracer=self.tracer)
         )
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        if not self.catalog.tracer.enabled:
+            # Skip events from refresh() surface in the engine's trace.
+            self.catalog.tracer = self.tracer
         self._cache: dict[str, Snapshot] = {}
         self.op_counts = {
             "membership": 0, "roster": 0, "community_sizes": 0,

@@ -262,7 +262,9 @@ class DetectionService:
             from repro.service.read import SnapshotCatalog
 
             self.read_catalog = SnapshotCatalog(
-                self.config.snapshot_dir, keep=self.config.snapshot_keep
+                self.config.snapshot_dir,
+                keep=self.config.snapshot_keep,
+                tracer=self.tracer,
             )
         #: Every job this service knows, admitted or recovered, by id.
         self.jobs: dict[str, JobRecord] = {}

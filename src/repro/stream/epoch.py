@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import tokenize
 import zipfile
 import zlib
 from dataclasses import dataclass, field
@@ -311,8 +312,11 @@ class EpochJournal:
                 meta = json.loads(str(data["meta"]))
         except (
             OSError, KeyError, ValueError, EOFError,
+            SyntaxError, tokenize.TokenError,
             zipfile.BadZipFile, json.JSONDecodeError,
         ) as exc:
+            # SyntaxError / TokenError: a bit flip inside an npy member's
+            # own header escapes numpy's header parser undigested.
             raise StreamError(f"unreadable epoch snapshot {path}: {exc}") from exc
         if meta.get("version") != _SCHEMA_VERSION:
             raise StreamError(

@@ -1,0 +1,181 @@
+"""Tests for the unified at-rest audit (``fsck_all`` / ``repro fsck --all``)."""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.graph.generators import web_graph
+from repro.integrity import fsck_all
+from repro.integrity.soak import flip_bit
+from repro.service.read import SnapshotCatalog
+from repro.stream.delta import DeltaBatch
+from repro.stream.epoch import EpochJournal, EpochState
+from repro.stream.log import DeltaLog
+
+ALL_KINDS = {
+    "checkpoint", "wal", "epoch-journal", "snapshot-catalog", "service-journal"
+}
+
+
+def build_tree(root):
+    """One directory tree containing every durable store kind."""
+    graph = web_graph(60, seed=2)
+    nu_lpa(
+        graph, LPAConfig(max_iterations=4), warn_on_no_convergence=False,
+        resilience=ResilienceConfig(
+            checkpoint_dir=root / "ckpt", checkpoint_every=1,
+        ),
+    )
+
+    log = DeltaLog(root / "stream" / "wal")
+    log.append(DeltaBatch(ops=(), num_vertices=60))
+    log.append(DeltaBatch(ops=(), num_vertices=61))
+
+    journal = EpochJournal(root / "stream" / "epochs")
+    journal.save(EpochState(epoch=0, labels=np.arange(60, dtype=np.int64)))
+
+    catalog = SnapshotCatalog(root / "snap")
+    catalog.publish("job-a", np.arange(60, dtype=np.int64))
+
+    service = root / "service"
+    (service / "jobs").mkdir(parents=True)
+    (service / "labels").mkdir()
+    labels = np.arange(60, dtype=np.int64)
+    with open(service / "labels" / "job-a.npz", "wb") as fh:
+        np.savez(fh, labels=labels)
+    crc = zlib.crc32(np.ascontiguousarray(labels).tobytes())
+    (service / "jobs" / "job-a.json").write_text(
+        json.dumps({"version": 1, "job_id": "job-a", "labels_crc32": crc})
+    )
+    return root
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    return build_tree(tmp_path / "tree")
+
+
+class TestCleanTree:
+    def test_all_store_kinds_discovered_and_clean(self, tree):
+        report = fsck_all(tree)
+        assert {s.kind for s in report.stores} == ALL_KINDS
+        assert report.ok
+        assert report.damaged == 0
+        assert report.exit_code == 0
+
+    def test_as_dict_schema(self, tree):
+        doc = fsck_all(tree).as_dict()
+        assert doc["schema"] == "repro.integrity/fsck"
+        assert doc["version"] == 1
+        assert doc["ok"] is True
+        assert doc["error"] == ""
+        assert doc["summary"]["stores"] == len(doc["stores"])
+        assert doc["summary"]["damaged"] == 0
+        assert doc["summary"]["entries"] > 0
+        for store in doc["stores"]:
+            assert store["kind"] in ALL_KINDS
+            for finding in store["findings"]:
+                assert finding["status"] == "ok"
+
+
+def _damaged_store(report, kind):
+    stores = [s for s in report.stores if s.kind == kind]
+    assert stores, f"store kind {kind} not discovered"
+    return [s for s in stores if not s.ok]
+
+
+class TestDamage:
+    def test_checkpoint_bit_rot(self, tree):
+        victim = sorted((tree / "ckpt").glob("ckpt-*.npz"))[0]
+        flip_bit(victim, victim.stat().st_size // 2, 3)
+        report = fsck_all(tree)
+        assert _damaged_store(report, "checkpoint")
+        assert report.exit_code == 1
+
+    def test_wal_mid_log_corruption(self, tree):
+        # Damage the *first* frame (an acknowledged batch before the
+        # committed head): that is real corruption, not a torn tail.
+        victim = sorted((tree / "stream" / "wal").glob("segment-*.wal"))[0]
+        flip_bit(victim, 22, 1)
+        report = fsck_all(tree)
+        assert _damaged_store(report, "wal")
+        assert report.exit_code == 1
+
+    def test_epoch_journal_bit_rot(self, tree):
+        victim = sorted((tree / "stream" / "epochs").glob("epoch-*.npz"))[0]
+        flip_bit(victim, victim.stat().st_size // 2, 0)
+        report = fsck_all(tree)
+        assert _damaged_store(report, "epoch-journal")
+        assert report.exit_code == 1
+
+    def test_snapshot_bit_rot(self, tree):
+        # Published snapshots live in a per-job subdirectory of the catalog.
+        victim = sorted((tree / "snap").rglob("v*.snap"))[0]
+        flip_bit(victim, 16, 5)  # inside the JSON header
+        report = fsck_all(tree)
+        assert _damaged_store(report, "snapshot-catalog")
+        assert report.exit_code == 1
+
+    def test_service_labels_crc_mismatch(self, tree):
+        labels_path = tree / "service" / "labels" / "job-a.npz"
+        with open(labels_path, "wb") as fh:
+            np.savez(fh, labels=np.zeros(60, dtype=np.int64))
+        report = fsck_all(tree)
+        damaged = _damaged_store(report, "service-journal")
+        assert damaged
+        assert "CRC" in damaged[0].findings[0].detail
+
+    def test_service_job_record_unparseable(self, tree):
+        (tree / "service" / "jobs" / "job-a.json").write_text("{not json")
+        report = fsck_all(tree)
+        assert _damaged_store(report, "service-journal")
+        assert report.exit_code == 1
+
+    def test_damage_in_one_store_does_not_hide_others(self, tree):
+        victim = sorted((tree / "snap").rglob("v*.snap"))[0]
+        flip_bit(victim, 16, 5)
+        report = fsck_all(tree)
+        clean = [s for s in report.stores if s.kind != "snapshot-catalog"]
+        assert all(s.ok for s in clean)
+        assert {s.kind for s in report.stores} == ALL_KINDS
+
+
+class TestRecoverableFindings:
+    def test_stale_tmp_files_do_not_count_as_damage(self, tree):
+        snap_store = sorted((tree / "snap").rglob("v*.snap"))[0].parent
+        (snap_store / ".tmp-999-v3.snap").write_bytes(b"partial")
+        (tree / "stream" / "epochs" / ".tmp-999-e1.npz").write_bytes(b"junk")
+        report = fsck_all(tree)
+        assert report.exit_code == 0
+        stale = [
+            f for s in report.stores for f in s.findings
+            if f.status == "stale-tmp"
+        ]
+        assert len(stale) == 2
+
+
+class TestUnreadableRoot:
+    def test_missing_root_is_exit_2(self, tmp_path):
+        report = fsck_all(tmp_path / "does-not-exist")
+        assert report.error
+        assert not report.ok
+        assert report.exit_code == 2
+        assert report.as_dict()["stores"] == []
+
+    def test_root_that_is_a_file_is_exit_2(self, tmp_path):
+        target = tmp_path / "plain-file"
+        target.write_text("not a directory")
+        assert fsck_all(target).exit_code == 2
+
+
+class TestEmptyTree:
+    def test_no_stores_is_clean(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        report = fsck_all(empty)
+        assert report.exit_code == 0
+        assert report.stores == []

@@ -1,0 +1,137 @@
+"""End-to-end boundary rewind: corruption after the move is accepted.
+
+The supervisor ladder can only replay a *move*; corruption that lands
+after the move was committed (modelled here by tampering with the
+cross-check revert, the last writer before the boundary) is caught by the
+guard's boundary audit and repaired by rewinding to the newest verified
+checkpoint.  ``max_rewinds`` bounds the loop; an exhausted budget
+surfaces the :class:`~repro.errors.CorruptionDetectedError`.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.lpa as lpa_mod
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.core.swap_prevention import cross_check_revert
+from repro.errors import CorruptionDetectedError
+from repro.graph.generators import web_graph
+from repro.integrity import IntegrityConfig
+from repro.observe.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_graph(180, seed=3)
+
+
+# cc_period and pl_period are mutually exclusive; CC1 runs the cross-check
+# (and therefore the tamper hook) after every iteration.
+CONFIG = LPAConfig(pl_period=None, cc_period=1)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return nu_lpa(graph, CONFIG, engine="hashtable",
+                  warn_on_no_convergence=False).labels
+
+
+def _tampering_revert(corrupt_at: set[int]):
+    """A cross_check_revert twin that injects a dead label post-commit.
+
+    The wrapper delegates to the real revert, then — on the configured
+    invocation numbers — overwrites one vertex with a label that is no
+    longer live.  ``note_move`` runs *after* the revert, so the label CRC
+    matches the corrupted state and only the community-trajectory audit
+    can catch it.
+    """
+    calls = {"n": 0}
+
+    def wrapper(labels, previous, changed_vertices):
+        reverted = cross_check_revert(labels, previous, changed_vertices)
+        call = calls["n"]
+        calls["n"] += 1
+        if call in corrupt_at:
+            live = np.unique(labels)
+            dead = np.setdiff1d(
+                np.arange(labels.shape[0], dtype=labels.dtype), live
+            )
+            assert dead.shape[0], "no dead label to resurrect yet"
+            labels[0] = dead[0]
+        return reverted
+
+    return wrapper
+
+
+def test_boundary_corruption_rewinds_and_recovers(
+    graph, reference, monkeypatch, tmp_path
+):
+    # Corrupt once, on the second cross-check (iteration 1): a checkpoint
+    # for iteration 1 already exists, and iteration 0's boundary has
+    # baselined the community trajectory.
+    monkeypatch.setattr(lpa_mod, "cross_check_revert", _tampering_revert({1}))
+    tracer = Tracer(enabled=True)
+    result = nu_lpa(
+        graph, CONFIG, engine="hashtable", warn_on_no_convergence=False,
+        tracer=tracer,
+        resilience=ResilienceConfig(
+            checkpoint_dir=tmp_path / "ckpt", checkpoint_every=1,
+            integrity=IntegrityConfig(),
+        ),
+    )
+    assert result.integrity["rewinds"] == 1
+    assert result.integrity["violations"] >= 1
+    assert np.array_equal(result.labels, reference)
+    rewinds = [
+        e for e in tracer.events
+        if e.kind == "integrity" and e.action == "rewind"
+    ]
+    assert len(rewinds) == 1
+    assert rewinds[0].check == "boundary"
+
+
+def test_rewind_budget_exhaustion_raises(graph, monkeypatch, tmp_path):
+    # Persistent corruption from iteration 1 on: every redo of the
+    # iteration is corrupted again, so the rewind budget drains and the
+    # error surfaces.  (Call 0 stays clean — the trajectory audit needs
+    # one uncorrupted boundary to baseline against; corruption that is
+    # self-consistent from the very first boundary is out of its reach.)
+    monkeypatch.setattr(
+        lpa_mod, "cross_check_revert", _tampering_revert(set(range(1, 100)))
+    )
+    with pytest.raises(CorruptionDetectedError, match="trajectory"):
+        nu_lpa(
+            graph, CONFIG, engine="hashtable", warn_on_no_convergence=False,
+            resilience=ResilienceConfig(
+                checkpoint_dir=tmp_path / "ckpt", checkpoint_every=1,
+                integrity=IntegrityConfig(max_rewinds=2),
+            ),
+        )
+
+
+def test_no_checkpoint_means_no_rewind(graph, monkeypatch):
+    # Without a checkpoint ring there is nothing to rewind to: the
+    # detection must surface instead of being silently swallowed.
+    monkeypatch.setattr(lpa_mod, "cross_check_revert", _tampering_revert({1}))
+    with pytest.raises(CorruptionDetectedError):
+        nu_lpa(
+            graph, CONFIG, engine="hashtable", warn_on_no_convergence=False,
+            resilience=ResilienceConfig(integrity=IntegrityConfig()),
+        )
+
+
+def test_rewind_redo_pays_for_lost_iterations(graph, monkeypatch, tmp_path):
+    # The redone iteration appears exactly once in the stats (the rewind
+    # truncated the corrupted tail), and the checkpointed stats list stays
+    # consistent with the final result.
+    monkeypatch.setattr(lpa_mod, "cross_check_revert", _tampering_revert({1}))
+    result = nu_lpa(
+        graph, CONFIG, engine="hashtable", warn_on_no_convergence=False,
+        resilience=ResilienceConfig(
+            checkpoint_dir=tmp_path / "ckpt", checkpoint_every=1,
+            integrity=IntegrityConfig(),
+        ),
+    )
+    seen = [stat.iteration for stat in result.iterations]
+    assert seen == sorted(set(seen)), f"duplicated iteration stats: {seen}"

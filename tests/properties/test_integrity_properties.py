@@ -1,0 +1,93 @@
+"""Property-based at-rest integrity: any single-bit flip is detected or harmless.
+
+The soak samples random flips; these properties let hypothesis drive the
+flip position over the whole file and assert the dichotomy directly —
+every single-bit flip in a published RPSNAP01 snapshot (or a committed
+checkpoint generation) is either *detected* by the existing read/fsck
+path or *provably harmless* (the decoded payload is bit-identical, the
+flip landed in alignment padding or unused container bytes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LPAConfig, ResilienceConfig
+from repro.core.lpa import nu_lpa
+from repro.errors import SnapshotError
+from repro.graph.generators import web_graph
+from repro.resilience.checkpoint import fsck as ckpt_fsck
+from repro.service.read import Snapshot, SnapshotCatalog
+
+_DAMAGED = ("corrupt", "unreadable")
+
+
+@pytest.fixture(scope="module")
+def snapshot_blob(tmp_path_factory):
+    """(original bytes, reference labels, scratch path) for one snapshot."""
+    root = tmp_path_factory.mktemp("snap-prop")
+    labels = np.arange(97, dtype=np.int64) % 13
+    catalog = SnapshotCatalog(root / "catalog")
+    path = catalog.publish("prop", labels)
+    scratch = root / "scratch.snap"
+    return path.read_bytes(), labels, scratch
+
+
+@pytest.fixture(scope="module")
+def checkpoint_blob(tmp_path_factory):
+    """(original bytes, reference labels, scratch dir, victim name)."""
+    root = tmp_path_factory.mktemp("ckpt-prop")
+    graph = web_graph(80, seed=4)
+    result = nu_lpa(
+        graph, LPAConfig(max_iterations=4), warn_on_no_convergence=False,
+        resilience=ResilienceConfig(
+            checkpoint_dir=root / "ring", checkpoint_every=1,
+        ),
+    )
+    victims = sorted((root / "ring").glob("ckpt-*.npz"))
+    victim = victims[-1]
+    scratch = root / "scratch"
+    scratch.mkdir()
+    # The scratch ring holds only the newest generation, so a harmless
+    # flip must decode to exactly the final state (no older fallback).
+    original = victim.read_bytes()
+    return original, result.labels.copy(), scratch, victim.name
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_snapshot_single_bit_flip_detected_or_harmless(snapshot_blob, data):
+    original, labels, scratch = snapshot_blob
+    position = data.draw(st.integers(0, len(original) * 8 - 1), label="bit")
+    blob = bytearray(original)
+    blob[position // 8] ^= 1 << (position % 8)
+    scratch.write_bytes(bytes(blob))
+    try:
+        snap = Snapshot.open(scratch, verify=True)
+    except SnapshotError:
+        return  # detected
+    try:
+        # Harmless: the flip must have landed in alignment padding — the
+        # decoded labels are bit-identical to what was published.
+        assert np.array_equal(np.asarray(snap.labels), labels)
+    finally:
+        snap.close()
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_checkpoint_single_bit_flip_detected_or_harmless(checkpoint_blob, data):
+    from repro.resilience.checkpoint import CheckpointManager
+
+    original, labels, scratch, victim_name = checkpoint_blob
+    position = data.draw(st.integers(0, len(original) * 8 - 1), label="bit")
+    blob = bytearray(original)
+    blob[position // 8] ^= 1 << (position % 8)
+    (scratch / victim_name).write_bytes(bytes(blob))
+    entries = ckpt_fsck(scratch)
+    if any(e.status in _DAMAGED for e in entries):
+        return  # detected
+    # fsck says clean: loading must reproduce the committed state exactly.
+    state = CheckpointManager(scratch).latest()
+    assert state is not None
+    assert np.array_equal(state.labels, labels)

@@ -62,3 +62,47 @@ class TestPlMonotone:
     def test_slack_tolerates_small_rise(self):
         assert check_pl_monotone(0.10, 0.12, slack=0.05) is None
         assert check_pl_monotone(0.10, 0.20, slack=0.05) is not None
+
+
+class TestEdgeCases:
+    """Degenerate shapes a real run can produce: empty graphs, single
+    vertices, all-isolated graphs, and labels at the range boundary."""
+
+    def test_single_vertex_passes(self):
+        check_label_range(np.array([0], dtype=np.int64), 1)
+
+    def test_single_vertex_out_of_range_raises(self):
+        with pytest.raises(InvariantViolation, match="label-range"):
+            check_label_range(np.array([1], dtype=np.int64), 1)
+
+    def test_labels_at_exact_upper_boundary_pass(self):
+        n = 7
+        check_label_range(np.full(n, n - 1, dtype=np.int64), n)
+
+    def test_labels_one_past_boundary_raise(self):
+        n = 7
+        with pytest.raises(InvariantViolation, match="label-range"):
+            check_label_range(np.full(n, n, dtype=np.int64), n)
+
+    def test_all_isolated_graph_run_holds_invariants(self):
+        # A graph with no edges: every vertex keeps its own label, and the
+        # supervised invariants must accept that fixed point.
+        from repro.core.config import LPAConfig, ResilienceConfig
+        from repro.core.lpa import nu_lpa
+        from repro.graph.build import from_edges
+
+        n = 9
+        graph = from_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            num_vertices=n,
+        )
+        result = nu_lpa(
+            graph, LPAConfig(max_iterations=3),
+            warn_on_no_convergence=False,
+            resilience=ResilienceConfig(),
+        )
+        assert np.array_equal(result.labels, np.arange(n))
+        check_label_range(result.labels, n)
+
+    def test_empty_finite_values_single_slot(self):
+        check_finite_values(np.zeros(1, dtype=np.float32))

@@ -50,7 +50,10 @@ class TestEveryFaultClassSurvives:
         r = nu_lpa(small_web, resilience=persistent(kind), engine=engine)
         assert r.labels.min() >= 0
         assert r.labels.max() < small_web.num_vertices
-        if kind != "bitflip":  # key flips may lose the reduce silently
+        # bitflip key flips may lose the reduce silently; sdc is silent by
+        # construction (valid-range wrong values) — only the integrity
+        # guard, not the supervisor, can see it (tests/integrity/test_sdc.py).
+        if kind not in ("bitflip", "sdc"):
             assert r.fault_events
 
 

@@ -182,14 +182,28 @@ class TestCorruptionDetection:
         path = self._published(tmp_path)
         raw = path.read_bytes()
         (header_len,) = struct.unpack_from("<I", raw, len(MAGIC))
-        start = len(MAGIC) + 4
+        start = len(MAGIC) + 8
         header = json.loads(raw[start:start + header_len])
         header["version"] = 999
-        # Re-encode at the same length so offsets stay valid.
+        # Re-encode at the same length (and with a matching header CRC)
+        # so only the version check can object.
         encoded = json.dumps(header).encode()
         encoded += b" " * (header_len - len(encoded))
-        path.write_bytes(raw[:start] + encoded + raw[start + header_len:])
+        crc = struct.pack("<I", zlib.crc32(encoded))
+        path.write_bytes(
+            raw[:len(MAGIC) + 4] + crc + encoded + raw[start + header_len:]
+        )
         with pytest.raises(SnapshotCorruptError, match="version"):
+            Snapshot.open(path)
+
+    def test_flipped_header_bit_fails_header_crc(self, tmp_path):
+        # Format v2: the header region has its own CRC32, so bit rot in
+        # the JSON (not just the array sections) is detected at open.
+        path = self._published(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(MAGIC) + 8 + 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptError, match="header CRC"):
             Snapshot.open(path)
 
     def test_verify_false_skips_crc(self, tmp_path):
@@ -229,6 +243,26 @@ class TestCatalog:
         snap = cat.latest("j")
         assert snap.snapshot_version == 1
         assert len(cat.skipped) == 1 and cat.skipped[0][0] == newest
+
+    def test_latest_emits_skip_event_when_traced(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        cat = SnapshotCatalog(tmp_path, tracer=tracer)
+        cat.publish("j", np.asarray([0, 0]))
+        newest = cat.publish("j", np.asarray([1, 1]))
+        raw = bytearray(newest.read_bytes())
+        raw[-1] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        cat.latest("j")
+        skips = [e for e in tracer.events if e.kind == "snapshot_skip"]
+        assert len(skips) == 1
+        assert skips[0].job_id == "j"
+        assert skips[0].path == newest.name
+        assert skips[0].iteration == 2  # the skipped version number
+        assert skips[0].reason
+        # Once the damaged file is gone, lookups emit nothing further.
+        newest.unlink()
+        cat.latest("j")
+        assert len([e for e in tracer.events if e.kind == "snapshot_skip"]) == 1
 
     def test_latest_raises_when_all_damaged(self, tmp_path):
         cat = SnapshotCatalog(tmp_path)

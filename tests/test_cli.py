@@ -219,8 +219,24 @@ class TestCkptCommand:
         assert not newest.exists()
 
     def test_fsck_missing_directory_errors(self, tmp_path, capsys):
-        assert main(["ckpt", "fsck", str(tmp_path / "nope")]) == 1
+        # Unified fsck contract: unreadable directory is exit 2, not 1.
+        assert main(["ckpt", "fsck", str(tmp_path / "nope")]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def test_fsck_json_report(self, tmp_path, capsys):
+        import json
+
+        ckpt = tmp_path / "ckpt"
+        main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--checkpoint-dir", str(ckpt), "--max-iterations", "2",
+        ])
+        capsys.readouterr()
+        assert main(["ckpt", "fsck", str(ckpt), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "checkpoint"
+        assert doc["ok"] is True
+        assert all(e["status"] == "ok" for e in doc["findings"])
 
 
 class TestResumeEdgeCases:
@@ -492,8 +508,18 @@ class TestStreamCommand:
         assert "corrupt" in capsys.readouterr().out
 
     def test_fsck_missing_directory_errors(self, tmp_path, capsys):
-        assert main(["stream", "fsck", str(tmp_path / "nope")]) == 1
+        # Unified fsck contract: unreadable directory is exit 2, not 1.
+        assert main(["stream", "fsck", str(tmp_path / "nope")]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def test_fsck_json_report(self, tmp_path, capsys):
+        import json
+
+        self._log(tmp_path)
+        assert main(["stream", "fsck", str(tmp_path / "wal"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "wal"
+        assert doc["ok"] is True
 
     def test_status_reports_head_and_lag(self, tmp_path, capsys):
         import numpy as np
@@ -628,3 +654,86 @@ class TestQueryCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "epoch=0" in out and "epoch=2" in out
+
+
+class TestUnifiedFsck:
+    """``repro fsck --all``: one audit over every durable store kind."""
+
+    def _tree(self, tmp_path):
+        root = tmp_path / "tree"
+        main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--checkpoint-dir", str(root / "ckpt"), "--max-iterations", "2",
+        ])
+        import numpy as np
+
+        from repro.service.read import SnapshotCatalog
+
+        SnapshotCatalog(root / "snap").publish(
+            "job-x", np.arange(40, dtype=np.int64)
+        )
+        return root
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", "--all", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out and "snapshot-catalog" in out
+        assert "0 damaged" in out
+
+    def test_damaged_tree_exits_one(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        victim = sorted((root / "snap").rglob("v*.snap"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[16] ^= 0x20
+        victim.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["fsck", "--all", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+
+    def test_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["fsck", "--all", str(tmp_path / "nope")]) == 2
+
+    def test_json_report_validates(self, tmp_path, capsys):
+        import json
+
+        root = self._tree(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", "--all", str(root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.integrity/fsck"
+        assert doc["ok"] is True
+        assert doc["summary"]["damaged"] == 0
+        assert {s["kind"] for s in doc["stores"]} >= {
+            "checkpoint", "snapshot-catalog"
+        }
+
+
+class TestDetectIntegrity:
+    def test_integrity_flag_prints_guard_stats(self, capsys):
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--max-iterations", "3", "--integrity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "integrity:" in out
+        assert "scrub" in out
+
+    def test_integrity_with_sdc_injection_recovers(self, capsys):
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--max-iterations", "3", "--integrity",
+            "--inject-faults", "sdc", "--fault-rate", "1.0",
+            "--fault-max-fires", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "integrity:" in out
+
+    def test_without_flag_no_integrity_line(self, capsys):
+        assert main([
+            "detect", "--dataset", "asia_osm", "--scale", "0.1",
+            "--max-iterations", "3",
+        ]) == 0
+        assert "integrity:" not in capsys.readouterr().out
