@@ -45,12 +45,12 @@ from repro.perf.model import estimate_lpa_result_seconds, extrapolation_ratios
 _WALL_REPEATS = 3
 
 
-def _vectorized_wall(graph, config: LPAConfig) -> float:
-    """Best-of-``_WALL_REPEATS`` vectorized-engine wall seconds."""
+def _engine_wall(graph, config: LPAConfig, engine: str) -> float:
+    """Best-of-``_WALL_REPEATS`` wall seconds for one engine."""
     best = float("inf")
     for _ in range(_WALL_REPEATS):
         t0 = time.perf_counter()
-        nu_lpa(graph, config, engine="vectorized", warn_on_no_convergence=False)
+        nu_lpa(graph, config, engine=engine, warn_on_no_convergence=False)
         best = min(best, time.perf_counter() - t0)
     return best
 
@@ -83,7 +83,8 @@ def _profile_suite(scale: float, seed: int) -> dict:
             "modeled_seconds": profile.modeled_seconds,
             "paper_modeled_seconds": estimate_lpa_result_seconds(result, ratios),
             "modularity": modularity(graph, result.labels),
-            "wall_seconds": _vectorized_wall(graph, config),
+            "wall_seconds": _engine_wall(graph, config, "vectorized"),
+            "wall_seconds_hashtable": _engine_wall(graph, config, "hashtable"),
             "counters": dict(profile.counters),
         })
     return {

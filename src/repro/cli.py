@@ -218,6 +218,10 @@ def _detect_body(args, token: _SignalToken) -> int:
         pl_period=args.pl_period if args.pl_period > 0 else None,
         probing=ProbeStrategy(args.probing),
         switch_degree=args.switch_degree,
+        fused_sweep=not args.no_fused_sweep,
+        persistent_kernel=args.persistent_kernel,
+        compact_layout=not args.no_compact_layout,
+        degree_renumber=args.degree_renumber,
     )
     resilience = _resilience_from_args(args)
     want_profile = args.profile or args.trace_out is not None
@@ -712,6 +716,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--probing", default="quadratic-double",
                    choices=[s.value for s in ProbeStrategy])
     p.add_argument("--switch-degree", type=int, default=32)
+    p.add_argument("--no-fused-sweep", action="store_true",
+                   help="run the unfused clear/insert/max hashtable sweeps "
+                        "(reference path; labels are bit-identical to fused)")
+    p.add_argument("--persistent-kernel", action="store_true",
+                   help="model grid-resident kernels: only the first launch "
+                        "of each kernel kind pays launch overhead")
+    p.add_argument("--no-compact-layout", action="store_true",
+                   help="keep 64-bit offsets/targets/labels even when the "
+                        "graph fits 32-bit indices")
+    p.add_argument("--degree-renumber", action="store_true",
+                   help="renumber vertices by ascending degree before the "
+                        "run (labels are mapped back to input ids)")
     p.add_argument("--output", type=Path, help="write labels to this file")
     p.add_argument("--profile", action="store_true",
                    help="print a per-kernel/per-iteration profile of the run")

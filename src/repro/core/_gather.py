@@ -32,8 +32,9 @@ class EdgeGather:
     edge_index: np.ndarray
     #: Wave-local id (0..len(vertices)-1) of the owning vertex, per edge.
     table_id: np.ndarray
-    #: Rank of the edge within its vertex's adjacency list.
-    edge_rank: np.ndarray
+    #: Rank of the edge within its vertex's adjacency list; ``None`` when
+    #: the caller passed ``need_rank=False``.
+    edge_rank: np.ndarray | None
 
     @property
     def num_edges(self) -> int:
@@ -47,18 +48,28 @@ def gather_edges(
     arena: WorkspaceArena | None = None,
     *,
     prefix: str = "g",
+    need_rank: bool = True,
 ) -> EdgeGather:
     """Build the :class:`EdgeGather` for ``vertices`` (wave-local order).
 
     ``prefix`` namespaces the arena slots so two gathers with overlapping
     lifetimes (the engine's wave gather and the frontier's neighbour
     gather) never alias each other's buffers.
+
+    ``need_rank=False`` skips materialising per-edge within-list ranks —
+    ``edge_index`` is instead built from the per-vertex *offset
+    adjustment* ``offsets[v] - seg_start`` spread over the ramp, which is
+    one O(vertices) subtraction instead of an O(edges) gather+subtract.
+    The resulting ``edge_index`` is bit-identical either way
+    (``(starts - seg_start)[tid] + ramp == starts[tid] + (ramp -
+    seg_start[tid])``); callers that never read ``edge_rank`` (the
+    thread-per-vertex kernel, the frontier) take the cheaper path.
     """
     nv = int(vertices.shape[0])
     if nv == 0:
         return EdgeGather(edge_index=_EMPTY, table_id=_EMPTY, edge_rank=_EMPTY)
-    degrees = take(arena, f"{prefix}.deg", nv, np.int64)
-    np.take(graph.degrees, vertices, out=degrees, mode="clip")
+    degrees = take(arena, f"{prefix}.deg", nv, graph.degrees.dtype)
+    graph.degrees.take(vertices, out=degrees, mode="clip")
     total = int(degrees.sum())
     if total == 0:
         return EdgeGather(edge_index=_EMPTY, table_id=_EMPTY, edge_rank=_EMPTY)
@@ -85,13 +96,19 @@ def gather_edges(
             np.add.at(table_id, idx[idx < total], 1)
     np.cumsum(table_id, out=table_id)
 
-    edge_rank = take(arena, f"{prefix}.rank", total, np.int64)
-    np.take(seg_start, table_id, out=edge_rank, mode="clip")
-    np.subtract(ramp, edge_rank, out=edge_rank)
+    ostarts = take(arena, f"{prefix}.off", nv, graph.offsets.dtype)
+    graph.offsets.take(vertices, out=ostarts, mode="clip")
+    starts = take(arena, f"{prefix}.adj", nv, np.int64)
+    np.subtract(ostarts, seg_start, out=starts)  # offset adjustment per vertex
 
-    starts = take(arena, f"{prefix}.off", nv, np.int64)
-    np.take(graph.offsets, vertices, out=starts, mode="clip")
     edge_index = take(arena, f"{prefix}.ei", total, np.int64)
-    np.take(starts, table_id, out=edge_index, mode="clip")
-    np.add(edge_index, edge_rank, out=edge_index)
+    starts.take(table_id, out=edge_index, mode="clip")
+    np.add(edge_index, ramp, out=edge_index)
+
+    if not need_rank:
+        return EdgeGather(edge_index=edge_index, table_id=table_id, edge_rank=None)
+
+    edge_rank = take(arena, f"{prefix}.rank", total, np.int64)
+    seg_start.take(table_id, out=edge_rank, mode="clip")
+    np.subtract(ramp, edge_rank, out=edge_rank)
     return EdgeGather(edge_index=edge_index, table_id=table_id, edge_rank=edge_rank)

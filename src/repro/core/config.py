@@ -74,6 +74,39 @@ class LPAConfig:
         vertices in per-SM shared memory instead of the global buffers.
         The paper tried this and "saw little to no performance gain"
         (ablation A3); off by default, like the paper's final design.
+    fused_sweep:
+        Fuse the per-wave clear → insert → max-key hashtable sweeps into
+        one kernel-model pass: tables start (and are left) clean, the
+        accumulate rounds record which slots they claim, and a single
+        fused reduction scans only the claimed slots before re-clearing
+        them.  Labels and :class:`~repro.gpu.counters.KernelCounters` are
+        bit-identical with the unfused path (the differential tests
+        assert it); the switch exists for those tests.  Automatically
+        bypassed while a fault hook is attached, because injected
+        corruption must land on the same buffers the unfused sweeps
+        touch.
+    persistent_kernel:
+        Model a persistent (mega-)kernel: each kernel kind pays its
+        launch overhead once per run instead of once per iteration, and
+        subsequent dispatches are traced as
+        :class:`~repro.observe.trace.PersistentKernelEvent` wave batches
+        instead of :class:`~repro.observe.trace.KernelLaunchEvent`.
+        Only the launch accounting changes — labels stay bit-identical.
+    compact_layout:
+        Shrink per-run data to 32-bit ids when the graph fits: labels
+        (and, via :meth:`~repro.graph.csr.CSRGraph.with_compact_layout`,
+        CSR offsets/targets) drop from int64 to int32 whenever
+        ``num_vertices`` and ``num_edges`` are below ``2**31 - 1``.
+        Halves label/topology traffic; results are bit-identical because
+        every id fits either width.  Graphs too large for 32 bits are
+        silently left at full width.
+    degree_renumber:
+        Renumber vertices in descending-degree order before running
+        (better coalescing for the block-per-vertex kernel model) and
+        un-permute the labels on output.  The relabelled run visits
+        vertices in a different order, so labels are a *renaming* of a
+        valid convergent partition rather than bit-identical to the
+        default path.
     device:
         Simulated device (default A100).
     seed:
@@ -91,6 +124,10 @@ class LPAConfig:
     pruning: bool = True
     workspace_arena: bool = True
     shared_memory_tables: bool = False
+    fused_sweep: bool = True
+    persistent_kernel: bool = False
+    compact_layout: bool = True
+    degree_renumber: bool = False
     device: DeviceSpec = field(default=A100)
     seed: int = 0
 

@@ -32,9 +32,16 @@ from repro.gpu.memory import AccessPattern, MemoryModel
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
-from repro.observe.trace import KernelLaunchEvent, WaveEvent, counter_delta
+from repro.observe.trace import (
+    KernelLaunchEvent,
+    PersistentKernelEvent,
+    WaveEvent,
+    counter_delta,
+)
 from repro.hashing.hashtable import PerVertexHashtables
 from repro.hashing.parallel_hashtable import (
+    SlotTracker,
+    fused_max_and_clear,
     parallel_accumulate,
     segmented_clear,
     segmented_max_key,
@@ -42,6 +49,7 @@ from repro.hashing.parallel_hashtable import (
 from repro.hashing.probing import ProbeStrategy
 from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.resilience.faults import FaultContext
+from repro.types import EMPTY_KEY
 
 __all__ = ["MoveOutcome", "HashtableEngine"]
 
@@ -93,6 +101,13 @@ class HashtableEngine:
         self.tables = PerVertexHashtables(
             graph, value_dtype=config.value_dtype, strategy=config.probing
         )
+        # Fused sweep: the accumulate rounds record their claimed slots
+        # here so one fused pass can reduce and re-clear them (the flat
+        # buffers start all-empty, so no up-front clear is needed either).
+        self._tracker = SlotTracker() if config.fused_sweep else None
+        # Persistent-kernel mode: kinds whose one-time launch cost has
+        # been paid (each kernel stays resident after its first launch).
+        self._launched: set[KernelKind] = set()
         self.memory = MemoryModel(config.device)
         # Shared-memory table eligibility (paper's rejected optimisation):
         # a thread-kernel vertex's table fits when its 2*D slots fit in the
@@ -120,6 +135,10 @@ class HashtableEngine:
             strategy=self.config.probing,
             capacity_scale=scale,
         )
+        if self._tracker is not None:
+            # The fresh buffers are all-empty; stale claims must not be
+            # re-cleared (or reduced) against the new layout.
+            self._tracker.reset()
         return scale
 
     # ------------------------------------------------------------------ #
@@ -141,8 +160,8 @@ class HashtableEngine:
         # no hashtable slots (their reserved region is 2*0); retire them.
         # They still count as processed — the frontier flagged them done.
         na = active.shape[0]
-        adeg = take(arena, "hv.adeg", na, np.int64)
-        np.take(self.graph.degrees, active, out=adeg, mode="clip")
+        adeg = take(arena, "hv.adeg", na, self.graph.degrees.dtype)
+        self.graph.degrees.take(active, out=adeg, mode="clip")
         zmask = take(arena, "hv.zmask", na, bool)
         np.equal(adeg, 0, out=zmask)
         retired = int(np.count_nonzero(zmask))
@@ -163,11 +182,18 @@ class HashtableEngine:
             vertices = partition.for_kind(kind)
             if vertices.shape[0] == 0:
                 continue
-            counters.launches += 1
+            # Persistent-kernel mode: after a kind's first launch the
+            # kernel stays resident, so later dispatches cost waves but
+            # no launch (and trace as their own event kind).
+            persistent = self.config.persistent_kernel and kind in self._launched
+            if not persistent:
+                counters.launches += 1
+                self._launched.add(kind)
             plan = plan_waves(self.config.device, kind, vertices.shape[0])
             counters.waves += plan.num_waves
             if tracing:
-                tracer.emit(KernelLaunchEvent(
+                event_cls = PersistentKernelEvent if persistent else KernelLaunchEvent
+                tracer.emit(event_cls(
                     iteration=iteration,
                     kernel=kind.value,
                     num_items=int(vertices.shape[0]),
@@ -222,12 +248,23 @@ class HashtableEngine:
         device = self.config.device
         frontier.mark_processed(wave)
 
-        gather = gather_edges(self.graph, wave, arena)
+        # Edge ranks are only consumed by the block kernel's lane
+        # striding; the thread kernel skips computing them entirely.
+        need_rank = kind is KernelKind.BLOCK_PER_VERTEX
+        gather = gather_edges(self.graph, wave, arena, need_rank=need_rank)
         ne = gather.num_edges
-        targets = take(arena, "hw.tg", ne, np.int64)
-        np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+        targets = take(arena, "hw.tg", ne, self.graph.targets.dtype)
+        self.graph.targets.take(gather.edge_index, out=targets, mode="clip")
+        if targets.dtype != np.int64:
+            # Compact graphs gather 4-byte ids (half the sector traffic),
+            # but indexing labels with an int32 array makes numpy malloc
+            # an intp copy of it per take; widen once into an arena slot
+            # so steady-state waves stay allocation-free.
+            wide_targets = take(arena, "hw.tg64", ne, np.int64)
+            np.copyto(wide_targets, targets)
+            targets = wide_targets
         weights = take(arena, "hw.w", ne, self.graph.weights.dtype)
-        np.take(self.graph.weights, gather.edge_index, out=weights, mode="clip")
+        self.graph.weights.take(gather.edge_index, out=weights, mode="clip")
 
         # Algorithm 1 line 23: skip self-loops during accumulation.  On a
         # loop-free graph the filter is an identity copy, so feed the
@@ -237,7 +274,7 @@ class HashtableEngine:
             entry_table = gather.table_id
             edge_rank = gather.edge_rank
             entry_key = take(arena, "hw.ek", ne, labels.dtype)
-            np.take(labels, targets, out=entry_key, mode="clip")
+            labels.take(targets, out=entry_key, mode="clip")
             if weights.dtype == self.tables.values.dtype:
                 entry_value = weights
             else:
@@ -245,44 +282,84 @@ class HashtableEngine:
                 np.copyto(entry_value, weights, casting="unsafe")
         else:
             owner = take(arena, "hw.owner", ne, np.int64)
-            np.take(wave, gather.table_id, out=owner, mode="clip")
+            wave.take(gather.table_id, out=owner, mode="clip")
             non_loop = take(arena, "hw.nl", ne, bool)
             np.not_equal(targets, owner, out=non_loop)
             m = int(np.count_nonzero(non_loop))
-            entry_table, tgt_nl, wnl, edge_rank = compact(
-                arena, "hw.nl", non_loop, m,
-                gather.table_id, targets, weights, gather.edge_rank,
-            )
+            if need_rank:
+                entry_table, tgt_nl, wnl, edge_rank = compact(
+                    arena, "hw.nl", non_loop, m,
+                    gather.table_id, targets, weights, gather.edge_rank,
+                )
+            else:
+                entry_table, tgt_nl, wnl = compact(
+                    arena, "hw.nl", non_loop, m,
+                    gather.table_id, targets, weights,
+                )
+                edge_rank = None
             entry_key = take(arena, "hw.ek", m, labels.dtype)
-            np.take(labels, tgt_nl, out=entry_key, mode="clip")
+            labels.take(tgt_nl, out=entry_key, mode="clip")
             entry_value = take(arena, "hw.ev", m, self.tables.values.dtype)
             np.copyto(entry_value, wnl, casting="unsafe")
 
         w = wave.shape[0]
         base = take(arena, "hw.base", w, np.int64)
-        np.take(self.tables.bases, wave, out=base, mode="clip")
+        self.tables.bases.take(wave, out=base, mode="clip")
         p1 = take(arena, "hw.p1", w, np.int64)
-        np.take(self.tables.capacities, wave, out=p1, mode="clip")
+        self.tables.capacities.take(wave, out=p1, mode="clip")
         p2 = take(arena, "hw.p2", w, np.int64)
-        np.take(self.tables.secondary_primes, wave, out=p2, mode="clip")
+        self.tables.secondary_primes.take(wave, out=p2, mode="clip")
 
         if self.fault_hook is not None:
             self.fault_hook(self._fault_context("accumulate", kind, wave, labels, base, p1))
 
-        cleared = segmented_clear(self.tables.keys, self.tables.values, base, p1, arena)
-        acc = parallel_accumulate(
-            self.tables.keys,
-            self.tables.values,
-            base,
-            p1,
-            p2,
-            entry_table,
-            entry_key,
-            entry_value,
-            self.config.probing,
-            shared=kind.uses_atomics,
-            arena=arena,
-        )
+        # Fused sweep: tables are already clean (the init fill / the
+        # previous wave's clear-at-end), so the up-front clear is skipped
+        # and the accumulate records its claimed slots for one fused
+        # reduce+clear pass.  Slot-clear accounting is unchanged — the
+        # kernel model still prices the full per-table clear the GPU's
+        # fused kernel performs in-register.  Bypassed under a fault
+        # hook: injected corruption must land on the unfused buffers.
+        fused = self._tracker is not None and self.fault_hook is None
+        if fused:
+            cleared = int(p1.sum())
+            try:
+                acc = parallel_accumulate(
+                    self.tables.keys,
+                    self.tables.values,
+                    base,
+                    p1,
+                    p2,
+                    entry_table,
+                    entry_key,
+                    entry_value,
+                    self.config.probing,
+                    shared=kind.uses_atomics,
+                    arena=arena,
+                    claimed=self._tracker,
+                )
+            except BaseException:
+                # Restore the tables-start-clean invariant before the
+                # resilience ladder retries or regrows.
+                self._scrub_claimed()
+                raise
+        else:
+            cleared = segmented_clear(
+                self.tables.keys, self.tables.values, base, p1, arena
+            )
+            acc = parallel_accumulate(
+                self.tables.keys,
+                self.tables.values,
+                base,
+                p1,
+                p2,
+                entry_table,
+                entry_key,
+                entry_value,
+                self.config.probing,
+                shared=kind.uses_atomics,
+                arena=arena,
+            )
         warp_serial = self._warp_critical_path(
             kind, wave, entry_table, edge_rank, acc.entry_probes
         )
@@ -291,16 +368,43 @@ class HashtableEngine:
             self.fault_hook(self._fault_context("reduce", kind, wave, labels, base, p1))
 
         fallback = take(arena, "hw.fb", w, labels.dtype)
-        np.take(labels, wave, out=fallback, mode="clip")
-        best = segmented_max_key(
-            self.tables.keys,
-            self.tables.values,
-            base,
-            p1,
-            fallback,
-            arena=arena,
-            out=take(arena, "hw.best", w, labels.dtype),
-        )
+        labels.take(wave, out=fallback, mode="clip")
+        if fused and 4 * len(self._tracker) < cleared:
+            best = fused_max_and_clear(
+                self.tables.keys,
+                self.tables.values,
+                fallback,
+                self._tracker,
+                arena=arena,
+                out=take(arena, "hw.best", w, labels.dtype),
+            )
+        elif fused:
+            # Dense tables (claimed ≳ 1/4 of the live region): the packed
+            # sort in the fused sweep costs more than a straight segmented
+            # scan, so reduce segment-wise and restore the clean-tables
+            # invariant by scattering only the claimed slots.  Either
+            # branch yields bit-identical labels; the threshold is purely
+            # a speed heuristic.
+            best = segmented_max_key(
+                self.tables.keys,
+                self.tables.values,
+                base,
+                p1,
+                fallback,
+                arena=arena,
+                out=take(arena, "hw.best", w, labels.dtype),
+            )
+            self._scrub_claimed()
+        else:
+            best = segmented_max_key(
+                self.tables.keys,
+                self.tables.values,
+                base,
+                p1,
+                fallback,
+                arena=arena,
+                out=take(arena, "hw.best", w, labels.dtype),
+            )
 
         adopt = pick_less_filter(
             fallback,
@@ -323,13 +427,13 @@ class HashtableEngine:
             self.config.shared_memory_tables
             and kind is KernelKind.THREAD_PER_VERTEX
         ):
-            wdeg = take(arena, "hw.wdeg", w, np.int64)
-            np.take(self.graph.degrees, wave, out=wdeg, mode="clip")
+            wdeg = take(arena, "hw.wdeg", w, self.graph.degrees.dtype)
+            self.graph.degrees.take(wave, out=wdeg, mode="clip")
             smem_mask = take(arena, "hw.smv", w, bool)
             np.less_equal(wdeg, self._smem_degree_limit, out=smem_mask)
             if smem_mask.any():
                 entry_is_smem = take(arena, "hw.sme", m, bool)
-                np.take(smem_mask, entry_table, out=entry_is_smem, mode="clip")
+                smem_mask.take(entry_table, out=entry_is_smem, mode="clip")
                 # Tiny tables are already mostly L2-resident, so moving them
                 # to shared memory only saves the fraction of their traffic
                 # that would have reached the cache hierarchy at cost —
@@ -358,6 +462,17 @@ class HashtableEngine:
             smem_probes=smem_probes,
         )
         return adopters
+
+    # ------------------------------------------------------------------ #
+
+    def _scrub_claimed(self) -> None:
+        """Re-empty every slot the aborted accumulate claimed."""
+        tracker = self._tracker
+        if tracker is not None and len(tracker):
+            slots, _ = tracker.views()
+            self.tables.keys[slots] = EMPTY_KEY
+            self.tables.values[slots] = 0
+            tracker.reset()
 
     # ------------------------------------------------------------------ #
 
@@ -418,7 +533,7 @@ class HashtableEngine:
             run_sums = take(arena, "wcp.sum", num_runs, np.int64)
             np.add.reduceat(entry_work, run_starts, out=run_sums)
             run_lanes = take(arena, "wcp.rl", num_runs, np.int64)
-            np.take(entry_table, run_starts, out=run_lanes, mode="clip")
+            entry_table.take(run_starts, out=run_lanes, mode="clip")
             lane_work = take(arena, "wcp.lw", nw, np.int64)
             lane_work[:] = 0
             lane_work[run_lanes] = run_sums
@@ -485,8 +600,8 @@ class HashtableEngine:
         """
         arena = self.arena
         mem = self.memory
-        degrees = take(arena, "ac.deg", wave.shape[0], np.int64)
-        np.take(self.graph.degrees, wave, out=degrees, mode="clip")
+        degrees = take(arena, "ac.deg", wave.shape[0], self.graph.degrees.dtype)
+        self.graph.degrees.take(wave, out=degrees, mode="clip")
 
         counters.edges_scanned += num_entries
         counters.probes += acc_probes

@@ -36,7 +36,12 @@ from repro.gpu.kernel import KernelKind
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.scheduler import plan_waves
 from repro.graph.csr import CSRGraph
-from repro.observe.trace import KernelLaunchEvent, WaveEvent, counter_delta
+from repro.observe.trace import (
+    KernelLaunchEvent,
+    PersistentKernelEvent,
+    WaveEvent,
+    counter_delta,
+)
 from repro.perf.workspace import WorkspaceArena, compact, iota, take
 from repro.resilience.faults import FaultContext
 
@@ -121,6 +126,43 @@ def _groupby_order(
     return np.lexsort((keys, rank, table_id))
 
 
+def _groupby_order_packed(
+    table_id: np.ndarray,
+    keys: np.ndarray,
+    num_tables: int,
+    arena,
+) -> tuple[np.ndarray, np.ndarray, int, int] | None:
+    """The single-int64 fast path of :func:`_groupby_order`, keeping ``comp``.
+
+    Only for the ``"smallest"`` tie-break, where the rank column *is* the
+    key column: on success returns ``(perm, sorted_comp, rbits, ibits)``
+    so the caller can decode each sorted entry's ``(table, key)`` pair
+    straight out of ``sorted_comp >> ibits`` — replacing the random
+    key-gather and the two-column group-boundary test with shifts over
+    already-sorted memory.  ``perm`` is bit-identical to what
+    :func:`_groupby_order` returns for the same inputs; ``None`` means
+    the inputs don't pack (caller falls back to the general path).
+    """
+    n = keys.shape[0]
+    if int(keys.min()) < 0 or int(keys.max()) >= int(_RANK_LIMIT):
+        return None
+    ibits = max((n - 1).bit_length(), 1)
+    rbits = max(int(keys.max()).bit_length(), 1)
+    tbits = max((num_tables - 1).bit_length(), 1)
+    if tbits + rbits + ibits > 63:
+        return None
+    comp = take(arena, "gb.comp", n, np.int64)
+    np.multiply(table_id, np.int64(1) << (rbits + ibits), out=comp)
+    shifted_rank = take(arena, "gb.rsh", n, np.int64)
+    np.multiply(keys, np.int64(1) << ibits, out=shifted_rank)
+    np.add(comp, shifted_rank, out=comp)
+    np.add(comp, iota(arena, n), out=comp)
+    comp.sort()
+    perm = take(arena, "gb.perm", n, np.int64)
+    np.bitwise_and(comp, (np.int64(1) << ibits) - np.int64(1), out=perm)
+    return perm, comp, rbits, ibits
+
+
 def best_labels_groupby(
     table_id: np.ndarray,
     keys: np.ndarray,
@@ -160,43 +202,72 @@ def best_labels_groupby(
     if n == 0:
         return out
     accum = np.dtype(accum_dtype)
-    rank = _tie_rank(keys, tie_break, arena, "gb.rank")
-    perm = _groupby_order(table_id, keys, rank, num_tables, arena)
+    packed = (
+        _groupby_order_packed(table_id, keys, num_tables, arena)
+        if tie_break == "smallest"
+        else None
+    )
+    if packed is None:
+        rank = _tie_rank(keys, tie_break, arena, "gb.rank")
+        perm = _groupby_order(table_id, keys, rank, num_tables, arena)
+    else:
+        perm, comp, rbits, ibits = packed
 
-    # Sorted-by-(table, rank, key) copies of the entry columns.  The sort
-    # is table-stable and ``table_id`` is non-decreasing (the contract), so
-    # the permuted table column equals the input — no gather needed.
-    if table_id.dtype == np.int64:
-        t = table_id
-    else:  # direct callers (tests, baselines) may pass narrower ids
-        t = take(arena, "gb.t", n, np.int64)
-        np.copyto(t, table_id, casting="unsafe")
-    k = take(arena, "gb.k", n, keys.dtype)
-    np.take(keys, perm, out=k, mode="clip")
     if values.dtype == accum:
         vsrc = values
     else:
         vsrc = take(arena, "gb.vcast", n, accum)
         np.copyto(vsrc, values, casting="unsafe")
     v = take(arena, "gb.v", n, accum)
-    np.take(vsrc, perm, out=v, mode="clip")
+    vsrc.take(perm, out=v, mode="clip")
 
     # Group = contiguous run of equal (table, key); table/rank sorting makes
     # groups appear in tie-break order within each table.
     group_first = take(arena, "gb.gf", n, bool)
     group_first[0] = True
-    np.not_equal(t[1:], t[:-1], out=group_first[1:])
-    key_diff = take(arena, "gb.kd", max(n - 1, 1), bool)[: n - 1]
-    np.not_equal(k[1:], k[:-1], out=key_diff)
-    np.logical_or(group_first[1:], key_diff, out=group_first[1:])
-    num_groups = int(np.count_nonzero(group_first))
-    starts = compact(arena, "gb.starts", group_first, num_groups, iota(arena, n))
-    sums = take(arena, "gb.sums", num_groups, accum)
-    np.add.reduceat(v, starts, out=sums)
-    group_table = take(arena, "gb.gt", num_groups, np.int64)
-    np.take(t, starts, out=group_table, mode="clip")
-    group_key = take(arena, "gb.gk", num_groups, keys.dtype)
-    np.take(k, starts, out=group_key, mode="clip")
+    if packed is not None:
+        # ``comp >> ibits`` is exactly the (table, key) pair of each sorted
+        # entry, so one shift + one diff replaces the random key gather and
+        # the two-column boundary test — same groups, bit for bit.
+        sh = take(arena, "gb.sh", n, np.int64)
+        np.right_shift(comp, np.int64(ibits), out=sh)
+        np.not_equal(sh[1:], sh[:-1], out=group_first[1:])
+        num_groups = int(np.count_nonzero(group_first))
+        starts = compact(arena, "gb.starts", group_first, num_groups, iota(arena, n))
+        sums = take(arena, "gb.sums", num_groups, accum)
+        np.add.reduceat(v, starts, out=sums)
+        group_pair = take(arena, "gb.gp", num_groups, np.int64)
+        sh.take(starts, out=group_pair, mode="clip")
+        group_table = take(arena, "gb.gt", num_groups, np.int64)
+        np.right_shift(group_pair, np.int64(rbits), out=group_table)
+        group_key = take(arena, "gb.gk", num_groups, np.int64)
+        np.bitwise_and(
+            group_pair, (np.int64(1) << rbits) - np.int64(1), out=group_key
+        )
+    else:
+        # Sorted-by-(table, rank, key) copies of the entry columns.  The
+        # sort is table-stable and ``table_id`` is non-decreasing (the
+        # contract), so the permuted table column equals the input — no
+        # gather needed.
+        if table_id.dtype == np.int64:
+            t = table_id
+        else:  # direct callers (tests, baselines) may pass narrower ids
+            t = take(arena, "gb.t", n, np.int64)
+            np.copyto(t, table_id, casting="unsafe")
+        k = take(arena, "gb.k", n, keys.dtype)
+        keys.take(perm, out=k, mode="clip")
+        np.not_equal(t[1:], t[:-1], out=group_first[1:])
+        key_diff = take(arena, "gb.kd", max(n - 1, 1), bool)[: n - 1]
+        np.not_equal(k[1:], k[:-1], out=key_diff)
+        np.logical_or(group_first[1:], key_diff, out=group_first[1:])
+        num_groups = int(np.count_nonzero(group_first))
+        starts = compact(arena, "gb.starts", group_first, num_groups, iota(arena, n))
+        sums = take(arena, "gb.sums", num_groups, accum)
+        np.add.reduceat(v, starts, out=sums)
+        group_table = take(arena, "gb.gt", num_groups, np.int64)
+        t.take(starts, out=group_table, mode="clip")
+        group_key = take(arena, "gb.gk", num_groups, keys.dtype)
+        k.take(starts, out=group_key, mode="clip")
 
     # Per-table argmax with ties in rank order: groups are rank-sorted
     # within each table, so the *first* group attaining the table max wins.
@@ -217,7 +288,7 @@ def best_labels_groupby(
     max_per_table = take(arena, "gb.mpt", num_present, accum)
     np.maximum.reduceat(sums, table_starts, out=max_per_table)
     spread_max = take(arena, "gb.spread", num_groups, accum)
-    np.take(max_per_table, table_of_groups, out=spread_max, mode="clip")
+    max_per_table.take(table_of_groups, out=spread_max, mode="clip")
     is_max = take(arena, "gb.ismax", num_groups, bool)
     np.equal(sums, spread_max, out=is_max)
 
@@ -229,9 +300,9 @@ def best_labels_groupby(
     np.minimum.reduceat(candidate, table_starts, out=first_max)
 
     present_tables = take(arena, "gb.pt", num_present, np.int64)
-    np.take(group_table, table_starts, out=present_tables, mode="clip")
+    group_table.take(table_starts, out=present_tables, mode="clip")
     winners = take(arena, "gb.win", num_present, keys.dtype)
-    np.take(group_key, first_max, out=winners, mode="clip")
+    group_key.take(first_max, out=winners, mode="clip")
     out[present_tables] = winners
     return out
 
@@ -259,6 +330,10 @@ class VectorizedEngine:
         # Loop-free graphs (the common case; checked once, cached on the
         # graph) skip the per-wave self-loop filter entirely.
         self._loop_free = not graph.has_self_loops
+        # Kernels that have already been launched once, for persistent-kernel
+        # mode (config.persistent_kernel): later dispatches of the same kind
+        # are grid-resident and don't count as launches.
+        self._launched: set[KernelKind] = set()
 
     def move(
         self,
@@ -277,8 +352,8 @@ class VectorizedEngine:
         # (mirrors the hashtable engine, which has no slots for them).
         # They still count as processed — the frontier flagged them done.
         na = active.shape[0]
-        adeg = take(arena, "mv.adeg", na, np.int64)
-        np.take(self.graph.degrees, active, out=adeg, mode="clip")
+        adeg = take(arena, "mv.adeg", na, self.graph.degrees.dtype)
+        self.graph.degrees.take(active, out=adeg, mode="clip")
         zmask = take(arena, "mv.zmask", na, bool)
         np.equal(adeg, 0, out=zmask)
         retired = int(np.count_nonzero(zmask))
@@ -299,11 +374,15 @@ class VectorizedEngine:
             vertices = partition.for_kind(kind)
             if vertices.shape[0] == 0:
                 continue
-            counters.launches += 1
+            persistent = self.config.persistent_kernel and kind in self._launched
+            if not persistent:
+                counters.launches += 1
+                self._launched.add(kind)
             plan = plan_waves(self.config.device, kind, vertices.shape[0])
             counters.waves += plan.num_waves
             if tracing:
-                tracer.emit(KernelLaunchEvent(
+                event_cls = PersistentKernelEvent if persistent else KernelLaunchEvent
+                tracer.emit(event_cls(
                     iteration=iteration,
                     kernel=kind.value,
                     num_items=int(vertices.shape[0]),
@@ -314,10 +393,17 @@ class VectorizedEngine:
                 before = counters.as_dict() if tracing else None
                 frontier.mark_processed(wave)
 
-                gather = gather_edges(self.graph, wave, arena)
+                gather = gather_edges(self.graph, wave, arena, need_rank=False)
                 ne = gather.num_edges
-                targets = take(arena, "mv.tg", ne, np.int64)
-                np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+                targets = take(arena, "mv.tg", ne, self.graph.targets.dtype)
+                self.graph.targets.take(gather.edge_index, out=targets, mode="clip")
+                if targets.dtype != np.int64:
+                    # Indexing labels with an int32 array makes numpy
+                    # malloc an intp copy per take; widen once into an
+                    # arena slot to keep steady-state waves allocation-free.
+                    wide_targets = take(arena, "mv.tg64", ne, np.int64)
+                    np.copyto(wide_targets, targets)
+                    targets = wide_targets
                 if self._loop_free:
                     # No self-loops anywhere: the loop filter would be an
                     # identity copy, so feed the gather straight through.
@@ -325,28 +411,26 @@ class VectorizedEngine:
                     table_id = gather.table_id
                     tgt_nl = targets
                     values = take(arena, "mv.val", ne, self.graph.weights.dtype)
-                    np.take(
-                        self.graph.weights, gather.edge_index,
-                        out=values, mode="clip",
+                    self.graph.weights.take(
+                        gather.edge_index, out=values, mode="clip"
                     )
                 else:
-                    owner = take(arena, "mv.owner", ne, np.int64)
-                    np.take(wave, gather.table_id, out=owner, mode="clip")
+                    owner = take(arena, "mv.owner", ne, wave.dtype)
+                    wave.take(gather.table_id, out=owner, mode="clip")
                     non_loop = take(arena, "mv.nl", ne, bool)
                     np.not_equal(targets, owner, out=non_loop)
                     m = int(np.count_nonzero(non_loop))
 
                     wts = take(arena, "mv.w", ne, self.graph.weights.dtype)
-                    np.take(
-                        self.graph.weights, gather.edge_index,
-                        out=wts, mode="clip",
+                    self.graph.weights.take(
+                        gather.edge_index, out=wts, mode="clip"
                     )
                     table_id, tgt_nl, values = compact(
                         arena, "mv.nl", non_loop, m,
                         gather.table_id, targets, wts,
                     )
                 keys = take(arena, "mv.keys", m, labels.dtype)
-                np.take(labels, tgt_nl, out=keys, mode="clip")
+                labels.take(tgt_nl, out=keys, mode="clip")
 
                 if self.fault_hook is not None:
                     # `keys` is this wave's working set (a fresh gather), so
@@ -366,7 +450,7 @@ class VectorizedEngine:
 
                 w = wave.shape[0]
                 fallback = take(arena, "mv.fb", w, labels.dtype)
-                np.take(labels, wave, out=fallback, mode="clip")
+                labels.take(wave, out=fallback, mode="clip")
                 best = best_labels_groupby(
                     table_id,
                     keys,

@@ -58,8 +58,8 @@ def partition_by_degree(
     nv = int(vertices.shape[0])
     if nv == 0:
         return DegreePartition(low=_EMPTY, high=_EMPTY)
-    deg = take(arena, "part.deg", nv, np.int64)
-    np.take(degrees, vertices, out=deg, mode="clip")
+    deg = take(arena, "part.deg", nv, degrees.dtype)
+    degrees.take(vertices, out=deg, mode="clip")
     low_mask = take(arena, "part.mask", nv, bool)
     np.less(deg, switch_degree, out=low_mask)
     num_low = int(np.count_nonzero(low_mask))

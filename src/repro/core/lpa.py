@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from dataclasses import replace
 
 import numpy as np
 
@@ -162,6 +163,28 @@ def nu_lpa(
     validation = None
     if validate is not None:
         graph, validation = validate_graph(graph, validate)
+
+    if config.degree_renumber and graph.num_vertices:
+        return _run_renumbered(
+            graph,
+            config,
+            engine=engine,
+            initial_labels=initial_labels,
+            initial_active=initial_active,
+            warn_on_no_convergence=warn_on_no_convergence,
+            resilience=resilience,
+            profile=profile,
+            tracer=tracer,
+            budget=budget,
+            cancel=cancel,
+            validation=validation,
+        )
+
+    # Data-layout shrinking: 32-bit offsets/targets (and labels) whenever
+    # the graph fits.  Values are unchanged — every kernel widens on the
+    # fly — so labels and counters stay bit-identical to the wide layout.
+    if config.compact_layout:
+        graph = graph.with_compact_layout()
     eng = make_engine(graph, config, engine)
 
     if profile and tracer is None:
@@ -171,10 +194,19 @@ def nu_lpa(
     tracing = tracer is not None and tracer.enabled
 
     n = graph.num_vertices
+    label_dtype: np.dtype = VERTEX_DTYPE
+    if config.compact_layout and graph.is_compact:
+        label_dtype = np.dtype(np.int32)
     if initial_labels is None:
-        labels = np.arange(n, dtype=VERTEX_DTYPE)
+        labels = np.arange(n, dtype=label_dtype)
     else:
-        labels = np.asarray(initial_labels, dtype=VERTEX_DTYPE).copy()
+        arr = np.asarray(initial_labels)
+        if label_dtype != VERTEX_DTYPE and arr.shape[0]:
+            lo, hi = int(arr.min()), int(arr.max())
+            ii = np.iinfo(np.int32)
+            if lo < ii.min or hi > ii.max:  # caller's ids need 64 bits
+                label_dtype = VERTEX_DTYPE
+        labels = arr.astype(label_dtype, copy=True)
         if labels.shape[0] != n:
             raise ConfigurationError(
                 f"initial_labels length {labels.shape[0]} != num_vertices {n}"
@@ -437,6 +469,10 @@ def nu_lpa(
                 ),
                 stacklevel=2,
             )
+    if labels.dtype != VERTEX_DTYPE:
+        # Compact-layout runs compute in int32; the public result is
+        # always the canonical wide dtype.
+        labels = labels.astype(VERTEX_DTYPE)
     result = LPAResult(
         labels=labels,
         iterations=iterations,
@@ -457,4 +493,72 @@ def nu_lpa(
         from repro.observe.profile import build_profile
 
         result.profile = build_profile(result, device=config.device, tracer=tracer)
+    return result
+
+
+def _run_renumbered(
+    graph: CSRGraph,
+    config: LPAConfig,
+    *,
+    engine: str,
+    initial_labels,
+    initial_active,
+    warn_on_no_convergence: bool,
+    resilience,
+    profile: bool,
+    tracer,
+    budget,
+    cancel,
+    validation,
+) -> LPAResult:
+    """``config.degree_renumber``: run on the degree-sorted graph.
+
+    Renumbering vertices by ascending degree makes each wave's adjacency
+    gathers walk near-contiguous CSR ranges (the two-kernel partition is a
+    *slice* of the id space instead of a scatter), at the cost of one up-
+    front permutation.  The returned labels are mapped back to the original
+    numbering, and because default labels are vertex ids the label *values*
+    are permuted too — the partition is identical to a non-renumbered run
+    up to this renaming, but not bit-identical (documented on the flag).
+
+    ``initial_labels`` is rejected: caller-supplied label values are opaque
+    (they need not be vertex ids), so there is no faithful way to renumber
+    them and un-renumber the result.
+    """
+    if initial_labels is not None:
+        raise ConfigurationError(
+            "degree_renumber cannot be combined with initial_labels: "
+            "custom label values are opaque and cannot be renumbered"
+        )
+    n = graph.num_vertices
+    sorted_graph, perm = graph.sorted_by_degree()
+    inner_config = replace(config, degree_renumber=False)
+
+    remapped_active = None
+    if initial_active is not None:
+        active = np.asarray(initial_active, dtype=np.int64)
+        if active.shape[0] and (active.min() < 0 or active.max() >= n):
+            raise ConfigurationError("initial_active vertex id out of range")
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[perm] = np.arange(n, dtype=np.int64)
+        remapped_active = inverse[active]
+
+    result = nu_lpa(
+        sorted_graph,
+        inner_config,
+        engine=engine,
+        initial_active=remapped_active,
+        warn_on_no_convergence=warn_on_no_convergence,
+        resilience=resilience,
+        profile=profile,
+        tracer=tracer,
+        budget=budget,
+        cancel=cancel,
+    )
+    # New vertex k is old vertex perm[k]; a label is itself a (new) vertex
+    # id, so both the positions and the values map through perm.
+    restored = np.empty(n, dtype=VERTEX_DTYPE)
+    restored[perm] = perm[result.labels]
+    result.labels = restored
+    result.validation = validation
     return result

@@ -69,12 +69,14 @@ class Frontier:
         """Set the flags of all neighbours of ``vertices``; returns arcs walked."""
         if vertices.shape[0] == 0:
             return 0
-        gather = gather_edges(self.graph, vertices, self.arena, prefix="fr")
+        gather = gather_edges(
+            self.graph, vertices, self.arena, prefix="fr", need_rank=False
+        )
         total = gather.num_edges
         if total == 0:
             return 0
-        targets = take(self.arena, "fr.tg", total, np.int64)
-        np.take(self.graph.targets, gather.edge_index, out=targets, mode="clip")
+        targets = take(self.arena, "fr.tg", total, self.graph.targets.dtype)
+        self.graph.targets.take(gather.edge_index, out=targets, mode="clip")
         self._flags[targets] = 1
         return total
 

@@ -107,8 +107,15 @@ class CSRGraph:
         *,
         validate: bool = True,
     ) -> None:
-        offsets = np.ascontiguousarray(offsets, dtype=OFFSET_DTYPE)
-        targets = np.ascontiguousarray(targets, dtype=VERTEX_DTYPE)
+        # Arrays arriving already in the compact (int32) layout keep it —
+        # see :meth:`with_compact_layout`; anything else is normalised to
+        # the wide canonical dtypes.
+        offsets = np.ascontiguousarray(offsets)
+        if offsets.dtype != np.int32:
+            offsets = np.ascontiguousarray(offsets, dtype=OFFSET_DTYPE)
+        targets = np.ascontiguousarray(targets)
+        if targets.dtype != np.int32:
+            targets = np.ascontiguousarray(targets, dtype=VERTEX_DTYPE)
         if weights is None:
             weights = np.ones(targets.shape[0], dtype=WEIGHT_DTYPE)
         else:
@@ -258,6 +265,12 @@ class CSRGraph:
         )
 
     def __eq__(self, other: object) -> bool:
+        """Full structural equality over offsets, targets, and weights.
+
+        Dtype-insensitive on purpose: a graph and its
+        :meth:`with_compact_layout` copy hold the same values and compare
+        equal (``np.array_equal`` compares values, not dtypes).
+        """
         if not isinstance(other, CSRGraph):
             return NotImplemented
         return (
@@ -267,33 +280,115 @@ class CSRGraph:
         )
 
     def __hash__(self) -> int:
-        # Cheap structural hash: shapes plus a few sampled entries.
+        """Cheap structural hash: shapes plus sampled targets *and* offsets.
+
+        Consistent with :meth:`__eq__` (equal graphs hash equal — the
+        samples are value-based, so dtype doesn't matter) but deliberately
+        lossy: weights are never sampled and targets/offsets only at the
+        ends and midpoint, so unequal graphs can collide.  That is fine
+        for hashing (collisions only cost an ``__eq__`` call) — the
+        offsets samples exist so that two graphs with identical target
+        streams but different row boundaries (a common corruption shape)
+        land in different buckets.
+        """
+        n = self.num_vertices
         return hash(
             (
-                self.num_vertices,
+                n,
                 self.num_edges,
                 int(self._targets[0]) if self.num_edges else -1,
                 int(self._targets[-1]) if self.num_edges else -1,
+                int(self._offsets[n // 2]),
+                int(self._offsets[-1]),
             )
         )
 
     def memory_bytes(self) -> int:
-        """Device-accounted footprint: 4-byte ids/weights, 8-byte offsets."""
-        return 8 * self._offsets.shape[0] + 4 * 2 * self._targets.shape[0]
+        """Device-accounted footprint, derived from the actual itemsizes.
+
+        Wide layout: 8-byte offsets/targets + 4-byte weights.  Compact
+        layout (:meth:`with_compact_layout`): 4-byte offsets/targets.
+        """
+        return self._offsets.itemsize * self._offsets.shape[0] + (
+            self._targets.itemsize + self._weights.itemsize
+        ) * self._targets.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Layout transforms
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_compact(self) -> bool:
+        """Whether offsets/targets are stored 32-bit wide."""
+        return self._targets.dtype == np.int32
+
+    def with_compact_layout(self) -> "CSRGraph":
+        """This graph with 32-bit offsets and targets, when sizes allow.
+
+        Returns ``self`` unchanged when the layout is already compact or
+        when ``num_edges``/``num_vertices`` overflow int32 (offsets hold
+        edge indices up to ``num_edges``, targets hold vertex ids).  The
+        values are identical — only the storage width shrinks, halving
+        the memory traffic of every offsets/targets gather.
+        """
+        if self.is_compact:
+            return self
+        if self.num_edges > np.iinfo(np.int32).max or (
+            self.num_vertices > np.iinfo(np.int32).max
+        ):
+            return self
+        return CSRGraph(
+            self._offsets.astype(np.int32),
+            self._targets.astype(np.int32),
+            self._weights,
+            validate=False,
+        )
 
     def sorted_by_degree(self) -> tuple["CSRGraph", np.ndarray]:
         """Return a copy whose vertices are renumbered by ascending degree.
 
         Returns the permuted graph and the permutation ``perm`` such that new
         vertex ``k`` is old vertex ``perm[k]``.  Used by the two-kernel
-        partitioner, which wants low-degree vertices contiguous.
+        partitioner, which wants low-degree vertices contiguous, and by the
+        driver's ``degree_renumber`` mode.
+
+        Vectorised: every arc's destination position is its row's new start
+        plus its within-row rank, both computable with gathers off the old
+        CSR — no per-vertex Python loop.  (The loop implementation survives
+        as :meth:`_sorted_by_degree_reference`, the differential oracle.)
         """
+        n = self.num_vertices
+        perm = np.argsort(self._degrees, kind="stable").astype(VERTEX_DTYPE)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(n, dtype=VERTEX_DTYPE)
+
+        new_offsets = np.zeros(n + 1, dtype=self._offsets.dtype)
+        np.cumsum(self._degrees[perm], out=new_offsets[1:])
+
+        m = self.num_edges
+        new_targets = np.empty_like(self._targets)
+        new_weights = np.empty_like(self._weights)
+        if m:
+            src = self.source_ids()
+            # dest = new_row_start[new id of src] + within-row rank
+            dest = new_offsets[inverse[src]].astype(np.int64)
+            dest += np.arange(m, dtype=np.int64)
+            dest -= self._offsets[src]
+            new_targets[dest] = inverse[self._targets]
+            new_weights[dest] = self._weights
+        return (
+            CSRGraph(new_offsets, new_targets, new_weights, validate=False),
+            perm,
+        )
+
+    def _sorted_by_degree_reference(self) -> tuple["CSRGraph", np.ndarray]:
+        """Loop-based :meth:`sorted_by_degree`; differential-test oracle."""
         perm = np.argsort(self._degrees, kind="stable").astype(VERTEX_DTYPE)
         inverse = np.empty_like(perm)
         inverse[perm] = np.arange(self.num_vertices, dtype=VERTEX_DTYPE)
 
         new_degrees = self._degrees[perm]
-        new_offsets = np.zeros(self.num_vertices + 1, dtype=OFFSET_DTYPE)
+        new_offsets = np.zeros(self.num_vertices + 1, dtype=self._offsets.dtype)
         np.cumsum(new_degrees, out=new_offsets[1:])
 
         new_targets = np.empty_like(self._targets)

@@ -82,7 +82,10 @@ class PerVertexHashtables:
         degrees = graph.degrees
         self._p1 = table_capacity(degrees * self.capacity_scale).astype(np.int64)
         self._p2 = np.asarray(secondary_prime(self._p1), dtype=np.int64)
-        self._base = 2 * graph.offsets[:-1] * self.capacity_scale
+        # int64 regardless of the graph's (possibly compact int32) offset
+        # width: 2 * offsets * scale can exceed int32, and every consumer
+        # indexes the flat buffers with it.
+        self._base = 2 * graph.offsets[:-1].astype(np.int64) * self.capacity_scale
         #: Total probes performed since construction (for the cost model).
         self.total_probes = 0
 

@@ -48,8 +48,11 @@ PROFILE_SCHEMA_VERSION = 1
 BENCH_SCHEMA = "repro.observe/bench"
 #: v2 adds the perf-gate fields: per-graph measured ``wall_seconds``
 #: (vectorized engine) and a document-level ``calibration_seconds`` that
-#: normalises wall clocks across machines.
-BENCH_SCHEMA_VERSION = 2
+#: normalises wall clocks across machines.  v3 adds per-graph
+#: ``wall_seconds_hashtable`` (the ν-LPA hashtable engine's wall clock)
+#: so the fused-sweep/compact-layout hot path is gated alongside the
+#: vectorized engine.
+BENCH_SCHEMA_VERSION = 3
 
 #: ``repro.observe/service`` — a :class:`~repro.service.service.
 #: DetectionService` health snapshot (``service.stats()`` / ``repro serve
@@ -502,10 +505,11 @@ def validate_bench(doc: dict) -> dict:
                 _fail(f"{gpath}.{key}", f"negative value {value}")
         _require(g, gpath, "converged", bool)
         for key in (
-            "modeled_seconds", "paper_modeled_seconds", "modularity", "wall_seconds"
+            "modeled_seconds", "paper_modeled_seconds", "modularity",
+            "wall_seconds", "wall_seconds_hashtable",
         ):
             _require(g, gpath, key, numbers.Real, allow_none=(key == "paper_modeled_seconds"))
-        for key in ("modeled_seconds", "wall_seconds"):
+        for key in ("modeled_seconds", "wall_seconds", "wall_seconds_hashtable"):
             if g[key] < 0:
                 _fail(f"{gpath}.{key}", f"negative time {g[key]}")
         _check_counters(_require(g, gpath, "counters", dict), f"{gpath}.counters")

@@ -21,6 +21,7 @@ from typing import Iterator
 __all__ = [
     "TraceEvent",
     "KernelLaunchEvent",
+    "PersistentKernelEvent",
     "WaveEvent",
     "IterationEvent",
     "FaultRungEvent",
@@ -67,6 +68,24 @@ class KernelLaunchEvent(TraceEvent):
     num_waves: int
 
     kind = "kernel_launch"
+
+
+@dataclass(frozen=True)
+class PersistentKernelEvent(TraceEvent):
+    """A dispatch into an already-resident kernel (persistent mode).
+
+    With :attr:`~repro.core.config.LPAConfig.persistent_kernel` on, each
+    kernel kind pays its launch overhead once — the first dispatch emits
+    a :class:`KernelLaunchEvent` as usual; every later one emits this
+    event instead.  Fields mirror the launch event so profile aggregation
+    can count waves (which are still paid) without counting a launch.
+    """
+
+    kernel: str
+    num_items: int
+    num_waves: int
+
+    kind = "persistent_kernel"
 
 
 @dataclass(frozen=True)

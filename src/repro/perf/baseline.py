@@ -10,7 +10,9 @@
   duration of a fixed NumPy micro-workload shaped like the hot path
   (sort, gather, segmented reduce, prefix sum).  Wall clocks are gated on
   the *calibration-normalised total*: ``sum(wall) / calibration`` is a
-  machine-free throughput figure comparable across hosts.
+  machine-free throughput figure comparable across hosts.  Schema v3
+  adds ``wall_seconds_hashtable`` (the ν-LPA hashtable engine) gated the
+  same way, so regressions on the fused-sweep hot path fail CI too.
 
 :func:`compare_to_baseline` returns a list of regression messages; an
 empty list is a pass.  CI fails the ``perf-gate`` job on any message.
@@ -123,6 +125,20 @@ def compare_to_baseline(
                 f"(calibration-normalised: "
                 f"{base_wall / base_cal:.2f} -> {cur_wall / cur_cal:.2f})"
             )
+        # Schema v3 adds the hashtable engine's wall clock; skip the gate
+        # against pre-v3 baselines that never recorded it.
+        cur_ht = sum(g.get("wall_seconds_hashtable", 0.0) for g in current["graphs"])
+        base_ht = sum(
+            g.get("wall_seconds_hashtable", 0.0) for g in base_rows.values()
+        )
+        if cur_ht and base_ht:
+            inc = _relative_increase(cur_ht / cur_cal, base_ht / base_cal)
+            if inc > wall_tolerance:
+                problems.append(
+                    f"hashtable suite wall clock regressed {inc:+.1%} "
+                    f"(calibration-normalised: "
+                    f"{base_ht / base_cal:.2f} -> {cur_ht / cur_cal:.2f})"
+                )
     return problems
 
 

@@ -47,7 +47,7 @@ class WorkspaceArena:
     __slots__ = ("_buffers", "_iota", "takes", "grows", "grown_bytes")
 
     def __init__(self) -> None:
-        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+        self._buffers: dict[tuple[str, object], np.ndarray] = {}
         self._iota: np.ndarray | None = None
         #: Total ``take`` calls served (steady-state hits + grows).
         self.takes = 0
@@ -64,15 +64,19 @@ class WorkspaceArena:
         high-water mark in O(log size) reallocations and then never
         allocates again.
         """
-        dt = np.dtype(dtype)
-        key = (name, dt.str)
+        # Key on the caller's dtype object directly: equal dtypes hash
+        # equal, and skipping the np.dtype() canonicalisation on every
+        # steady-state hit measurably shrinks per-take overhead.  A
+        # class-vs-instance spelling difference at worst costs one extra
+        # slot.
+        key = (name, dtype)
         buf = self._buffers.get(key)
         if buf is None or buf.shape[0] < size:
             old = 0 if buf is None else buf.shape[0]
             capacity = max(size, 2 * old, _MIN_CAPACITY)
             if buf is not None:
                 self.grown_bytes -= buf.nbytes
-            buf = np.empty(capacity, dtype=dt)
+            buf = np.empty(capacity, dtype=np.dtype(dtype))
             self._buffers[key] = buf
             self.grows += 1
             self.grown_bytes += buf.nbytes

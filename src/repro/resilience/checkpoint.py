@@ -206,6 +206,12 @@ class CheckpointManager:
         previous generation or this one — never a torn file under the
         final name.
         """
+        # Canonical on-disk dtypes, whatever the engine ran internally
+        # (compact-layout runs carry int32 labels): the load-side CRC is
+        # verified after widening, so the save-side CRC must cover the
+        # same canonical bytes.
+        labels = np.ascontiguousarray(state.labels, dtype=VERTEX_DTYPE)
+        flags = np.ascontiguousarray(state.flags, dtype=FLAG_DTYPE)
         meta = {
             "version": _SCHEMA_VERSION,
             "iteration": state.iteration,
@@ -215,8 +221,8 @@ class CheckpointManager:
             "last_pl_fraction": state.last_pl_fraction,
             "stats": _stats_to_json(state.stats),
             "crc32": {
-                "labels": zlib.crc32(np.ascontiguousarray(state.labels).tobytes()),
-                "flags": zlib.crc32(np.ascontiguousarray(state.flags).tobytes()),
+                "labels": zlib.crc32(labels.tobytes()),
+                "flags": zlib.crc32(flags.tobytes()),
             },
         }
         final = self.directory / f"{_PREFIX}{state.iteration:06d}{_SUFFIX}"
@@ -225,8 +231,8 @@ class CheckpointManager:
             with open(tmp, "wb") as fh:
                 np.savez(
                     fh,
-                    labels=state.labels,
-                    flags=state.flags,
+                    labels=labels,
+                    flags=flags,
                     meta=np.array(json.dumps(meta)),
                 )
                 fh.flush()

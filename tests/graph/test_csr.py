@@ -121,5 +121,96 @@ class TestEqualityAndSort:
         assert g2.degree(0) == small_road.degree(int(perm[0]))
 
     def test_memory_bytes_accounting(self, triangle):
-        # 4 offsets * 8B + 6 arcs * (4B id + 4B weight).
-        assert triangle.memory_bytes() == 4 * 8 + 6 * 8
+        # 4 offsets * 8B + 6 arcs * (8B id + 4B weight) — derived from the
+        # actual itemsizes, not hardcoded widths.
+        assert triangle.memory_bytes() == 4 * 8 + 6 * (8 + 4)
+
+    def test_memory_bytes_tracks_compact_layout(self, triangle):
+        compact = triangle.with_compact_layout()
+        # 4 offsets * 4B + 6 arcs * (4B id + 4B weight).
+        assert compact.memory_bytes() == 4 * 4 + 6 * (4 + 4)
+        assert compact.memory_bytes() < triangle.memory_bytes()
+
+
+class TestSortedByDegreeDifferential:
+    """The vectorized scatter must match the per-vertex reference exactly."""
+
+    def _check(self, graph):
+        fast_graph, fast_perm = graph.sorted_by_degree()
+        ref_graph, ref_perm = graph._sorted_by_degree_reference()
+        assert np.array_equal(fast_perm, ref_perm)
+        assert np.array_equal(fast_graph.offsets, ref_graph.offsets)
+        assert np.array_equal(fast_graph.targets, ref_graph.targets)
+        assert np.array_equal(fast_graph.weights, ref_graph.weights)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_random_graphs(self, seed):
+        from repro.graph.generators import rmat_graph
+
+        self._check(rmat_graph(9, 6, seed=seed))
+
+    def test_self_loops(self):
+        offsets = np.array([0, 2, 3, 5], dtype=np.int64)
+        targets = np.array([0, 1, 1, 2, 0], dtype=np.int64)
+        weights = np.array([1.0, 2.0, 3.0, 4.0, 5.0], dtype=np.float32)
+        self._check(CSRGraph(offsets, targets, weights, validate=False))
+
+    def test_isolated_vertices(self):
+        # Vertices 1 and 3 have no arcs at all.
+        offsets = np.array([0, 2, 2, 4, 4, 5], dtype=np.int64)
+        targets = np.array([2, 4, 0, 4, 0], dtype=np.int64)
+        self._check(CSRGraph(offsets, targets, validate=False))
+
+    def test_empty_graph(self):
+        self._check(CSRGraph(np.zeros(1, dtype=np.int64),
+                             np.zeros(0, dtype=np.int64), validate=False))
+
+    def test_compact_graph_keeps_compact_dtypes(self):
+        offsets = np.array([0, 1, 3, 4], dtype=np.int32)
+        targets = np.array([1, 0, 2, 1], dtype=np.int32)
+        g = CSRGraph(offsets, targets, validate=False)
+        sorted_g, _ = g.sorted_by_degree()
+        assert sorted_g.offsets.dtype == np.int32
+        assert sorted_g.targets.dtype == np.int32
+        self._check(g)
+
+
+class TestHashAudit:
+    """Regression tests for the sampled structural hash."""
+
+    def test_hash_consistent_with_eq_across_layouts(self, small_web):
+        compact = small_web.with_compact_layout()
+        assert compact == small_web
+        assert hash(compact) == hash(small_web)
+
+    def test_hash_samples_offsets(self):
+        # Same target stream, different row boundaries: the pre-audit hash
+        # (targets-only samples) collided these two graphs.
+        targets = np.arange(8, dtype=np.int64) % 4
+        a = CSRGraph(np.array([0, 2, 4, 6, 8]), targets, validate=False)
+        b = CSRGraph(np.array([0, 1, 2, 6, 8]), targets, validate=False)
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_weights_never_hashed(self, triangle):
+        heavier = CSRGraph(
+            triangle.offsets, triangle.targets,
+            np.full(triangle.num_edges, 2.0, dtype=np.float32),
+            validate=False,
+        )
+        assert heavier != triangle
+        assert hash(heavier) == hash(triangle)
+
+
+class TestCompactLayout:
+    def test_round_trip_values(self, small_web):
+        compact = small_web.with_compact_layout()
+        assert compact.is_compact
+        assert not small_web.is_compact
+        assert np.array_equal(compact.offsets, small_web.offsets)
+        assert np.array_equal(compact.targets, small_web.targets)
+        assert np.array_equal(compact.weights, small_web.weights)
+
+    def test_idempotent(self, small_web):
+        compact = small_web.with_compact_layout()
+        assert compact.with_compact_layout() is compact

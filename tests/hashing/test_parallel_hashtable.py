@@ -206,3 +206,77 @@ class TestMaxKey:
             keys_buf, values_buf, base, p1, np.array([111, 222])
         )
         assert out.tolist() == [111, 9]
+
+
+class TestScalarTail:
+    """The scalar tail must be indistinguishable from the vectorized rounds.
+
+    Small pending sets (``<= _SCALAR_TAIL_MAX``) finish in a pure-Python
+    loop; these tests pin it bit-for-bit against the vectorized path by
+    monkeypatching the threshold to zero (tail disabled).
+    """
+
+    def _accumulate(self, capacities, entry_table, entry_key, strategy,
+                    shared=True):
+        keys_buf, values_buf, base, p1, p2 = _make_tables(capacities)
+        segmented_clear(keys_buf, values_buf, base, p1)
+        res = parallel_accumulate(
+            keys_buf, values_buf, base, p1, p2,
+            entry_table, entry_key,
+            np.ones(entry_key.shape[0], dtype=np.float64),
+            strategy, shared=shared,
+        )
+        return keys_buf, values_buf, res
+
+    def _assert_same(self, capacities, entry_table, entry_key, strategy,
+                     monkeypatch, shared=True):
+        from repro.hashing import parallel_hashtable as ph
+
+        k_tail, v_tail, r_tail = self._accumulate(
+            capacities, entry_table, entry_key, strategy, shared
+        )
+        monkeypatch.setattr(ph, "_SCALAR_TAIL_MAX", 0)
+        k_vec, v_vec, r_vec = self._accumulate(
+            capacities, entry_table, entry_key, strategy, shared
+        )
+        assert np.array_equal(k_tail, k_vec)
+        assert np.array_equal(v_tail, v_vec)
+        assert r_tail.total_probes == r_vec.total_probes
+        assert r_tail.rounds == r_vec.rounds
+        assert r_tail.cas_attempts == r_vec.cas_attempts
+        assert r_tail.atomic_adds == r_vec.atomic_adds
+        assert r_tail.atomic_conflicts == r_vec.atomic_conflicts
+        assert np.array_equal(r_tail.entry_probes, r_vec.entry_probes)
+
+    @pytest.mark.parametrize("strategy", list(ProbeStrategy))
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_small_wave_matches_vectorized(self, strategy, shared, monkeypatch):
+        rng = np.random.default_rng(11)
+        entry_table = np.sort(rng.integers(0, 3, 20)).astype(np.int64)
+        entry_key = rng.integers(0, 50, 20).astype(np.int64)
+        self._assert_same([7, 15, 31], entry_table, entry_key, strategy,
+                          monkeypatch, shared)
+
+    @pytest.mark.parametrize("strategy", list(ProbeStrategy))
+    def test_probe_wraparound_past_int64(self, strategy, monkeypatch):
+        # 127 keys sharing one probe sequence into a 127-slot table: one
+        # entry lands per round, so quadratic-double's doubling increment
+        # overflows int64 around round 63.  The tail must reproduce the
+        # vectorized path's wraparound semantics exactly.
+        p1 = 127
+        entry_key = 5 + np.arange(p1, dtype=np.int64) * p1 * (2 * (p1 + 1) - 1)
+        entry_table = np.zeros(p1, dtype=np.int64)
+        self._assert_same([p1], entry_table, entry_key, strategy, monkeypatch)
+
+    def test_overfull_raises_inside_tail(self):
+        # 5 entries go straight to the scalar tail; only 3 slots exist.
+        keys_buf, values_buf, base, p1, p2 = _make_tables([3])
+        segmented_clear(keys_buf, values_buf, base, p1)
+        with pytest.raises(HashtableFullError):
+            parallel_accumulate(
+                keys_buf, values_buf, base, p1, p2,
+                np.zeros(5, dtype=np.int64),
+                np.arange(5, dtype=np.int64) * 7 + 1,
+                np.ones(5, dtype=np.float64),
+                ProbeStrategy.QUADRATIC_DOUBLE,
+            )

@@ -145,7 +145,7 @@ class TestSchemaValidation:
     def test_bench_document_validates(self):
         doc = {
             "schema": "repro.observe/bench",
-            "version": 2,
+            "version": 3,
             "scale": 0.1,
             "seed": 42,
             "engine": "hashtable",
@@ -162,6 +162,7 @@ class TestSchemaValidation:
                 "paper_modeled_seconds": 2.0,
                 "modularity": 0.7,
                 "wall_seconds": 5e-4,
+                "wall_seconds_hashtable": 4e-4,
                 "counters": {
                     k: 0 for k in self._counter_keys()
                 },
@@ -181,11 +182,12 @@ class TestSchemaValidation:
             "paper_modeled_seconds": None,
             "modularity": 0.7,
             "wall_seconds": 5e-4,
+            "wall_seconds_hashtable": 4e-4,
             "counters": {k: 0 for k in self._counter_keys()},
         }
         doc = {
             "schema": "repro.observe/bench",
-            "version": 2,
+            "version": 3,
             "scale": 0.1,
             "seed": 42,
             "engine": "hashtable",
