@@ -1,0 +1,102 @@
+"""R3 — memory soak: OOM storms, oversized jobs, and budget shrinks.
+
+Runs :func:`repro.resilience.run_memory_soak` — 20 deterministic
+memory-pressure schedules by default (``REPRO_MEMORY_SEEDS`` overrides),
+each attacking one run three ways: an injected ``"oom"`` fault storm
+under a tight modelled budget (absorbed by the supervisor's memory
+rungs), an oversized job bounced off the service's admission-time
+footprint estimate with a typed
+:class:`~repro.errors.MemoryPressure`, and a single mid-run budget
+shrink — then asserts every out-of-memory event was **absorbed by a
+degradation rung with valid labels** or **rejected with a typed error**,
+never a silent wrong result.  Every schedule also reconciles the
+allocation ledger's high-water mark against the analytic estimator —
+it must stay inside the estimator's band (above the exact-size
+regions, no more than :data:`~repro.gpu.governor.ESTIMATE_TOLERANCE`
+past the total) — and checks a pressure-free governed run stays
+bit-identical to the unconstrained reference.
+
+Writes the machine-readable
+:class:`~repro.resilience.memory_soak.MemorySoakReport` to
+``BENCH_memory_soak.json`` (override via ``REPRO_MEMORY_OUT``) for the
+CI artifact; the document validates against
+``repro.observe/memory-soak``.  Graph size scales with
+``REPRO_BENCH_SCALE``; schedule *i* derives from
+``default_rng([REPRO_BENCH_SEED, i])``, so a failing schedule replays in
+isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.config import LPAConfig
+from repro.graph.generators import web_graph
+from repro.observe.schema import validate_memory_soak
+from repro.resilience import run_memory_soak
+
+
+def _soak(scale: float, seed: int, seeds: int) -> dict:
+    # ~750 vertices at the default 0.25 scale: enough hashtable regions
+    # and arena waves for the ledger to matter, CI-minute sized.
+    graph = web_graph(max(150, int(3000 * scale)), seed=seed)
+    report = run_memory_soak(
+        graph,
+        seeds=seeds,
+        seed=seed,
+        engine="hashtable",
+        config=LPAConfig(max_iterations=15),
+    )
+    doc = report.as_dict()
+    doc["scale"] = scale
+    doc["seed"] = seed
+    return doc
+
+
+def test_memory_soak(benchmark, bench_scale, bench_seed, tmp_path):
+    seeds = int(os.environ.get("REPRO_MEMORY_SEEDS", 20))
+    doc = benchmark.pedantic(
+        _soak,
+        args=(bench_scale, bench_seed, seeds),
+        rounds=1,
+        iterations=1,
+    )
+    validate_memory_soak(doc)
+
+    out = Path(os.environ.get("REPRO_MEMORY_OUT", "BENCH_memory_soak.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print(f"{'seed':>6s} {'ooms':>5s} {'live':>5s} {'adm':>4s} "
+          f"{'shrink':>6s} {'dev':>6s} {'silent':>6s}")
+    for r in doc["records"]:
+        live = "ok" if (not r["live"]["absorbed"] or r["live"]["valid"]) else "BAD"
+        shrink = "ok" if (not r["shrink"]["absorbed"] or r["shrink"]["valid"]) else "BAD"
+        print(f"{r['seed']:6d} {r['live']['ooms'] + r['shrink']['ooms']:5d} "
+              f"{live:>5s} {'rej' if r['admission']['rejected'] else 'NO':>4s} "
+              f"{shrink:>6s} {r['reconcile']['deviation']:6.3f} "
+              f"{r['silent']:6d}")
+    print(doc["summary"])
+    print(f"report written to {out}")
+
+    assert len(doc["records"]) == seeds
+    # The soak must exercise real pressure, not no-op budgets: across all
+    # schedules OOM events must actually have fired and been absorbed.
+    ooms = sum(r["live"]["ooms"] + r["shrink"]["ooms"] for r in doc["records"])
+    assert ooms >= seeds, f"only {ooms} OOM events across {seeds} seeds"
+    # Every oversized submission must bounce with a typed error.
+    assert all(r["admission"]["rejected"] for r in doc["records"])
+    # Ledger high-water must reconcile with the analytic estimator.
+    off = [r for r in doc["records"]
+           if not r["reconcile"]["within_tolerance"]]
+    assert not off, (
+        f"{len(off)} schedule(s) broke ledger/estimator reconciliation "
+        f"(tolerance {doc['tolerance']})"
+    )
+    # The contract: zero silent wrong results.
+    assert doc["silent"] == 0, doc["summary"]
+    wrong = [r for r in doc["records"] if not r["ok"]]
+    assert not wrong, f"{len(wrong)} schedule(s) failed a pressure leg"
+    assert doc["ok"]

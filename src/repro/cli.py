@@ -61,6 +61,7 @@ from repro.errors import (
     CheckpointCorruptError,
     CheckpointNotFoundError,
     CheckpointResumeError,
+    MemoryPressure,
     ReproError,
     ServiceOverloaded,
 )
@@ -222,6 +223,8 @@ def _detect_body(args, token: _SignalToken) -> int:
         persistent_kernel=args.persistent_kernel,
         compact_layout=not args.no_compact_layout,
         degree_renumber=args.degree_renumber,
+        memory_budget_bytes=args.memory_budget,
+        reserved_memory_fraction=args.reserved_memory_fraction,
     )
     resilience = _resilience_from_args(args)
     want_profile = args.profile or args.trace_out is not None
@@ -271,6 +274,13 @@ def _detect_body(args, token: _SignalToken) -> int:
               f"{g['shadow_replays']} shadow replay(s), "
               f"{g['spot_audits']} spot audit(s), "
               f"{g['violations']} violation(s), {g['rewinds']} rewind(s)")
+    if result.memory is not None:
+        mem = result.memory
+        rungs = ",".join(mem["construction_rungs"]) or "none"
+        print(f"memory:      high-water {mem['high_water_bytes']:,} B of "
+              f"{mem['budget_bytes']:,} B budget; {mem['ooms']} OOM(s), "
+              f"{mem['shrinks']} budget shrink(s), "
+              f"construction rungs: {rungs}")
     if args.profile:
         print(result.profile.summary())
     if args.trace_out is not None:
@@ -544,6 +554,8 @@ def _cmd_serve(args) -> int:
         snapshot_keep=args.snapshot_keep,
         wave_batching=args.wave_batching,
         batch_max_jobs=args.batch_max_jobs,
+        memory_budget_bytes=args.memory_budget,
+        reserved_memory_fraction=args.reserved_memory_fraction,
     )
     tracer = Tracer(enabled=args.trace_out is not None)
     service = DetectionService(config, tracer=tracer)
@@ -561,6 +573,12 @@ def _cmd_serve(args) -> int:
                 rejected += 1
                 print(f"rejected {spec.job_id}: {exc.reason} "
                       f"(retry after ~{exc.retry_after_s:.1f}s)",
+                      file=sys.stderr)
+            except MemoryPressure as exc:
+                rejected += 1
+                print(f"rejected {spec.job_id}: memory pressure "
+                      f"(estimate {exc.estimate_bytes:,} B > budget "
+                      f"{exc.budget_bytes:,} B)",
                       file=sys.stderr)
         service.drain()
     finally:
@@ -595,6 +613,13 @@ def _cmd_serve(args) -> int:
               f"{batching['batches']} wave(s), "
               f"{batching['launch_seconds_saved']:.4f}s launch overhead "
               f"saved")
+    memory = stats["memory"]
+    if memory["enabled"]:
+        print(f"memory:      high-water {memory['high_water_bytes']:,} B "
+              f"of {memory['budget_bytes']:,} B budget; "
+              f"{memory['rejections']} rejection(s), "
+              f"{memory['serialized']} serialisation(s), "
+              f"{memory['degradations']} degraded run(s)")
     if args.snapshot_dir is not None:
         served = sum(
             1 for s in specs if service.read_catalog.versions(s.job_id)
@@ -773,6 +798,16 @@ def main(argv: list[str] | None = None) -> int:
                         "checksums, label-conservation audits, hashtable "
                         "spot-audits, shadow replay, ECC model); detections "
                         "recover through the resilience ladder")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="modelled device-memory budget; allocations are "
+                        "metered through a ledger and an over-budget "
+                        "reservation triggers the memory degradation rungs "
+                        "(compact layout, table shrink, fallback) instead "
+                        "of a silent wrong result")
+    p.add_argument("--reserved-memory-fraction", type=float, default=0.0,
+                   metavar="FRAC",
+                   help="fraction of the budget held back from the run "
+                        "(runtime/fragmentation slack; default 0.0)")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("info", help="print graph statistics")
@@ -837,6 +872,17 @@ def main(argv: list[str] | None = None) -> int:
                         "(per-job labels stay bit-identical)")
     p.add_argument("--batch-max-jobs", type=int, default=8, metavar="N",
                    help="cap on jobs sharing one wave (default 8)")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="modelled device-memory budget for admission "
+                        "control: oversized jobs are rejected with a typed "
+                        "memory-pressure error, concurrent jobs that would "
+                        "not fit together are serialised, and each run "
+                        "enforces the budget live through its allocation "
+                        "ledger")
+    p.add_argument("--reserved-memory-fraction", type=float, default=0.0,
+                   metavar="FRAC",
+                   help="fraction of the memory budget held back from jobs "
+                        "(default 0.0)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

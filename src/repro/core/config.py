@@ -109,6 +109,21 @@ class LPAConfig:
         default path.
     device:
         Simulated device (default A100).
+    memory_budget_bytes:
+        Device-memory budget enforced by a
+        :class:`~repro.gpu.governor.MemoryGovernor` allocation ledger.
+        ``None`` (default) disables the ledger entirely — zero overhead —
+        unless the run injects ``oom`` faults, in which case the budget
+        defaults to the device's ``global_memory_bytes``.  Reservations
+        that would exceed the budget raise a typed retryable
+        :class:`~repro.errors.DeviceOomError`; the resilience ladder
+        answers with memory rungs (compact layout, hashtable shrink,
+        fallback).  Accounting never changes the computation: labels are
+        bit-identical to an unconstrained run whenever no rung fires.
+    reserved_memory_fraction:
+        Fraction of the budget held back from the ledger (modeling the
+        CUDA context, co-tenant allocations, fragmentation slack).  Must
+        be in ``[0, 1)``.
     seed:
         Reserved for future randomised variants; the implemented algorithm
         is deterministic and ignores it.
@@ -129,6 +144,8 @@ class LPAConfig:
     compact_layout: bool = True
     degree_renumber: bool = False
     device: DeviceSpec = field(default=A100)
+    memory_budget_bytes: int | None = None
+    reserved_memory_fraction: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -153,6 +170,15 @@ class LPAConfig:
         ):
             raise ConfigurationError(
                 f"value_dtype must be float32 or float64; got {self.value_dtype}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ConfigurationError(
+                f"memory_budget_bytes must be >= 1 or None; got {self.memory_budget_bytes}"
+            )
+        if not 0.0 <= self.reserved_memory_fraction < 1.0:
+            raise ConfigurationError(
+                "reserved_memory_fraction must be in [0, 1); "
+                f"got {self.reserved_memory_fraction}"
             )
 
     @property

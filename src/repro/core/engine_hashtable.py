@@ -91,6 +91,12 @@ class HashtableEngine:
     #: attribute test per move; a disabled tracer one boolean more.
     tracer = None
 
+    #: Optional :class:`~repro.gpu.governor.MemoryGovernor`: attached by
+    #: the driver after it has reserved this engine's initial hashtable
+    #: region, so regrow/shrink can move the charge without ever
+    #: double-counting (old region released before the new is reserved).
+    governor = None
+
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
@@ -126,20 +132,91 @@ class HashtableEngine:
 
         The resilience layer's *regrow* ladder rung: doubling the capacity
         scale moves each ``p1`` to the next Mersenne number, and the fresh
-        allocation scrubs any corrupted slots.  Returns the new scale.
+        allocation scrubs any corrupted slots.  Returns the new scale;
+        the bytes freed/claimed by the swap are reported in
+        :attr:`last_regrow` (and, when a governor is attached, the old
+        region is released *before* the new one is reserved, so a regrow
+        never holds ``old + new`` against the budget at once).
         """
-        scale = self.tables.capacity_scale * 2
-        self.tables = PerVertexHashtables(
-            self.graph,
-            value_dtype=self.config.value_dtype,
-            strategy=self.config.probing,
-            capacity_scale=scale,
-        )
+        return self._rebuild_tables(self.tables.capacity_scale * 2)
+
+    def shrink_tables(self) -> int:
+        """Undo regrowth under memory pressure (the ladder's memory rung).
+
+        Halves the capacity scale, floored at the paper's layout
+        (``capacity_scale=1``); returns the (possibly unchanged) scale.
+        A shrunk table that overflows again simply re-enters the regrow
+        rung — correctness never depends on the scale, only footprint
+        and probe counts do.
+        """
+        scale = max(1, self.tables.capacity_scale // 2)
+        if scale == self.tables.capacity_scale:
+            return scale
+        return self._rebuild_tables(scale)
+
+    def _rebuild_tables(self, scale: int) -> int:
+        """Swap the flat buffers to ``scale``, keeping the ledger exact.
+
+        Release-before-reserve: the old region's charge is returned
+        first, so the budget check sees only the *new* region on top of
+        everything else.  If even that fails, the old layout is rebuilt
+        and re-charged (guaranteed to fit — it was charged a moment ago)
+        before the :class:`~repro.errors.DeviceOomError` propagates, so
+        the engine stays usable for the ladder's next rung.
+        """
+        governor = self.governor
+        old_scale = self.tables.capacity_scale
+        freed = self.tables.memory_bytes()
+        if governor is not None:
+            governor.release("hashtable", freed)
+
+        def build(s: int) -> PerVertexHashtables:
+            return PerVertexHashtables(
+                self.graph,
+                value_dtype=self.config.value_dtype,
+                strategy=self.config.probing,
+                capacity_scale=s,
+            )
+
+        tables = build(scale)
+        claimed = tables.memory_bytes()
+        if governor is not None:
+            try:
+                governor.reserve("hashtable", claimed)
+            except Exception:
+                self.tables = build(old_scale)
+                governor.reserve("hashtable", freed)
+                if self._tracker is not None:
+                    self._tracker.reset()
+                raise
+        self.tables = tables
+        #: Byte report of the newest regrow/shrink (the ledger's receipt).
+        self.last_regrow = {
+            "scale": scale,
+            "freed_bytes": freed,
+            "claimed_bytes": claimed,
+        }
         if self._tracker is not None:
             # The fresh buffers are all-empty; stale claims must not be
             # re-cleared (or reduced) against the new layout.
             self._tracker.reset()
         return scale
+
+    def release_memory(self) -> int:
+        """Return every ledger charge this engine owns (tables + arena).
+
+        Called when the engine is discarded (supervisor fallback, end of
+        run).  Idempotent; returns the bytes released.
+        """
+        released = 0
+        if self.governor is not None:
+            released = self.tables.memory_bytes()
+            self.governor.release("hashtable", released)
+            self.governor = None
+        if self.arena is not None:
+            released += self.arena.release_charges()
+            self.arena.governor = None
+        return released
 
     # ------------------------------------------------------------------ #
 

@@ -322,6 +322,11 @@ class VectorizedEngine:
     #: carry traffic and edge counts but no probe/atomic detail.
     tracer = None
 
+    #: Optional :class:`~repro.gpu.governor.MemoryGovernor` (same contract
+    #: as the hashtable engine); this engine owns no hashtable region, so
+    #: only its arena charges the ledger.
+    governor = None
+
     def __init__(self, graph: CSRGraph, config: LPAConfig) -> None:
         self.graph = graph
         self.config = config
@@ -334,6 +339,19 @@ class VectorizedEngine:
         # mode (config.persistent_kernel): later dispatches of the same kind
         # are grid-resident and don't count as launches.
         self._launched: set[KernelKind] = set()
+
+    def release_memory(self) -> int:
+        """Return every ledger charge this engine owns (arena only).
+
+        Same contract as the hashtable engine's ``release_memory``:
+        idempotent, returns the bytes released.
+        """
+        released = 0
+        if self.arena is not None:
+            released = self.arena.release_charges()
+            self.arena.governor = None
+        self.governor = None
+        return released
 
     def move(
         self,

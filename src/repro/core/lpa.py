@@ -33,7 +33,9 @@ from repro.errors import (
     ConfigurationError,
     ConvergenceWarning,
     CorruptionDetectedError,
+    DeviceOomError,
 )
+from repro.gpu.governor import MemoryGovernor
 from repro.gpu.kernel import LaunchStatus
 from repro.graph.csr import CSRGraph
 from repro.integrity.guard import IntegrityGuard
@@ -67,6 +69,32 @@ def make_engine(graph: CSRGraph, config: LPAConfig, engine: str):
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
         ) from None
     return cls(graph, config)
+
+
+def _make_governor(
+    config: LPAConfig,
+    resilience: ResilienceConfig | None,
+    tracer: Tracer | None,
+) -> MemoryGovernor | None:
+    """Build the run's allocation ledger, or ``None`` for the free path.
+
+    A governor exists when the config names a budget, or when the run
+    injects ``oom`` faults (the injector needs a ledger to shrink; the
+    budget then defaults to the device's ``global_memory_bytes``).
+    """
+    wants_oom = (
+        resilience is not None
+        and resilience.faults is not None
+        and "oom" in resilience.faults.kinds
+    )
+    if config.memory_budget_bytes is None and not wants_oom:
+        return None
+    return MemoryGovernor(
+        config.device,
+        budget_bytes=config.memory_budget_bytes,
+        reserved_fraction=config.reserved_memory_fraction,
+        tracer=tracer,
+    )
 
 
 def nu_lpa(
@@ -185,17 +213,49 @@ def nu_lpa(
     # fly — so labels and counters stay bit-identical to the wide layout.
     if config.compact_layout:
         graph = graph.with_compact_layout()
-    eng = make_engine(graph, config, engine)
 
     if profile and tracer is None:
         tracer = Tracer()
+
+    # Device-memory governor: every region below is reserved against the
+    # budget before it is allocated, so an oversized run fails here with
+    # a typed DeviceOomError (which the service's admission/degradation
+    # ladder turns into backpressure or a smaller rung) instead of
+    # producing a silently impossible footprint.  ``governor is None`` is
+    # the default zero-overhead path — no ledger, no charging, no checks.
+    governor = _make_governor(config, resilience, tracer)
+    csr_charge = labels_charge = 0
+    construction_rungs: list[str] = []
+    if governor is not None:
+        csr_charge = graph.memory_bytes()
+        if not governor.would_fit(csr_charge) and not graph.is_compact:
+            # Construction-time memory rung: drop to the 32-bit layout
+            # even when the config left it wide — results stay
+            # bit-identical, the topology halves.
+            compacted = graph.with_compact_layout()
+            if compacted is not graph:
+                graph = compacted
+                csr_charge = graph.memory_bytes()
+                construction_rungs.append("compact-layout")
+        governor.reserve("csr", csr_charge)
+    eng = make_engine(graph, config, engine)
+    if governor is not None:
+        tables = getattr(eng, "tables", None)
+        if tables is not None:
+            governor.reserve("hashtable", tables.memory_bytes())
+        # Hand the ledger to the engine: regrow/shrink move the
+        # ``hashtable`` charge, arena growth charges its byte delta.
+        eng.governor = governor
+        if getattr(eng, "arena", None) is not None:
+            eng.arena.governor = governor
+
     if tracer is not None:
         eng.tracer = tracer
     tracing = tracer is not None and tracer.enabled
 
     n = graph.num_vertices
     label_dtype: np.dtype = VERTEX_DTYPE
-    if config.compact_layout and graph.is_compact:
+    if graph.is_compact and (config.compact_layout or construction_rungs):
         label_dtype = np.dtype(np.int32)
     if initial_labels is None:
         labels = np.arange(n, dtype=label_dtype)
@@ -211,6 +271,11 @@ def nu_lpa(
             raise ConfigurationError(
                 f"initial_labels length {labels.shape[0]} != num_vertices {n}"
             )
+    if governor is not None:
+        # Labels plus the one working copy every iteration makes (the
+        # supervisor snapshot / Cross-Check ``previous``).
+        labels_charge = 2 * labels.nbytes
+        governor.reserve("labels", labels_charge)
 
     frontier = Frontier(
         graph, enabled=config.pruning, arena=getattr(eng, "arena", None)
@@ -232,6 +297,10 @@ def nu_lpa(
 
     if resilience is not None:
         supervisor = KernelSupervisor(eng, graph, config, resilience)
+        if governor is not None:
+            supervisor.governor = governor
+            if supervisor.injector is not None:
+                supervisor.injector.governor = governor
         if resilience.checkpoint_dir is not None:
             factory = resilience.checkpoint_factory or CheckpointManager
             ckpt = factory(
@@ -271,7 +340,9 @@ def nu_lpa(
         and resilience.integrity is not None
         and resilience.integrity.enabled
     ):
-        guard = IntegrityGuard(graph, config, resilience.integrity, tracer=tracer)
+        guard = IntegrityGuard(
+            graph, config, resilience.integrity, tracer=tracer, governor=governor
+        )
         supervisor.guard = guard
 
     t0 = time.perf_counter()
@@ -422,24 +493,55 @@ def nu_lpa(
             if ckpt is not None and (
                 ckpt.due(li + 1) or converged or degraded_reason is not None
             ):
-                ckpt.save(
-                    CheckpointState(
-                        labels=labels,
-                        flags=frontier.flags,
-                        iteration=li + 1,
-                        digest=digest,
-                        converged=converged,
-                        stats=iterations,
-                        injector_fires=(
-                            supervisor.injector.fires
-                            if supervisor is not None and supervisor.injector is not None
-                            else 0
-                        ),
-                        last_pl_fraction=(
-                            supervisor.last_pl_fraction if supervisor is not None else None
-                        ),
-                    )
-                )
+                # Checkpoint staging is a real (transient) device buffer:
+                # reserve it for the duration of the save.  Under memory
+                # pressure the snapshot is *skipped* — a missing
+                # checkpoint costs redone work on resume, never
+                # correctness — and the skip is recorded, not silent.
+                staging = 0
+                skip_save = False
+                if governor is not None:
+                    staging = labels.nbytes + frontier.flags.nbytes
+                    try:
+                        governor.reserve("checkpoint", staging)
+                    except DeviceOomError as exc:
+                        staging = 0
+                        skip_save = True
+                        if supervisor is not None:
+                            supervisor.report.append(FaultEvent(
+                                iteration=li,
+                                attempt=0,
+                                fault=type(exc).__name__,
+                                detail=f"checkpoint staging skipped: {exc}",
+                                action="checkpoint-skip",
+                                engine=eng.name,
+                                status=LaunchStatus.COMPLETED,
+                            ))
+                if not skip_save:
+                    try:
+                        ckpt.save(
+                            CheckpointState(
+                                labels=labels,
+                                flags=frontier.flags,
+                                iteration=li + 1,
+                                digest=digest,
+                                converged=converged,
+                                stats=iterations,
+                                injector_fires=(
+                                    supervisor.injector.fires
+                                    if supervisor is not None
+                                    and supervisor.injector is not None
+                                    else 0
+                                ),
+                                last_pl_fraction=(
+                                    supervisor.last_pl_fraction
+                                    if supervisor is not None else None
+                                ),
+                            )
+                        )
+                    finally:
+                        if staging:
+                            governor.release("checkpoint", staging)
 
             if converged or degraded_reason is not None:
                 break
@@ -473,6 +575,24 @@ def nu_lpa(
         # Compact-layout runs compute in int32; the public result is
         # always the canonical wide dtype.
         labels = labels.astype(VERTEX_DTYPE)
+    memory_stats: dict | None = None
+    if governor is not None:
+        # Return every region to the ledger before snapshotting the
+        # stats: high-water marks survive release, and a non-zero final
+        # ``in_use_bytes`` is a charging bug the tests can see.  The
+        # engine/guard releases are idempotent, so a supervisor fallback
+        # that already freed the engine's regions is fine.
+        release = getattr(eng, "release_memory", None)
+        if release is not None:
+            release()
+        if guard is not None:
+            guard.release_memory()
+        if labels_charge:
+            governor.release("labels", labels_charge)
+        if csr_charge:
+            governor.release("csr", csr_charge)
+        memory_stats = governor.stats()
+        memory_stats["construction_rungs"] = list(construction_rungs)
     result = LPAResult(
         labels=labels,
         iterations=iterations,
@@ -486,6 +606,7 @@ def nu_lpa(
         validation=validation,
         trace=tracer,
         integrity=guard.stats() if guard is not None else None,
+        memory=memory_stats,
     )
     if profile:
         # Deferred import: repro.observe.profile pulls in the perf stack

@@ -76,6 +76,11 @@ class LPAResult:
     #: shadow replays, violations, rewinds, ECC counters); ``None`` when
     #: the run had no integrity config.
     integrity: dict | None = None
+    #: :meth:`~repro.gpu.governor.MemoryGovernor.stats` ledger snapshot
+    #: (budget, high-water marks per region, OOM/shrink counters) plus
+    #: the ``construction_rungs`` taken to fit the budget; ``None`` when
+    #: the run had no memory governor.
+    memory: dict | None = None
 
     @property
     def num_iterations(self) -> int:

@@ -17,6 +17,7 @@ __all__ = [
     "KernelTimeoutError",
     "TransientKernelError",
     "EccError",
+    "DeviceOomError",
     "InvariantViolation",
     "IntegrityError",
     "CorruptionDetectedError",
@@ -35,6 +36,7 @@ __all__ = [
     "SnapshotCorruptError",
     "SnapshotNotFoundError",
     "ServiceOverloaded",
+    "MemoryPressure",
     "DuplicateJobError",
     "JobNotFoundError",
     "ConvergenceWarning",
@@ -111,6 +113,40 @@ class EccError(TransientKernelError):
     supervisor treats this like any transient fault: restore the pre-move
     snapshot and retry (the scrub model redraws its upsets per attempt).
     """
+
+
+class DeviceOomError(TransientKernelError):
+    """A modeled device-memory reservation exceeded the effective budget.
+
+    Raised by :class:`repro.gpu.governor.MemoryGovernor` when a
+    ``reserve`` would push the allocation ledger past
+    ``global_memory_bytes`` (minus the reserved fraction), and by the
+    ``"oom"`` fault kind when an injected budget shrink leaves the
+    ledger over budget.  Subclasses :class:`TransientKernelError` so
+    the kernel supervisor (and the service's job-level retry
+    classifier) treat it as retryable: memory pressure is relieved by
+    the ladder's memory rungs (compact layout, smaller hashtables,
+    engine fallback, coarsening), not by giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        region: str = "",
+        requested_bytes: int = 0,
+        in_use_bytes: int = 0,
+        budget_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        #: Ledger region of the failed reservation (``""`` for a shrink).
+        self.region = region
+        #: Bytes the failed reservation asked for (0 for a shrink).
+        self.requested_bytes = requested_bytes
+        #: Ledger total at the time of the failure.
+        self.in_use_bytes = in_use_bytes
+        #: Effective budget the reservation was checked against.
+        self.budget_bytes = budget_bytes
 
 
 class InvariantViolation(ReproError):
@@ -292,6 +328,38 @@ class ServiceOverloaded(ReproError):
         super().__init__(message)
         #: ``"queue-full"`` or ``"tenant-cap"``.
         self.reason = reason
+        #: Suggested client wait before resubmitting, in seconds.
+        self.retry_after_s = retry_after_s
+        #: Pending jobs at rejection time.
+        self.queue_depth = queue_depth
+
+
+class MemoryPressure(ReproError):
+    """The job service refused a submission for memory reasons.
+
+    Raised by :meth:`repro.service.DetectionService.submit` when the
+    admission-time footprint estimate of a job (graph + engine tables +
+    workspace + integrity overhead) exceeds the device memory budget:
+    no degradation rung can make the job fit, so admitting it would
+    only burn queue capacity on a guaranteed
+    :class:`DeviceOomError`.  Carries both sides of the comparison so
+    a client can right-size the resubmission.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        estimate_bytes: int = 0,
+        budget_bytes: int = 0,
+        retry_after_s: float = 1.0,
+        queue_depth: int = 0,
+    ) -> None:
+        super().__init__(message)
+        #: Analytic peak-footprint estimate of the rejected job.
+        self.estimate_bytes = estimate_bytes
+        #: Effective device budget the estimate was checked against.
+        self.budget_bytes = budget_bytes
         #: Suggested client wait before resubmitting, in seconds.
         self.retry_after_s = retry_after_s
         #: Pending jobs at rejection time.

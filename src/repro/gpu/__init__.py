@@ -14,10 +14,20 @@ effects deterministically:
   accounting for simulated ``atomicCAS``/``atomicAdd``;
 * :mod:`repro.gpu.scheduler` — wave partitioning of a grid onto SMs and
   warp assignment of work items;
-* :mod:`repro.gpu.kernel` — kernel-launch records tying the above together.
+* :mod:`repro.gpu.kernel` — kernel-launch records tying the above together;
+* :mod:`repro.gpu.governor` — per-device allocation ledger enforcing
+  ``global_memory_bytes`` (typed OOM faults, footprint estimation).
 """
 
 from repro.gpu.device import DeviceSpec, A100, XEON_GOLD_6226R_DUAL
+from repro.gpu.governor import (
+    MemoryGovernor,
+    REGION_KINDS,
+    ESTIMATE_TOLERANCE,
+    estimate_run_footprint,
+    footprint_for,
+    wave_edge_bound,
+)
 from repro.gpu.metrics import KernelCounters
 from repro.gpu.memory import MemoryModel, AccessPattern
 from repro.gpu.atomics import first_winner_per_address, contention_cost
@@ -31,6 +41,12 @@ __all__ = [
     "DeviceSpec",
     "A100",
     "XEON_GOLD_6226R_DUAL",
+    "MemoryGovernor",
+    "REGION_KINDS",
+    "ESTIMATE_TOLERANCE",
+    "estimate_run_footprint",
+    "footprint_for",
+    "wave_edge_bound",
     "KernelCounters",
     "MemoryModel",
     "AccessPattern",

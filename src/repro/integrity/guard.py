@@ -76,11 +76,18 @@ class IntegrityGuard:
     the iteration's counters.
     """
 
-    def __init__(self, graph, lpa_config, config: IntegrityConfig, tracer=None) -> None:
+    def __init__(
+        self, graph, lpa_config, config: IntegrityConfig, tracer=None, governor=None
+    ) -> None:
         self.graph = graph
         self.lpa_config = lpa_config
         self.config = config
         self.tracer = tracer
+        #: Optional :class:`~repro.gpu.governor.MemoryGovernor`: the golden
+        #: CSR copies and the lazily-built shadow twin are real device
+        #: buffers, charged to the ``integrity`` region.
+        self.governor = governor
+        self._memory_charged = 0
         self.mem = MemoryModel(lpa_config.device)
         self.ecc = SecDedModel(
             lpa_config.device, ber=config.ecc_ber, seed=config.ecc_seed
@@ -93,6 +100,7 @@ class IntegrityGuard:
             name: array_crc32(arr) for name, arr in self._golden.items()
         }
         self._csr_bytes = sum(arr.nbytes for arr in self._golden.values())
+        self._charge(self._csr_bytes)
         #: Modelled cost accumulated since the last :meth:`drain`.
         self._pending = KernelCounters()
         #: Label CRC recorded by :meth:`note_move`, checked at the boundary.
@@ -102,6 +110,9 @@ class IntegrityGuard:
         #: Lazily-built shadow engine (keyed per engine class).
         self._shadow = None
         self._shadow_frontier = None
+        #: Bytes of the shadow twin's tables currently charged (tracked so
+        #: lockstep regrowth charges only the delta).
+        self._shadow_charged = 0
         # Cumulative audit statistics (surfaced as ``result.integrity``).
         self.scrubs = 0
         self.scrub_repairs = 0
@@ -309,6 +320,17 @@ class IntegrityGuard:
             while shadow_tables.capacity_scale < tables.capacity_scale:
                 self._shadow.grow_tables()
                 shadow_tables = self._shadow.tables
+            while shadow_tables.capacity_scale > tables.capacity_scale:
+                # The shrink-tables memory rung also moves slot order.
+                self._shadow.shrink_tables()
+                shadow_tables = self._shadow.tables
+        # The DMR twin's tables are a real device region; (re)charge the
+        # delta so the ledger carries the shadow at its current size.
+        if shadow_tables is not None:
+            shadow_bytes = shadow_tables.memory_bytes()
+            if shadow_bytes != self._shadow_charged:
+                self._charge(shadow_bytes - self._shadow_charged)
+                self._shadow_charged = shadow_bytes
         self.shadow_replays += 1
         shadow_labels = snapshot_labels.copy()
         self._shadow_frontier.flags[:] = snapshot_flags
@@ -389,6 +411,27 @@ class IntegrityGuard:
         self._boundary_set = np.unique(labels) if labels.shape[0] else None
 
     # ------------------------------------------------------------------ #
+
+    def _charge(self, delta: int) -> None:
+        """Move ``delta`` bytes in or out of the ledger's ``integrity``
+        region (no-op without a governor)."""
+        if self.governor is None or delta == 0:
+            return
+        if delta > 0:
+            self.governor.reserve("integrity", delta)
+        else:
+            self.governor.release("integrity", -delta)
+        self._memory_charged += delta
+
+    def release_memory(self) -> int:
+        """Return every byte this guard charged; idempotent."""
+        released = self._memory_charged
+        if self.governor is not None and released:
+            self.governor.release("integrity", released)
+        self._memory_charged = 0
+        self._shadow_charged = 0
+        self.governor = None
+        return released
 
     def drain(self) -> KernelCounters:
         """Hand the accumulated modelled audit cost to the caller."""

@@ -27,6 +27,8 @@ from repro.observe.trace import (
     IterationEvent,
     JobEvent,
     KernelLaunchEvent,
+    MemoryEvent,
+    OomEvent,
     QueryEvent,
     QueryStatsEvent,
     ServiceStatsEvent,
@@ -46,6 +48,8 @@ __all__ = [
     "FaultRungEvent",
     "ConvergenceEvent",
     "JobEvent",
+    "MemoryEvent",
+    "OomEvent",
     "BreakerEvent",
     "ServiceStatsEvent",
     "EpochEvent",
@@ -67,11 +71,14 @@ __all__ = [
     "STREAM_SOAK_SCHEMA_VERSION",
     "QUERY_BENCH_SCHEMA",
     "QUERY_BENCH_SCHEMA_VERSION",
+    "MEMORY_SOAK_SCHEMA",
+    "MEMORY_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
     "validate_query_bench",
+    "validate_memory_soak",
 ]
 
 _PROFILE_NAMES = {"RunProfile", "IterationProfile", "KernelProfile", "build_profile"}
@@ -86,11 +93,14 @@ _SCHEMA_NAMES = {
     "STREAM_SOAK_SCHEMA_VERSION",
     "QUERY_BENCH_SCHEMA",
     "QUERY_BENCH_SCHEMA_VERSION",
+    "MEMORY_SOAK_SCHEMA",
+    "MEMORY_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
     "validate_query_bench",
+    "validate_memory_soak",
 }
 
 

@@ -34,12 +34,15 @@ __all__ = [
     "QUERY_BENCH_SCHEMA_VERSION",
     "INTEGRITY_SOAK_SCHEMA",
     "INTEGRITY_SOAK_SCHEMA_VERSION",
+    "MEMORY_SOAK_SCHEMA",
+    "MEMORY_SOAK_SCHEMA_VERSION",
     "validate_profile",
     "validate_bench",
     "validate_service_stats",
     "validate_stream_soak",
     "validate_query_bench",
     "validate_integrity_soak",
+    "validate_memory_soak",
 ]
 
 PROFILE_SCHEMA = "repro.observe/profile"
@@ -62,7 +65,11 @@ BENCH_SCHEMA_VERSION = 3
 SERVICE_SCHEMA = "repro.observe/service"
 #: v2 adds the required ``batching`` section (wave-batching counters:
 #: batches formed, jobs coalesced, launch-overhead seconds amortised).
-SERVICE_SCHEMA_VERSION = 2
+#: v3 adds the required ``memory`` section (device-memory admission:
+#: effective budget, combined in-flight footprint estimate and its
+#: high-water mark, typed-rejection / serialisation / degradation
+#: counters).
+SERVICE_SCHEMA_VERSION = 3
 
 #: ``repro.observe/stream-soak`` — the streaming-pipeline report written
 #: by ``benchmarks/bench_stream_soak.py``: per-seed kill/restart soak
@@ -90,6 +97,18 @@ QUERY_BENCH_SCHEMA_VERSION = 1
 #: uploads one of these; ``silent`` must be 0.
 INTEGRITY_SOAK_SCHEMA = "repro.observe/integrity-soak"
 INTEGRITY_SOAK_SCHEMA_VERSION = 1
+
+#: ``repro.observe/memory-soak`` — the memory-pressure chaos report
+#: written by ``benchmarks/bench_memory_soak.py``: per-seed verdicts for
+#: the three pressure legs (live injected OOM faults under the
+#: supervisor's memory rungs, admission-time rejection of an oversized
+#: job, mid-run budget shrink) from
+#: :func:`repro.resilience.run_memory_soak`, plus the ledger-vs-estimate
+#: reconciliation.  The CI memory-soak job uploads one of these;
+#: ``silent`` must be 0 — every OOM is either absorbed by a degradation
+#: rung with valid labels or rejected with a typed error.
+MEMORY_SOAK_SCHEMA = "repro.observe/memory-soak"
+MEMORY_SOAK_SCHEMA_VERSION = 1
 
 
 def _fail(path: str, message: str):
@@ -294,6 +313,24 @@ def validate_service_stats(doc: dict) -> dict:
         _fail(f"{bpath}.batched_jobs",
               f"{batching['batched_jobs']} jobs across "
               f"{batching['batches']} batches (a batch has >= 2 jobs)")
+
+    memory = _require(doc, path, "memory", dict)
+    mpath = f"{path}.memory"
+    _require(memory, mpath, "enabled", bool)
+    for key in (
+        "budget_bytes", "in_flight_bytes", "high_water_bytes",
+        "rejections", "serialized", "degradations",
+    ):
+        value = _require(memory, mpath, key, int)
+        if value < 0:
+            _fail(f"{mpath}.{key}", f"negative count {value}")
+    if memory["in_flight_bytes"] > memory["high_water_bytes"]:
+        _fail(f"{mpath}.in_flight_bytes",
+              f"{memory['in_flight_bytes']} exceeds high-water mark "
+              f"{memory['high_water_bytes']}")
+    if memory["enabled"] and memory["budget_bytes"] < 1:
+        _fail(f"{mpath}.budget_bytes",
+              "memory admission enabled with a zero budget")
     return doc
 
 
@@ -378,6 +415,75 @@ def validate_integrity_soak(doc: dict) -> dict:
             _require(sub, f"{rpath}.{leg}", "detected", bool)
             _require(sub, f"{rpath}.{leg}", "identical", bool)
         _require(r, rpath, "guard", dict)
+    return doc
+
+
+def validate_memory_soak(doc: dict) -> dict:
+    """Validate a ``BENCH_memory_soak.json`` document; returns ``doc``."""
+    path = "memory_soak"
+    _check_header(doc, path, MEMORY_SOAK_SCHEMA, MEMORY_SOAK_SCHEMA_VERSION)
+    _require(doc, path, "engine", str)
+    for key in ("num_vertices", "num_edges", "num_seeds"):
+        value = _require(doc, path, key, int)
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative count {value}")
+    _require(doc, path, "ok", bool)
+    silent = _require(doc, path, "silent", int)
+    if silent < 0:
+        _fail(f"{path}.silent", f"negative count {silent}")
+    tolerance = _require(doc, path, "tolerance", numbers.Real)
+    if not 0.0 < tolerance < 1.0:
+        _fail(f"{path}.tolerance", f"tolerance {tolerance} outside (0, 1)")
+    _require(doc, path, "summary", str)
+    records = _require(doc, path, "records", list)
+    if len(records) != doc["num_seeds"]:
+        _fail(f"{path}.records",
+              f"{len(records)} entries for num_seeds {doc['num_seeds']}")
+    for i, r in enumerate(records):
+        rpath = f"{path}.records[{i}]"
+        _require(r, rpath, "seed", int)
+        _require(r, rpath, "ok", bool)
+        if _require(r, rpath, "silent", int) < 0:
+            _fail(f"{rpath}.silent", "negative count")
+        live = _require(r, rpath, "live", dict)
+        if _require(live, f"{rpath}.live", "ooms", int) < 0:
+            _fail(f"{rpath}.live.ooms", "negative count")
+        for key in ("absorbed", "valid", "identical"):
+            _require(live, f"{rpath}.live", key, bool)
+        admission = _require(r, rpath, "admission", dict)
+        apath = f"{rpath}.admission"
+        _require(admission, apath, "rejected", bool)
+        for key in ("estimate_bytes", "budget_bytes"):
+            if _require(admission, apath, key, int) < 0:
+                _fail(f"{apath}.{key}", "negative byte count")
+        if admission["rejected"] and (
+            admission["estimate_bytes"] <= admission["budget_bytes"]
+        ):
+            _fail(f"{apath}.rejected",
+                  "rejected although the estimate fits the budget")
+        shrink = _require(r, rpath, "shrink", dict)
+        if _require(shrink, f"{rpath}.shrink", "ooms", int) < 0:
+            _fail(f"{rpath}.shrink.ooms", "negative count")
+        for key in ("absorbed", "valid"):
+            _require(shrink, f"{rpath}.shrink", key, bool)
+        rec = _require(r, rpath, "reconcile", dict)
+        cpath = f"{rpath}.reconcile"
+        for key in ("estimate_bytes", "high_water_bytes"):
+            if _require(rec, cpath, key, int) < 0:
+                _fail(f"{cpath}.{key}", "negative byte count")
+        _require(rec, cpath, "identical", bool)
+        deviation = _require(rec, cpath, "deviation", numbers.Real)
+        if deviation < 0:
+            _fail(f"{cpath}.deviation", f"negative deviation {deviation}")
+        utilization = _require(rec, cpath, "utilization", numbers.Real)
+        if utilization < 0:
+            _fail(f"{cpath}.utilization",
+                  f"negative utilization {utilization}")
+        within = _require(rec, cpath, "within_tolerance", bool)
+        if within != (deviation <= tolerance):
+            _fail(f"{cpath}.within_tolerance",
+                  f"verdict {within} inconsistent with deviation "
+                  f"{deviation} vs tolerance {tolerance}")
     return doc
 
 

@@ -37,6 +37,8 @@ __all__ = [
     "ScrubEvent",
     "IntegrityEvent",
     "EccEvent",
+    "MemoryEvent",
+    "OomEvent",
     "SnapshotSkipEvent",
     "Tracer",
     "counter_delta",
@@ -388,6 +390,54 @@ class EccEvent(TraceEvent):
     corrected_total: int
 
     kind = "ecc"
+
+
+@dataclass(frozen=True)
+class MemoryEvent(TraceEvent):
+    """One ledger transaction of the device-memory governor.
+
+    Emitted by :class:`repro.gpu.governor.MemoryGovernor` for every
+    reserve/release and for injected budget shrinks, so a trace can
+    replay the modeled memory timeline of a run exactly.  ``iteration``
+    carries the governor's transaction sequence number (the governor
+    has no view of the LPA iteration).
+    """
+
+    #: Ledger region: ``csr`` | ``labels`` | ``hashtable`` | ``arena`` |
+    #: ``integrity`` | ``checkpoint``.
+    region: str
+    #: ``reserve`` | ``release`` | ``shrink-budget``.
+    action: str
+    #: Bytes moved by this transaction (budget delta for a shrink).
+    nbytes: int
+    #: Ledger total after the transaction.
+    in_use_bytes: int
+    #: Effective budget after the transaction.
+    budget_bytes: int
+
+    kind = "memory"
+
+
+@dataclass(frozen=True)
+class OomEvent(TraceEvent):
+    """A reservation (or injected shrink) pushed the ledger over budget.
+
+    The trace twin of :class:`~repro.errors.DeviceOomError`:
+    ``iteration`` carries the governor's transaction sequence number,
+    and the byte fields mirror the error's attributes so either record
+    alone reconstructs the failure.
+    """
+
+    #: Region of the failed reservation (``""`` for an injected shrink).
+    region: str
+    #: Bytes the failed reservation asked for (0 for a shrink).
+    requested_bytes: int
+    #: Ledger total at failure time.
+    in_use_bytes: int
+    #: Effective budget the check ran against.
+    budget_bytes: int
+
+    kind = "oom"
 
 
 @dataclass(frozen=True)

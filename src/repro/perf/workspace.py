@@ -44,9 +44,10 @@ _MIN_CAPACITY = 16
 class WorkspaceArena:
     """Dtype-tagged, grow-only scratch buffers with zero-copy slicing."""
 
-    __slots__ = ("_buffers", "_iota", "takes", "grows", "grown_bytes")
+    __slots__ = ("_buffers", "_iota", "takes", "grows", "grown_bytes",
+                 "governor", "charged_bytes")
 
-    def __init__(self) -> None:
+    def __init__(self, *, governor=None) -> None:
         self._buffers: dict[tuple[str, object], np.ndarray] = {}
         self._iota: np.ndarray | None = None
         #: Total ``take`` calls served (steady-state hits + grows).
@@ -55,6 +56,39 @@ class WorkspaceArena:
         self.grows = 0
         #: Bytes currently held across all backing arrays.
         self.grown_bytes = 0
+        #: Optional :class:`~repro.gpu.governor.MemoryGovernor`: grows
+        #: charge their byte *delta* to the ``"arena"`` region, so the
+        #: ledger carries the arena at its high-water mark — once per
+        #: slot growth, never per ``take`` (steady-state hits stay a
+        #: dict lookup plus a slice).
+        self.governor = governor
+        #: Bytes currently charged to the governor's ``"arena"`` region
+        #: (``grown_bytes`` plus the iota ramp); what
+        #: :meth:`release_charges` returns to the budget.
+        self.charged_bytes = 0
+
+    def _charge_grow(self, delta: int) -> None:
+        """Reserve the growth delta *before* allocating the new backing
+        array, so a failed reservation (typed
+        :class:`~repro.errors.DeviceOomError`) leaves both the ledger
+        and the slot table untouched and the retried take re-runs the
+        same grow."""
+        if self.governor is not None and delta > 0:
+            self.governor.reserve("arena", delta)
+            self.charged_bytes += delta
+
+    def release_charges(self) -> int:
+        """Return every byte this arena charged to the governor.
+
+        Called when the arena's engine dies (supervisor fallback, end of
+        run); returns the bytes released.  Idempotent — a second call
+        releases nothing.
+        """
+        released = self.charged_bytes
+        if self.governor is not None and released:
+            self.governor.release("arena", released)
+        self.charged_bytes = 0
+        return released
 
     def take(self, name: str, size: int, dtype) -> np.ndarray:
         """A length-``size`` view of the ``(name, dtype)`` slot.
@@ -74,9 +108,12 @@ class WorkspaceArena:
         if buf is None or buf.shape[0] < size:
             old = 0 if buf is None else buf.shape[0]
             capacity = max(size, 2 * old, _MIN_CAPACITY)
+            dt = np.dtype(dtype)
+            self._charge_grow(capacity * dt.itemsize
+                              - (0 if buf is None else buf.nbytes))
             if buf is not None:
                 self.grown_bytes -= buf.nbytes
-            buf = np.empty(capacity, dtype=np.dtype(dtype))
+            buf = np.empty(capacity, dtype=dt)
             self._buffers[key] = buf
             self.grows += 1
             self.grown_bytes += buf.nbytes
@@ -93,6 +130,10 @@ class WorkspaceArena:
         if self._iota is None or self._iota.shape[0] < size:
             capacity = max(size, 2 * (0 if self._iota is None else self._iota.shape[0]),
                            _MIN_CAPACITY)
+            self._charge_grow(
+                8 * (capacity - (0 if self._iota is None
+                                 else self._iota.shape[0]))
+            )
             self._iota = np.arange(capacity, dtype=np.int64)
             self.grows += 1
         return self._iota[:size]

@@ -61,6 +61,9 @@ __all__ = [
     "SoakRecord",
     "SoakReport",
     "run_chaos_soak",
+    "MemorySoakRecord",
+    "MemorySoakReport",
+    "run_memory_soak",
     "check_finite_values",
     "check_label_range",
     "check_pl_monotone",
@@ -79,6 +82,11 @@ _LAZY = {
     "SoakRecord": "repro.resilience.chaos",
     "SoakReport": "repro.resilience.chaos",
     "run_chaos_soak": "repro.resilience.chaos",
+    # memory_soak runs full nu_lpa sessions and the service, so it stays
+    # lazy like chaos.
+    "MemorySoakRecord": "repro.resilience.memory_soak",
+    "MemorySoakReport": "repro.resilience.memory_soak",
+    "run_memory_soak": "repro.resilience.memory_soak",
 }
 
 

@@ -34,6 +34,16 @@ Fault classes
     cheap invariant (label range, finiteness) still passes.  Models the
     ≥3-bit upsets and addressing faults that slip past SEC-DED; only the
     ABFT guards in :mod:`repro.integrity` can catch it.
+``oom``
+    Device memory pressure: a co-tenant (or the driver) grabs a chunk of
+    global memory mid-run.  With a
+    :class:`~repro.gpu.governor.MemoryGovernor` attached the injector
+    deterministically *shrinks the effective budget* to half the current
+    ledger total — leaving the run over budget — and raises the typed
+    :class:`~repro.errors.DeviceOomError`; the supervisor's memory rungs
+    (shrink tables, fall back to the table-less engine) must then free
+    real ledger bytes to recover.  Without a governor the error is
+    raised alone, exercising the retry path.
 
 Determinism: whether an attempt fires, the fault class chosen, and the
 corrupted slots are all derived from ``(seed, iteration, attempt)`` — a
@@ -48,6 +58,7 @@ import numpy as np
 
 from repro.errors import (
     ConfigurationError,
+    DeviceOomError,
     HashtableFullError,
     KernelTimeoutError,
     TransientKernelError,
@@ -60,7 +71,7 @@ from repro.types import EMPTY_KEY
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultContext", "FaultInjector"]
 
 #: The injectable fault classes, in canonical order.
-FAULT_KINDS = ("overflow", "bitflip", "cas-storm", "timeout", "sdc")
+FAULT_KINDS = ("overflow", "bitflip", "cas-storm", "timeout", "sdc", "oom")
 
 
 @dataclass(frozen=True)
@@ -142,6 +153,10 @@ class FaultInjector:
     spec: FaultSpec
     #: Injections performed so far (persisted across checkpoint/resume).
     fires: int = 0
+    #: Optional :class:`~repro.gpu.governor.MemoryGovernor`: the ``oom``
+    #: fault kind shrinks its effective budget (attached by the driver
+    #: alongside the supervisor; ``None`` = raise the error alone).
+    governor: object | None = None
     _armed: str | None = field(default=None, repr=False)
     _rng: np.random.Generator | None = field(default=None, repr=False)
 
@@ -196,6 +211,23 @@ class FaultInjector:
                 f"injected: hashtable overflow forced at probe depth "
                 f"{self.spec.probe_depth} ({ctx.engine} engine, "
                 f"{ctx.kernel.value} kernel)"
+            )
+        if kind == "oom":
+            governor = self.governor
+            if governor is not None:
+                budget = governor.shrink_budget()
+                raise DeviceOomError(
+                    f"injected: device memory pressure — co-tenant "
+                    f"allocation shrank the effective budget to "
+                    f"{budget:,} bytes with "
+                    f"{governor.in_use_bytes:,} in use "
+                    f"({ctx.engine} engine, {ctx.kernel.value} kernel)",
+                    in_use_bytes=governor.in_use_bytes,
+                    budget_bytes=budget,
+                )
+            raise DeviceOomError(
+                f"injected: device allocation failed mid-run "
+                f"({ctx.engine} engine, {ctx.kernel.value} kernel)"
             )
         if kind == "sdc":
             self._write_sdc(ctx, rng)

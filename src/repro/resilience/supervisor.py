@@ -19,6 +19,14 @@ restores the snapshot and descends the degradation ladder:
 4. **abort** with :class:`~repro.errors.ResilienceExhaustedError` carrying
    a structured :class:`~repro.resilience.report.FaultReport`.
 
+A memory-specific rung sits in front of the ladder: when a typed
+:class:`~repro.errors.DeviceOomError` leaves the wired
+:class:`~repro.gpu.governor.MemoryGovernor` over budget, **shrink-tables**
+rungs halve the hashtable ``capacity_scale`` (floor 1) until the ledger
+fits again and the move is re-attempted without consuming a retry.  The
+fallback rung also releases the supervised engine's ledger regions and
+runs unmetered, so an OOM storm is always absorbed rather than aborted.
+
 Because every rung restarts from the restored snapshot, a fault-free rung
 produces exactly the move an unfaulted engine would have produced — which
 is what makes "forced overflow every iteration" converge to the same
@@ -35,6 +43,7 @@ from repro.core.config import LPAConfig, ResilienceConfig
 from repro.core.engine_vectorized import VectorizedEngine
 from repro.core.pruning import Frontier
 from repro.errors import (
+    DeviceOomError,
     HashtableFullError,
     InvariantViolation,
     KernelLaunchError,
@@ -91,6 +100,12 @@ class KernelSupervisor:
         #: Optional :class:`~repro.integrity.guard.IntegrityGuard` run on
         #: every accepted move (wired by the driver; ``None`` = no ABFT).
         self.guard = None
+        #: Optional :class:`~repro.gpu.governor.MemoryGovernor` (wired by
+        #: the driver).  When a :class:`~repro.errors.DeviceOomError`
+        #: leaves the ledger over budget, the ladder inserts
+        #: ``shrink-tables`` rungs — halving the hashtable
+        #: ``capacity_scale`` down to its floor of 1 — before retrying.
+        self.governor = None
 
     # ------------------------------------------------------------------ #
 
@@ -148,6 +163,12 @@ class KernelSupervisor:
                 restore()
                 if self.injector is not None:
                     self.injector.disarm()
+                if self._shrink_for_oom(exc, iteration, attempt):
+                    # The shrink rungs freed device memory without
+                    # consuming a retry: re-attempt the move at the same
+                    # attempt number (the capacity-scale floor of 1
+                    # bounds how often this branch can fire).
+                    continue
                 if attempt < self.resilience.max_retries:
                     backoff = self._backoff(attempt)
                     self._record(iteration, attempt, exc, "retry", backoff)
@@ -174,6 +195,31 @@ class KernelSupervisor:
 
     # ------------------------------------------------------------------ #
 
+    def _shrink_for_oom(self, exc: BaseException, iteration: int, attempt: int) -> bool:
+        """Memory rung: halve the hashtable ``capacity_scale`` until the
+        ledger fits the (possibly fault-shrunken) budget again.
+
+        Only fires for :class:`DeviceOomError` when a governor is wired
+        and reports ``over_budget()``.  Each halving is recorded as a
+        ``shrink-tables`` rung; returns ``True`` if at least one fired so
+        the caller re-attempts the move with the smaller tables.
+        """
+        if (
+            not isinstance(exc, DeviceOomError)
+            or self.governor is None
+            or not hasattr(self.engine, "shrink_tables")
+        ):
+            return False
+        shrunk = False
+        while (
+            self.governor.over_budget()
+            and getattr(getattr(self.engine, "tables", None), "capacity_scale", 1) > 1
+        ):
+            self._record(iteration, attempt, exc, "shrink-tables", 0.0)
+            self.engine.shrink_tables()
+            shrunk = True
+        return shrunk
+
     def _fall_back(
         self,
         labels: np.ndarray,
@@ -190,6 +236,15 @@ class KernelSupervisor:
             return self._abort(iteration, attempt, cause)
         self._record(iteration, attempt, cause, "fallback", 0.0)
         if self._fallback is None:
+            # Return the supervised engine's device regions (hashtables,
+            # arena high-water charges) to the governor before standing
+            # up the fallback: the fallback engine is deliberately
+            # unmetered — just as it has no fault hook, modeled memory
+            # pressure cannot reach it, which is what makes this rung a
+            # guaranteed absorber for injected OOM storms.
+            release = getattr(self.engine, "release_memory", None)
+            if release is not None and self.governor is not None:
+                release()
             self._fallback = VectorizedEngine(self.graph, self.config)
         # The fallback move belongs to the same run: route its kernel/wave
         # events into the supervised engine's tracer (if any) so the trace

@@ -308,6 +308,11 @@ class JobRecord:
     outcome: JobOutcome | None = None
     #: True when this record was replayed from the journal after a restart.
     recovered: bool = False
+    #: Admission-time analytic peak-footprint estimate in bytes (from
+    #: :func:`repro.gpu.governor.footprint_for`); ``None`` when the service
+    #: has no memory budget configured.  Not journaled — a recovered
+    #: service re-estimates lazily at claim time.
+    footprint_bytes: int | None = None
     #: Exception of the most recent failed attempt (transient, not
     #: journaled — it only steers the retry/ladder decision in-process).
     last_error: BaseException | None = None

@@ -102,6 +102,18 @@ class AdmissionQueue:
         )
         self._tenant_inflight_now[tenant] = self.tenant_load(tenant) + 1
 
+    def requeue(self, record: JobRecord) -> None:
+        """Put a popped-but-unclaimed job back at its original position.
+
+        Used by memory-aware admission: a job popped by the scheduler but
+        not claimed (its footprint would not fit next to the running set)
+        goes back with the same ``(priority, seq)`` key, so it stays the
+        front job and runs as soon as memory frees.  The tenant in-flight
+        slot was never released by :meth:`pop`, so no accounting changes —
+        this deliberately bypasses the capacity check.
+        """
+        heapq.heappush(self._heap, (record.spec.priority, record.seq, record))
+
     def pop(self) -> JobRecord:
         """Remove and return the front job (still counted in-flight).
 

@@ -48,6 +48,7 @@ from repro.errors import (
     ConfigurationError,
     DuplicateJobError,
     JobNotFoundError,
+    MemoryPressure,
     ReproError,
     ServiceOverloaded,
 )
@@ -162,6 +163,22 @@ class ServiceConfig:
     batch_max_jobs:
         Upper bound on jobs per shared wave (also bounded by ``workers``:
         only concurrently scheduled jobs can share a wave).
+    memory_budget_bytes:
+        Modelled device-memory budget for admission control (see
+        docs/service.md).  When set, every submission is checked against
+        an analytic peak-footprint estimate
+        (:func:`repro.gpu.governor.footprint_for`): a job that cannot fit
+        *alone* is rejected with a typed
+        :class:`~repro.errors.MemoryPressure`, and jobs whose combined
+        footprint would exceed the budget are serialised instead of run
+        concurrently.  The budget is also propagated into each job's
+        :class:`~repro.core.config.LPAConfig`, so runs enforce it live
+        through a :class:`~repro.gpu.governor.MemoryGovernor`.  ``None``
+        (the default) disables all memory accounting — the zero-overhead
+        path.
+    reserved_memory_fraction:
+        Fraction of ``memory_budget_bytes`` held back from jobs (runtime,
+        fragmentation slack); forwarded to the per-run config.
     """
 
     workers: int = 2
@@ -187,8 +204,20 @@ class ServiceConfig:
     snapshot_keep: int | None = None
     wave_batching: bool = False
     batch_max_jobs: int = 8
+    memory_budget_bytes: int | None = None
+    reserved_memory_fraction: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ConfigurationError(
+                f"memory_budget_bytes must be >= 1 (or None); "
+                f"got {self.memory_budget_bytes}"
+            )
+        if not 0.0 <= self.reserved_memory_fraction < 1.0:
+            raise ConfigurationError(
+                f"reserved_memory_fraction must be in [0, 1); "
+                f"got {self.reserved_memory_fraction}"
+            )
         if self.batch_max_jobs < 2:
             raise ConfigurationError(
                 f"batch_max_jobs must be >= 2; got {self.batch_max_jobs}"
@@ -286,7 +315,13 @@ class DetectionService:
             "recovered": 0,
             "batches": 0,
             "batched_jobs": 0,
+            "memory_rejected": 0,
+            "memory_serialized": 0,
+            "memory_degraded": 0,
         }
+        #: High-water mark of the combined footprint estimate of the
+        #: concurrently scheduled job set (bytes).
+        self._memory_inflight_high = 0
         #: Running (sum, count) of completed-job modelled latencies so
         #: :meth:`retry_after_hint` — called on *every* submit — is O(1)
         #: instead of rescanning the whole job table.
@@ -320,7 +355,31 @@ class DetectionService:
             )
         if spec.deadline_s is None and self.config.default_deadline_s is not None:
             spec = replace(spec, deadline_s=self.config.default_deadline_s)
-        record = JobRecord(spec=spec, seq=self._seq, admitted_clock_s=self.clock_s)
+        footprint = self._admission_estimate(spec)
+        budget = self.memory_budget()
+        if footprint is not None and budget is not None and footprint > budget:
+            # No degradation rung can shrink an oversized job under the
+            # device: admitting it only burns queue capacity on a
+            # guaranteed OOM.  Reject with both sides of the comparison.
+            self.counters["memory_rejected"] += 1
+            self._emit_job_raw(
+                job_id=spec.job_id, state="rejected",
+                detail=f"memory pressure: estimate {footprint} B > "
+                       f"budget {budget} B",
+            )
+            raise MemoryPressure(
+                f"job {spec.job_id!r} needs an estimated {footprint} bytes "
+                f"but the effective device budget is {budget} bytes; "
+                f"shrink the graph or raise the budget",
+                estimate_bytes=footprint,
+                budget_bytes=budget,
+                retry_after_s=self.retry_after_hint(),
+                queue_depth=self.queue.depth,
+            )
+        record = JobRecord(
+            spec=spec, seq=self._seq, admitted_clock_s=self.clock_s,
+            footprint_bytes=footprint,
+        )
         try:
             self.queue.push(record, retry_after_s=self.retry_after_hint())
         except ServiceOverloaded:
@@ -411,14 +470,27 @@ class DetectionService:
         return record
 
     def _fill_workers(self) -> None:
-        """Move pending jobs into the running set, up to ``workers``."""
+        """Move pending jobs into the running set, up to ``workers``.
+
+        With a memory budget configured, a job whose footprint would push
+        the combined running-set estimate past the budget is *serialised*:
+        it stays at the front of the queue and claims its slot once the
+        current set retires, instead of running concurrently and tripping
+        a live OOM.
+        """
         while len(self._running) < self.config.workers and self.queue.depth > 0:
             record = self.queue.pop()
+            if not self._memory_admits(record):
+                self.queue.requeue(record)
+                break
             record.state = JobState.RUNNING
             if self.journal is not None:
                 self.journal.record(record)
             self._running.append(record)
             self._emit_job(record, "started")
+        inflight = self._memory_inflight()
+        if inflight > self._memory_inflight_high:
+            self._memory_inflight_high = inflight
 
     # ------------------------------------------------------------------ #
     # Wave batching
@@ -797,6 +869,16 @@ class DetectionService:
         distressed = any(ev.action == "fallback" for ev in result.fault_events)
         self._breaker_record(engine, success=not distressed)
 
+        mem = result.memory
+        if mem is not None and (
+            mem.get("ooms") or mem.get("shrinks")
+            or mem.get("construction_rungs")
+        ):
+            # The run only fit the device by descending a memory rung
+            # (compact layout, table shrink, ...) — count it so operators
+            # can see sustained pressure before jobs start failing.
+            self.counters["memory_degraded"] += 1
+
         degraded_reason = result.degraded_reason
         if reason is not None:
             degraded_reason = (
@@ -1031,7 +1113,7 @@ class DetectionService:
 
         return {
             "schema": "repro.observe/service",
-            "version": 2,
+            "version": 3,
             "clock_s": self.clock_s,
             "wall_seconds": time.perf_counter() - self._wall_start,
             "workers": self.config.workers,
@@ -1060,6 +1142,15 @@ class DetectionService:
                 "batches": self.counters["batches"],
                 "batched_jobs": self.counters["batched_jobs"],
                 "launch_seconds_saved": self.launch_seconds_saved,
+            },
+            "memory": {
+                "enabled": self.config.memory_budget_bytes is not None,
+                "budget_bytes": self.memory_budget() or 0,
+                "in_flight_bytes": self._memory_inflight(),
+                "high_water_bytes": self._memory_inflight_high,
+                "rejections": self.counters["memory_rejected"],
+                "serialized": self.counters["memory_serialized"],
+                "degradations": self.counters["memory_degraded"],
             },
             "breakers": [b.snapshot() for b in self.breakers.values()],
             "latency": {
@@ -1103,6 +1194,78 @@ class DetectionService:
     def _memory_graphs_for(self, spec: JobSpec) -> dict:
         return self._memory_graphs
 
+    # ------------------------------------------------------------------ #
+    # Memory-aware admission
+    # ------------------------------------------------------------------ #
+
+    def memory_budget(self) -> int | None:
+        """Effective admission budget in bytes (``None`` = unmetered).
+
+        ``memory_budget_bytes`` minus the reserved fraction — the same
+        arithmetic the per-run :class:`~repro.gpu.governor.MemoryGovernor`
+        applies, so admission and live enforcement agree on the ceiling.
+        """
+        raw = self.config.memory_budget_bytes
+        if raw is None:
+            return None
+        return max(1, int(raw * (1.0 - self.config.reserved_memory_fraction)))
+
+    def _admission_estimate(self, spec: JobSpec) -> int | None:
+        """Analytic peak-footprint estimate for one submission, in bytes.
+
+        Returns ``None`` when no budget is configured (zero-overhead
+        path) or when the graph cannot be materialised here — the load
+        error then surfaces through the normal execution path with its
+        own typed error instead of masquerading as memory pressure.
+        """
+        if self.config.memory_budget_bytes is None:
+            return None
+        try:
+            graph = spec.graph.load(self._memory_graphs)
+        except ReproError:
+            return None
+        from repro.gpu.governor import footprint_for
+
+        template = self.config.resilience
+        estimate = footprint_for(
+            graph,
+            self._job_config(spec),
+            engine=spec.engine,
+            integrity=(template is not None and template.integrity is not None),
+            checkpointing=(self.journal is not None
+                           or (template is not None
+                               and template.checkpoint_dir is not None)),
+        )
+        return int(estimate["total"])
+
+    def _memory_admits(self, record: JobRecord) -> bool:
+        """Whether this job fits next to the currently scheduled set."""
+        budget = self.memory_budget()
+        if budget is None:
+            return True
+        if record.footprint_bytes is None:
+            # Recovered record (footprint is not journaled): re-estimate.
+            record.footprint_bytes = self._admission_estimate(record.spec)
+        if record.footprint_bytes is None or not self._running:
+            # Unknown estimate, or nothing else running: admit — a job
+            # that fits alone must always make progress (the per-run
+            # governor still enforces the budget live).
+            return True
+        if self._memory_inflight() + record.footprint_bytes <= budget:
+            return True
+        self.counters["memory_serialized"] += 1
+        self._emit_job(
+            record, "serialized",
+            detail=f"footprint {record.footprint_bytes} B would exceed "
+                   f"budget {budget} B next to {len(self._running)} "
+                   f"running job(s); waiting for memory",
+        )
+        return False
+
+    def _memory_inflight(self) -> int:
+        """Combined footprint estimate of the scheduled set, in bytes."""
+        return sum(r.footprint_bytes or 0 for r in self._running)
+
     def _job_config(self, spec: JobSpec) -> LPAConfig:
         cfg = self.config.lpa
         changes = {}
@@ -1110,6 +1273,12 @@ class DetectionService:
             changes["max_iterations"] = spec.max_iterations
         if spec.tolerance is not None:
             changes["tolerance"] = spec.tolerance
+        if (self.config.memory_budget_bytes is not None
+                and cfg.memory_budget_bytes is None):
+            changes["memory_budget_bytes"] = self.config.memory_budget_bytes
+            changes["reserved_memory_fraction"] = (
+                self.config.reserved_memory_fraction
+            )
         return cfg.with_(**changes) if changes else cfg
 
     def _resilience_for(self, spec: JobSpec, engine: str) -> ResilienceConfig | None:

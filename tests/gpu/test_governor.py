@@ -1,0 +1,251 @@
+"""Tests for the device-memory governor: ledger, budget, estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LPAConfig
+from repro.core.lpa import nu_lpa
+from repro.errors import ConfigurationError, DeviceOomError
+from repro.gpu.device import A100
+from repro.gpu.governor import (
+    ESTIMATE_TOLERANCE,
+    REGION_KINDS,
+    MemoryGovernor,
+    estimate_run_footprint,
+    footprint_for,
+    wave_edge_bound,
+)
+from repro.graph.datasets import generate_standin
+from repro.observe.trace import MemoryEvent, OomEvent, Tracer
+
+
+@pytest.fixture
+def gov():
+    return MemoryGovernor(budget_bytes=1000)
+
+
+class TestLedger:
+    def test_reserve_release_roundtrip(self, gov):
+        assert gov.reserve("csr", 300) == 300
+        assert gov.in_use_bytes == 300
+        assert gov.region_bytes("csr") == 300
+        gov.release("csr", 300)
+        assert gov.in_use_bytes == 0
+        assert gov.reserves == 1 and gov.releases == 1
+        assert gov.underflows == 0
+
+    def test_high_water_survives_release(self, gov):
+        gov.reserve("labels", 400)
+        gov.reserve("arena", 200)
+        gov.release("arena", 200)
+        gov.release("labels", 400)
+        assert gov.high_water_bytes == 600
+        assert gov.region_high_water("labels") == 400
+        assert gov.region_high_water("arena") == 200
+        assert gov.in_use_bytes == 0
+
+    def test_unknown_region_rejected(self, gov):
+        with pytest.raises(ConfigurationError):
+            gov.reserve("heap", 1)
+        with pytest.raises(ConfigurationError):
+            gov.release("heap", 1)
+
+    def test_negative_sizes_rejected(self, gov):
+        with pytest.raises(ConfigurationError):
+            gov.reserve("csr", -1)
+        with pytest.raises(ConfigurationError):
+            gov.release("csr", -1)
+
+    def test_over_release_clamps_and_counts_underflow(self, gov):
+        gov.reserve("hashtable", 100)
+        gov.release("hashtable", 250)
+        assert gov.in_use_bytes == 0
+        assert gov.region_bytes("hashtable") == 0
+        assert gov.underflows == 1
+
+    def test_stats_shape(self, gov):
+        gov.reserve("csr", 10)
+        stats = gov.stats()
+        for key in (
+            "device", "budget_bytes", "reserved_fraction", "in_use_bytes",
+            "high_water_bytes", "regions", "region_high_water",
+            "reserves", "releases", "ooms", "shrinks", "underflows",
+        ):
+            assert key in stats
+        assert set(stats["regions"]) == set(REGION_KINDS)
+        assert stats["in_use_bytes"] == 10
+
+
+class TestBudget:
+    def test_oom_raises_before_charging(self, gov):
+        gov.reserve("csr", 900)
+        with pytest.raises(DeviceOomError) as exc:
+            gov.reserve("arena", 200)
+        # Nothing was charged by the failed reservation.
+        assert gov.in_use_bytes == 900
+        assert gov.region_bytes("arena") == 0
+        assert gov.ooms == 1
+        err = exc.value
+        assert err.region == "arena"
+        assert err.requested_bytes == 200
+        assert err.in_use_bytes == 900
+        assert err.budget_bytes == 1000
+
+    def test_would_fit(self, gov):
+        gov.reserve("csr", 600)
+        assert gov.would_fit(400)
+        assert not gov.would_fit(401)
+
+    def test_reserved_fraction_shrinks_effective_budget(self):
+        gov = MemoryGovernor(budget_bytes=1000, reserved_fraction=0.25)
+        assert gov.budget_bytes == 750
+        gov.reserve("csr", 750)
+        with pytest.raises(DeviceOomError):
+            gov.reserve("csr", 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGovernor(budget_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MemoryGovernor(budget_bytes=100, reserved_fraction=1.0)
+
+    def test_shrink_budget_explicit(self, gov):
+        assert gov.shrink_budget(400) == 600
+        assert gov.shrinks == 1
+        gov.reserve("csr", 600)
+        with pytest.raises(DeviceOomError):
+            gov.reserve("csr", 1)
+
+    def test_shrink_to_fraction_of_use_leaves_over_budget(self, gov):
+        gov.reserve("hashtable", 800)
+        gov.shrink_budget(to_fraction_of_use=0.5)
+        assert gov.budget_bytes == 400
+        assert gov.over_budget()
+        # Releasing down to the new ceiling clears the condition.
+        gov.release("hashtable", 500)
+        assert not gov.over_budget()
+
+    def test_restore_budget_undoes_every_shrink(self, gov):
+        gov.shrink_budget(300)
+        gov.shrink_budget(300)
+        assert gov.budget_bytes == 400
+        assert gov.restore_budget() == 1000
+
+
+class TestTrace:
+    def test_ledger_transactions_emit_events(self):
+        tracer = Tracer(enabled=True)
+        gov = MemoryGovernor(budget_bytes=100, tracer=tracer)
+        gov.reserve("labels", 60)
+        gov.release("labels", 60)
+        with pytest.raises(DeviceOomError):
+            gov.reserve("labels", 200)
+        kinds = [type(ev) for ev in tracer.events]
+        assert kinds.count(MemoryEvent) == 2
+        assert kinds.count(OomEvent) == 1
+        oom = [ev for ev in tracer.events if isinstance(ev, OomEvent)][0]
+        assert oom.requested_bytes == 200
+        assert oom.budget_bytes == 100
+
+
+class TestEstimator:
+    def test_exact_components(self):
+        est = estimate_run_footprint(100, 1000, compact=True,
+                                     engine="hashtable", value_itemsize=4)
+        assert est["csr"] == 4 * 101 + 8 * 1000
+        assert est["labels"] == 2 * 4 * 100
+        assert est["hashtable"] == 2 * 1000 * (4 + 4)
+        assert est["integrity"] == 0 and est["checkpoint"] == 0
+        assert est["total"] == sum(
+            est[k] for k in REGION_KINDS
+        )
+
+    def test_wide_layout_doubles_indices(self):
+        compact = estimate_run_footprint(100, 1000, compact=True)
+        wide = estimate_run_footprint(100, 1000, compact=False)
+        assert wide["csr"] > compact["csr"]
+        assert wide["labels"] == 2 * compact["labels"]
+
+    def test_integrity_and_checkpoint_terms(self):
+        base = estimate_run_footprint(100, 1000, engine="hashtable")
+        integ = estimate_run_footprint(100, 1000, engine="hashtable",
+                                       integrity=True)
+        ckpt = estimate_run_footprint(100, 1000, engine="hashtable",
+                                      checkpointing=True)
+        assert integ["integrity"] == (
+            base["csr"] + base["hashtable"] + base["arena"]
+        )
+        assert ckpt["checkpoint"] == 4 * 100 + 100
+
+    def test_wave_edges_bounds_arena(self):
+        full = estimate_run_footprint(100, 10_000, engine="hashtable")
+        bounded = estimate_run_footprint(100, 10_000, engine="hashtable",
+                                         wave_edges=1000)
+        assert bounded["arena"] < full["arena"]
+        # wave_edges above m clamps to m (never inflates the estimate).
+        clamped = estimate_run_footprint(100, 10_000, engine="hashtable",
+                                         wave_edges=10**9)
+        assert clamped["arena"] == full["arena"]
+
+    def test_vectorized_engine_has_no_hashtable_term(self):
+        est = estimate_run_footprint(100, 1000, engine="vectorized")
+        assert est["hashtable"] == 0
+
+
+class TestWaveEdgeBound:
+    def test_never_exceeds_edge_count(self):
+        graph = generate_standin("asia_osm", scale=0.02, seed=3)
+        bound = wave_edge_bound(graph, LPAConfig())
+        assert 0 < bound <= graph.num_edges
+
+    def test_small_graph_is_one_wave(self):
+        # Fewer vertices than one residency wave: the bound is exactly m.
+        graph = generate_standin("asia_osm", scale=0.02, seed=3)
+        assert graph.num_vertices <= A100.max_resident_threads
+        assert wave_edge_bound(graph, LPAConfig()) == graph.num_edges
+
+
+class TestReconciliation:
+    """The estimator is an admission upper bound the ledger must respect."""
+
+    @pytest.mark.parametrize("engine", ["hashtable", "vectorized"])
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_high_water_within_band(self, engine, compact):
+        graph = generate_standin("asia_osm", scale=0.05, seed=7)
+        config = LPAConfig(max_iterations=10, compact_layout=compact)
+        est = footprint_for(graph, config, engine=engine)
+        result = nu_lpa(
+            graph,
+            config.with_(memory_budget_bytes=4 * est["total"]),
+            engine=engine,
+            warn_on_no_convergence=False,
+        )
+        stats = result.memory
+        assert stats is not None
+        assert stats["underflows"] == 0
+        assert stats["in_use_bytes"] == 0  # everything released at run end
+        hw = stats["high_water_bytes"]
+        # Exact-size regions are priced to the byte; the ledger must have
+        # metered at least them ...
+        floor = est["csr"] + est["labels"] + est["hashtable"]
+        assert hw >= floor
+        # ... and must not exceed the conservative total past tolerance.
+        assert hw <= est["total"] * (1.0 + ESTIMATE_TOLERANCE)
+        assert stats["region_high_water"]["csr"] == est["csr"]
+        assert stats["region_high_water"]["labels"] == est["labels"]
+        assert stats["region_high_water"]["hashtable"] == est["hashtable"]
+
+    def test_governed_run_is_invisible(self):
+        graph = generate_standin("asia_osm", scale=0.05, seed=7)
+        config = LPAConfig(max_iterations=10)
+        free = nu_lpa(graph, config, engine="hashtable",
+                      warn_on_no_convergence=False)
+        assert free.memory is None
+        est = footprint_for(graph, config, engine="hashtable")
+        governed = nu_lpa(
+            graph, config.with_(memory_budget_bytes=4 * est["total"]),
+            engine="hashtable", warn_on_no_convergence=False,
+        )
+        assert np.array_equal(free.labels, governed.labels)
+        assert governed.memory["ooms"] == 0
+        assert governed.memory["construction_rungs"] == []

@@ -78,7 +78,10 @@ class TestMemoryFootprint:
         from repro.experiments import run_experiment
 
         r = run_experiment("E3")
-        assert not r.values["sk-2005"]["gpu_fits"]  # the paper's OOM cell
-        assert r.values["it-2004"]["gpu_fits"]
+        # The paper's OOM cell: sk-2005 fits in neither layout ...
+        assert not r.values["sk-2005"]["fits_wide"]
+        assert not r.values["sk-2005"]["fits_compact"]
+        # ... while it-2004 fits (wide layout, no compact required).
+        assert r.values["it-2004"]["fits_wide"]
         # The GPU per-thread design is orders of magnitude over budget.
         assert r.values["kmer_V1r"]["gpu_per_thread_gib"] > 10_000

@@ -41,8 +41,17 @@ class TestEveryFaultClassSurvives:
         r = nu_lpa(small_web, resilience=transient(kind), engine=engine)
         assert r.labels.min() >= 0
         assert r.labels.max() < small_web.num_vertices
-        # transient faults clear within the retry budget: never degraded
-        assert not r.degraded
+        if kind == "oom":
+            # An oom fire shrinks the modelled budget and the pressure
+            # persists after the raise (docs/robustness.md), so the memory
+            # rungs may legitimately end in the fallback. The contract is
+            # absorbed-with-a-balanced-ledger, not never-degraded.
+            assert r.memory is not None
+            assert r.memory["in_use_bytes"] == 0
+            assert r.memory["underflows"] == 0
+        else:
+            # transient faults clear within the retry budget: never degraded
+            assert not r.degraded
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("kind", FAULT_KINDS)

@@ -218,11 +218,11 @@ class TestServiceBatching:
         assert svc.counters["batches"] == 0
         assert svc.launch_seconds_saved == 0.0
 
-    def test_stats_schema_v2_reports_batching(self):
+    def test_stats_schema_reports_batching(self):
         svc = self._run(batching=True)
         doc = svc.stats()
         validate_service_stats(doc)
-        assert doc["version"] == 2
+        assert doc["version"] == 3
         assert doc["batching"]["enabled"] is True
         assert doc["batching"]["batches"] == 1
         assert doc["batching"]["batched_jobs"] == 8
